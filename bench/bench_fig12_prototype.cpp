@@ -1,0 +1,157 @@
+// Figure 12: the prototype's RT-scale query, two evaluation strategies.
+//
+// "Define a loop labelled RT-scale going from a city back to itself if the
+// city is a scale on a sequence of Canadian Pacific flights from Rome to
+// Tokyo." Evaluated two ways:
+//
+//   1. GraphLog/Datalog: lambda translation materializes the full cp-tc
+//      closure, then filters by the Rome/Tokyo constants.
+//   2. RPQ product search ([MW89], what the Section 5 prototype does for
+//      edge queries): BFS from Rome through the automaton product.
+//
+// Expected shape: the strategies agree exactly, and the fixed-endpoint
+// product search wins by a growing factor as the airline network grows,
+// because it never materializes the all-pairs closure.
+
+#include <benchmark/benchmark.h>
+
+#include <set>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "graph/data_graph.h"
+#include "graphlog/engine.h"
+#include "graphlog/parser.h"
+#include "rpq/rpq_eval.h"
+#include "storage/database.h"
+#include "workload/generators.h"
+
+using namespace graphlog;
+using bench::CheckOk;
+
+namespace {
+
+const char* kGraphLogQuery =
+    "query rt-scale {\n"
+    "  edge \"city0\" -> C : al0+;\n"
+    "  edge C -> \"city1\" : al0+;\n"
+    "  distinguished C -> C : rt-scale;\n"
+    "}\n";
+
+storage::Database MakeAirlineNetwork(int flights) {
+  storage::Database db;
+  workload::FlightsOptions opts;
+  opts.num_flights = flights;
+  opts.num_cities = std::max(6, flights / 12);
+  opts.num_airlines = 3;
+  CheckOk(workload::Flights(opts, &db), "flights generator");
+  return db;
+}
+
+std::set<std::string> ScalesViaDatalog(storage::Database* db,
+                                       bool magic = false) {
+  auto q = CheckOk(
+      gl::ParseGraphicalQuery(kGraphLogQuery, &db->symbols()), "parse");
+  gl::GraphLogOptions opts;
+  opts.specialize_bound_closures = magic;
+  CheckOk(gl::EvaluateGraphicalQuery(q, db, opts).status(), "graphlog");
+  std::set<std::string> out;
+  const storage::Relation* rel = db->Find("rt-scale");
+  if (rel == nullptr) return out;
+  for (const auto& t : rel->rows()) {
+    out.insert(t[0].ToString(db->symbols()));
+  }
+  return out;
+}
+
+std::set<std::string> ScalesViaRpq(storage::Database* db,
+                                   rpq::RpqStats* stats = nullptr) {
+  graph::DataGraph g = graph::DataGraph::FromDatabase(*db);
+  // Scales = nodes on an al0-path: reachable from city0 AND reaching
+  // city1, via two fixed-endpoint RPQs.
+  rpq::RpqOptions from_rome;
+  from_rome.source = Value::Sym(db->Intern("city0"));
+  auto fwd = CheckOk(
+      rpq::EvalRpqText(g, "al0+", &db->symbols(), from_rome, stats), "rpq");
+  rpq::RpqOptions to_tokyo;
+  to_tokyo.source = Value::Sym(db->Intern("city1"));
+  // Reaching city1 forwards == reachable from city1 along inverted edges.
+  auto bwd = CheckOk(rpq::EvalRpqText(g, "(-al0)+", &db->symbols(),
+                                      to_tokyo, stats),
+                     "rpq inverse");
+  std::set<std::string> reach_fwd, out;
+  for (const auto& t : fwd.rows()) {
+    reach_fwd.insert(t[1].ToString(db->symbols()));
+  }
+  for (const auto& t : bwd.rows()) {
+    std::string c = t[1].ToString(db->symbols());
+    if (reach_fwd.count(c)) out.insert(c);
+  }
+  return out;
+}
+
+void Report() {
+  bench::Banner("Figure 12 — the prototype's RT-scale query",
+                "automaton-product search ([MW89]) and the Datalog "
+                "translation agree; fixed endpoints favor the product "
+                "search");
+  for (int flights : {120, 240}) {
+    storage::Database db1 = MakeAirlineNetwork(flights);
+    storage::Database db2 = MakeAirlineNetwork(flights);
+    storage::Database db3 = MakeAirlineNetwork(flights);
+    auto a = ScalesViaDatalog(&db1);
+    auto b = ScalesViaRpq(&db2);
+    auto c = ScalesViaDatalog(&db3, /*magic=*/true);
+    std::printf(
+        "flights=%4d  scales(datalog)=%zu  scales(rpq)=%zu  "
+        "scales(magic-tc)=%zu  %s\n",
+        flights, a.size(), b.size(), c.size(),
+        (a == b && a == c) ? "(MATCH)" : "(MISMATCH!)");
+  }
+  std::printf("\n");
+}
+
+void BM_DatalogStrategy(benchmark::State& state) {
+  int flights = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    storage::Database db = MakeAirlineNetwork(flights);
+    state.ResumeTiming();
+    auto scales = ScalesViaDatalog(&db);
+    benchmark::DoNotOptimize(scales.size());
+  }
+}
+BENCHMARK(BM_DatalogStrategy)->Arg(60)->Arg(120)->Arg(240)->Arg(480);
+
+void BM_RpqProductStrategy(benchmark::State& state) {
+  int flights = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    storage::Database db = MakeAirlineNetwork(flights);
+    state.ResumeTiming();
+    auto scales = ScalesViaRpq(&db);
+    benchmark::DoNotOptimize(scales.size());
+  }
+}
+BENCHMARK(BM_RpqProductStrategy)->Arg(60)->Arg(120)->Arg(240)->Arg(480);
+
+void BM_MagicTcStrategy(benchmark::State& state) {
+  int flights = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    storage::Database db = MakeAirlineNetwork(flights);
+    state.ResumeTiming();
+    auto scales = ScalesViaDatalog(&db, /*magic=*/true);
+    benchmark::DoNotOptimize(scales.size());
+  }
+}
+BENCHMARK(BM_MagicTcStrategy)->Arg(60)->Arg(120)->Arg(240)->Arg(480);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,317 @@
+// graphlog_shell: an interactive GraphLog session.
+//
+// The textual stand-in for the Section 5 prototype: load a database, type
+// graphical queries, inspect answers, and export DOT renderings of both
+// the database graph and the query graphs themselves.
+//
+//   $ ./build/examples/graphlog_shell
+//   graphlog> edge(a, b).
+//   graphlog> edge(b, c).
+//   graphlog> query t { edge X -> Y : edge+; distinguished X -> Y : t; }
+//   3 tuples derived
+//   graphlog> .show t
+//   t(a, b). ...
+//
+// Commands:
+//   <fact>.                    add a ground fact
+//   query NAME { ... }         evaluate a graphical query (may span lines)
+//   .datalog <rule>            evaluate one Datalog rule
+//   .load FILE | .save FILE    fact-file I/O
+//   .show REL | .relations     inspect state
+//   .dot | .dotquery NAME{...} export DOT (database / query graph)
+//   .rpq [SRC [DST]] EXPR      automaton-product RPQ over the data graph
+//   .help | .quit
+//
+// Reads from stdin, so it is scriptable: `graphlog_shell < script.glog`.
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/strings.h"
+#include "datalog/parser.h"
+#include "eval/engine.h"
+#include "eval/provenance.h"
+#include "graph/data_graph.h"
+#include "graphlog/dot.h"
+#include "graphlog/engine.h"
+#include "graphlog/parser.h"
+#include "rpq/rpq_eval.h"
+#include "storage/database.h"
+#include "storage/io.h"
+
+using namespace graphlog;
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  fact(args).              add a ground fact\n"
+      "  query NAME { ... }       evaluate a graphical query\n"
+      "  .datalog RULE            evaluate a single Datalog rule\n"
+      "  .load FILE               load a fact file\n"
+      "  .save FILE               save all relations as facts\n"
+      "  .show RELATION           print a relation\n"
+      "  .relations               list relations and sizes\n"
+      "  .dot                     DOT of the database graph\n"
+      "  .dotquery QUERY          DOT of a query graph (visual formalism)\n"
+      "  .rpq [SRC [DST]] EXPR    run a regular path query\n"
+      "  .why FACT                derivation tree of a fact from the most\n"
+      "                           recent query/.datalog evaluation\n"
+      "  .help / .quit\n");
+}
+
+/// Balances braces to decide whether a query block is complete.
+bool BlockComplete(const std::string& text) {
+  int depth = 0;
+  bool seen = false;
+  for (char c : text) {
+    if (c == '{') {
+      ++depth;
+      seen = true;
+    }
+    if (c == '}') --depth;
+  }
+  return seen && depth <= 0;
+}
+
+class Shell {
+ public:
+  int Run() {
+    std::string line;
+    Prompt();
+    while (std::getline(std::cin, line)) {
+      Handle(line);
+      if (done_) break;
+      Prompt();
+    }
+    return 0;
+  }
+
+ private:
+  void Prompt() {
+    if (pending_.empty()) {
+      std::printf("graphlog> ");
+    } else {
+      std::printf("      ... ");
+    }
+    std::fflush(stdout);
+  }
+
+  void Handle(const std::string& raw) {
+    std::string line(Trim(raw));
+    if (!pending_.empty()) {
+      pending_ += "\n" + line;
+      if (BlockComplete(pending_)) {
+        RunQuery(pending_);
+        pending_.clear();
+      }
+      return;
+    }
+    if (line.empty() || line[0] == '#') return;
+    if (line == ".quit" || line == ".exit") {
+      done_ = true;
+      return;
+    }
+    if (line == ".help") {
+      PrintHelp();
+      return;
+    }
+    if (line == ".relations") {
+      for (const auto& [name, rel] : db_.relations()) {
+        std::printf("  %s/%zu: %zu tuples\n",
+                    db_.symbols().name(name).c_str(), rel.arity(),
+                    rel.size());
+      }
+      return;
+    }
+    if (StartsWith(line, ".show ")) {
+      std::string name(Trim(line.substr(6)));
+      Symbol s = db_.symbols().Lookup(name);
+      if (s == kNoSymbol || db_.Find(s) == nullptr) {
+        std::printf("no relation '%s'\n", name.c_str());
+      } else {
+        std::printf("%s", db_.RelationToString(s).c_str());
+      }
+      return;
+    }
+    if (StartsWith(line, ".load ")) {
+      auto r = storage::LoadFactsFile(std::string(Trim(line.substr(6))),
+                                      &db_);
+      Report(r.status(), r.ok() ? *r : 0, "facts loaded");
+      return;
+    }
+    if (StartsWith(line, ".save ")) {
+      Status s =
+          storage::SaveFactsFile(std::string(Trim(line.substr(6))), db_);
+      if (!s.ok()) std::printf("error: %s\n", s.ToString().c_str());
+      return;
+    }
+    if (line == ".dot") {
+      graph::DataGraph g = graph::DataGraph::FromDatabase(db_);
+      std::printf("%s", ToDot(g, db_.symbols()).c_str());
+      return;
+    }
+    if (StartsWith(line, ".dotquery ")) {
+      std::string text = line.substr(10);
+      if (!BlockComplete(text)) {
+        pending_dotquery_ = true;
+        pending_ = text;
+        return;
+      }
+      DotQuery(text);
+      return;
+    }
+    if (StartsWith(line, ".datalog ")) {
+      auto prog = datalog::ParseProgram(line.substr(9), &db_.symbols());
+      if (!prog.ok()) {
+        std::printf("error: %s\n", prog.status().ToString().c_str());
+        return;
+      }
+      last_store_ = eval::ProvenanceStore();
+      last_program_ = *prog;
+      eval::EvalOptions opts;
+      opts.provenance = &last_store_;
+      auto r = eval::Evaluate(*prog, &db_, opts);
+      Report(r.status(), r.ok() ? r->tuples_derived : 0, "tuples derived");
+      return;
+    }
+    if (StartsWith(line, ".why ")) {
+      auto r = eval::ExplainFact(last_store_, last_program_, db_.symbols(),
+                                 line.substr(5));
+      if (!r.ok()) {
+        std::printf("error: %s\n", r.status().ToString().c_str());
+      } else {
+        std::printf("%s", r->c_str());
+      }
+      return;
+    }
+    if (StartsWith(line, ".rpq ")) {
+      RunRpq(line.substr(5));
+      return;
+    }
+    if (StartsWith(line, "query")) {
+      if (!BlockComplete(line)) {
+        pending_ = line;
+        return;
+      }
+      RunQuery(line);
+      return;
+    }
+    if (!line.empty() && line.back() == '.') {
+      auto r = storage::LoadFacts(line, &db_);
+      Report(r.status(), r.ok() ? *r : 0, "facts added");
+      return;
+    }
+    std::printf("unrecognized input; try .help\n");
+  }
+
+  void RunQuery(const std::string& text) {
+    if (pending_dotquery_) {
+      pending_dotquery_ = false;
+      DotQuery(text);
+      return;
+    }
+    auto q = gl::ParseGraphicalQuery(text, &db_.symbols());
+    if (!q.ok()) {
+      std::printf("error: %s\n", q.status().ToString().c_str());
+      return;
+    }
+    last_store_ = eval::ProvenanceStore();
+    gl::GraphLogOptions opts;
+    opts.eval.provenance = &last_store_;
+    auto r = gl::EvaluateGraphicalQuery(*q, &db_, opts);
+    if (!r.ok()) {
+      std::printf("error: %s\n", r.status().ToString().c_str());
+      return;
+    }
+    last_program_ = r->programs;
+    std::printf("%llu tuples derived (%llu graphs translated, %llu "
+                "summarized)\n",
+                static_cast<unsigned long long>(r->datalog.tuples_derived),
+                static_cast<unsigned long long>(r->graphs_translated),
+                static_cast<unsigned long long>(r->graphs_summarized));
+  }
+
+  void DotQuery(const std::string& text) {
+    auto q = gl::ParseGraphicalQuery(text, &db_.symbols());
+    if (!q.ok()) {
+      std::printf("error: %s\n", q.status().ToString().c_str());
+      return;
+    }
+    std::printf("%s", RenderGraphicalQuery(*q, db_.symbols()).c_str());
+  }
+
+  void RunRpq(const std::string& args) {
+    // .rpq [SRC [DST]] EXPR — heuristics: tokens before the expression
+    // are endpoint names when the remaining text still parses.
+    std::istringstream in(args);
+    std::string first, second;
+    in >> first;
+    std::string rest;
+    std::getline(in, rest);
+    rpq::RpqOptions opts;
+    std::string expr = args;
+    // Try: SRC DST EXPR.
+    {
+      std::istringstream in2(rest);
+      in2 >> second;
+      std::string rest2;
+      std::getline(in2, rest2);
+      SymbolTable probe;
+      if (!second.empty() &&
+          gl::ParsePathExpr(rest2, &probe).ok() &&
+          db_.symbols().Lookup(first) != kNoSymbol &&
+          db_.symbols().Lookup(second) != kNoSymbol) {
+        opts.source = Value::Sym(db_.Intern(first));
+        opts.target = Value::Sym(db_.Intern(second));
+        expr = rest2;
+      }
+    }
+    if (!opts.source.has_value()) {
+      SymbolTable probe;
+      if (gl::ParsePathExpr(rest, &probe).ok() &&
+          db_.symbols().Lookup(first) != kNoSymbol) {
+        opts.source = Value::Sym(db_.Intern(first));
+        expr = rest;
+      }
+    }
+    graph::DataGraph g = graph::DataGraph::FromDatabase(db_);
+    auto r = rpq::EvalRpqText(g, expr, &db_.symbols(), opts);
+    if (!r.ok()) {
+      std::printf("error: %s\n", r.status().ToString().c_str());
+      return;
+    }
+    for (const auto& t : r->rows()) {
+      std::printf("  (%s, %s)\n", t[0].ToString(db_.symbols()).c_str(),
+                  t[1].ToString(db_.symbols()).c_str());
+    }
+    std::printf("%zu pairs\n", r->size());
+  }
+
+  void Report(const Status& s, size_t n, const char* what) {
+    if (!s.ok()) {
+      std::printf("error: %s\n", s.ToString().c_str());
+    } else {
+      std::printf("%zu %s\n", n, what);
+    }
+  }
+
+  storage::Database db_;
+  std::string pending_;
+  bool pending_dotquery_ = false;
+  bool done_ = false;
+  // Provenance of the most recent query/.datalog evaluation (.why).
+  eval::ProvenanceStore last_store_;
+  datalog::Program last_program_;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("GraphLog shell — .help for commands\n");
+  Shell shell;
+  return shell.Run();
+}

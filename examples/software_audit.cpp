@@ -1,0 +1,64 @@
+// Software audit: Figure 6 of the paper on a generated call graph.
+//
+// Finds modules that (a) use the async-io library directly or indirectly
+// and (b) call themselves through other modules — the paper's example of a
+// "real life" recursive query over a software repository.
+//
+// Build & run:  ./build/examples/software_audit [num_modules]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "graphlog/engine.h"
+#include "storage/database.h"
+#include "workload/generators.h"
+
+using namespace graphlog;
+
+int main(int argc, char** argv) {
+  workload::ModulesOptions opts;
+  if (argc > 1) opts.num_modules = std::atoi(argv[1]);
+  storage::Database db;
+  if (auto s = workload::Modules(opts, &db); !s.ok()) {
+    std::fprintf(stderr, "generator failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("call graph: %d modules, %zu in-module, %zu local, %zu "
+              "external calls\n",
+              opts.num_modules, db.Find("in-module")->size(),
+              db.Find("calls-local")->size(), db.Find("calls-extn")->size());
+
+  // lib0 plays the role of the paper's async-io library.
+  const char* query =
+      "query module-calls {\n"
+      "  edge M1 -> M2 : -(in-module) (calls-local)* calls-extn in-module;\n"
+      "  distinguished M1 -> M2 : module-calls;\n"
+      "}\n"
+      "query uses-async {\n"
+      "  edge M -> F : -(in-module) (calls-local | calls-extn)+;\n"
+      "  edge F -> \"lib0\" : in-library;\n"
+      "  distinguished M -> M : uses-async;\n"
+      "}\n"
+      "query self-used {\n"
+      "  edge M -> M : module-calls+;\n"
+      "  edge M -> M : uses-async;\n"
+      "  distinguished M -> M : self-used;\n"
+      "}\n";
+  std::printf("\n=== Figure 6 graphical query ===\n%s\n", query);
+
+  auto stats = gl::EvaluateGraphLogText(query, &db);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "eval failed: %s\n",
+                 stats.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("module-calls (module-level call edges):\n%s",
+              db.RelationToString(db.Intern("module-calls")).c_str());
+  std::printf("\nself-used modules (circular + using lib0):\n%s",
+              db.RelationToString(db.Intern("self-used")).c_str());
+  std::printf("\n(%llu tuples derived in %llu fixpoint rounds)\n",
+              static_cast<unsigned long long>(stats->datalog.tuples_derived),
+              static_cast<unsigned long long>(stats->datalog.iterations));
+  return 0;
+}

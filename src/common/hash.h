@@ -1,0 +1,27 @@
+// Hash combinators for composite keys.
+
+#ifndef GRAPHLOG_COMMON_HASH_H_
+#define GRAPHLOG_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace graphlog {
+
+/// \brief Mixes `v` into the running hash `seed` (boost::hash_combine
+/// with a 64-bit constant).
+inline size_t HashCombine(size_t seed, size_t v) {
+  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+/// \brief splitmix64 finalizer; good avalanche for integer keys.
+inline uint64_t Mix64(uint64_t h) {
+  h += 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+}  // namespace graphlog
+
+#endif  // GRAPHLOG_COMMON_HASH_H_

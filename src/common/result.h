@@ -1,0 +1,84 @@
+// Result<T>: a value or a Status error, in the style of arrow::Result.
+
+#ifndef GRAPHLOG_COMMON_RESULT_H_
+#define GRAPHLOG_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace graphlog {
+
+/// \brief Holds either a successfully computed T or the Status explaining
+/// why it could not be computed.
+///
+/// Usage:
+/// \code
+///   Result<Program> r = ParseProgram(text);
+///   if (!r.ok()) return r.status();
+///   Program p = std::move(r).ValueOrDie();
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Implicit from error Status. Constructing from an OK status is a
+  /// programming error and is converted to an Internal error.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT implicit
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  /// Implicit from value.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT implicit
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// \brief The error status, or OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// \brief Access the held value; must only be called when ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T ValueOrDie() && {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace graphlog
+
+/// \brief Assigns the value of a Result expression to `lhs`, or propagates
+/// its error Status to the caller.
+#define GRAPHLOG_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                   \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define GRAPHLOG_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define GRAPHLOG_ASSIGN_OR_RETURN_NAME(a, b) \
+  GRAPHLOG_ASSIGN_OR_RETURN_CONCAT(a, b)
+
+#define GRAPHLOG_ASSIGN_OR_RETURN(lhs, rexpr)                                \
+  GRAPHLOG_ASSIGN_OR_RETURN_IMPL(                                            \
+      GRAPHLOG_ASSIGN_OR_RETURN_NAME(_graphlog_result_, __LINE__), lhs, rexpr)
+
+#endif  // GRAPHLOG_COMMON_RESULT_H_

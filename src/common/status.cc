@@ -1,0 +1,53 @@
+#include "common/status.h"
+
+namespace graphlog {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kUnstratifiable:
+      return "Unstratifiable";
+    case StatusCode::kUnsafeRule:
+      return "UnsafeRule";
+    case StatusCode::kNotLinear:
+      return "NotLinear";
+    case StatusCode::kCyclicDependence:
+      return "CyclicDependence";
+    case StatusCode::kGhostVariable:
+      return "GhostVariable";
+    case StatusCode::kArityMismatch:
+      return "ArityMismatch";
+    case StatusCode::kTypeError:
+      return "TypeError";
+    case StatusCode::kUnsupported:
+      return "Unsupported";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kCycleInPath:
+      return "CycleInPath";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code()));
+  out += ": ";
+  out += message();
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace graphlog

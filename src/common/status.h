@@ -1,0 +1,138 @@
+// Status: lightweight error propagation without exceptions.
+//
+// The library follows the Arrow/RocksDB idiom: fallible operations return a
+// Status (or Result<T>, see result.h) rather than throwing. A Status is
+// either OK or carries an error code plus a human-readable message.
+
+#ifndef GRAPHLOG_COMMON_STATUS_H_
+#define GRAPHLOG_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace graphlog {
+
+/// \brief Category of a Status error.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< caller passed something malformed
+  kParseError = 2,        ///< textual input failed to parse
+  kNotFound = 3,          ///< named entity does not exist
+  kAlreadyExists = 4,     ///< named entity clashes with an existing one
+  kUnstratifiable = 5,    ///< program has no stratification
+  kUnsafeRule = 6,        ///< rule violates safety / range restriction
+  kNotLinear = 7,         ///< program is outside the linear fragment
+  kCyclicDependence = 8,  ///< graphical query has a cyclic dependence graph
+  kGhostVariable = 9,     ///< ghost variable escapes its scope (Section 2)
+  kArityMismatch = 10,    ///< predicate used with inconsistent arities
+  kTypeError = 11,        ///< value of the wrong runtime type
+  kUnsupported = 12,      ///< feature intentionally out of scope
+  kInternal = 13,         ///< invariant violation inside the library
+  kCycleInPath = 14,      ///< path summarization hit an unbounded cycle
+};
+
+/// \brief Human-readable name of a StatusCode.
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Result of a fallible operation: OK, or an error code + message.
+///
+/// Statuses are cheap to move and to copy in the OK case (a single pointer).
+class Status {
+ public:
+  /// Creates an OK status.
+  Status() noexcept = default;
+
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(msg)});
+    }
+  }
+
+  /// \brief Returns an OK status.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unstratifiable(std::string msg) {
+    return Status(StatusCode::kUnstratifiable, std::move(msg));
+  }
+  static Status UnsafeRule(std::string msg) {
+    return Status(StatusCode::kUnsafeRule, std::move(msg));
+  }
+  static Status NotLinear(std::string msg) {
+    return Status(StatusCode::kNotLinear, std::move(msg));
+  }
+  static Status CyclicDependence(std::string msg) {
+    return Status(StatusCode::kCyclicDependence, std::move(msg));
+  }
+  static Status GhostVariable(std::string msg) {
+    return Status(StatusCode::kGhostVariable, std::move(msg));
+  }
+  static Status ArityMismatch(std::string msg) {
+    return Status(StatusCode::kArityMismatch, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status CycleInPath(std::string msg) {
+    return Status(StatusCode::kCycleInPath, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+
+  StatusCode code() const {
+    return state_ == nullptr ? StatusCode::kOk : state_->code;
+  }
+
+  /// \brief The error message; empty for OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ == nullptr ? kEmpty : state_->msg;
+  }
+
+  /// \brief "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::shared_ptr<State> state_;  // null == OK
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+}  // namespace graphlog
+
+/// \brief Propagates a non-OK Status to the caller.
+#define GRAPHLOG_RETURN_NOT_OK(expr)                 \
+  do {                                               \
+    ::graphlog::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+#endif  // GRAPHLOG_COMMON_STATUS_H_

@@ -1,0 +1,29 @@
+// Small string helpers shared across modules.
+
+#ifndef GRAPHLOG_COMMON_STRINGS_H_
+#define GRAPHLOG_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace graphlog {
+
+/// \brief Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// \brief Splits `s` on `sep`, trimming nothing; empty fields preserved.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// \brief Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// \brief True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// \brief Escapes a string for inclusion in a double-quoted literal.
+std::string EscapeQuoted(std::string_view s);
+
+}  // namespace graphlog
+
+#endif  // GRAPHLOG_COMMON_STRINGS_H_

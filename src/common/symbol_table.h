@@ -1,0 +1,82 @@
+// SymbolTable: string interning.
+//
+// All identifiers and string constants flowing through the engine (predicate
+// names, variable names, string values) are interned into 32-bit Symbol ids
+// so that tuples are flat integer records and joins hash machine words.
+
+#ifndef GRAPHLOG_COMMON_SYMBOL_TABLE_H_
+#define GRAPHLOG_COMMON_SYMBOL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace graphlog {
+
+/// \brief Interned string id. Valid ids are dense, starting at 0.
+using Symbol = uint32_t;
+
+/// \brief Sentinel for "no symbol".
+inline constexpr Symbol kNoSymbol = static_cast<Symbol>(-1);
+
+/// \brief Bidirectional string <-> Symbol map.
+///
+/// Not thread-safe; each Database owns one. Interning the same string twice
+/// returns the same Symbol, and symbols are never released.
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+
+  // Movable but not copyable: Symbols are only meaningful relative to the
+  // table that issued them, so accidental copies invite mixed-table ids.
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+  SymbolTable(SymbolTable&&) = default;
+  SymbolTable& operator=(SymbolTable&&) = default;
+
+  /// \brief Interns `s`, returning its Symbol (creating it if new).
+  Symbol Intern(std::string_view s) {
+    auto it = ids_.find(std::string(s));
+    if (it != ids_.end()) return it->second;
+    Symbol id = static_cast<Symbol>(strings_.size());
+    strings_.emplace_back(s);
+    ids_.emplace(strings_.back(), id);
+    return id;
+  }
+
+  /// \brief Looks up `s` without interning; kNoSymbol if absent.
+  Symbol Lookup(std::string_view s) const {
+    auto it = ids_.find(std::string(s));
+    return it == ids_.end() ? kNoSymbol : it->second;
+  }
+
+  /// \brief The string for an id issued by this table.
+  const std::string& name(Symbol id) const { return strings_[id]; }
+
+  bool Contains(Symbol id) const { return id < strings_.size(); }
+
+  size_t size() const { return strings_.size(); }
+
+  /// \brief Interns a name not currently in the table, derived from `base`.
+  ///
+  /// Used to generate auxiliary predicate names (p.r.e. compilation,
+  /// Algorithm 3.1 signatures) that cannot clash with user predicates.
+  Symbol Fresh(std::string_view base) {
+    std::string candidate(base);
+    int n = 0;
+    while (ids_.count(candidate) > 0) {
+      candidate = std::string(base) + "_" + std::to_string(n++);
+    }
+    return Intern(candidate);
+  }
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, Symbol> ids_;
+};
+
+}  // namespace graphlog
+
+#endif  // GRAPHLOG_COMMON_SYMBOL_TABLE_H_

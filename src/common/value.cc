@@ -1,0 +1,33 @@
+#include "common/value.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace graphlog {
+
+std::string Value::ToString(const SymbolTable& syms) const {
+  switch (kind_) {
+    case ValueKind::kInt:
+      return std::to_string(int_);
+    case ValueKind::kDouble: {
+      // Integral doubles render with a trailing ".0" to stay parseable as
+      // doubles.
+      double d = double_;
+      if (std::floor(d) == d && std::isfinite(d) &&
+          std::abs(d) < 1e15) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.1f", d);
+        return buf;
+      }
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", d);
+      return buf;
+    }
+    case ValueKind::kSymbol:
+      return syms.Contains(sym_) ? syms.name(sym_)
+                                 : "<sym#" + std::to_string(sym_) + ">";
+  }
+  return "<?>";
+}
+
+}  // namespace graphlog

@@ -1,0 +1,140 @@
+// Value: the runtime datum type of the engine.
+//
+// A Value is a small tagged union over 64-bit integers, doubles, and
+// interned string symbols. Comparison establishes a total order across
+// types (by tag, then by payload), which gives relations a canonical sort
+// order and makes "ordering on the domain" (Section 3 of the paper)
+// available to evaluation.
+
+#ifndef GRAPHLOG_COMMON_VALUE_H_
+#define GRAPHLOG_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/symbol_table.h"
+
+namespace graphlog {
+
+/// \brief Runtime type tag of a Value.
+enum class ValueKind : uint8_t {
+  kInt = 0,
+  kDouble = 1,
+  kSymbol = 2,  ///< interned string
+};
+
+/// \brief A single datum: int64, double, or interned string.
+class Value {
+ public:
+  /// Default: integer 0.
+  Value() : kind_(ValueKind::kInt), int_(0) {}
+
+  static Value Int(int64_t v) {
+    Value x;
+    x.kind_ = ValueKind::kInt;
+    x.int_ = v;
+    return x;
+  }
+  static Value Double(double v) {
+    Value x;
+    x.kind_ = ValueKind::kDouble;
+    x.double_ = v;
+    return x;
+  }
+  static Value Sym(Symbol s) {
+    Value x;
+    x.kind_ = ValueKind::kSymbol;
+    x.sym_ = s;
+    return x;
+  }
+
+  ValueKind kind() const { return kind_; }
+  bool is_int() const { return kind_ == ValueKind::kInt; }
+  bool is_double() const { return kind_ == ValueKind::kDouble; }
+  bool is_symbol() const { return kind_ == ValueKind::kSymbol; }
+
+  int64_t AsInt() const { return int_; }
+  double AsDouble() const { return double_; }
+  Symbol AsSymbol() const { return sym_; }
+
+  /// \brief Numeric view: ints widen to double; symbols are 0 (callers must
+  /// type-check first via is_numeric()).
+  bool is_numeric() const { return is_int() || is_double(); }
+  double ToDouble() const {
+    return kind_ == ValueKind::kInt ? static_cast<double>(int_) : double_;
+  }
+
+  bool operator==(const Value& o) const {
+    if (kind_ != o.kind_) return false;
+    switch (kind_) {
+      case ValueKind::kInt:
+        return int_ == o.int_;
+      case ValueKind::kDouble:
+        return double_ == o.double_;
+      case ValueKind::kSymbol:
+        return sym_ == o.sym_;
+    }
+    return false;
+  }
+  bool operator!=(const Value& o) const { return !(*this == o); }
+
+  /// \brief Total order: by kind tag, then by payload. Numerics of the same
+  /// kind compare numerically; symbols compare by intern id.
+  bool operator<(const Value& o) const {
+    if (kind_ != o.kind_) return kind_ < o.kind_;
+    switch (kind_) {
+      case ValueKind::kInt:
+        return int_ < o.int_;
+      case ValueKind::kDouble:
+        return double_ < o.double_;
+      case ValueKind::kSymbol:
+        return sym_ < o.sym_;
+    }
+    return false;
+  }
+
+  size_t Hash() const {
+    uint64_t h = 0;
+    switch (kind_) {
+      case ValueKind::kInt:
+        h = static_cast<uint64_t>(int_);
+        break;
+      case ValueKind::kDouble: {
+        double d = double_;
+        // Normalize -0.0 so equal doubles hash equal.
+        if (d == 0.0) d = 0.0;
+        static_assert(sizeof(double) == sizeof(uint64_t));
+        __builtin_memcpy(&h, &d, sizeof(h));
+        break;
+      }
+      case ValueKind::kSymbol:
+        h = sym_;
+        break;
+    }
+    // Mix tag and payload (splitmix64 finalizer).
+    h += 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(kind_);
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<size_t>(h ^ (h >> 31));
+  }
+
+  /// \brief Renders the value, resolving symbols through `syms`.
+  std::string ToString(const SymbolTable& syms) const;
+
+ private:
+  ValueKind kind_;
+  union {
+    int64_t int_;
+    double double_;
+    Symbol sym_;
+  };
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace graphlog
+
+#endif  // GRAPHLOG_COMMON_VALUE_H_

@@ -1,0 +1,274 @@
+#include "datalog/ast.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+#include "common/strings.h"
+
+namespace graphlog::datalog {
+
+std::string Term::ToString(const SymbolTable& syms) const {
+  switch (kind_) {
+    case Kind::kVariable:
+      return syms.name(var_);
+    case Kind::kConstant:
+      if (value_.is_symbol()) {
+        // Symbols that look like lowercase identifiers print bare; anything
+        // else prints quoted so the output re-parses.
+        const std::string& s = syms.name(value_.AsSymbol());
+        bool bare = !s.empty() && (std::islower(static_cast<unsigned char>(s[0])));
+        if (bare) {
+          for (char c : s) {
+            if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                  c == '-')) {
+              bare = false;
+              break;
+            }
+          }
+        }
+        if (bare) return s;
+        return "\"" + EscapeQuoted(s) + "\"";
+      }
+      return value_.ToString(syms);
+    case Kind::kWildcard:
+      return "_";
+  }
+  return "<?>";
+}
+
+std::string Atom::ToString(const SymbolTable& syms) const {
+  std::vector<std::string> parts;
+  parts.reserve(args.size());
+  for (const Term& t : args) parts.push_back(t.ToString(syms));
+  return syms.name(predicate) + "(" + Join(parts, ", ") + ")";
+}
+
+std::string_view ArithOpToString(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return "+";
+    case ArithOp::kSub:
+      return "-";
+    case ArithOp::kMul:
+      return "*";
+    case ArithOp::kDiv:
+      return "/";
+    case ArithOp::kMod:
+      return "%";
+  }
+  return "?";
+}
+
+void ArithExpr::CollectVariables(std::vector<Symbol>* out) const {
+  if (is_leaf) {
+    if (leaf.is_variable()) out->push_back(leaf.var());
+    return;
+  }
+  for (const ArithExpr& c : children) c.CollectVariables(out);
+}
+
+std::string ArithExpr::ToString(const SymbolTable& syms) const {
+  if (is_leaf) return leaf.ToString(syms);
+  return "(" + children[0].ToString(syms) + " " +
+         std::string(ArithOpToString(op)) + " " + children[1].ToString(syms) +
+         ")";
+}
+
+std::string_view CmpOpToString(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool EvalCmp(CmpOp op, const Value& lhs, const Value& rhs) {
+  // Equality is value identity — the same relation the join machinery
+  // uses, so `X = Y` behaves identically whether it runs as a filter or
+  // as a binding (3 and 3.0 are distinct domain values). Ordering
+  // comparisons are numeric across int/double; non-numeric operands fall
+  // back to the Value total order.
+  if (op == CmpOp::kEq) return lhs == rhs;
+  if (op == CmpOp::kNe) return !(lhs == rhs);
+  bool lt, eq;
+  if (lhs.is_numeric() && rhs.is_numeric()) {
+    if (lhs.is_int() && rhs.is_int()) {
+      lt = lhs.AsInt() < rhs.AsInt();
+      eq = lhs.AsInt() == rhs.AsInt();
+    } else {
+      lt = lhs.ToDouble() < rhs.ToDouble();
+      eq = lhs.ToDouble() == rhs.ToDouble();
+    }
+  } else {
+    lt = lhs < rhs;
+    eq = lhs == rhs;
+  }
+  switch (op) {
+    case CmpOp::kEq:
+    case CmpOp::kNe:
+      return false;  // handled above
+    case CmpOp::kLt:
+      return lt;
+    case CmpOp::kLe:
+      return lt || eq;
+    case CmpOp::kGt:
+      return !lt && !eq;
+    case CmpOp::kGe:
+      return !lt;
+  }
+  return false;
+}
+
+void Literal::CollectVariables(std::vector<Symbol>* out) const {
+  switch (kind) {
+    case Kind::kAtom:
+    case Kind::kNegatedAtom:
+      for (const Term& t : atom.args) {
+        if (t.is_variable()) out->push_back(t.var());
+      }
+      break;
+    case Kind::kComparison:
+      if (lhs.is_variable()) out->push_back(lhs.var());
+      if (rhs.is_variable()) out->push_back(rhs.var());
+      break;
+    case Kind::kAssignment:
+      if (assign_target.is_variable()) out->push_back(assign_target.var());
+      assign_expr.CollectVariables(out);
+      break;
+  }
+}
+
+std::string Literal::ToString(const SymbolTable& syms) const {
+  switch (kind) {
+    case Kind::kAtom:
+      return atom.ToString(syms);
+    case Kind::kNegatedAtom:
+      return "!" + atom.ToString(syms);
+    case Kind::kComparison:
+      return lhs.ToString(syms) + " " + std::string(CmpOpToString(cmp)) + " " +
+             rhs.ToString(syms);
+    case Kind::kAssignment:
+      return assign_target.ToString(syms) + " := " +
+             assign_expr.ToString(syms);
+  }
+  return "<?>";
+}
+
+std::string_view AggKindToString(AggKind k) {
+  switch (k) {
+    case AggKind::kCount:
+      return "count";
+    case AggKind::kSum:
+      return "sum";
+    case AggKind::kMin:
+      return "min";
+    case AggKind::kMax:
+      return "max";
+    case AggKind::kAvg:
+      return "avg";
+  }
+  return "?";
+}
+
+std::string HeadTerm::ToString(const SymbolTable& syms) const {
+  if (!is_aggregate) return term.ToString(syms);
+  std::string out(AggKindToString(agg));
+  out += "<";
+  out += agg_var == kNoSymbol ? "*" : syms.name(agg_var);
+  out += ">";
+  return out;
+}
+
+bool Head::has_aggregates() const {
+  return std::any_of(args.begin(), args.end(),
+                     [](const HeadTerm& h) { return h.is_aggregate; });
+}
+
+Atom Head::ToAtom() const {
+  Atom a;
+  a.predicate = predicate;
+  a.args.reserve(args.size());
+  for (const HeadTerm& h : args) a.args.push_back(h.term);
+  return a;
+}
+
+std::string Head::ToString(const SymbolTable& syms) const {
+  std::vector<std::string> parts;
+  parts.reserve(args.size());
+  for (const HeadTerm& h : args) parts.push_back(h.ToString(syms));
+  return syms.name(predicate) + "(" + Join(parts, ", ") + ")";
+}
+
+std::string Rule::ToString(const SymbolTable& syms) const {
+  std::string out = head.ToString(syms);
+  if (!body.empty()) {
+    out += " :- ";
+    std::vector<std::string> parts;
+    parts.reserve(body.size());
+    for (const Literal& l : body) parts.push_back(l.ToString(syms));
+    out += Join(parts, ", ");
+  }
+  out += ".";
+  return out;
+}
+
+std::vector<Symbol> Program::HeadPredicates() const {
+  std::set<Symbol> seen;
+  std::vector<Symbol> out;
+  for (const Rule& r : rules) {
+    if (seen.insert(r.head.predicate).second) out.push_back(r.head.predicate);
+  }
+  return out;
+}
+
+std::vector<Symbol> Program::EdbPredicates() const {
+  std::set<Symbol> heads;
+  for (const Rule& r : rules) heads.insert(r.head.predicate);
+  std::set<Symbol> seen;
+  std::vector<Symbol> out;
+  for (const Rule& r : rules) {
+    for (const Literal& l : r.body) {
+      if (!l.is_relational()) continue;
+      Symbol p = l.atom.predicate;
+      if (heads.count(p) == 0 && seen.insert(p).second) out.push_back(p);
+    }
+  }
+  return out;
+}
+
+std::vector<Symbol> Program::AllPredicates() const {
+  std::set<Symbol> seen;
+  std::vector<Symbol> out;
+  auto add = [&](Symbol p) {
+    if (seen.insert(p).second) out.push_back(p);
+  };
+  for (const Rule& r : rules) {
+    add(r.head.predicate);
+    for (const Literal& l : r.body) {
+      if (l.is_relational()) add(l.atom.predicate);
+    }
+  }
+  return out;
+}
+
+std::string Program::ToString(const SymbolTable& syms) const {
+  std::string out;
+  for (const Rule& r : rules) {
+    out += r.ToString(syms);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace graphlog::datalog

@@ -1,0 +1,305 @@
+// Datalog abstract syntax.
+//
+// This is the target language of the GraphLog logical translation function
+// lambda (Definition 2.4 of the paper) and the input/output language of
+// Algorithm 3.1 (SL-DATALOG -> STC-DATALOG). The dialect is stratified
+// Datalog extended with:
+//   * negated body atoms (stratified semantics),
+//   * comparison builtins  (=, !=, <, <=, >, >=),
+//   * arithmetic assignment builtins  (X = Y + Z, ...),
+//   * aggregate head terms (count/sum/min/max/avg), stratified like
+//     negation — the Section 4 extension of the paper.
+//
+// Predicates are identified by interned name; arity is checked for
+// consistency by analysis passes.
+
+#ifndef GRAPHLOG_DATALOG_AST_H_
+#define GRAPHLOG_DATALOG_AST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/symbol_table.h"
+#include "common/value.h"
+
+namespace graphlog::datalog {
+
+// ---------------------------------------------------------------------------
+// Terms
+
+/// \brief A term: variable, constant, or the anonymous wildcard `_`.
+///
+/// The wildcard is the paper's "underscore" projection device (Section 2);
+/// the parser replaces each occurrence with a fresh variable, but builder
+/// APIs may construct wildcards directly and normalize later.
+class Term {
+ public:
+  enum class Kind : uint8_t { kVariable, kConstant, kWildcard };
+
+  static Term Var(Symbol name) {
+    Term t;
+    t.kind_ = Kind::kVariable;
+    t.var_ = name;
+    return t;
+  }
+  static Term Const(Value v) {
+    Term t;
+    t.kind_ = Kind::kConstant;
+    t.value_ = v;
+    return t;
+  }
+  static Term Wildcard() {
+    Term t;
+    t.kind_ = Kind::kWildcard;
+    return t;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_variable() const { return kind_ == Kind::kVariable; }
+  bool is_constant() const { return kind_ == Kind::kConstant; }
+  bool is_wildcard() const { return kind_ == Kind::kWildcard; }
+
+  Symbol var() const { return var_; }
+  const Value& value() const { return value_; }
+
+  bool operator==(const Term& o) const {
+    if (kind_ != o.kind_) return false;
+    switch (kind_) {
+      case Kind::kVariable:
+        return var_ == o.var_;
+      case Kind::kConstant:
+        return value_ == o.value_;
+      case Kind::kWildcard:
+        return true;
+    }
+    return false;
+  }
+  bool operator!=(const Term& o) const { return !(*this == o); }
+
+  std::string ToString(const SymbolTable& syms) const;
+
+ private:
+  Kind kind_ = Kind::kWildcard;
+  Symbol var_ = kNoSymbol;
+  Value value_;
+};
+
+// ---------------------------------------------------------------------------
+// Atoms
+
+/// \brief A predicate applied to terms: p(t1, ..., tn).
+struct Atom {
+  Symbol predicate = kNoSymbol;
+  std::vector<Term> args;
+
+  size_t arity() const { return args.size(); }
+
+  bool operator==(const Atom& o) const {
+    return predicate == o.predicate && args == o.args;
+  }
+
+  std::string ToString(const SymbolTable& syms) const;
+};
+
+// ---------------------------------------------------------------------------
+// Arithmetic expressions (builtin assignment bodies)
+
+/// \brief Binary arithmetic operator.
+enum class ArithOp : uint8_t { kAdd, kSub, kMul, kDiv, kMod };
+
+std::string_view ArithOpToString(ArithOp op);
+
+/// \brief An arithmetic expression tree over terms.
+///
+/// Leaves are terms (variables or numeric constants); interior nodes apply
+/// a binary ArithOp. Used on the right-hand side of assignment literals,
+/// e.g. NS = S + E - DS (Figure 11 of the paper).
+struct ArithExpr {
+  // Leaf when op is unset (children empty).
+  bool is_leaf = true;
+  Term leaf;                 // valid when is_leaf
+  ArithOp op = ArithOp::kAdd;
+  std::vector<ArithExpr> children;  // exactly 2 when !is_leaf
+
+  static ArithExpr Leaf(Term t) {
+    ArithExpr e;
+    e.is_leaf = true;
+    e.leaf = t;
+    return e;
+  }
+  static ArithExpr Node(ArithOp op, ArithExpr lhs, ArithExpr rhs) {
+    ArithExpr e;
+    e.is_leaf = false;
+    e.op = op;
+    e.children.push_back(std::move(lhs));
+    e.children.push_back(std::move(rhs));
+    return e;
+  }
+
+  /// \brief Appends all variables occurring in the expression to `out`.
+  void CollectVariables(std::vector<Symbol>* out) const;
+
+  std::string ToString(const SymbolTable& syms) const;
+};
+
+// ---------------------------------------------------------------------------
+// Body literals
+
+/// \brief Comparison operator for builtin comparison literals.
+enum class CmpOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+std::string_view CmpOpToString(CmpOp op);
+
+/// \brief Evaluates `lhs op rhs` on concrete values (numeric comparison
+/// across int/double; symbols compare by the Value total order).
+bool EvalCmp(CmpOp op, const Value& lhs, const Value& rhs);
+
+/// \brief A body literal.
+///
+/// One of:
+///  * kAtom          p(t...)           — positive relational subgoal
+///  * kNegatedAtom   !p(t...)          — stratified negation
+///  * kComparison    t1 op t2          — builtin comparison
+///  * kAssignment    X = <arith expr>  — builtin arithmetic binding
+struct Literal {
+  enum class Kind : uint8_t { kAtom, kNegatedAtom, kComparison, kAssignment };
+
+  Kind kind = Kind::kAtom;
+  Atom atom;          // kAtom / kNegatedAtom
+  CmpOp cmp = CmpOp::kEq;  // kComparison
+  Term lhs, rhs;      // kComparison operands
+  Term assign_target;      // kAssignment: the bound variable
+  ArithExpr assign_expr;   // kAssignment: the expression
+
+  static Literal Positive(Atom a) {
+    Literal l;
+    l.kind = Kind::kAtom;
+    l.atom = std::move(a);
+    return l;
+  }
+  static Literal Negative(Atom a) {
+    Literal l;
+    l.kind = Kind::kNegatedAtom;
+    l.atom = std::move(a);
+    return l;
+  }
+  static Literal Comparison(CmpOp op, Term lhs, Term rhs) {
+    Literal l;
+    l.kind = Kind::kComparison;
+    l.cmp = op;
+    l.lhs = lhs;
+    l.rhs = rhs;
+    return l;
+  }
+  static Literal Assignment(Term target, ArithExpr expr) {
+    Literal l;
+    l.kind = Kind::kAssignment;
+    l.assign_target = target;
+    l.assign_expr = std::move(expr);
+    return l;
+  }
+
+  bool is_relational() const {
+    return kind == Kind::kAtom || kind == Kind::kNegatedAtom;
+  }
+  bool is_positive_atom() const { return kind == Kind::kAtom; }
+  bool is_negated_atom() const { return kind == Kind::kNegatedAtom; }
+
+  /// \brief Appends every variable occurring in the literal to `out`
+  /// (wildcards excluded).
+  void CollectVariables(std::vector<Symbol>* out) const;
+
+  std::string ToString(const SymbolTable& syms) const;
+};
+
+// ---------------------------------------------------------------------------
+// Head terms and aggregates
+
+/// \brief Aggregate function kinds for head terms (Section 4).
+enum class AggKind : uint8_t { kCount, kSum, kMin, kMax, kAvg };
+
+std::string_view AggKindToString(AggKind k);
+
+/// \brief A head argument: a plain term or an aggregate over a variable,
+/// e.g. sum<D> in  total(X, sum<D>) :- f(X, D).
+struct HeadTerm {
+  bool is_aggregate = false;
+  Term term;            // valid when !is_aggregate
+  AggKind agg = AggKind::kCount;
+  Symbol agg_var = kNoSymbol;  // the aggregated variable; kNoSymbol for count(*)
+
+  static HeadTerm Plain(Term t) {
+    HeadTerm h;
+    h.is_aggregate = false;
+    h.term = t;
+    return h;
+  }
+  static HeadTerm Aggregate(AggKind k, Symbol var) {
+    HeadTerm h;
+    h.is_aggregate = true;
+    h.agg = k;
+    h.agg_var = var;
+    return h;
+  }
+
+  std::string ToString(const SymbolTable& syms) const;
+};
+
+/// \brief A rule head: predicate + head terms (plain or aggregate).
+struct Head {
+  Symbol predicate = kNoSymbol;
+  std::vector<HeadTerm> args;
+
+  size_t arity() const { return args.size(); }
+  bool has_aggregates() const;
+
+  /// \brief The head viewed as a plain atom; only valid when
+  /// !has_aggregates().
+  Atom ToAtom() const;
+
+  std::string ToString(const SymbolTable& syms) const;
+};
+
+// ---------------------------------------------------------------------------
+// Rules and programs
+
+/// \brief A Datalog rule: head :- body.  A fact is a rule with empty body
+/// and all-constant head.
+struct Rule {
+  Head head;
+  std::vector<Literal> body;
+
+  bool is_fact() const { return body.empty(); }
+
+  std::string ToString(const SymbolTable& syms) const;
+};
+
+/// \brief A Datalog program: an ordered list of rules.
+///
+/// The program does not own the SymbolTable: programs, databases, and
+/// queries that must interoperate share one table.
+struct Program {
+  std::vector<Rule> rules;
+
+  void Add(Rule r) { rules.push_back(std::move(r)); }
+  void Append(const Program& other) {
+    rules.insert(rules.end(), other.rules.begin(), other.rules.end());
+  }
+  size_t size() const { return rules.size(); }
+
+  /// \brief Set of predicates appearing in some rule head (the IDBs).
+  std::vector<Symbol> HeadPredicates() const;
+
+  /// \brief Set of predicates appearing only in bodies (the EDBs).
+  std::vector<Symbol> EdbPredicates() const;
+
+  /// \brief All predicates appearing anywhere in the program.
+  std::vector<Symbol> AllPredicates() const;
+
+  std::string ToString(const SymbolTable& syms) const;
+};
+
+}  // namespace graphlog::datalog
+
+#endif  // GRAPHLOG_DATALOG_AST_H_

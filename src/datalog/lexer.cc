@@ -1,0 +1,333 @@
+#include "datalog/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace graphlog::datalog {
+
+std::string_view TokenKindToString(TokenKind k) {
+  switch (k) {
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kVariable:
+      return "variable";
+    case TokenKind::kInt:
+      return "integer";
+    case TokenKind::kFloat:
+      return "float";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kLBrace:
+      return "'{'";
+    case TokenKind::kRBrace:
+      return "'}'";
+    case TokenKind::kLBracket:
+      return "'['";
+    case TokenKind::kRBracket:
+      return "']'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kColon:
+      return "':'";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kImplies:
+      return "':-'";
+    case TokenKind::kAssign:
+      return "':='";
+    case TokenKind::kBang:
+      return "'!'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNe:
+      return "'!='";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kPlus:
+      return "'+'";
+    case TokenKind::kMinus:
+      return "'-'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kSlash:
+      return "'/'";
+    case TokenKind::kPercent:
+      return "'%'";
+    case TokenKind::kPipe:
+      return "'|'";
+    case TokenKind::kQuestion:
+      return "'?'";
+    case TokenKind::kArrow:
+      return "'->'";
+    case TokenKind::kDoubleArrow:
+      return "'=>'";
+    case TokenKind::kEnd:
+      return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view in) {
+  std::vector<Token> out;
+  size_t i = 0;
+  int line = 1, col = 1;
+
+  auto advance = [&](size_t n) {
+    for (size_t k = 0; k < n && i < in.size(); ++k) {
+      if (in[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+      ++i;
+    }
+  };
+  auto peek = [&](size_t off) -> char {
+    return i + off < in.size() ? in[i + off] : '\0';
+  };
+  auto error = [&](const std::string& msg) {
+    return Status::ParseError(msg + " at line " + std::to_string(line) +
+                              ", column " + std::to_string(col));
+  };
+  auto push = [&](TokenKind k, std::string text, size_t len) {
+    Token t;
+    t.kind = k;
+    t.text = std::move(text);
+    t.line = line;
+    t.column = col;
+    out.push_back(std::move(t));
+    advance(len);
+  };
+
+  while (i < in.size()) {
+    char c = in[i];
+    // Whitespace.
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance(1);
+      continue;
+    }
+    // Comments: '#' or '//' to end of line. ('%' is the mod operator.)
+    if (c == '#' || (c == '/' && peek(1) == '/')) {
+      while (i < in.size() && in[i] != '\n') advance(1);
+      continue;
+    }
+    // Identifiers and variables. Hyphens are absorbed into lowercase
+    // identifiers when immediately followed by a letter, so the paper's
+    // `not-desc-of` lexes as a single identifier.
+    if (IsIdentStart(c)) {
+      bool is_var = std::isupper(static_cast<unsigned char>(c)) || c == '_';
+      size_t start = i;
+      int tline = line, tcol = col;
+      advance(1);
+      while (i < in.size()) {
+        if (IsIdentChar(in[i])) {
+          advance(1);
+        } else if (!is_var && in[i] == '-' && i + 1 < in.size() &&
+                   std::isalpha(static_cast<unsigned char>(in[i + 1]))) {
+          advance(2);
+        } else {
+          break;
+        }
+      }
+      Token t;
+      t.text = std::string(in.substr(start, i - start));
+      t.kind = (is_var ? TokenKind::kVariable : TokenKind::kIdent);
+      t.line = tline;
+      t.column = tcol;
+      out.push_back(std::move(t));
+      continue;
+    }
+    // Numbers.
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      int tline = line, tcol = col;
+      while (i < in.size() && std::isdigit(static_cast<unsigned char>(in[i])))
+        advance(1);
+      bool is_float = false;
+      if (i < in.size() && in[i] == '.' && i + 1 < in.size() &&
+          std::isdigit(static_cast<unsigned char>(in[i + 1]))) {
+        is_float = true;
+        advance(1);
+        while (i < in.size() &&
+               std::isdigit(static_cast<unsigned char>(in[i])))
+          advance(1);
+      }
+      Token t;
+      t.text = std::string(in.substr(start, i - start));
+      t.line = tline;
+      t.column = tcol;
+      if (is_float) {
+        t.kind = TokenKind::kFloat;
+        t.float_value = std::strtod(t.text.c_str(), nullptr);
+      } else {
+        t.kind = TokenKind::kInt;
+        t.int_value = std::strtoll(t.text.c_str(), nullptr, 10);
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+    // Strings.
+    if (c == '"') {
+      int tline = line, tcol = col;
+      advance(1);
+      std::string text;
+      bool closed = false;
+      while (i < in.size()) {
+        char d = in[i];
+        if (d == '"') {
+          advance(1);
+          closed = true;
+          break;
+        }
+        if (d == '\\' && i + 1 < in.size()) {
+          char e = in[i + 1];
+          if (e == 'n')
+            text += '\n';
+          else if (e == 't')
+            text += '\t';
+          else
+            text += e;
+          advance(2);
+          continue;
+        }
+        text += d;
+        advance(1);
+      }
+      if (!closed) return error("unterminated string literal");
+      Token t;
+      t.kind = TokenKind::kString;
+      t.text = std::move(text);
+      t.line = tline;
+      t.column = tcol;
+      out.push_back(std::move(t));
+      continue;
+    }
+    // Punctuation and operators.
+    switch (c) {
+      case '(':
+        push(TokenKind::kLParen, "(", 1);
+        continue;
+      case ')':
+        push(TokenKind::kRParen, ")", 1);
+        continue;
+      case '{':
+        push(TokenKind::kLBrace, "{", 1);
+        continue;
+      case '}':
+        push(TokenKind::kRBrace, "}", 1);
+        continue;
+      case '[':
+        push(TokenKind::kLBracket, "[", 1);
+        continue;
+      case ']':
+        push(TokenKind::kRBracket, "]", 1);
+        continue;
+      case ',':
+        push(TokenKind::kComma, ",", 1);
+        continue;
+      case '.':
+        push(TokenKind::kDot, ".", 1);
+        continue;
+      case ';':
+        push(TokenKind::kSemicolon, ";", 1);
+        continue;
+      case ':':
+        if (peek(1) == '-') {
+          push(TokenKind::kImplies, ":-", 2);
+        } else if (peek(1) == '=') {
+          push(TokenKind::kAssign, ":=", 2);
+        } else {
+          push(TokenKind::kColon, ":", 1);
+        }
+        continue;
+      case '!':
+        if (peek(1) == '=') {
+          push(TokenKind::kNe, "!=", 2);
+        } else {
+          push(TokenKind::kBang, "!", 1);
+        }
+        continue;
+      case '=':
+        if (peek(1) == '>') {
+          push(TokenKind::kDoubleArrow, "=>", 2);
+        } else {
+          push(TokenKind::kEq, "=", 1);
+        }
+        continue;
+      case '<':
+        if (peek(1) == '=') {
+          push(TokenKind::kLe, "<=", 2);
+        } else {
+          push(TokenKind::kLt, "<", 1);
+        }
+        continue;
+      case '>':
+        if (peek(1) == '=') {
+          push(TokenKind::kGe, ">=", 2);
+        } else {
+          push(TokenKind::kGt, ">", 1);
+        }
+        continue;
+      case '+':
+        push(TokenKind::kPlus, "+", 1);
+        continue;
+      case '-':
+        if (peek(1) == '>') {
+          push(TokenKind::kArrow, "->", 2);
+        } else {
+          push(TokenKind::kMinus, "-", 1);
+        }
+        continue;
+      case '*':
+        push(TokenKind::kStar, "*", 1);
+        continue;
+      case '/':
+        push(TokenKind::kSlash, "/", 1);
+        continue;
+      case '%':
+        push(TokenKind::kPercent, "%", 1);
+        continue;
+      case '|':
+        push(TokenKind::kPipe, "|", 1);
+        continue;
+      case '?':
+        push(TokenKind::kQuestion, "?", 1);
+        continue;
+      default:
+        return error(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.line = line;
+  end.column = col;
+  out.push_back(end);
+  return out;
+}
+
+}  // namespace graphlog::datalog

@@ -1,0 +1,74 @@
+// Tokenizer shared by the Datalog and GraphLog text parsers.
+
+#ifndef GRAPHLOG_DATALOG_LEXER_H_
+#define GRAPHLOG_DATALOG_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace graphlog::datalog {
+
+/// \brief Token categories.
+enum class TokenKind : uint8_t {
+  kIdent,      ///< lowercase-initial identifier (predicate / constant symbol)
+  kVariable,   ///< uppercase-initial identifier or bare `_`
+  kInt,        ///< integer literal
+  kFloat,      ///< floating-point literal
+  kString,     ///< double-quoted string literal (content unescaped)
+  kLParen,     ///< (
+  kRParen,     ///< )
+  kLBrace,     ///< {
+  kRBrace,     ///< }
+  kLBracket,   ///< [
+  kRBracket,   ///< ]
+  kComma,      ///< ,
+  kDot,        ///< .
+  kColon,      ///< :
+  kSemicolon,  ///< ;
+  kImplies,    ///< :-
+  kAssign,     ///< :=
+  kBang,       ///< !
+  kEq,         ///< =
+  kNe,         ///< !=
+  kLt,         ///< <
+  kLe,         ///< <=
+  kGt,         ///< >
+  kGe,         ///< >=
+  kPlus,       ///< +
+  kMinus,      ///< -
+  kStar,       ///< *
+  kSlash,      ///< /
+  kPercent,    ///< %
+  kPipe,       ///< |
+  kQuestion,   ///< ?
+  kArrow,      ///< ->
+  kDoubleArrow,  ///< =>
+  kEnd,        ///< end of input
+};
+
+std::string_view TokenKindToString(TokenKind k);
+
+/// \brief A lexed token with source position for error messages.
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;     // identifier / literal text (strings unescaped)
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  int line = 1;
+  int column = 1;
+};
+
+/// \brief Tokenizes `input`. `%` starts a line comment (Prolog style); `//`
+/// and `#` line comments are accepted too. Hyphens are allowed *inside*
+/// identifiers (the paper writes predicate names like `not-desc-of`), so
+/// `a-b` lexes as one identifier while `a - b` is a subtraction.
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+}  // namespace graphlog::datalog
+
+#endif  // GRAPHLOG_DATALOG_LEXER_H_

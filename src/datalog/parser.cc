@@ -1,0 +1,282 @@
+#include "datalog/parser.h"
+
+#include <optional>
+
+#include "datalog/lexer.h"
+
+namespace graphlog::datalog {
+
+namespace {
+
+/// Token-stream cursor with error helpers.
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, SymbolTable* syms)
+      : tokens_(std::move(tokens)), syms_(syms) {}
+
+  Result<Program> ParseProgram() {
+    Program prog;
+    while (!At(TokenKind::kEnd)) {
+      GRAPHLOG_ASSIGN_OR_RETURN(Rule r, ParseRule());
+      prog.Add(std::move(r));
+    }
+    return prog;
+  }
+
+  Result<Rule> ParseRule() {
+    Rule rule;
+    GRAPHLOG_ASSIGN_OR_RETURN(rule.head, ParseHead());
+    if (Accept(TokenKind::kImplies)) {
+      do {
+        GRAPHLOG_ASSIGN_OR_RETURN(Literal l, ParseLiteral());
+        rule.body.push_back(std::move(l));
+      } while (Accept(TokenKind::kComma));
+    }
+    GRAPHLOG_RETURN_NOT_OK(Expect(TokenKind::kDot));
+    return rule;
+  }
+
+  bool AtEnd() const { return At(TokenKind::kEnd); }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  const Token& Next() const {
+    return tokens_[pos_ + 1 < tokens_.size() ? pos_ + 1 : pos_];
+  }
+  bool At(TokenKind k) const { return Cur().kind == k; }
+  bool Accept(TokenKind k) {
+    if (!At(k)) return false;
+    ++pos_;
+    return true;
+  }
+  Status Expect(TokenKind k) {
+    if (Accept(k)) return Status::OK();
+    return Error("expected " + std::string(TokenKindToString(k)) +
+                 ", found " + std::string(TokenKindToString(Cur().kind)));
+  }
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " at line " + std::to_string(Cur().line) +
+                              ", column " + std::to_string(Cur().column));
+  }
+
+  Symbol FreshWildcardVar() {
+    return syms_->Fresh("_w" + std::to_string(wildcard_counter_++));
+  }
+
+  static std::optional<AggKind> AggKindFromName(const std::string& s) {
+    if (s == "count") return AggKind::kCount;
+    if (s == "sum") return AggKind::kSum;
+    if (s == "min") return AggKind::kMin;
+    if (s == "max") return AggKind::kMax;
+    if (s == "avg") return AggKind::kAvg;
+    return std::nullopt;
+  }
+
+  Result<Head> ParseHead() {
+    if (!At(TokenKind::kIdent)) {
+      return Error("expected predicate name in rule head");
+    }
+    Head head;
+    head.predicate = syms_->Intern(Cur().text);
+    ++pos_;
+    GRAPHLOG_RETURN_NOT_OK(Expect(TokenKind::kLParen));
+    if (!Accept(TokenKind::kRParen)) {
+      do {
+        GRAPHLOG_ASSIGN_OR_RETURN(HeadTerm h, ParseHeadTerm());
+        head.args.push_back(std::move(h));
+      } while (Accept(TokenKind::kComma));
+      GRAPHLOG_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+    }
+    return head;
+  }
+
+  Result<HeadTerm> ParseHeadTerm() {
+    // Aggregate: AGGNAME '<' VAR '>'  or  count '<' '*' '>'.
+    if (At(TokenKind::kIdent) && Next().kind == TokenKind::kLt) {
+      auto agg = AggKindFromName(Cur().text);
+      if (agg.has_value()) {
+        ++pos_;  // agg name
+        ++pos_;  // '<'
+        Symbol var = kNoSymbol;
+        if (Accept(TokenKind::kStar)) {
+          if (*agg != AggKind::kCount) {
+            return Error("'*' is only valid in count<*>");
+          }
+        } else if (At(TokenKind::kVariable)) {
+          var = syms_->Intern(Cur().text);
+          ++pos_;
+        } else {
+          return Error("expected variable in aggregate");
+        }
+        GRAPHLOG_RETURN_NOT_OK(Expect(TokenKind::kGt));
+        return HeadTerm::Aggregate(*agg, var);
+      }
+    }
+    GRAPHLOG_ASSIGN_OR_RETURN(Term t, ParseTerm());
+    return HeadTerm::Plain(t);
+  }
+
+  Result<Literal> ParseLiteral() {
+    // Negated atom.
+    if (Accept(TokenKind::kBang)) {
+      GRAPHLOG_ASSIGN_OR_RETURN(Atom a, ParseAtom());
+      return Literal::Negative(std::move(a));
+    }
+    // Positive atom: IDENT '('.
+    if (At(TokenKind::kIdent) && Next().kind == TokenKind::kLParen) {
+      GRAPHLOG_ASSIGN_OR_RETURN(Atom a, ParseAtom());
+      return Literal::Positive(std::move(a));
+    }
+    // Comparison or assignment: starts with a term.
+    GRAPHLOG_ASSIGN_OR_RETURN(Term lhs, ParseTerm());
+    if (Accept(TokenKind::kAssign)) {
+      GRAPHLOG_ASSIGN_OR_RETURN(ArithExpr e, ParseArith());
+      return Literal::Assignment(lhs, std::move(e));
+    }
+    CmpOp op;
+    if (Accept(TokenKind::kEq)) {
+      // `X = <compound arith>` is an assignment; `X = t` is a comparison.
+      GRAPHLOG_ASSIGN_OR_RETURN(ArithExpr e, ParseArith());
+      if (e.is_leaf) {
+        return Literal::Comparison(CmpOp::kEq, lhs, e.leaf);
+      }
+      return Literal::Assignment(lhs, std::move(e));
+    } else if (Accept(TokenKind::kNe)) {
+      op = CmpOp::kNe;
+    } else if (Accept(TokenKind::kLt)) {
+      op = CmpOp::kLt;
+    } else if (Accept(TokenKind::kLe)) {
+      op = CmpOp::kLe;
+    } else if (Accept(TokenKind::kGt)) {
+      op = CmpOp::kGt;
+    } else if (Accept(TokenKind::kGe)) {
+      op = CmpOp::kGe;
+    } else {
+      return Error("expected comparison operator or ':=' after term");
+    }
+    GRAPHLOG_ASSIGN_OR_RETURN(Term rhs, ParseTerm());
+    return Literal::Comparison(op, lhs, rhs);
+  }
+
+  Result<Atom> ParseAtom() {
+    if (!At(TokenKind::kIdent)) return Error("expected predicate name");
+    Atom a;
+    a.predicate = syms_->Intern(Cur().text);
+    ++pos_;
+    GRAPHLOG_RETURN_NOT_OK(Expect(TokenKind::kLParen));
+    if (!Accept(TokenKind::kRParen)) {
+      do {
+        GRAPHLOG_ASSIGN_OR_RETURN(Term t, ParseTerm());
+        a.args.push_back(t);
+      } while (Accept(TokenKind::kComma));
+      GRAPHLOG_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+    }
+    return a;
+  }
+
+  Result<Term> ParseTerm() {
+    if (At(TokenKind::kVariable)) {
+      std::string name = Cur().text;
+      ++pos_;
+      if (name == "_") return Term::Var(FreshWildcardVar());
+      return Term::Var(syms_->Intern(name));
+    }
+    if (At(TokenKind::kIdent)) {
+      Symbol s = syms_->Intern(Cur().text);
+      ++pos_;
+      return Term::Const(Value::Sym(s));
+    }
+    if (At(TokenKind::kString)) {
+      Symbol s = syms_->Intern(Cur().text);
+      ++pos_;
+      return Term::Const(Value::Sym(s));
+    }
+    if (At(TokenKind::kInt)) {
+      int64_t v = Cur().int_value;
+      ++pos_;
+      return Term::Const(Value::Int(v));
+    }
+    if (At(TokenKind::kFloat)) {
+      double v = Cur().float_value;
+      ++pos_;
+      return Term::Const(Value::Double(v));
+    }
+    if (Accept(TokenKind::kMinus)) {
+      if (At(TokenKind::kInt)) {
+        int64_t v = Cur().int_value;
+        ++pos_;
+        return Term::Const(Value::Int(-v));
+      }
+      if (At(TokenKind::kFloat)) {
+        double v = Cur().float_value;
+        ++pos_;
+        return Term::Const(Value::Double(-v));
+      }
+      return Error("expected numeric literal after unary '-'");
+    }
+    return Error("expected term, found " +
+                 std::string(TokenKindToString(Cur().kind)));
+  }
+
+  // arith := arithterm { (+|-) arithterm }
+  Result<ArithExpr> ParseArith() {
+    GRAPHLOG_ASSIGN_OR_RETURN(ArithExpr lhs, ParseArithTerm());
+    while (At(TokenKind::kPlus) || At(TokenKind::kMinus)) {
+      ArithOp op = At(TokenKind::kPlus) ? ArithOp::kAdd : ArithOp::kSub;
+      ++pos_;
+      GRAPHLOG_ASSIGN_OR_RETURN(ArithExpr rhs, ParseArithTerm());
+      lhs = ArithExpr::Node(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  // arithterm := arithfac { (*|/|%) arithfac }
+  Result<ArithExpr> ParseArithTerm() {
+    GRAPHLOG_ASSIGN_OR_RETURN(ArithExpr lhs, ParseArithFactor());
+    while (At(TokenKind::kStar) || At(TokenKind::kSlash) ||
+           At(TokenKind::kPercent)) {
+      ArithOp op = At(TokenKind::kStar)    ? ArithOp::kMul
+                   : At(TokenKind::kSlash) ? ArithOp::kDiv
+                                           : ArithOp::kMod;
+      ++pos_;
+      GRAPHLOG_ASSIGN_OR_RETURN(ArithExpr rhs, ParseArithFactor());
+      lhs = ArithExpr::Node(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ArithExpr> ParseArithFactor() {
+    if (Accept(TokenKind::kLParen)) {
+      GRAPHLOG_ASSIGN_OR_RETURN(ArithExpr e, ParseArith());
+      GRAPHLOG_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+      return e;
+    }
+    GRAPHLOG_ASSIGN_OR_RETURN(Term t, ParseTerm());
+    return ArithExpr::Leaf(t);
+  }
+
+  std::vector<Token> tokens_;
+  SymbolTable* syms_;
+  size_t pos_ = 0;
+  int wildcard_counter_ = 0;
+};
+
+}  // namespace
+
+Result<Program> ParseProgram(std::string_view text, SymbolTable* syms) {
+  GRAPHLOG_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser p(std::move(tokens), syms);
+  return p.ParseProgram();
+}
+
+Result<Rule> ParseRule(std::string_view text, SymbolTable* syms) {
+  GRAPHLOG_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser p(std::move(tokens), syms);
+  GRAPHLOG_ASSIGN_OR_RETURN(Rule r, p.ParseRule());
+  if (!p.AtEnd()) {
+    return Status::ParseError("trailing input after rule");
+  }
+  return r;
+}
+
+}  // namespace graphlog::datalog

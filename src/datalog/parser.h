@@ -1,0 +1,47 @@
+// Recursive-descent parser for textual Datalog.
+//
+// Grammar (EBNF, whitespace/comments between tokens):
+//
+//   program     := { rule } ;
+//   rule        := head [ ":-" body ] "." ;
+//   head        := IDENT "(" headterm { "," headterm } ")" ;
+//   headterm    := term
+//                | AGGNAME "<" VARIABLE ">"       (* sum<D>, min<D>, ... *)
+//                | "count" "<" "*" ">" ;
+//   body        := literal { "," literal } ;
+//   literal     := [ "!" ] atom
+//                | term CMPOP term                (* = != < <= > >= *)
+//                | term ":=" arith                (* explicit assignment *)
+//                | term "=" arith                 (* assignment when arith
+//                                                    is compound *)
+//   atom        := IDENT "(" [ term { "," term } ] ")" ;
+//   term        := VARIABLE | "_" | constant ;
+//   constant    := INT | FLOAT | STRING | IDENT | "-" (INT|FLOAT) ;
+//   arith       := arith ("+"|"-") arithterm | arithterm ;
+//   arithterm   := arithterm ("*"|"/"|"%") arithfac | arithfac ;
+//   arithfac    := term | "(" arith ")" ;
+//
+// Wildcards `_` are replaced by fresh variables during parsing (the paper's
+// underscore projection). Aggregate names (count/sum/min/max/avg) are only
+// reserved in head-term position.
+
+#ifndef GRAPHLOG_DATALOG_PARSER_H_
+#define GRAPHLOG_DATALOG_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "common/symbol_table.h"
+#include "datalog/ast.h"
+
+namespace graphlog::datalog {
+
+/// \brief Parses a full program. Symbols are interned into `syms`.
+Result<Program> ParseProgram(std::string_view text, SymbolTable* syms);
+
+/// \brief Parses a single rule (terminating '.').
+Result<Rule> ParseRule(std::string_view text, SymbolTable* syms);
+
+}  // namespace graphlog::datalog
+
+#endif  // GRAPHLOG_DATALOG_PARSER_H_

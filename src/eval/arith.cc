@@ -1,0 +1,53 @@
+#include "eval/arith.h"
+
+namespace graphlog::eval {
+
+bool ApplyArith(datalog::ArithOp op, const Value& lhs, const Value& rhs,
+                Value* out) {
+  using datalog::ArithOp;
+  if (!lhs.is_numeric() || !rhs.is_numeric()) return false;
+  if (lhs.is_int() && rhs.is_int()) {
+    int64_t a = lhs.AsInt(), b = rhs.AsInt();
+    switch (op) {
+      case ArithOp::kAdd:
+        *out = Value::Int(a + b);
+        return true;
+      case ArithOp::kSub:
+        *out = Value::Int(a - b);
+        return true;
+      case ArithOp::kMul:
+        *out = Value::Int(a * b);
+        return true;
+      case ArithOp::kDiv:
+        if (b == 0) return false;
+        *out = Value::Int(a / b);
+        return true;
+      case ArithOp::kMod:
+        if (b == 0) return false;
+        *out = Value::Int(a % b);
+        return true;
+    }
+    return false;
+  }
+  double a = lhs.ToDouble(), b = rhs.ToDouble();
+  switch (op) {
+    case ArithOp::kAdd:
+      *out = Value::Double(a + b);
+      return true;
+    case ArithOp::kSub:
+      *out = Value::Double(a - b);
+      return true;
+    case ArithOp::kMul:
+      *out = Value::Double(a * b);
+      return true;
+    case ArithOp::kDiv:
+      if (b == 0.0) return false;
+      *out = Value::Double(a / b);
+      return true;
+    case ArithOp::kMod:
+      return false;  // % requires integers
+  }
+  return false;
+}
+
+}  // namespace graphlog::eval

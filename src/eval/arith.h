@@ -1,0 +1,22 @@
+// Arithmetic evaluation over Values.
+
+#ifndef GRAPHLOG_EVAL_ARITH_H_
+#define GRAPHLOG_EVAL_ARITH_H_
+
+#include "common/value.h"
+#include "datalog/ast.h"
+
+namespace graphlog::eval {
+
+/// \brief Applies `op` to numeric values. Integer pairs stay integral
+/// (C++ semantics for / and %); any double operand widens the result.
+///
+/// Returns false — meaning "the builtin literal fails" — on non-numeric
+/// operands, division by zero, or % with a non-integer operand. Failing
+/// rather than erroring matches the semantics of builtins as filters.
+bool ApplyArith(datalog::ArithOp op, const Value& lhs, const Value& rhs,
+                Value* out);
+
+}  // namespace graphlog::eval
+
+#endif  // GRAPHLOG_EVAL_ARITH_H_

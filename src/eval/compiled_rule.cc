@@ -1,0 +1,462 @@
+#include "eval/compiled_rule.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "eval/arith.h"
+
+namespace graphlog::eval {
+
+using datalog::ArithExpr;
+using datalog::CmpOp;
+using datalog::EvalCmp;
+using datalog::Literal;
+using datalog::Rule;
+using datalog::Term;
+using storage::Relation;
+using storage::Tuple;
+
+bool CompiledArith::Eval(const std::vector<Value>& slots, Value* out) const {
+  if (is_leaf) {
+    *out = leaf.Get(slots);
+    return true;
+  }
+  Value a, b;
+  if (!children[0].Eval(slots, &a) || !children[1].Eval(slots, &b)) {
+    return false;
+  }
+  return ApplyArith(op, a, b, out);
+}
+
+namespace {
+
+/// Tracks variable -> slot assignment during compilation.
+class SlotMap {
+ public:
+  uint32_t SlotOf(Symbol var) {
+    auto [it, inserted] = slots_.emplace(var, next_);
+    if (inserted) ++next_;
+    return it->second;
+  }
+  bool Has(Symbol var) const { return slots_.count(var) > 0; }
+  uint32_t size() const { return next_; }
+
+ private:
+  std::map<Symbol, uint32_t> slots_;
+  uint32_t next_ = 0;
+};
+
+CompiledArith CompileArith(const ArithExpr& e, SlotMap* slots) {
+  CompiledArith c;
+  c.is_leaf = e.is_leaf;
+  if (e.is_leaf) {
+    if (e.leaf.is_variable()) {
+      c.leaf = ArgSource::Slot(slots->SlotOf(e.leaf.var()));
+    } else {
+      c.leaf = ArgSource::Const(e.leaf.value());
+    }
+    return c;
+  }
+  c.op = e.op;
+  c.children.push_back(CompileArith(e.children[0], slots));
+  c.children.push_back(CompileArith(e.children[1], slots));
+  return c;
+}
+
+/// Variables of a literal, for schedulability tests.
+std::set<Symbol> LiteralVars(const Literal& l) {
+  std::vector<Symbol> v;
+  l.CollectVariables(&v);
+  return std::set<Symbol>(v.begin(), v.end());
+}
+
+}  // namespace
+
+Result<CompiledRule> CompiledRule::Compile(const Rule& rule,
+                                           const SymbolTable& syms,
+                                           const CardinalityFn& cardinality) {
+  CompiledRule out;
+  out.head_predicate_ = rule.head.predicate;
+
+  SlotMap slots;
+  std::set<Symbol> bound;  // variables bound so far (schedule-time)
+
+  std::vector<const Literal*> remaining;
+  for (const Literal& l : rule.body) remaining.push_back(&l);
+
+  // Assign occurrence ids in original body order (the engine's delta
+  // substitution is keyed on them).
+  std::map<const Literal*, int> occ_of;
+  int occ = 0;
+  for (const Literal& l : rule.body) {
+    if (l.is_positive_atom()) occ_of[&l] = occ++;
+  }
+  out.num_occurrences_ = occ;
+
+  auto lower_atom = [&](const Literal& l, bool negated) {
+    Step s;
+    s.kind = negated ? Step::Kind::kNegCheck : Step::Kind::kScanProbe;
+    s.pred = l.atom.predicate;
+    s.occurrence = negated ? -1 : occ_of[&l];
+    std::map<Symbol, uint32_t> first_col;  // first unbound occurrence col
+    for (uint32_t c = 0; c < l.atom.args.size(); ++c) {
+      const Term& t = l.atom.args[c];
+      if (t.is_constant()) {
+        s.probe_cols.push_back(c);
+        s.probe_sources.push_back(ArgSource::Const(t.value()));
+      } else if (t.is_variable()) {
+        Symbol v = t.var();
+        if (bound.count(v) > 0) {
+          s.probe_cols.push_back(c);
+          s.probe_sources.push_back(ArgSource::Slot(slots.SlotOf(v)));
+        } else if (auto it = first_col.find(v); it != first_col.end()) {
+          // Repeated unbound variable within this atom.
+          s.eq_cols.emplace_back(it->second, c);
+        } else {
+          first_col[v] = c;
+          if (!negated) {
+            s.out_cols.emplace_back(c, slots.SlotOf(v));
+          }
+        }
+      } else {
+        // Wildcard: unconstrained column (parser normally removes these).
+        continue;
+      }
+    }
+    if (!negated) {
+      for (const auto& [v, _] : first_col) bound.insert(v);
+    }
+    return s;
+  };
+
+  while (!remaining.empty()) {
+    // 1. Place every filter/binder that is ready.
+    bool placed = true;
+    while (placed) {
+      placed = false;
+      for (auto it = remaining.begin(); it != remaining.end();) {
+        const Literal& l = **it;
+        bool take = false;
+        Step s;
+        switch (l.kind) {
+          case Literal::Kind::kComparison: {
+            auto ready = [&](const Term& t) {
+              return !t.is_variable() || bound.count(t.var()) > 0;
+            };
+            if (ready(l.lhs) && ready(l.rhs)) {
+              s.kind = Step::Kind::kCompare;
+              s.cmp = l.cmp;
+              s.lhs = l.lhs.is_variable()
+                          ? ArgSource::Slot(slots.SlotOf(l.lhs.var()))
+                          : ArgSource::Const(l.lhs.value());
+              s.rhs = l.rhs.is_variable()
+                          ? ArgSource::Slot(slots.SlotOf(l.rhs.var()))
+                          : ArgSource::Const(l.rhs.value());
+              take = true;
+            } else if (l.cmp == CmpOp::kEq && ready(l.lhs) &&
+                       l.rhs.is_variable()) {
+              s.kind = Step::Kind::kEqBind;
+              s.bind_source = l.lhs.is_variable()
+                                  ? ArgSource::Slot(slots.SlotOf(l.lhs.var()))
+                                  : ArgSource::Const(l.lhs.value());
+              s.bind_slot = slots.SlotOf(l.rhs.var());
+              bound.insert(l.rhs.var());
+              take = true;
+            } else if (l.cmp == CmpOp::kEq && ready(l.rhs) &&
+                       l.lhs.is_variable()) {
+              s.kind = Step::Kind::kEqBind;
+              s.bind_source = l.rhs.is_variable()
+                                  ? ArgSource::Slot(slots.SlotOf(l.rhs.var()))
+                                  : ArgSource::Const(l.rhs.value());
+              s.bind_slot = slots.SlotOf(l.lhs.var());
+              bound.insert(l.lhs.var());
+              take = true;
+            }
+            break;
+          }
+          case Literal::Kind::kAssignment: {
+            std::vector<Symbol> inputs;
+            l.assign_expr.CollectVariables(&inputs);
+            bool all = std::all_of(
+                inputs.begin(), inputs.end(),
+                [&](Symbol v) { return bound.count(v) > 0; });
+            if (all) {
+              s.kind = Step::Kind::kAssign;
+              s.arith = CompileArith(l.assign_expr, &slots);
+              if (!l.assign_target.is_variable()) {
+                return Status::UnsafeRule(
+                    "assignment target must be a variable in rule '" +
+                    rule.ToString(syms) + "'");
+              }
+              Symbol tv = l.assign_target.var();
+              s.target_bound = bound.count(tv) > 0;
+              s.target_slot = slots.SlotOf(tv);
+              bound.insert(tv);
+              take = true;
+            }
+            break;
+          }
+          case Literal::Kind::kNegatedAtom: {
+            // Ready when every variable is bound or local to this literal.
+            std::set<Symbol> local;
+            for (const Term& t : l.atom.args) {
+              if (t.is_variable()) local.insert(t.var());
+            }
+            bool ready = true;
+            for (Symbol v : local) {
+              if (bound.count(v) > 0) continue;
+              // Unbound: must not occur in any other remaining literal,
+              // elsewhere we cannot anti-join yet.
+              for (const Literal* other : remaining) {
+                if (other == &l) continue;
+                if (LiteralVars(*other).count(v) > 0) {
+                  ready = false;
+                  break;
+                }
+              }
+              if (!ready) break;
+            }
+            if (ready) {
+              s = lower_atom(l, /*negated=*/true);
+              take = true;
+            }
+            break;
+          }
+          case Literal::Kind::kAtom:
+            break;  // handled below
+        }
+        if (take) {
+          out.steps_.push_back(std::move(s));
+          it = remaining.erase(it);
+          placed = true;
+        } else {
+          ++it;
+        }
+      }
+    }
+
+    // 2. Place the best positive atom. Without a cardinality oracle:
+    // most bound argument positions wins (first in body order on ties).
+    // With one: minimize |R| discounted by bound columns — each bound
+    // column is assumed to cut the candidates by ~4x, so a small relation
+    // is scanned before a huge one is probed.
+    const Literal* best = nullptr;
+    int best_bound = -1;
+    double best_cost = 0.0;
+    for (const Literal* l : remaining) {
+      if (!l->is_positive_atom()) continue;
+      int nb = 0;
+      for (const Term& t : l->atom.args) {
+        if (t.is_constant() ||
+            (t.is_variable() && bound.count(t.var()) > 0)) {
+          ++nb;
+        }
+      }
+      if (cardinality) {
+        double size = static_cast<double>(cardinality(l->atom.predicate));
+        double cost = size;
+        for (int k = 0; k < nb; ++k) cost /= 4.0;
+        if (best == nullptr || cost < best_cost) {
+          best_cost = cost;
+          best = l;
+        }
+      } else if (nb > best_bound) {
+        best_bound = nb;
+        best = l;
+      }
+    }
+    if (best == nullptr) {
+      if (!remaining.empty()) {
+        return Status::UnsafeRule(
+            "cannot schedule remaining builtins/negations in rule '" +
+            rule.ToString(syms) + "' (unsafe rule)");
+      }
+      break;
+    }
+    out.steps_.push_back(lower_atom(*best, /*negated=*/false));
+    out.occurrence_preds_.emplace_back(best->atom.predicate, occ_of[best]);
+    {
+      // Premise spec for provenance: every column of this atom, sourced
+      // from constants or the (now bound) variable slots. Wildcards only
+      // reach here through the builder API; they render as integer 0.
+      std::vector<ArgSource> srcs;
+      for (const Term& t : best->atom.args) {
+        if (t.is_constant()) {
+          srcs.push_back(ArgSource::Const(t.value()));
+        } else if (t.is_variable()) {
+          srcs.push_back(ArgSource::Slot(slots.SlotOf(t.var())));
+        } else {
+          srcs.push_back(ArgSource::Const(Value::Int(0)));
+        }
+      }
+      out.premise_specs_.emplace_back(best->atom.predicate,
+                                      std::move(srcs));
+    }
+    remaining.erase(std::find(remaining.begin(), remaining.end(), best));
+  }
+
+  // Compile the head.
+  for (const datalog::HeadTerm& h : rule.head.args) {
+    CompiledHeadArg a;
+    if (h.is_aggregate) {
+      out.has_aggregates_ = true;
+      a.is_aggregate = true;
+      a.agg = h.agg;
+      if (h.agg_var != kNoSymbol) {
+        if (!bound.count(h.agg_var)) {
+          return Status::UnsafeRule("aggregate variable '" +
+                                    syms.name(h.agg_var) +
+                                    "' is unbound in rule '" +
+                                    rule.ToString(syms) + "'");
+        }
+        a.has_input = true;
+        a.source = ArgSource::Slot(slots.SlotOf(h.agg_var));
+      }
+    } else if (h.term.is_variable()) {
+      if (!bound.count(h.term.var())) {
+        return Status::UnsafeRule("head variable '" + syms.name(h.term.var()) +
+                                  "' is unbound in rule '" +
+                                  rule.ToString(syms) + "'");
+      }
+      a.source = ArgSource::Slot(slots.SlotOf(h.term.var()));
+    } else if (h.term.is_constant()) {
+      a.source = ArgSource::Const(h.term.value());
+    } else {
+      return Status::UnsafeRule("wildcard in rule head");
+    }
+    out.head_args_.push_back(std::move(a));
+  }
+
+  out.num_slots_ = slots.size();
+  return out;
+}
+
+void CompiledRule::Execute(const RelationResolver& resolver,
+                           const BindingSink& sink) const {
+  std::vector<Value> slots(num_slots_);
+  ExecuteStep(0, &slots, resolver, sink);
+}
+
+void CompiledRule::ExecuteStep(size_t idx, std::vector<Value>* slots,
+                               const RelationResolver& resolver,
+                               const BindingSink& sink) const {
+  if (idx == steps_.size()) {
+    sink(*slots);
+    return;
+  }
+  const Step& s = steps_[idx];
+  switch (s.kind) {
+    case Step::Kind::kScanProbe: {
+      const Relation* rel = resolver(s.pred, s.occurrence);
+      if (rel == nullptr || rel->empty()) return;
+      auto try_row = [&](const Tuple& row) {
+        for (const auto& [a, b] : s.eq_cols) {
+          if (!(row[a] == row[b])) return;
+        }
+        for (const auto& [col, slot] : s.out_cols) {
+          (*slots)[slot] = row[col];
+        }
+        ExecuteStep(idx + 1, slots, resolver, sink);
+      };
+      if (s.probe_cols.empty()) {
+        for (const Tuple& row : rel->rows()) try_row(row);
+      } else {
+        Tuple key;
+        key.reserve(s.probe_cols.size());
+        for (const ArgSource& src : s.probe_sources) {
+          key.push_back(src.Get(*slots));
+        }
+        for (uint32_t i : rel->Probe(s.probe_cols, key)) {
+          try_row(rel->row(i));
+        }
+      }
+      return;
+    }
+    case Step::Kind::kNegCheck: {
+      const Relation* rel = resolver(s.pred, s.occurrence);
+      if (rel != nullptr && !rel->empty()) {
+        bool found = false;
+        auto check_row = [&](const Tuple& row) {
+          for (const auto& [a, b] : s.eq_cols) {
+            if (!(row[a] == row[b])) return;
+          }
+          found = true;
+        };
+        if (s.probe_cols.empty()) {
+          for (const Tuple& row : rel->rows()) {
+            check_row(row);
+            if (found) break;
+          }
+        } else {
+          Tuple key;
+          key.reserve(s.probe_cols.size());
+          for (const ArgSource& src : s.probe_sources) {
+            key.push_back(src.Get(*slots));
+          }
+          for (uint32_t i : rel->Probe(s.probe_cols, key)) {
+            check_row(rel->row(i));
+            if (found) break;
+          }
+        }
+        if (found) return;  // negation fails
+      }
+      ExecuteStep(idx + 1, slots, resolver, sink);
+      return;
+    }
+    case Step::Kind::kCompare: {
+      if (EvalCmp(s.cmp, s.lhs.Get(*slots), s.rhs.Get(*slots))) {
+        ExecuteStep(idx + 1, slots, resolver, sink);
+      }
+      return;
+    }
+    case Step::Kind::kEqBind: {
+      (*slots)[s.bind_slot] = s.bind_source.Get(*slots);
+      ExecuteStep(idx + 1, slots, resolver, sink);
+      return;
+    }
+    case Step::Kind::kAssign: {
+      Value v;
+      if (!s.arith.Eval(*slots, &v)) return;
+      if (s.target_bound) {
+        if (!EvalCmp(CmpOp::kEq, (*slots)[s.target_slot], v)) return;
+      } else {
+        (*slots)[s.target_slot] = v;
+      }
+      ExecuteStep(idx + 1, slots, resolver, sink);
+      return;
+    }
+  }
+}
+
+Tuple CompiledRule::EmitHead(const std::vector<Value>& slots) const {
+  Tuple t;
+  t.reserve(head_args_.size());
+  for (const CompiledHeadArg& a : head_args_) {
+    t.push_back(a.source.Get(slots));
+  }
+  return t;
+}
+
+std::vector<std::pair<Symbol, Tuple>> CompiledRule::Premises(
+    const std::vector<Value>& slots) const {
+  std::vector<std::pair<Symbol, Tuple>> out;
+  out.reserve(premise_specs_.size());
+  for (const auto& [pred, srcs] : premise_specs_) {
+    Tuple t;
+    t.reserve(srcs.size());
+    for (const ArgSource& s : srcs) t.push_back(s.Get(slots));
+    out.emplace_back(pred, std::move(t));
+  }
+  return out;
+}
+
+std::vector<int> CompiledRule::OccurrencesOf(Symbol p) const {
+  std::vector<int> out;
+  for (const auto& [pred, occ] : occurrence_preds_) {
+    if (pred == p) out.push_back(occ);
+  }
+  return out;
+}
+
+}  // namespace graphlog::eval

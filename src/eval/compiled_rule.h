@@ -1,0 +1,183 @@
+// CompiledRule: a Datalog rule lowered to an executable join plan.
+//
+// Compilation fixes a literal order (greedy bound-first: filters and
+// binders are placed as soon as their inputs are bound; positive atoms are
+// chosen to maximize bound columns), assigns every variable a dense slot,
+// and lowers each literal to a Step:
+//
+//   * kScanProbe — positive atom: probe a hash index on the bound columns
+//     (or scan when none are bound), binding output columns to slots;
+//   * kNegCheck — negated atom: anti-join on the bound columns;
+//   * kCompare  — builtin comparison with both sides bound;
+//   * kEqBind   — equality that binds one previously-unbound variable;
+//   * kAssign   — arithmetic assignment (binds or checks its target).
+//
+// Execution enumerates all satisfying slot vectors and hands each to a
+// sink. Relations are looked up through a RelationResolver so the
+// semi-naive engine can substitute a delta relation for one designated
+// occurrence of a recursive subgoal.
+
+#ifndef GRAPHLOG_EVAL_COMPILED_RULE_H_
+#define GRAPHLOG_EVAL_COMPILED_RULE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/symbol_table.h"
+#include "datalog/ast.h"
+#include "storage/relation.h"
+
+namespace graphlog::eval {
+
+/// \brief Where an argument value comes from at runtime.
+struct ArgSource {
+  enum class Kind : uint8_t { kConst, kSlot };
+  Kind kind = Kind::kConst;
+  Value constant;
+  uint32_t slot = 0;
+
+  static ArgSource Const(Value v) {
+    ArgSource a;
+    a.kind = Kind::kConst;
+    a.constant = v;
+    return a;
+  }
+  static ArgSource Slot(uint32_t s) {
+    ArgSource a;
+    a.kind = Kind::kSlot;
+    a.slot = s;
+    return a;
+  }
+
+  const Value& Get(const std::vector<Value>& slots) const {
+    return kind == Kind::kConst ? constant : slots[slot];
+  }
+};
+
+/// \brief Arithmetic expression with variables resolved to slots.
+struct CompiledArith {
+  bool is_leaf = true;
+  ArgSource leaf;
+  datalog::ArithOp op = datalog::ArithOp::kAdd;
+  std::vector<CompiledArith> children;  // 2 when !is_leaf
+
+  /// \brief Evaluates; false means the builtin fails (type error, div 0).
+  bool Eval(const std::vector<Value>& slots, Value* out) const;
+};
+
+/// \brief One step of the lowered plan.
+struct Step {
+  enum class Kind : uint8_t {
+    kScanProbe,
+    kNegCheck,
+    kCompare,
+    kEqBind,
+    kAssign,
+  };
+  Kind kind = Kind::kScanProbe;
+
+  // kScanProbe / kNegCheck:
+  Symbol pred = kNoSymbol;
+  int occurrence = -1;  ///< occurrence id of this body atom (-1: negated)
+  std::vector<uint32_t> probe_cols;       // strictly increasing
+  std::vector<ArgSource> probe_sources;   // parallel to probe_cols
+  std::vector<std::pair<uint32_t, uint32_t>> out_cols;  // (col, slot)
+  std::vector<std::pair<uint32_t, uint32_t>> eq_cols;   // row[a] == row[b]
+
+  // kCompare:
+  datalog::CmpOp cmp = datalog::CmpOp::kEq;
+  ArgSource lhs, rhs;
+
+  // kEqBind:
+  ArgSource bind_source;
+  uint32_t bind_slot = 0;
+
+  // kAssign:
+  CompiledArith arith;
+  bool target_bound = false;  ///< true: compare result to slot; else bind
+  uint32_t target_slot = 0;
+};
+
+/// \brief A head argument after compilation.
+struct CompiledHeadArg {
+  bool is_aggregate = false;
+  ArgSource source;                        // plain, or aggregate input
+  bool has_input = false;                  // false for count<*>
+  datalog::AggKind agg = datalog::AggKind::kCount;
+};
+
+/// \brief Resolves the relation a step should read.
+///
+/// `occurrence` is the body-order index of the positive relational atom,
+/// or -1 for negated atoms (which always read the full relation).
+/// Returning nullptr means "empty relation".
+using RelationResolver =
+    std::function<const storage::Relation*(Symbol pred, int occurrence)>;
+
+/// \brief Receives each satisfying assignment (the full slot vector).
+using BindingSink = std::function<void(const std::vector<Value>& slots)>;
+
+/// \brief Relation-size oracle used by the join-order heuristic; returns
+/// the current cardinality of a predicate (0 when unknown/empty).
+using CardinalityFn = std::function<size_t(Symbol)>;
+
+/// \brief An executable rule plan.
+class CompiledRule {
+ public:
+  /// \brief Lowers `rule`. Fails (kUnsafeRule) when no valid literal order
+  /// exists, i.e. the rule is unsafe.
+  ///
+  /// When `cardinality` is provided, positive atoms are ordered by an
+  /// estimated probe cost — |R| discounted by the number of bound columns
+  /// — instead of bound-count alone, so a small relation is scanned
+  /// before a large one is probed (classic greedy join ordering).
+  static Result<CompiledRule> Compile(const datalog::Rule& rule,
+                                      const SymbolTable& syms,
+                                      const CardinalityFn& cardinality = {});
+
+  /// \brief Runs the plan, invoking `sink` once per satisfying assignment.
+  void Execute(const RelationResolver& resolver, const BindingSink& sink) const;
+
+  /// \brief Builds the head tuple for a satisfying assignment; only valid
+  /// when !has_aggregates().
+  storage::Tuple EmitHead(const std::vector<Value>& slots) const;
+
+  Symbol head_predicate() const { return head_predicate_; }
+  size_t head_arity() const { return head_args_.size(); }
+  bool has_aggregates() const { return has_aggregates_; }
+  const std::vector<CompiledHeadArg>& head_args() const { return head_args_; }
+  size_t num_slots() const { return num_slots_; }
+
+  /// \brief Occurrence ids of positive body atoms whose predicate is `p`.
+  std::vector<int> OccurrencesOf(Symbol p) const;
+
+  /// \brief The positive body atoms instantiated under a satisfying
+  /// assignment — the premises justifying the derived head tuple. Used by
+  /// provenance tracking (eval/provenance.h).
+  std::vector<std::pair<Symbol, storage::Tuple>> Premises(
+      const std::vector<Value>& slots) const;
+
+  /// \brief Number of positive relational atoms in the body.
+  int num_occurrences() const { return num_occurrences_; }
+
+ private:
+  Symbol head_predicate_ = kNoSymbol;
+  std::vector<CompiledHeadArg> head_args_;
+  bool has_aggregates_ = false;
+  std::vector<Step> steps_;
+  size_t num_slots_ = 0;
+  int num_occurrences_ = 0;
+  std::vector<std::pair<Symbol, int>> occurrence_preds_;  // (pred, occ)
+  // Positive body atoms as (pred, per-column sources), for Premises().
+  std::vector<std::pair<Symbol, std::vector<ArgSource>>> premise_specs_;
+
+  void ExecuteStep(size_t idx, std::vector<Value>* slots,
+                   const RelationResolver& resolver,
+                   const BindingSink& sink) const;
+};
+
+}  // namespace graphlog::eval
+
+#endif  // GRAPHLOG_EVAL_COMPILED_RULE_H_

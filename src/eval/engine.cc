@@ -1,0 +1,361 @@
+#include "eval/engine.h"
+
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "datalog/analysis.h"
+#include "datalog/parser.h"
+#include "eval/compiled_rule.h"
+#include "eval/provenance.h"
+#include "storage/tuple.h"
+
+namespace graphlog::eval {
+
+using datalog::AggKind;
+using datalog::Program;
+using datalog::Rule;
+using datalog::Stratification;
+using storage::Database;
+using storage::Relation;
+using storage::Tuple;
+using storage::TupleHash;
+
+namespace {
+
+/// Accumulator for one aggregate column of one group.
+struct AggAccum {
+  int64_t count = 0;
+  double dsum = 0.0;
+  int64_t isum = 0;
+  bool any_double = false;
+  bool has_minmax = false;
+  Value min, max;
+
+  void Add(const Value& v) {
+    ++count;
+    if (v.is_numeric()) {
+      if (v.is_double()) {
+        any_double = true;
+        dsum += v.AsDouble();
+      } else {
+        isum += v.AsInt();
+      }
+    }
+    if (!has_minmax) {
+      min = max = v;
+      has_minmax = true;
+    } else {
+      if (datalog::EvalCmp(datalog::CmpOp::kLt, v, min)) min = v;
+      if (datalog::EvalCmp(datalog::CmpOp::kGt, v, max)) max = v;
+    }
+  }
+
+  Value Result(AggKind kind) const {
+    switch (kind) {
+      case AggKind::kCount:
+        return Value::Int(count);
+      case AggKind::kSum:
+        return any_double ? Value::Double(dsum + static_cast<double>(isum))
+                          : Value::Int(isum);
+      case AggKind::kMin:
+        return min;
+      case AggKind::kMax:
+        return max;
+      case AggKind::kAvg: {
+        double total = dsum + static_cast<double>(isum);
+        return Value::Double(count == 0 ? 0.0 : total / count);
+      }
+    }
+    return Value::Int(0);
+  }
+};
+
+/// Shared evaluation state for one program run.
+class Engine {
+ public:
+  Engine(const Program& prog, Database* db, const EvalOptions& options)
+      : prog_(prog), db_(db), options_(options) {}
+
+  Result<EvalStats> Run() {
+    const SymbolTable& syms = db_->symbols();
+    GRAPHLOG_RETURN_NOT_OK(datalog::CheckArities(prog_, syms));
+    GRAPHLOG_RETURN_NOT_OK(datalog::CheckSafety(prog_, syms));
+    GRAPHLOG_ASSIGN_OR_RETURN(Stratification strat,
+                              datalog::Stratify(prog_, syms));
+    stats_.strata = strat.num_strata;
+
+    // Check IDB arity against any pre-existing relations and declare them.
+    for (const Rule& r : prog_.rules) {
+      GRAPHLOG_ASSIGN_OR_RETURN(Relation * rel,
+                                db_->Declare(r.head.predicate,
+                                             r.head.arity()));
+      (void)rel;
+    }
+
+    for (const auto& group : strat.rule_groups) {
+      GRAPHLOG_RETURN_NOT_OK(RunStratum(group));
+    }
+    return stats_;
+  }
+
+ private:
+  const Relation* Resolve(Symbol pred) const { return db_->Find(pred); }
+
+  /// Runs one stratum's rules to fixpoint.
+  Status RunStratum(const std::vector<int>& rule_indices) {
+    // Compile this stratum's rules now: lower strata are materialized, so
+    // the cardinality oracle sees real sizes for everything below.
+    CardinalityFn card;
+    if (options_.cardinality_join_ordering) {
+      card = [this](Symbol p) {
+        const Relation* r = db_->Find(p);
+        return r == nullptr ? size_t{0} : r->size();
+      };
+    }
+    for (int i : rule_indices) {
+      GRAPHLOG_ASSIGN_OR_RETURN(
+          CompiledRule c,
+          CompiledRule::Compile(prog_.rules[i], db_->symbols(), card));
+      compiled_.erase(i);
+      compiled_.emplace(i, std::move(c));
+    }
+
+    // IDB predicates defined in this stratum.
+    std::set<Symbol> local_idbs;
+    for (int i : rule_indices) {
+      local_idbs.insert(prog_.rules[i].head.predicate);
+    }
+
+    std::vector<int> aggregate_rules, normal_rules;
+    for (int i : rule_indices) {
+      if (prog_.rules[i].head.has_aggregates()) {
+        aggregate_rules.push_back(i);
+      } else {
+        normal_rules.push_back(i);
+      }
+    }
+
+    // Aggregate rules first: stratification guarantees their bodies read
+    // lower strata only, so one pass is complete.
+    for (int i : aggregate_rules) {
+      GRAPHLOG_RETURN_NOT_OK(RunAggregateRule(i));
+    }
+
+    // Split normal rules into non-recursive (no local IDB in body) and
+    // recursive.
+    std::vector<int> base_rules, rec_rules;
+    for (int i : normal_rules) {
+      bool recursive = false;
+      for (const auto& l : prog_.rules[i].body) {
+        if (l.is_relational() && local_idbs.count(l.atom.predicate) > 0) {
+          recursive = true;
+          break;
+        }
+      }
+      (recursive ? rec_rules : base_rules).push_back(i);
+    }
+
+    // One pass over non-recursive rules.
+    for (int i : base_rules) {
+      RunRuleOnce(i, /*delta_pred=*/kNoSymbol, /*delta_occurrence=*/-1,
+                  nullptr, nullptr);
+    }
+    if (rec_rules.empty()) return Status::OK();
+
+    if (options_.strategy == Strategy::kNaive) {
+      return NaiveFixpoint(rec_rules);
+    }
+    return SemiNaiveFixpoint(rec_rules, local_idbs);
+  }
+
+  Status NaiveFixpoint(const std::vector<int>& rec_rules) {
+    bool changed = true;
+    while (changed) {
+      GRAPHLOG_RETURN_NOT_OK(TickIteration());
+      changed = false;
+      for (int i : rec_rules) {
+        size_t added = RunRuleOnce(i, kNoSymbol, -1, nullptr, nullptr);
+        if (added > 0) changed = true;
+      }
+    }
+    return Status::OK();
+  }
+
+  Status SemiNaiveFixpoint(const std::vector<int>& rec_rules,
+                           const std::set<Symbol>& local_idbs) {
+    // delta[p] starts as everything currently known for p.
+    std::map<Symbol, Relation> delta;
+    for (Symbol p : local_idbs) {
+      const Relation* full = db_->Find(p);
+      Relation d(full->arity());
+      d.InsertAll(*full);
+      delta.emplace(p, std::move(d));
+    }
+
+    bool any_delta = true;
+    while (any_delta) {
+      GRAPHLOG_RETURN_NOT_OK(TickIteration());
+      std::map<Symbol, Relation> next;
+      for (Symbol p : local_idbs) {
+        next.emplace(p, Relation(db_->Find(p)->arity()));
+      }
+      for (int i : rec_rules) {
+        const CompiledRule& c = compiled_.at(i);
+        // For each occurrence of a local IDB in the body, run a version
+        // where that occurrence reads the delta.
+        for (Symbol p : local_idbs) {
+          for (int occ : c.OccurrencesOf(p)) {
+            RunRuleOnce(i, p, occ, &delta, &next);
+          }
+        }
+      }
+      any_delta = false;
+      for (auto& [p, d] : next) {
+        if (!d.empty()) any_delta = true;
+      }
+      delta = std::move(next);
+    }
+    return Status::OK();
+  }
+
+  /// Executes rule `i`. When `delta_pred != kNoSymbol`, occurrence
+  /// `delta_occurrence` of `delta_pred` reads from (*delta)[delta_pred].
+  /// New tuples go into the db relation and, if `next` != nullptr, into
+  /// (*next)[head].
+  size_t RunRuleOnce(int i, Symbol delta_pred, int delta_occurrence,
+                     std::map<Symbol, Relation>* delta,
+                     std::map<Symbol, Relation>* next) {
+    const CompiledRule& c = compiled_.at(i);
+    Relation* head_rel = db_->FindMutable(c.head_predicate());
+    size_t added = 0;
+    RelationResolver resolver = [&](Symbol pred,
+                                    int occurrence) -> const Relation* {
+      if (pred == delta_pred && occurrence == delta_occurrence &&
+          delta != nullptr) {
+        auto it = delta->find(pred);
+        return it == delta->end() ? nullptr : &it->second;
+      }
+      return Resolve(pred);
+    };
+    // Buffer derivations: inserting into the head relation while a step is
+    // iterating it (recursive rules read and write the same relation)
+    // would invalidate the rows/index storage being walked.
+    std::vector<Tuple> derived;
+    std::vector<Justification> just;
+    const bool track = options_.provenance != nullptr;
+    c.Execute(resolver, [&](const std::vector<Value>& slots) {
+      ++stats_.rule_firings;
+      derived.push_back(c.EmitHead(slots));
+      if (track) {
+        Justification j;
+        j.rule_index = i;
+        j.premises = c.Premises(slots);
+        just.push_back(std::move(j));
+      }
+    });
+    for (size_t k = 0; k < derived.size(); ++k) {
+      Tuple& t = derived[k];
+      if (head_rel->Insert(t)) {
+        ++added;
+        ++stats_.tuples_derived;
+        if (track) {
+          options_.provenance->Record(c.head_predicate(), t,
+                                      std::move(just[k]));
+        }
+        if (next != nullptr) {
+          auto it = next->find(c.head_predicate());
+          if (it != next->end()) it->second.Insert(std::move(t));
+        }
+      }
+    }
+    return added;
+  }
+
+  Status RunAggregateRule(int i) {
+    const CompiledRule& c = compiled_.at(i);
+    Relation* head_rel = db_->FindMutable(c.head_predicate());
+    const auto& head_args = c.head_args();
+
+    // Group key = plain head args; aggregates accumulate per group over the
+    // SET of distinct body bindings (set semantics: duplicate slot vectors
+    // from pure-check subgoals are deduplicated first).
+    std::unordered_set<Tuple, TupleHash> seen_bindings;
+    std::map<Tuple, std::vector<AggAccum>, storage::TupleLess> groups;
+
+    RelationResolver resolver = [&](Symbol pred, int) -> const Relation* {
+      return Resolve(pred);
+    };
+    c.Execute(resolver, [&](const std::vector<Value>& slots) {
+      ++stats_.rule_firings;
+      if (!seen_bindings.insert(slots).second) return;
+      Tuple key;
+      for (const CompiledHeadArg& a : head_args) {
+        if (!a.is_aggregate) key.push_back(a.source.Get(slots));
+      }
+      auto [it, inserted] = groups.try_emplace(std::move(key));
+      if (inserted) {
+        size_t naggs = 0;
+        for (const CompiledHeadArg& a : head_args) {
+          if (a.is_aggregate) ++naggs;
+        }
+        it->second.resize(naggs);
+      }
+      size_t ai = 0;
+      for (const CompiledHeadArg& a : head_args) {
+        if (!a.is_aggregate) continue;
+        it->second[ai].Add(a.has_input ? a.source.Get(slots)
+                                       : Value::Int(1));
+        ++ai;
+      }
+    });
+
+    for (const auto& [key, accums] : groups) {
+      Tuple t;
+      t.reserve(head_args.size());
+      size_t ki = 0, ai = 0;
+      for (const CompiledHeadArg& a : head_args) {
+        if (a.is_aggregate) {
+          t.push_back(accums[ai++].Result(a.agg));
+        } else {
+          t.push_back(key[ki++]);
+        }
+      }
+      if (head_rel->Insert(std::move(t))) ++stats_.tuples_derived;
+    }
+    return Status::OK();
+  }
+
+  Status TickIteration() {
+    ++stats_.iterations;
+    if (options_.max_iterations != 0 &&
+        stats_.iterations > options_.max_iterations) {
+      return Status::Internal("evaluation exceeded max_iterations");
+    }
+    return Status::OK();
+  }
+
+  const Program& prog_;
+  Database* db_;
+  EvalOptions options_;
+  EvalStats stats_;
+  std::map<int, CompiledRule> compiled_;
+};
+
+}  // namespace
+
+Result<EvalStats> Evaluate(const Program& prog, Database* db,
+                           const EvalOptions& options) {
+  Engine engine(prog, db, options);
+  return engine.Run();
+}
+
+Result<EvalStats> EvaluateText(std::string_view program_text, Database* db,
+                               const EvalOptions& options) {
+  GRAPHLOG_ASSIGN_OR_RETURN(
+      Program prog, datalog::ParseProgram(program_text, &db->symbols()));
+  return Evaluate(prog, db, options);
+}
+
+}  // namespace graphlog::eval

@@ -1,0 +1,67 @@
+// The stratified bottom-up evaluation engine.
+//
+// Evaluates a stratified Datalog program (negation + aggregates) against a
+// Database, materializing every IDB predicate as a relation. Within each
+// stratum, recursive rules run to fixpoint either naively (recompute
+// everything per round) or semi-naively (differential: one occurrence of a
+// recursive subgoal reads the previous round's delta). Aggregate rules are
+// evaluated once per stratum — stratification guarantees their inputs are
+// complete.
+
+#ifndef GRAPHLOG_EVAL_ENGINE_H_
+#define GRAPHLOG_EVAL_ENGINE_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "datalog/ast.h"
+#include "storage/database.h"
+
+namespace graphlog::eval {
+
+/// \brief Evaluation strategy for recursive strata.
+enum class Strategy : uint8_t {
+  kNaive,      ///< recompute all rules each round until no new tuples
+  kSemiNaive,  ///< differential evaluation on deltas
+};
+
+
+class ProvenanceStore;  // eval/provenance.h
+
+/// \brief Knobs for Evaluate().
+struct EvalOptions {
+  Strategy strategy = Strategy::kSemiNaive;
+  /// When set, the first derivation of every IDB tuple is recorded here
+  /// (rule index + matched body facts); see eval/provenance.h.
+  ProvenanceStore* provenance = nullptr;
+  /// Order joins by estimated cost using the sizes of already-computed
+  /// relations (rules are compiled per stratum, so lower-strata IDB sizes
+  /// are real). Disable to get the syntactic bound-count ordering.
+  bool cardinality_join_ordering = true;
+  /// Safety valve for runaway recursion in tests; 0 = unlimited.
+  uint64_t max_iterations = 0;
+};
+
+/// \brief Counters reported by an evaluation.
+struct EvalStats {
+  uint64_t iterations = 0;      ///< total fixpoint rounds across strata
+  uint64_t rule_firings = 0;    ///< satisfying assignments enumerated
+  uint64_t tuples_derived = 0;  ///< novel tuples inserted into IDBs
+  uint64_t strata = 0;
+};
+
+/// \brief Evaluates `prog` against `db` (checking arity consistency,
+/// safety, and stratifiability first). IDB relations are created or
+/// extended in `db`. Returns evaluation statistics.
+Result<EvalStats> Evaluate(const datalog::Program& prog,
+                           storage::Database* db,
+                           const EvalOptions& options = {});
+
+/// \brief Convenience: parse + evaluate program text against `db`.
+Result<EvalStats> EvaluateText(std::string_view program_text,
+                               storage::Database* db,
+                               const EvalOptions& options = {});
+
+}  // namespace graphlog::eval
+
+#endif  // GRAPHLOG_EVAL_ENGINE_H_

@@ -1,0 +1,90 @@
+#include "eval/provenance.h"
+
+#include "common/strings.h"
+#include "datalog/parser.h"
+
+namespace graphlog::eval {
+
+using storage::Tuple;
+
+namespace {
+
+std::string RenderFact(Symbol pred, const Tuple& t,
+                       const SymbolTable& syms) {
+  std::vector<std::string> parts;
+  parts.reserve(t.size());
+  for (const Value& v : t) parts.push_back(v.ToString(syms));
+  return syms.name(pred) + "(" + Join(parts, ", ") + ")";
+}
+
+void Render(const ProvenanceStore& store, const datalog::Program& program,
+            const SymbolTable& syms, Symbol pred, const Tuple& tuple,
+            int depth, int max_depth, const std::string& indent,
+            std::string* out) {
+  *out += indent + RenderFact(pred, tuple, syms);
+  const Justification* j = store.Find(pred, tuple);
+  if (j == nullptr) {
+    *out += "   [edb]\n";
+    return;
+  }
+  *out += "\n";
+  if (depth >= max_depth) {
+    *out += indent + ". ...\n";
+    return;
+  }
+  if (j->rule_index >= 0 &&
+      j->rule_index < static_cast<int>(program.rules.size())) {
+    *out += indent + ". by rule: " +
+            program.rules[j->rule_index].ToString(syms) + "\n";
+  }
+  for (const auto& [p, t] : j->premises) {
+    Render(store, program, syms, p, t, depth + 1, max_depth, indent + ". ",
+           out);
+  }
+}
+
+}  // namespace
+
+Result<std::string> ExplainFact(const ProvenanceStore& store,
+                                const datalog::Program& program,
+                                const SymbolTable& syms,
+                                std::string_view fact_text, int max_depth) {
+  std::string text(Trim(fact_text));
+  if (text.empty()) return Status::InvalidArgument("empty fact");
+  if (text.back() != '.') text += '.';
+
+  // Parse with a scratch table, then map names into `syms` via lookup so
+  // the caller's table is not mutated by typos.
+  SymbolTable scratch;
+  GRAPHLOG_ASSIGN_OR_RETURN(datalog::Rule r,
+                            datalog::ParseRule(text, &scratch));
+  if (!r.is_fact() || r.head.has_aggregates()) {
+    return Status::InvalidArgument("expected a ground fact");
+  }
+  Symbol pred = syms.Lookup(scratch.name(r.head.predicate));
+  if (pred == kNoSymbol) {
+    return Status::NotFound("unknown predicate in fact");
+  }
+  Tuple tuple;
+  tuple.reserve(r.head.arity());
+  for (const datalog::HeadTerm& h : r.head.args) {
+    if (!h.term.is_constant()) {
+      return Status::InvalidArgument("expected a ground fact");
+    }
+    Value v = h.term.value();
+    if (v.is_symbol()) {
+      Symbol s = syms.Lookup(scratch.name(v.AsSymbol()));
+      if (s == kNoSymbol) {
+        return Status::NotFound("unknown constant in fact");
+      }
+      v = Value::Sym(s);
+    }
+    tuple.push_back(v);
+  }
+
+  std::string out;
+  Render(store, program, syms, pred, tuple, 0, max_depth, "", &out);
+  return out;
+}
+
+}  // namespace graphlog::eval

@@ -1,0 +1,88 @@
+// Provenance: why is this tuple in the answer?
+//
+// The Section 5 prototype lets the user view answers "one by one"; the
+// modern equivalent of that inspection is an explanation. When evaluation
+// runs with a ProvenanceStore attached (EvalOptions::provenance), every
+// *first* derivation of a tuple records the rule that fired and the body
+// facts that matched. ExplainFact then renders the derivation tree:
+//
+//   tc(a, c)
+//   . by rule: tc(X, Y) :- e(X, Z), tc(Z, Y).
+//   . e(a, b)   [edb]
+//   . tc(b, c)
+//   . . by rule: tc(X, Y) :- e(X, Y).
+//   . . e(b, c)   [edb]
+
+#ifndef GRAPHLOG_EVAL_PROVENANCE_H_
+#define GRAPHLOG_EVAL_PROVENANCE_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/symbol_table.h"
+#include "datalog/ast.h"
+#include "storage/tuple.h"
+
+namespace graphlog::eval {
+
+/// \brief The first derivation recorded for a tuple.
+struct Justification {
+  int rule_index = -1;  ///< index into the evaluated Program's rules
+  std::vector<std::pair<Symbol, storage::Tuple>> premises;
+};
+
+/// \brief Records one justification per derived (predicate, tuple).
+class ProvenanceStore {
+ public:
+  /// \brief Records the first justification; later ones are ignored
+  /// (the first derivation is the canonical explanation). The stored
+  /// rule index is offset by set_rule_offset(), letting a driver that
+  /// runs several programs against one store (the GraphLog engine, one
+  /// program per query graph) keep indexes valid into the concatenation.
+  void Record(Symbol pred, const storage::Tuple& tuple, Justification j) {
+    j.rule_index += rule_offset_;
+    auto& per_pred = facts_[pred];
+    per_pred.try_emplace(tuple, std::move(j));
+  }
+
+  /// \brief Offset added to subsequently recorded rule indexes.
+  void set_rule_offset(int offset) { rule_offset_ = offset; }
+
+  /// \brief The justification, or nullptr for EDB facts / unknown tuples.
+  const Justification* Find(Symbol pred, const storage::Tuple& tuple) const {
+    auto it = facts_.find(pred);
+    if (it == facts_.end()) return nullptr;
+    auto jt = it->second.find(tuple);
+    return jt == it->second.end() ? nullptr : &jt->second;
+  }
+
+  size_t size() const {
+    size_t n = 0;
+    for (const auto& [_, m] : facts_) n += m.size();
+    return n;
+  }
+
+ private:
+  std::map<Symbol,
+           std::unordered_map<storage::Tuple, Justification,
+                              storage::TupleHash>>
+      facts_;
+  int rule_offset_ = 0;
+};
+
+/// \brief Renders the derivation tree of `fact` (a ground atom like
+/// "tc(a, c)", parsed against `syms`). Tuples without a recorded
+/// justification print as "[edb]". Shared subderivations deeper than
+/// `max_depth` are elided with "...".
+Result<std::string> ExplainFact(const ProvenanceStore& store,
+                                const datalog::Program& program,
+                                const SymbolTable& syms,
+                                std::string_view fact_text,
+                                int max_depth = 16);
+
+}  // namespace graphlog::eval
+
+#endif  // GRAPHLOG_EVAL_PROVENANCE_H_

@@ -1,0 +1,110 @@
+#include "graph/data_graph.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+
+namespace graphlog::graph {
+
+using storage::Database;
+using storage::Relation;
+using storage::Tuple;
+
+void DataGraph::AddEdge(const Value& from, const Value& to, Symbol predicate,
+                        Tuple args) {
+  NodeId f = AddNode(from);
+  NodeId t = AddNode(to);
+  // Deduplicate identical parallel edges.
+  for (uint32_t i : out_[f]) {
+    const Edge& e = edges_[i];
+    if (e.to == t && e.predicate == predicate && e.args == args) return;
+  }
+  uint32_t idx = static_cast<uint32_t>(edges_.size());
+  edges_.push_back(Edge{f, t, predicate, std::move(args)});
+  out_[f].push_back(idx);
+  in_[t].push_back(idx);
+}
+
+bool DataGraph::NodeHas(Symbol p, NodeId n) const {
+  const std::vector<NodeId>& with = NodesWith(p);
+  return std::find(with.begin(), with.end(), n) != with.end();
+}
+
+std::vector<Symbol> DataGraph::EdgePredicates() const {
+  std::set<Symbol> seen;
+  std::vector<Symbol> out;
+  for (const Edge& e : edges_) {
+    if (seen.insert(e.predicate).second) out.push_back(e.predicate);
+  }
+  return out;
+}
+
+Status DataGraph::ToDatabase(const SymbolTable& source_syms,
+                             Database* db) const {
+  auto xlate = [&](const Value& v) {
+    if (!v.is_symbol()) return v;
+    return Value::Sym(db->Intern(source_syms.name(v.AsSymbol())));
+  };
+  for (const Edge& e : edges_) {
+    Tuple t;
+    t.reserve(2 + e.args.size());
+    t.push_back(xlate(nodes_[e.from]));
+    t.push_back(xlate(nodes_[e.to]));
+    for (const Value& v : e.args) t.push_back(xlate(v));
+    GRAPHLOG_RETURN_NOT_OK(
+        db->AddFact(source_syms.name(e.predicate), std::move(t)));
+  }
+  for (const auto& [pred, ids] : node_predicates_) {
+    for (NodeId n : ids) {
+      GRAPHLOG_RETURN_NOT_OK(
+          db->AddFact(source_syms.name(pred), Tuple{xlate(nodes_[n])}));
+    }
+  }
+  return Status::OK();
+}
+
+DataGraph DataGraph::FromDatabase(const Database& db) {
+  DataGraph g;
+  for (const auto& [pred, rel] : db.relations()) {
+    if (rel.arity() == 0) continue;
+    if (rel.arity() == 1) {
+      for (const Tuple& t : rel.rows()) g.AddNodePredicate(t[0], pred);
+      continue;
+    }
+    for (const Tuple& t : rel.rows()) {
+      Tuple args(t.begin() + 2, t.end());
+      g.AddEdge(t[0], t[1], pred, std::move(args));
+    }
+  }
+  return g;
+}
+
+std::string ToDot(const DataGraph& g, const SymbolTable& syms,
+                  const DotOptions& options) {
+  std::set<uint32_t> hi(options.highlight_edges.begin(),
+                        options.highlight_edges.end());
+  std::string out = "digraph " + options.graph_name + " {\n";
+  out += "  rankdir=LR;\n  node [shape=ellipse];\n";
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    out += "  n" + std::to_string(n) + " [label=\"" +
+           EscapeQuoted(g.node_value(n).ToString(syms)) + "\"];\n";
+  }
+  for (uint32_t i = 0; i < g.num_edges(); ++i) {
+    const Edge& e = g.edge(i);
+    std::string label = syms.name(e.predicate);
+    if (options.show_edge_args && !e.args.empty()) {
+      std::vector<std::string> parts;
+      for (const Value& v : e.args) parts.push_back(v.ToString(syms));
+      label += "(" + Join(parts, ",") + ")";
+    }
+    out += "  n" + std::to_string(e.from) + " -> n" + std::to_string(e.to) +
+           " [label=\"" + EscapeQuoted(label) + "\"";
+    if (hi.count(i) > 0) out += ", color=red, penwidth=2.5";
+    out += "];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace graphlog::graph

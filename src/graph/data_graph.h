@@ -1,0 +1,138 @@
+// DataGraph: the directed labeled multigraph data model of Definition 2.1.
+//
+// Nodes are identified by a Value (the object of interest: a city, a
+// flight, a person). Edges carry a predicate label plus an optional tuple
+// of extra attributes — the paper's  P(c_1,...,c_k)  edge labels. Unary
+// predicates (capital, person) attach to nodes as *node predicates*.
+//
+// A DataGraph and a relational Database are two views of the same
+// information (Section 2 of the paper): a binary-or-wider relation
+// P(a, b, c...) is the edge a -> b labeled P(c...), and a unary relation
+// is a node predicate. ToDatabase()/FromDatabase() realize the mapping.
+
+#ifndef GRAPHLOG_GRAPH_DATA_GRAPH_H_
+#define GRAPHLOG_GRAPH_DATA_GRAPH_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/symbol_table.h"
+#include "storage/database.h"
+#include "storage/tuple.h"
+
+namespace graphlog::graph {
+
+/// \brief Dense node identifier within one DataGraph.
+using NodeId = uint32_t;
+
+/// \brief An edge of the multigraph.
+struct Edge {
+  NodeId from = 0;
+  NodeId to = 0;
+  Symbol predicate = kNoSymbol;
+  storage::Tuple args;  ///< extra attributes on the edge label
+};
+
+/// \brief Directed labeled multigraph (Definition 2.1).
+class DataGraph {
+ public:
+  DataGraph() = default;
+
+  /// \brief Interns a node for `v` (idempotent).
+  NodeId AddNode(const Value& v) {
+    auto it = node_ids_.find(v);
+    if (it != node_ids_.end()) return it->second;
+    NodeId id = static_cast<NodeId>(nodes_.size());
+    nodes_.push_back(v);
+    node_ids_.emplace(v, id);
+    out_.emplace_back();
+    in_.emplace_back();
+    return id;
+  }
+
+  /// \brief The node for `v`, or nullopt-like flag via found=false.
+  bool FindNode(const Value& v, NodeId* out) const {
+    auto it = node_ids_.find(v);
+    if (it == node_ids_.end()) return false;
+    *out = it->second;
+    return true;
+  }
+
+  /// \brief Adds a labeled edge, creating nodes as needed. Duplicate
+  /// parallel edges with identical labels are kept once.
+  void AddEdge(const Value& from, const Value& to, Symbol predicate,
+               storage::Tuple args = {});
+
+  /// \brief Marks `node` with a unary predicate (e.g. capital, person).
+  void AddNodePredicate(const Value& node, Symbol predicate) {
+    node_predicates_[predicate].push_back(AddNode(node));
+  }
+
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+
+  const Value& node_value(NodeId id) const { return nodes_[id]; }
+  const std::vector<Value>& nodes() const { return nodes_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// \brief Outgoing edge indices of `n`.
+  const std::vector<uint32_t>& OutEdges(NodeId n) const { return out_[n]; }
+  /// \brief Incoming edge indices of `n`.
+  const std::vector<uint32_t>& InEdges(NodeId n) const { return in_[n]; }
+  const Edge& edge(uint32_t i) const { return edges_[i]; }
+
+  /// \brief Nodes carrying unary predicate `p`.
+  const std::vector<NodeId>& NodesWith(Symbol p) const {
+    static const std::vector<NodeId> kEmpty;
+    auto it = node_predicates_.find(p);
+    return it == node_predicates_.end() ? kEmpty : it->second;
+  }
+  bool NodeHas(Symbol p, NodeId n) const;
+
+  /// \brief Edge predicates present in the graph.
+  std::vector<Symbol> EdgePredicates() const;
+
+  /// \brief Materializes the relational view into `db`: each edge becomes
+  /// P(from, to, args...), each node predicate a unary fact.
+  ///
+  /// `source_syms` is the symbol table the graph's Symbols and symbol
+  /// Values were interned in; names are re-interned into `db`'s table, so
+  /// the target database is self-contained.
+  Status ToDatabase(const SymbolTable& source_syms,
+                    storage::Database* db) const;
+
+  /// \brief Builds the graph view of `db`: relations of arity >= 2 map
+  /// (col0 -> col1, rest as edge args); unary relations become node
+  /// predicates. The Database's symbols are the namespace for labels.
+  static DataGraph FromDatabase(const storage::Database& db);
+
+ private:
+  std::vector<Value> nodes_;
+  std::unordered_map<Value, NodeId, ValueHash> node_ids_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<uint32_t>> out_;
+  std::vector<std::vector<uint32_t>> in_;
+  std::map<Symbol, std::vector<NodeId>> node_predicates_;
+};
+
+/// \brief Options for DOT rendering.
+struct DotOptions {
+  std::string graph_name = "G";
+  /// Edge indices to render bold/red — used to "highlight qualifying
+  /// paths directly on the database graph" like the Section 5 prototype.
+  std::vector<uint32_t> highlight_edges;
+  bool show_edge_args = true;
+};
+
+/// \brief Renders the graph in Graphviz DOT syntax (the stand-in for the
+/// prototype's display window).
+std::string ToDot(const DataGraph& g, const SymbolTable& syms,
+                  const DotOptions& options = {});
+
+}  // namespace graphlog::graph
+
+#endif  // GRAPHLOG_GRAPH_DATA_GRAPH_H_

@@ -1,0 +1,124 @@
+#include "graphlog/dot.h"
+
+#include "common/strings.h"
+
+namespace graphlog::gl {
+
+namespace {
+
+std::string NodeLabel(const QueryNode& n, const SymbolTable& syms) {
+  std::vector<std::string> parts;
+  for (const datalog::Term& t : n.label) parts.push_back(t.ToString(syms));
+  std::string label =
+      n.label.size() == 1 ? parts[0] : "(" + Join(parts, ", ") + ")";
+  if (!n.predicates.empty()) {
+    std::vector<std::string> preds;
+    for (const NodePredicate& p : n.predicates) {
+      preds.push_back((p.positive ? "" : "¬") + syms.name(p.predicate));
+    }
+    label += "\\n[" + Join(preds, ", ") + "]";
+  }
+  return label;
+}
+
+/// Whether the expression is a closure (possibly under negation), which
+/// the paper draws as a dashed edge.
+bool IsClosureLike(const PathExpr& e) {
+  const PathExpr* core = &e;
+  while (core->kind == PathExpr::Kind::kNegate ||
+         core->kind == PathExpr::Kind::kInverse) {
+    core = &core->children[0];
+  }
+  switch (core->kind) {
+    case PathExpr::Kind::kPlus:
+    case PathExpr::Kind::kStar:
+      return true;
+    case PathExpr::Kind::kSeq:
+    case PathExpr::Kind::kAlt: {
+      for (const PathExpr& c : core->children) {
+        if (IsClosureLike(c)) return true;
+      }
+      return false;
+    }
+    default:
+      return false;
+  }
+}
+
+void RenderInto(const QueryGraph& g, const SymbolTable& syms,
+                const std::string& prefix, std::string* out) {
+  for (size_t i = 0; i < g.nodes.size(); ++i) {
+    *out += "    " + prefix + "n" + std::to_string(i) + " [label=\"" +
+            EscapeQuoted(NodeLabel(g.nodes[i], syms)) + "\"];\n";
+  }
+  for (const QueryEdge& e : g.edges) {
+    std::string label, style;
+    if (e.comparison.has_value()) {
+      label = std::string(datalog::CmpOpToString(*e.comparison));
+      style = "style=dotted";
+    } else {
+      bool negated = e.expr.kind == PathExpr::Kind::kNegate;
+      label = (negated ? "¬" : "") +
+              (negated ? e.expr.children[0] : e.expr).ToString(syms);
+      style = IsClosureLike(e.expr) ? "style=dashed" : "style=solid";
+      if (negated) style += ", color=red";
+    }
+    *out += "    " + prefix + "n" + std::to_string(e.from) + " -> " +
+            prefix + "n" + std::to_string(e.to) + " [label=\"" +
+            EscapeQuoted(label) + "\", " + style + "];\n";
+  }
+  if (g.summary.has_value()) {
+    const PathSummarySpec& s = *g.summary;
+    std::string label =
+        syms.name(s.output_var) + " = " +
+        std::string(datalog::AggKindToString(s.across)) + "<" +
+        std::string(datalog::AggKindToString(s.along)) + "<" +
+        syms.name(s.value_var) + ">> over " + s.base.ToString(syms) + "+";
+    *out += "    " + prefix + "n" + std::to_string(g.distinguished.from) +
+            " -> " + prefix + "n" + std::to_string(g.distinguished.to) +
+            " [label=\"" + EscapeQuoted(label) +
+            "\", style=dashed, color=blue];\n";
+  }
+  // The distinguished edge: bold, as in Example 2.2.
+  std::string dist_label = syms.name(g.distinguished.predicate);
+  if (!g.distinguished.params.empty()) {
+    std::vector<std::string> parts;
+    for (const datalog::HeadTerm& h : g.distinguished.params) {
+      parts.push_back(h.ToString(syms));
+    }
+    dist_label += "(" + Join(parts, ", ") + ")";
+  }
+  *out += "    " + prefix + "n" + std::to_string(g.distinguished.from) +
+          " -> " + prefix + "n" + std::to_string(g.distinguished.to) +
+          " [label=\"" + EscapeQuoted(dist_label) +
+          "\", style=bold, penwidth=2.5];\n";
+  for (const datalog::Literal& l : g.constraints) {
+    *out += "    // where " + l.ToString(syms) + "\n";
+  }
+}
+
+}  // namespace
+
+std::string RenderQueryGraph(const QueryGraph& g, const SymbolTable& syms) {
+  std::string out = "digraph query {\n  rankdir=LR;\n";
+  RenderInto(g, syms, "", &out);
+  out += "}\n";
+  return out;
+}
+
+std::string RenderGraphicalQuery(const GraphicalQuery& q,
+                                 const SymbolTable& syms) {
+  std::string out = "digraph graphical_query {\n  rankdir=LR;\n";
+  for (size_t i = 0; i < q.graphs.size(); ++i) {
+    out += "  subgraph cluster_" + std::to_string(i) + " {\n";
+    out += "    label=\"" +
+           EscapeQuoted(syms.name(q.graphs[i].distinguished.predicate)) +
+           "\";\n";
+    RenderInto(q.graphs[i], syms, "g" + std::to_string(i) + "_", &out);
+    out += "  }\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace graphlog::gl

@@ -1,0 +1,34 @@
+// DOT rendering of query graphs — drawing the visual formalism.
+//
+// The paper's figures draw query graphs with specific conventions
+// (Example 2.2):
+//   * the distinguished edge is a bold line,
+//   * closure-literal edges are dashed,
+//   * negative literals cross the edge (rendered here as red with the
+//     label prefixed by ¬),
+//   * node predicates annotate the node label.
+//
+// RenderQueryGraph reproduces those conventions so that `dot -Tpng`
+// regenerates pictures in the style of Figures 2, 4, 5, 6 and 11.
+
+#ifndef GRAPHLOG_GRAPHLOG_DOT_H_
+#define GRAPHLOG_GRAPHLOG_DOT_H_
+
+#include <string>
+
+#include "common/symbol_table.h"
+#include "graphlog/query_graph.h"
+
+namespace graphlog::gl {
+
+/// \brief Renders one query graph in Graphviz DOT syntax.
+std::string RenderQueryGraph(const QueryGraph& g, const SymbolTable& syms);
+
+/// \brief Renders a graphical query: one cluster per query graph, in the
+/// style of Figure 4's boxed regions.
+std::string RenderGraphicalQuery(const GraphicalQuery& q,
+                                 const SymbolTable& syms);
+
+}  // namespace graphlog::gl
+
+#endif  // GRAPHLOG_GRAPHLOG_DOT_H_

@@ -1,0 +1,58 @@
+// End-to-end GraphLog query evaluation.
+//
+// Pipeline: validate (Definitions 2.3 / 2.7) -> order query graphs along
+// the dependence graph (Definition 2.6) -> per graph, either translate via
+// lambda (Definition 2.4) and run the stratified Datalog engine, or run the
+// path-summarization operator (Section 4). Results are materialized into
+// the Database under the distinguished-edge predicates.
+
+#ifndef GRAPHLOG_GRAPHLOG_ENGINE_H_
+#define GRAPHLOG_GRAPHLOG_ENGINE_H_
+
+#include "common/result.h"
+#include "eval/engine.h"
+#include "graphlog/query_graph.h"
+#include "storage/database.h"
+
+namespace graphlog::gl {
+
+/// \brief Statistics for one graphical-query evaluation.
+struct QueryStats {
+  eval::EvalStats datalog;       ///< accumulated Datalog engine stats
+  uint64_t graphs_translated = 0;
+  uint64_t graphs_summarized = 0;
+  uint64_t result_tuples = 0;    ///< tuples across all IDB predicates
+  /// Every rule the query translated to (in evaluation order) — the rule
+  /// universe that provenance justifications index into.
+  datalog::Program programs;
+};
+
+/// \brief Evaluation knobs for the GraphLog engine.
+struct GraphLogOptions {
+  eval::EvalOptions eval;
+  /// Apply the bound-closure (magic-TC) specialization of
+  /// translate/magic_tc.h to each translated graph: closures whose every
+  /// use fixes an endpoint constant evaluate as seeded reachability
+  /// instead of full closure materialization (the Figure 12 win).
+  bool specialize_bound_closures = false;
+};
+
+/// \brief Evaluates a graphical query against `db`, materializing each
+/// IDB predicate (including translation auxiliaries) as a relation.
+Result<QueryStats> EvaluateGraphicalQuery(
+    const GraphicalQuery& q, storage::Database* db,
+    const eval::EvalOptions& options = {});
+
+/// \brief Overload with the full option set.
+Result<QueryStats> EvaluateGraphicalQuery(const GraphicalQuery& q,
+                                          storage::Database* db,
+                                          const GraphLogOptions& options);
+
+/// \brief Parses the GraphLog surface syntax and evaluates it.
+Result<QueryStats> EvaluateGraphLogText(std::string_view text,
+                                        storage::Database* db,
+                                        const eval::EvalOptions& options = {});
+
+}  // namespace graphlog::gl
+
+#endif  // GRAPHLOG_GRAPHLOG_ENGINE_H_

@@ -1,0 +1,448 @@
+#include "graphlog/parser.h"
+
+#include <optional>
+
+#include "datalog/lexer.h"
+#include "graphlog/pre.h"
+
+namespace graphlog::gl {
+
+using datalog::AggKind;
+using datalog::ArithExpr;
+using datalog::ArithOp;
+using datalog::CmpOp;
+using datalog::Literal;
+using datalog::Term;
+using datalog::Token;
+using datalog::TokenKind;
+
+namespace {
+
+std::optional<AggKind> AggFromName(const std::string& s) {
+  if (s == "count") return AggKind::kCount;
+  if (s == "sum") return AggKind::kSum;
+  if (s == "min") return AggKind::kMin;
+  if (s == "max") return AggKind::kMax;
+  if (s == "avg") return AggKind::kAvg;
+  return std::nullopt;
+}
+
+class QueryParser {
+ public:
+  QueryParser(const std::vector<Token>& tokens, SymbolTable* syms)
+      : tokens_(tokens), syms_(syms) {}
+
+  Result<GraphicalQuery> ParseAll() {
+    GraphicalQuery q;
+    while (!At(TokenKind::kEnd)) {
+      GRAPHLOG_ASSIGN_OR_RETURN(QueryGraph g, ParseOne());
+      q.graphs.push_back(std::move(g));
+    }
+    if (q.graphs.empty()) {
+      return Status::ParseError("no query graphs in input");
+    }
+    return q;
+  }
+
+  Result<QueryGraph> ParseOne() {
+    GRAPHLOG_RETURN_NOT_OK(ExpectKeyword("query"));
+    if (!At(TokenKind::kIdent)) {
+      return Error("expected query name after 'query'");
+    }
+    Symbol name = syms_->Intern(Cur().text);
+    ++pos_;
+    GRAPHLOG_RETURN_NOT_OK(Expect(TokenKind::kLBrace));
+
+    QueryGraph g;
+    bool have_distinguished = false;
+    while (!Accept(TokenKind::kRBrace)) {
+      if (At(TokenKind::kEnd)) return Error("unterminated query block");
+      if (AtKeyword("node")) {
+        ++pos_;
+        GRAPHLOG_RETURN_NOT_OK(ParseNodeStmt(&g));
+      } else if (AtKeyword("edge")) {
+        ++pos_;
+        GRAPHLOG_RETURN_NOT_OK(ParseEdgeStmt(&g));
+      } else if (AtKeyword("where")) {
+        ++pos_;
+        GRAPHLOG_RETURN_NOT_OK(ParseWhereStmt(&g));
+      } else if (AtKeyword("summarize")) {
+        ++pos_;
+        GRAPHLOG_RETURN_NOT_OK(ParseSummarizeStmt(&g));
+      } else if (AtKeyword("distinguished")) {
+        ++pos_;
+        GRAPHLOG_RETURN_NOT_OK(ParseDistinguishedStmt(&g, name));
+        have_distinguished = true;
+      } else {
+        return Error("expected node/edge/where/summarize/distinguished");
+      }
+    }
+    if (!have_distinguished) {
+      return Error("query '" + syms_->name(name) +
+                   "' has no distinguished edge");
+    }
+    return g;
+  }
+
+  bool AtEnd() const { return At(TokenKind::kEnd); }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  bool At(TokenKind k) const { return Cur().kind == k; }
+  bool AtKeyword(std::string_view kw) const {
+    return At(TokenKind::kIdent) && Cur().text == kw;
+  }
+  bool Accept(TokenKind k) {
+    if (!At(k)) return false;
+    ++pos_;
+    return true;
+  }
+  Status Expect(TokenKind k) {
+    if (Accept(k)) return Status::OK();
+    return Error("expected " + std::string(TokenKindToString(k)) +
+                 ", found " + std::string(TokenKindToString(Cur().kind)));
+  }
+  Status ExpectKeyword(std::string_view kw) {
+    if (AtKeyword(kw)) {
+      ++pos_;
+      return Status::OK();
+    }
+    return Error("expected keyword '" + std::string(kw) + "'");
+  }
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " at line " + std::to_string(Cur().line) +
+                              ", column " + std::to_string(Cur().column));
+  }
+
+  Result<Term> ParseTerm() {
+    if (At(TokenKind::kVariable)) {
+      std::string name = Cur().text;
+      ++pos_;
+      if (name == "_") {
+        return Term::Var(syms_->Fresh("_w"));
+      }
+      return Term::Var(syms_->Intern(name));
+    }
+    if (At(TokenKind::kIdent) || At(TokenKind::kString)) {
+      Symbol s = syms_->Intern(Cur().text);
+      ++pos_;
+      return Term::Const(Value::Sym(s));
+    }
+    if (At(TokenKind::kInt)) {
+      int64_t v = Cur().int_value;
+      ++pos_;
+      return Term::Const(Value::Int(v));
+    }
+    if (At(TokenKind::kFloat)) {
+      double v = Cur().float_value;
+      ++pos_;
+      return Term::Const(Value::Double(v));
+    }
+    if (Accept(TokenKind::kMinus)) {
+      if (At(TokenKind::kInt)) {
+        int64_t v = Cur().int_value;
+        ++pos_;
+        return Term::Const(Value::Int(-v));
+      }
+      if (At(TokenKind::kFloat)) {
+        double v = Cur().float_value;
+        ++pos_;
+        return Term::Const(Value::Double(-v));
+      }
+      return Error("expected number after '-'");
+    }
+    return Error("expected term");
+  }
+
+  /// endpoint := term | '(' term {',' term} ')'
+  Result<std::vector<Term>> ParseEndpoint() {
+    std::vector<Term> label;
+    if (Accept(TokenKind::kLParen)) {
+      do {
+        GRAPHLOG_ASSIGN_OR_RETURN(Term t, ParseTerm());
+        label.push_back(t);
+      } while (Accept(TokenKind::kComma));
+      GRAPHLOG_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+      return label;
+    }
+    GRAPHLOG_ASSIGN_OR_RETURN(Term t, ParseTerm());
+    label.push_back(t);
+    return label;
+  }
+
+  /// Finds the node with this label, creating it if needed.
+  int NodeFor(QueryGraph* g, const std::vector<Term>& label) {
+    for (size_t i = 0; i < g->nodes.size(); ++i) {
+      if (g->nodes[i].label == label) return static_cast<int>(i);
+    }
+    QueryNode n;
+    n.label = label;
+    g->nodes.push_back(std::move(n));
+    return static_cast<int>(g->nodes.size() - 1);
+  }
+
+  Status ParseNodeStmt(QueryGraph* g) {
+    GRAPHLOG_ASSIGN_OR_RETURN(std::vector<Term> label, ParseEndpoint());
+    int idx = NodeFor(g, label);
+    if (Accept(TokenKind::kLBracket)) {
+      do {
+        NodePredicate p;
+        p.positive = !Accept(TokenKind::kBang);
+        if (!At(TokenKind::kIdent)) {
+          return Error("expected node predicate name");
+        }
+        p.predicate = syms_->Intern(Cur().text);
+        ++pos_;
+        g->nodes[idx].predicates.push_back(p);
+      } while (Accept(TokenKind::kComma));
+      GRAPHLOG_RETURN_NOT_OK(Expect(TokenKind::kRBracket));
+    }
+    return Expect(TokenKind::kSemicolon);
+  }
+
+  Status ParseEdgeStmt(QueryGraph* g) {
+    GRAPHLOG_ASSIGN_OR_RETURN(std::vector<Term> from, ParseEndpoint());
+    GRAPHLOG_RETURN_NOT_OK(Expect(TokenKind::kArrow));
+    GRAPHLOG_ASSIGN_OR_RETURN(std::vector<Term> to, ParseEndpoint());
+    GRAPHLOG_RETURN_NOT_OK(Expect(TokenKind::kColon));
+
+    QueryEdge e;
+    e.from = NodeFor(g, from);
+    e.to = NodeFor(g, to);
+
+    // Comparison edge?
+    std::optional<CmpOp> cmp;
+    switch (Cur().kind) {
+      case TokenKind::kLt:
+        cmp = CmpOp::kLt;
+        break;
+      case TokenKind::kLe:
+        cmp = CmpOp::kLe;
+        break;
+      case TokenKind::kGt:
+        cmp = CmpOp::kGt;
+        break;
+      case TokenKind::kGe:
+        cmp = CmpOp::kGe;
+        break;
+      case TokenKind::kNe:
+        cmp = CmpOp::kNe;
+        break;
+      default:
+        break;
+    }
+    // `=` alone is a comparison edge; `=` starting a longer p.r.e. (e.g.
+    // `= | friend`) is an equality alternative, so only treat a lone `=`
+    // followed by ';' as comparison.
+    if (!cmp.has_value() && At(TokenKind::kEq) &&
+        tokens_[pos_ + 1].kind == TokenKind::kSemicolon) {
+      cmp = CmpOp::kEq;
+    }
+    if (cmp.has_value()) {
+      ++pos_;
+      e.comparison = cmp;
+      g->edges.push_back(std::move(e));
+      return Expect(TokenKind::kSemicolon);
+    }
+
+    GRAPHLOG_ASSIGN_OR_RETURN(
+        e.expr, ParsePathExprTokens(tokens_, &pos_, syms_));
+    g->edges.push_back(std::move(e));
+    return Expect(TokenKind::kSemicolon);
+  }
+
+  Status ParseWhereStmt(QueryGraph* g) {
+    do {
+      GRAPHLOG_ASSIGN_OR_RETURN(Literal l, ParseBuiltinLiteral());
+      g->constraints.push_back(std::move(l));
+    } while (Accept(TokenKind::kComma));
+    return Expect(TokenKind::kSemicolon);
+  }
+
+  Result<Literal> ParseBuiltinLiteral() {
+    GRAPHLOG_ASSIGN_OR_RETURN(Term lhs, ParseTerm());
+    if (Accept(TokenKind::kAssign)) {
+      GRAPHLOG_ASSIGN_OR_RETURN(ArithExpr e, ParseArith());
+      return Literal::Assignment(lhs, std::move(e));
+    }
+    CmpOp op;
+    if (Accept(TokenKind::kEq)) {
+      GRAPHLOG_ASSIGN_OR_RETURN(ArithExpr e, ParseArith());
+      if (e.is_leaf) return Literal::Comparison(CmpOp::kEq, lhs, e.leaf);
+      return Literal::Assignment(lhs, std::move(e));
+    } else if (Accept(TokenKind::kNe)) {
+      op = CmpOp::kNe;
+    } else if (Accept(TokenKind::kLt)) {
+      op = CmpOp::kLt;
+    } else if (Accept(TokenKind::kLe)) {
+      op = CmpOp::kLe;
+    } else if (Accept(TokenKind::kGt)) {
+      op = CmpOp::kGt;
+    } else if (Accept(TokenKind::kGe)) {
+      op = CmpOp::kGe;
+    } else {
+      return Error("expected comparison or ':=' in where clause");
+    }
+    GRAPHLOG_ASSIGN_OR_RETURN(Term rhs, ParseTerm());
+    return Literal::Comparison(op, lhs, rhs);
+  }
+
+  Result<ArithExpr> ParseArith() {
+    GRAPHLOG_ASSIGN_OR_RETURN(ArithExpr lhs, ParseArithTerm());
+    while (At(TokenKind::kPlus) || At(TokenKind::kMinus)) {
+      ArithOp op =
+          At(TokenKind::kPlus) ? ArithOp::kAdd : ArithOp::kSub;
+      ++pos_;
+      GRAPHLOG_ASSIGN_OR_RETURN(ArithExpr rhs, ParseArithTerm());
+      lhs = ArithExpr::Node(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ArithExpr> ParseArithTerm() {
+    GRAPHLOG_ASSIGN_OR_RETURN(ArithExpr lhs, ParseArithFactor());
+    while (At(TokenKind::kStar) || At(TokenKind::kSlash) ||
+           At(TokenKind::kPercent)) {
+      ArithOp op = At(TokenKind::kStar)    ? ArithOp::kMul
+                   : At(TokenKind::kSlash) ? ArithOp::kDiv
+                                           : ArithOp::kMod;
+      ++pos_;
+      GRAPHLOG_ASSIGN_OR_RETURN(ArithExpr rhs, ParseArithFactor());
+      lhs = ArithExpr::Node(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ArithExpr> ParseArithFactor() {
+    if (Accept(TokenKind::kLParen)) {
+      GRAPHLOG_ASSIGN_OR_RETURN(ArithExpr e, ParseArith());
+      GRAPHLOG_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+      return e;
+    }
+    GRAPHLOG_ASSIGN_OR_RETURN(Term t, ParseTerm());
+    return ArithExpr::Leaf(t);
+  }
+
+  /// summarize VAR = AGG '<' AGG '<' VAR '>' '>' over <base literal> ';'
+  Status ParseSummarizeStmt(QueryGraph* g) {
+    if (g->summary.has_value()) {
+      return Error("duplicate summarize statement");
+    }
+    PathSummarySpec spec;
+    if (!At(TokenKind::kVariable)) {
+      return Error("expected output variable after 'summarize'");
+    }
+    spec.output_var = syms_->Intern(Cur().text);
+    ++pos_;
+    GRAPHLOG_RETURN_NOT_OK(Expect(TokenKind::kEq));
+
+    auto parse_agg = [&](AggKind* out) -> Status {
+      if (!At(TokenKind::kIdent)) return Error("expected aggregate name");
+      auto a = AggFromName(Cur().text);
+      if (!a.has_value()) {
+        return Error("unknown aggregate '" + Cur().text + "'");
+      }
+      *out = *a;
+      ++pos_;
+      return Status::OK();
+    };
+    GRAPHLOG_RETURN_NOT_OK(parse_agg(&spec.across));
+    GRAPHLOG_RETURN_NOT_OK(Expect(TokenKind::kLt));
+    GRAPHLOG_RETURN_NOT_OK(parse_agg(&spec.along));
+    GRAPHLOG_RETURN_NOT_OK(Expect(TokenKind::kLt));
+    if (!At(TokenKind::kVariable)) {
+      return Error("expected summed variable");
+    }
+    spec.value_var = syms_->Intern(Cur().text);
+    ++pos_;
+    GRAPHLOG_RETURN_NOT_OK(Expect(TokenKind::kGt));
+    GRAPHLOG_RETURN_NOT_OK(Expect(TokenKind::kGt));
+    GRAPHLOG_RETURN_NOT_OK(ExpectKeyword("over"));
+    GRAPHLOG_ASSIGN_OR_RETURN(PathExpr base,
+                              ParsePathExprTokens(tokens_, &pos_, syms_));
+    // Accept `p(D)` or `p(D)+` (the closure is implied by summarization).
+    if (base.kind == PathExpr::Kind::kPlus) base = base.children[0];
+    spec.base = std::move(base);
+    g->summary = std::move(spec);
+    return Expect(TokenKind::kSemicolon);
+  }
+
+  Status ParseDistinguishedStmt(QueryGraph* g, Symbol query_name) {
+    GRAPHLOG_ASSIGN_OR_RETURN(std::vector<Term> from, ParseEndpoint());
+    GRAPHLOG_RETURN_NOT_OK(Expect(TokenKind::kArrow));
+    GRAPHLOG_ASSIGN_OR_RETURN(std::vector<Term> to, ParseEndpoint());
+    GRAPHLOG_RETURN_NOT_OK(Expect(TokenKind::kColon));
+    if (!At(TokenKind::kIdent)) {
+      return Error("expected distinguished predicate name");
+    }
+    Symbol pred = syms_->Intern(Cur().text);
+    ++pos_;
+    if (pred != query_name) {
+      return Error("distinguished predicate '" + syms_->name(pred) +
+                   "' does not match query name '" +
+                   syms_->name(query_name) + "'");
+    }
+    g->distinguished.predicate = pred;
+    g->distinguished.from = NodeFor(g, from);
+    g->distinguished.to = NodeFor(g, to);
+    if (Accept(TokenKind::kLParen)) {
+      if (!Accept(TokenKind::kRParen)) {
+        do {
+          // Aggregate parameter: AGG '<' VAR '>' or count '<' '*' '>'
+          // (Section 4); otherwise a plain term.
+          if (At(TokenKind::kIdent) &&
+              tokens_[pos_ + 1].kind == TokenKind::kLt &&
+              AggFromName(Cur().text).has_value()) {
+            datalog::AggKind agg = *AggFromName(Cur().text);
+            ++pos_;  // name
+            ++pos_;  // '<'
+            Symbol var = kNoSymbol;
+            if (Accept(TokenKind::kStar)) {
+              if (agg != datalog::AggKind::kCount) {
+                return Error("'*' is only valid in count<*>");
+              }
+            } else if (At(TokenKind::kVariable)) {
+              var = syms_->Intern(Cur().text);
+              ++pos_;
+            } else {
+              return Error("expected variable in aggregate parameter");
+            }
+            GRAPHLOG_RETURN_NOT_OK(Expect(TokenKind::kGt));
+            g->distinguished.params.push_back(
+                datalog::HeadTerm::Aggregate(agg, var));
+          } else {
+            GRAPHLOG_ASSIGN_OR_RETURN(Term t, ParseTerm());
+            g->distinguished.params.push_back(datalog::HeadTerm::Plain(t));
+          }
+        } while (Accept(TokenKind::kComma));
+        GRAPHLOG_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+      }
+    }
+    return Expect(TokenKind::kSemicolon);
+  }
+
+  const std::vector<Token>& tokens_;
+  SymbolTable* syms_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<GraphicalQuery> ParseGraphicalQuery(std::string_view text,
+                                           SymbolTable* syms) {
+  GRAPHLOG_ASSIGN_OR_RETURN(std::vector<Token> tokens,
+                            datalog::Tokenize(text));
+  QueryParser p(tokens, syms);
+  return p.ParseAll();
+}
+
+Result<QueryGraph> ParseQueryGraph(std::string_view text, SymbolTable* syms) {
+  GRAPHLOG_ASSIGN_OR_RETURN(std::vector<Token> tokens,
+                            datalog::Tokenize(text));
+  QueryParser p(tokens, syms);
+  GRAPHLOG_ASSIGN_OR_RETURN(QueryGraph g, p.ParseOne());
+  if (!p.AtEnd()) return Status::ParseError("trailing input after query");
+  return g;
+}
+
+}  // namespace graphlog::gl

@@ -1,0 +1,62 @@
+// Textual surface syntax for graphical queries.
+//
+// The paper's prototype is a visual editor (Section 5); this parser is its
+// textual stand-in: each `query` block is one query graph drawn in words.
+//
+//   query not-desc-of {
+//     node P2 [person];
+//     edge P1 -> P3 : descendant+;
+//     edge P2 -> P3 : !descendant+;
+//     distinguished P1 -> P3 : not-desc-of(P2);
+//   }
+//
+//   query feasible {
+//     edge F1 -> A1 : arrival;
+//     edge F2 -> D2 : departure;
+//     edge A1 -> D2 : <;                      // comparison edge
+//     edge F1 -> C : to;
+//     edge F2 -> C : from;
+//     distinguished F1 -> F2 : feasible;
+//   }
+//
+//   query earlier-start {
+//     summarize E = max<sum<D>> over affects-d(D);
+//     distinguished T1 -> T2 : earlier-start(E);
+//   }
+//
+// Statements:
+//   node <endpoint> [ '[' [!]pred {, [!]pred} ']' ] ';'   node + predicates
+//   edge <endpoint> -> <endpoint> : <p.r.e. | cmp-op> ';'
+//   where <builtin literal> {, <builtin literal>} ';'      comparisons and
+//                                                          X := arithmetic
+//   summarize VAR = AGG<AGG<VAR>> over <base literal> ';'
+//   distinguished <endpoint> -> <endpoint> : name[(params)] ';'
+//
+// An <endpoint> is a term (variable or constant) or a parenthesized term
+// sequence; nodes are identified by their label, so mentioning the same
+// label twice refers to the same node (the one-to-one correspondence the
+// paper recommends in footnote 2).
+
+#ifndef GRAPHLOG_GRAPHLOG_PARSER_H_
+#define GRAPHLOG_GRAPHLOG_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "common/symbol_table.h"
+#include "graphlog/query_graph.h"
+
+namespace graphlog::gl {
+
+/// \brief Parses a sequence of `query` blocks into a GraphicalQuery.
+/// The result is parsed only; call ValidateGraphicalQuery (or just
+/// Translate / the engine, which validate) before use.
+Result<GraphicalQuery> ParseGraphicalQuery(std::string_view text,
+                                           SymbolTable* syms);
+
+/// \brief Parses a single `query` block.
+Result<QueryGraph> ParseQueryGraph(std::string_view text, SymbolTable* syms);
+
+}  // namespace graphlog::gl
+
+#endif  // GRAPHLOG_GRAPHLOG_PARSER_H_

@@ -1,0 +1,466 @@
+#include "graphlog/pre.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+#include "datalog/lexer.h"
+
+namespace graphlog::gl {
+
+using datalog::Term;
+using datalog::Token;
+using datalog::TokenKind;
+
+// ---------------------------------------------------------------------------
+// Variable analysis
+
+namespace {
+
+void AppendUnique(std::vector<Symbol>* out, Symbol v) {
+  if (std::find(out->begin(), out->end(), v) == out->end()) out->push_back(v);
+}
+
+void CollectAllVars(const PathExpr& e, std::vector<Symbol>* out) {
+  if (e.kind == PathExpr::Kind::kAtom) {
+    for (const Term& t : e.params) {
+      if (t.is_variable()) AppendUnique(out, t.var());
+    }
+    return;
+  }
+  for (const PathExpr& c : e.children) CollectAllVars(c, out);
+}
+
+}  // namespace
+
+std::vector<Symbol> PathExpr::Variables() const {
+  std::vector<Symbol> out;
+  CollectAllVars(*this, &out);
+  return out;
+}
+
+std::vector<Symbol> PathExpr::SharedVariables() const {
+  switch (kind) {
+    case Kind::kAtom: {
+      std::vector<Symbol> out;
+      for (const Term& t : params) {
+        if (t.is_variable()) AppendUnique(&out, t.var());
+      }
+      return out;
+    }
+    case Kind::kEquals:
+      return {};
+    case Kind::kAlt: {
+      // Only variables exported by every branch survive; the rest are
+      // ghosts whose scope is this alternation.
+      std::vector<Symbol> out;
+      if (children.empty()) return out;
+      std::vector<Symbol> first = children[0].SharedVariables();
+      for (Symbol v : first) {
+        bool in_all = true;
+        for (size_t i = 1; i < children.size(); ++i) {
+          auto vs = children[i].SharedVariables();
+          if (std::find(vs.begin(), vs.end(), v) == vs.end()) {
+            in_all = false;
+            break;
+          }
+        }
+        if (in_all) out.push_back(v);
+      }
+      return out;
+    }
+    case Kind::kSeq: {
+      std::vector<Symbol> out;
+      for (const PathExpr& c : children) {
+        for (Symbol v : c.SharedVariables()) AppendUnique(&out, v);
+      }
+      return out;
+    }
+    case Kind::kPlus:
+    case Kind::kStar:
+    case Kind::kOptional:
+    case Kind::kInverse:
+    case Kind::kNegate:
+      return children[0].SharedVariables();
+  }
+  return {};
+}
+
+std::vector<Symbol> PathExpr::GhostVariables() const {
+  std::vector<Symbol> all = Variables();
+  std::vector<Symbol> shared = SharedVariables();
+  std::vector<Symbol> out;
+  for (Symbol v : all) {
+    if (std::find(shared.begin(), shared.end(), v) == shared.end()) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+bool HasNegationAnywhere(const PathExpr& e) {
+  if (e.kind == PathExpr::Kind::kNegate) return true;
+  for (const PathExpr& c : e.children) {
+    if (HasNegationAnywhere(c)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool PathExpr::HasNestedNegation() const {
+  const PathExpr& body = kind == Kind::kNegate ? children[0] : *this;
+  return HasNegationAnywhere(body);
+}
+
+std::string PathExpr::ToString(const SymbolTable& syms) const {
+  auto wrap = [&](const PathExpr& c) {
+    std::string s = c.ToString(syms);
+    if (c.kind == Kind::kAtom || c.kind == Kind::kEquals) return s;
+    return "(" + s + ")";
+  };
+  switch (kind) {
+    case Kind::kAtom: {
+      std::string s = syms.name(predicate);
+      if (!params.empty()) {
+        std::vector<std::string> parts;
+        for (const Term& t : params) parts.push_back(t.ToString(syms));
+        s += "(" + Join(parts, ", ") + ")";
+      }
+      return s;
+    }
+    case Kind::kEquals:
+      return "=";
+    case Kind::kPlus:
+      return wrap(children[0]) + "+";
+    case Kind::kStar:
+      return wrap(children[0]) + "*";
+    case Kind::kOptional:
+      return wrap(children[0]) + "?";
+    case Kind::kInverse:
+      return "-" + wrap(children[0]);
+    case Kind::kNegate:
+      return "!" + wrap(children[0]);
+    case Kind::kAlt: {
+      std::vector<std::string> parts;
+      for (const PathExpr& c : children) parts.push_back(c.ToString(syms));
+      return Join(parts, " | ");
+    }
+    case Kind::kSeq: {
+      std::vector<std::string> parts;
+      for (const PathExpr& c : children) {
+        parts.push_back(c.kind == Kind::kAlt ? "(" + c.ToString(syms) + ")"
+                                             : c.ToString(syms));
+      }
+      return Join(parts, " ");
+    }
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Equality elimination
+
+namespace {
+
+PathExpr MakeAltOrSingle(std::vector<PathExpr> alts) {
+  if (alts.size() == 1) return std::move(alts[0]);
+  return PathExpr::Alt(std::move(alts));
+}
+
+ExpandedPre CombineSeq(ExpandedPre a, ExpandedPre b) {
+  ExpandedPre out;
+  out.has_identity = a.has_identity && b.has_identity;
+  for (const PathExpr& x : a.alternatives) {
+    for (const PathExpr& y : b.alternatives) {
+      std::vector<PathExpr> parts;
+      // Flatten nested sequences for readability.
+      if (x.kind == PathExpr::Kind::kSeq) {
+        parts.insert(parts.end(), x.children.begin(), x.children.end());
+      } else {
+        parts.push_back(x);
+      }
+      if (y.kind == PathExpr::Kind::kSeq) {
+        parts.insert(parts.end(), y.children.begin(), y.children.end());
+      } else {
+        parts.push_back(y);
+      }
+      out.alternatives.push_back(PathExpr::Seq(std::move(parts)));
+    }
+  }
+  if (b.has_identity) {
+    for (const PathExpr& x : a.alternatives) out.alternatives.push_back(x);
+  }
+  if (a.has_identity) {
+    for (const PathExpr& y : b.alternatives) out.alternatives.push_back(y);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ExpandedPre> ExpandEquality(const PathExpr& e) {
+  switch (e.kind) {
+    case PathExpr::Kind::kAtom: {
+      ExpandedPre out;
+      out.alternatives.push_back(e);
+      return out;
+    }
+    case PathExpr::Kind::kEquals: {
+      ExpandedPre out;
+      out.has_identity = true;
+      return out;
+    }
+    case PathExpr::Kind::kAlt: {
+      ExpandedPre out;
+      for (const PathExpr& c : e.children) {
+        GRAPHLOG_ASSIGN_OR_RETURN(ExpandedPre x, ExpandEquality(c));
+        out.has_identity = out.has_identity || x.has_identity;
+        for (PathExpr& a : x.alternatives) {
+          out.alternatives.push_back(std::move(a));
+        }
+      }
+      return out;
+    }
+    case PathExpr::Kind::kSeq: {
+      ExpandedPre acc;
+      acc.has_identity = true;  // empty sequence == identity
+      for (const PathExpr& c : e.children) {
+        GRAPHLOG_ASSIGN_OR_RETURN(ExpandedPre x, ExpandEquality(c));
+        acc = CombineSeq(std::move(acc), std::move(x));
+      }
+      return acc;
+    }
+    case PathExpr::Kind::kPlus: {
+      // (= | A)+ == = | A+  and  (A+)+ == A+.
+      GRAPHLOG_ASSIGN_OR_RETURN(ExpandedPre x, ExpandEquality(e.children[0]));
+      ExpandedPre out;
+      out.has_identity = x.has_identity;
+      if (!x.alternatives.empty()) {
+        PathExpr inner = MakeAltOrSingle(std::move(x.alternatives));
+        while (inner.kind == PathExpr::Kind::kPlus) {
+          inner = std::move(inner.children[0]);
+        }
+        out.alternatives.push_back(PathExpr::Plus(std::move(inner)));
+      }
+      return out;
+    }
+    case PathExpr::Kind::kStar: {
+      GRAPHLOG_ASSIGN_OR_RETURN(ExpandedPre x, ExpandEquality(e.children[0]));
+      ExpandedPre out;
+      out.has_identity = true;
+      if (!x.alternatives.empty()) {
+        PathExpr inner = MakeAltOrSingle(std::move(x.alternatives));
+        while (inner.kind == PathExpr::Kind::kPlus) {
+          inner = std::move(inner.children[0]);
+        }
+        out.alternatives.push_back(PathExpr::Plus(std::move(inner)));
+      }
+      return out;
+    }
+    case PathExpr::Kind::kOptional: {
+      GRAPHLOG_ASSIGN_OR_RETURN(ExpandedPre x, ExpandEquality(e.children[0]));
+      x.has_identity = true;
+      return x;
+    }
+    case PathExpr::Kind::kInverse: {
+      // -(=) == = ; inversion distributes over union.
+      GRAPHLOG_ASSIGN_OR_RETURN(ExpandedPre x, ExpandEquality(e.children[0]));
+      ExpandedPre out;
+      out.has_identity = x.has_identity;
+      for (PathExpr& a : x.alternatives) {
+        out.alternatives.push_back(PathExpr::Inverse(std::move(a)));
+      }
+      return out;
+    }
+    case PathExpr::Kind::kNegate:
+      return Status::InvalidArgument(
+          "ExpandEquality: negation must be stripped by the caller");
+  }
+  return Status::Internal("unknown PathExpr kind");
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+
+namespace {
+
+class PreParser {
+ public:
+  PreParser(const std::vector<Token>& tokens, SymbolTable* syms,
+            size_t pos = 0)
+      : tokens_(tokens), syms_(syms), pos_(pos) {}
+
+  Result<PathExpr> Parse() {
+    GRAPHLOG_ASSIGN_OR_RETURN(PathExpr e, ParseAlt());
+    if (!At(TokenKind::kEnd)) {
+      return Error("trailing input after path expression");
+    }
+    return e;
+  }
+
+  size_t position() const { return pos_; }
+
+  Result<PathExpr> ParseAlt() {
+    std::vector<PathExpr> parts;
+    GRAPHLOG_ASSIGN_OR_RETURN(PathExpr first, ParseSeq());
+    parts.push_back(std::move(first));
+    while (Accept(TokenKind::kPipe)) {
+      GRAPHLOG_ASSIGN_OR_RETURN(PathExpr next, ParseSeq());
+      parts.push_back(std::move(next));
+    }
+    if (parts.size() == 1) return std::move(parts[0]);
+    return PathExpr::Alt(std::move(parts));
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  bool At(TokenKind k) const { return Cur().kind == k; }
+  bool Accept(TokenKind k) {
+    if (!At(k)) return false;
+    ++pos_;
+    return true;
+  }
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " at line " + std::to_string(Cur().line) +
+                              ", column " + std::to_string(Cur().column));
+  }
+
+  bool AtPrimaryStart() const {
+    switch (Cur().kind) {
+      case TokenKind::kIdent:
+      case TokenKind::kEq:
+      case TokenKind::kLParen:
+      case TokenKind::kMinus:
+      case TokenKind::kBang:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  Result<PathExpr> ParseSeq() {
+    std::vector<PathExpr> parts;
+    GRAPHLOG_ASSIGN_OR_RETURN(PathExpr first, ParsePostfix());
+    parts.push_back(std::move(first));
+    while (AtPrimaryStart()) {
+      GRAPHLOG_ASSIGN_OR_RETURN(PathExpr next, ParsePostfix());
+      parts.push_back(std::move(next));
+    }
+    if (parts.size() == 1) return std::move(parts[0]);
+    return PathExpr::Seq(std::move(parts));
+  }
+
+  Result<PathExpr> ParsePostfix() {
+    GRAPHLOG_ASSIGN_OR_RETURN(PathExpr e, ParsePrefix());
+    while (true) {
+      if (Accept(TokenKind::kPlus)) {
+        e = PathExpr::Plus(std::move(e));
+      } else if (Accept(TokenKind::kStar)) {
+        e = PathExpr::Star(std::move(e));
+      } else if (Accept(TokenKind::kQuestion)) {
+        e = PathExpr::Optional(std::move(e));
+      } else {
+        break;
+      }
+    }
+    return e;
+  }
+
+  Result<PathExpr> ParsePrefix() {
+    if (Accept(TokenKind::kMinus)) {
+      GRAPHLOG_ASSIGN_OR_RETURN(PathExpr e, ParsePostfix());
+      return PathExpr::Inverse(std::move(e));
+    }
+    if (Accept(TokenKind::kBang)) {
+      GRAPHLOG_ASSIGN_OR_RETURN(PathExpr e, ParsePostfix());
+      return PathExpr::Negate(std::move(e));
+    }
+    return ParsePrimary();
+  }
+
+  Result<PathExpr> ParsePrimary() {
+    if (Accept(TokenKind::kEq)) return PathExpr::Equals();
+    if (Accept(TokenKind::kLParen)) {
+      GRAPHLOG_ASSIGN_OR_RETURN(PathExpr e, ParseAlt());
+      if (!Accept(TokenKind::kRParen)) return Error("expected ')'");
+      return e;
+    }
+    if (!At(TokenKind::kIdent)) {
+      return Error("expected predicate, '=', or '(' in path expression");
+    }
+    Token ident = Cur();
+    ++pos_;
+    PathExpr atom = PathExpr::Atom(syms_->Intern(ident.text));
+    // A parameter list must open *immediately* after the identifier
+    // (no whitespace): `p(D)` is an atom with parameters, `p (D)` would be
+    // a composition — which is ill-formed since (D) is not a p.r.e., but
+    // `p (q)` composes p with q.
+    bool adjacent =
+        At(TokenKind::kLParen) && Cur().line == ident.line &&
+        Cur().column == ident.column + static_cast<int>(ident.text.size());
+    if (adjacent) {
+      ++pos_;  // '('
+      if (!Accept(TokenKind::kRParen)) {
+        do {
+          GRAPHLOG_ASSIGN_OR_RETURN(Term t, ParseTerm());
+          atom.params.push_back(t);
+        } while (Accept(TokenKind::kComma));
+        if (!Accept(TokenKind::kRParen)) {
+          return Error("expected ')' after parameters");
+        }
+      }
+    }
+    return atom;
+  }
+
+  Result<Term> ParseTerm() {
+    if (At(TokenKind::kVariable)) {
+      std::string name = Cur().text;
+      ++pos_;
+      if (name == "_") return Term::Wildcard();
+      return Term::Var(syms_->Intern(name));
+    }
+    if (At(TokenKind::kIdent) || At(TokenKind::kString)) {
+      Symbol s = syms_->Intern(Cur().text);
+      ++pos_;
+      return Term::Const(Value::Sym(s));
+    }
+    if (At(TokenKind::kInt)) {
+      int64_t v = Cur().int_value;
+      ++pos_;
+      return Term::Const(Value::Int(v));
+    }
+    if (At(TokenKind::kFloat)) {
+      double v = Cur().float_value;
+      ++pos_;
+      return Term::Const(Value::Double(v));
+    }
+    return Error("expected parameter term");
+  }
+
+  const std::vector<Token>& tokens_;
+  SymbolTable* syms_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<PathExpr> ParsePathExpr(std::string_view text, SymbolTable* syms) {
+  GRAPHLOG_ASSIGN_OR_RETURN(std::vector<Token> tokens,
+                            datalog::Tokenize(text));
+  PreParser p(tokens, syms);
+  return p.Parse();
+}
+
+Result<PathExpr> ParsePathExprTokens(const std::vector<Token>& tokens,
+                                     size_t* pos, SymbolTable* syms) {
+  PreParser p(tokens, syms, *pos);
+  GRAPHLOG_ASSIGN_OR_RETURN(PathExpr e, p.ParseAlt());
+  *pos = p.position();
+  return e;
+}
+
+}  // namespace graphlog::gl

@@ -1,0 +1,143 @@
+// Path regular expressions (Definition 2.8 of the paper).
+//
+//   E <- S ; (E)+ ; -(E) ; ¬(E) ; (E|E) ; (E E)
+//
+// plus the two derived operators: Kleene closure (E)* == (= | (E)+) and
+// optional (E)? == (= | E), and the equality edge `=` itself.
+//
+// Atoms S are literals: a predicate applied to parameter terms (variables,
+// constants, or the underscore). Surface syntax examples:
+//
+//   descendant+                          closure literal (Figure 2)
+//   (father | mother(_))* friend        Figure 5's edge
+//   (-from) feasible+ to                 inverse and composition
+//   !descendant+                         negation (outermost only)
+//   in-module (calls-local* calls-extn in-module)+    Figure 6
+//
+// Juxtaposition is composition; `|` is alternation (lowest precedence);
+// postfix +, *, ? bind tightest; prefix `-` inverts and `!` (or `¬`)
+// negates.
+
+#ifndef GRAPHLOG_GRAPHLOG_PRE_H_
+#define GRAPHLOG_GRAPHLOG_PRE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/symbol_table.h"
+#include "datalog/ast.h"
+#include "datalog/lexer.h"
+
+namespace graphlog::gl {
+
+/// \brief AST of a path regular expression.
+struct PathExpr {
+  enum class Kind : uint8_t {
+    kAtom,      ///< predicate literal p(params...)
+    kEquals,    ///< the equality edge `=`
+    kPlus,      ///< positive closure (E)+
+    kStar,      ///< Kleene closure (E)* — derived
+    kOptional,  ///< (E)? — derived
+    kInverse,   ///< -(E)
+    kNegate,    ///< ¬(E); valid only outermost
+    kAlt,       ///< (E|E)
+    kSeq,       ///< (E E) composition
+  };
+
+  Kind kind = Kind::kAtom;
+  Symbol predicate = kNoSymbol;       // kAtom
+  std::vector<datalog::Term> params;  // kAtom
+  std::vector<PathExpr> children;     // 1 for unary, 2+ for kAlt/kSeq
+
+  static PathExpr Atom(Symbol pred, std::vector<datalog::Term> params = {}) {
+    PathExpr e;
+    e.kind = Kind::kAtom;
+    e.predicate = pred;
+    e.params = std::move(params);
+    return e;
+  }
+  static PathExpr Equals() {
+    PathExpr e;
+    e.kind = Kind::kEquals;
+    return e;
+  }
+  static PathExpr Unary(Kind k, PathExpr child) {
+    PathExpr e;
+    e.kind = k;
+    e.children.push_back(std::move(child));
+    return e;
+  }
+  static PathExpr Plus(PathExpr c) { return Unary(Kind::kPlus, std::move(c)); }
+  static PathExpr Star(PathExpr c) { return Unary(Kind::kStar, std::move(c)); }
+  static PathExpr Optional(PathExpr c) {
+    return Unary(Kind::kOptional, std::move(c));
+  }
+  static PathExpr Inverse(PathExpr c) {
+    return Unary(Kind::kInverse, std::move(c));
+  }
+  static PathExpr Negate(PathExpr c) {
+    return Unary(Kind::kNegate, std::move(c));
+  }
+  static PathExpr Alt(std::vector<PathExpr> cs) {
+    PathExpr e;
+    e.kind = Kind::kAlt;
+    e.children = std::move(cs);
+    return e;
+  }
+  static PathExpr Seq(std::vector<PathExpr> cs) {
+    PathExpr e;
+    e.kind = Kind::kSeq;
+    e.children = std::move(cs);
+    return e;
+  }
+
+  bool is_atom() const { return kind == Kind::kAtom; }
+
+  /// \brief Distinct variables (no wildcards) in order of first appearance.
+  std::vector<Symbol> Variables() const;
+
+  /// \brief Shared variables: for kAlt, only variables occurring in every
+  /// branch (the rest are ghosts); recursively for other nodes. These are
+  /// the variables the compiled predicate for this expression exports.
+  std::vector<Symbol> SharedVariables() const;
+
+  /// \brief Ghost variables: variables that occur in the expression but are
+  /// not exported (they occur in some but not all branches of an
+  /// alternation). Their scope is that alternation (Section 2).
+  std::vector<Symbol> GhostVariables() const;
+
+  /// \brief True if a kNegate appears anywhere not at the root — disallowed
+  /// for safety (footnote 4 of the paper).
+  bool HasNestedNegation() const;
+
+  std::string ToString(const SymbolTable& syms) const;
+};
+
+/// \brief Result of eliminating `=` (and the derived *, ? operators):
+/// a union of =-free alternatives, plus an optional identity alternative.
+///
+/// (E)* == (= | (E)+) and (E)? == (= | E), and `=` is the identity of
+/// composition, so every p.r.e. normalizes to `[=|] e1 | ... | em` where
+/// each e_i contains only atoms, +, -, | and composition.
+struct ExpandedPre {
+  bool has_identity = false;         ///< the `=` alternative is present
+  std::vector<PathExpr> alternatives;  ///< =-free, negation-free exprs
+};
+
+/// \brief Normalizes `e` (which must be negation-free) per the rules above.
+Result<ExpandedPre> ExpandEquality(const PathExpr& e);
+
+/// \brief Parses a p.r.e. from text. See the header comment for syntax.
+Result<PathExpr> ParsePathExpr(std::string_view text, SymbolTable* syms);
+
+/// \brief Parses a p.r.e. from a token stream starting at *pos; on success
+/// *pos is advanced past the expression. Used by the graphical-query
+/// parser, which embeds p.r.e.s as edge labels.
+Result<PathExpr> ParsePathExprTokens(const std::vector<datalog::Token>& tokens,
+                                     size_t* pos, SymbolTable* syms);
+
+}  // namespace graphlog::gl
+
+#endif  // GRAPHLOG_GRAPHLOG_PRE_H_

@@ -1,0 +1,357 @@
+#include "graphlog/query_graph.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+
+namespace graphlog::gl {
+
+using datalog::Term;
+
+namespace {
+
+std::string LabelToString(const std::vector<Term>& label,
+                          const SymbolTable& syms) {
+  if (label.size() == 1) return label[0].ToString(syms);
+  std::vector<std::string> parts;
+  for (const Term& t : label) parts.push_back(t.ToString(syms));
+  return "(" + Join(parts, ", ") + ")";
+}
+
+/// Collects the predicates used by an expression into `out`.
+void CollectExprPredicates(const PathExpr& e, std::set<Symbol>* out) {
+  if (e.kind == PathExpr::Kind::kAtom) {
+    out->insert(e.predicate);
+    return;
+  }
+  for (const PathExpr& c : e.children) CollectExprPredicates(c, out);
+}
+
+/// Collects every variable occurrence (with multiplicity) in a term list.
+void CountTermVars(const std::vector<Term>& terms,
+                   std::map<Symbol, int>* counts) {
+  for (const Term& t : terms) {
+    if (t.is_variable()) (*counts)[t.var()]++;
+  }
+}
+
+void CountExprVars(const PathExpr& e, std::map<Symbol, int>* counts) {
+  if (e.kind == PathExpr::Kind::kAtom) {
+    CountTermVars(e.params, counts);
+    return;
+  }
+  for (const PathExpr& c : e.children) CountExprVars(c, counts);
+}
+
+/// Finds every alternation node in `e` and calls `fn(alt)`.
+template <typename Fn>
+void ForEachAlt(const PathExpr& e, Fn&& fn) {
+  if (e.kind == PathExpr::Kind::kAlt) fn(e);
+  for (const PathExpr& c : e.children) ForEachAlt(c, fn);
+}
+
+}  // namespace
+
+std::string QueryGraph::ToString(const SymbolTable& syms) const {
+  std::string out;
+  out += "query " + syms.name(distinguished.predicate) + " {\n";
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (!nodes[i].predicates.empty()) {
+      out += "  node " + LabelToString(nodes[i].label, syms) + " [";
+      std::vector<std::string> parts;
+      for (const NodePredicate& p : nodes[i].predicates) {
+        parts.push_back((p.positive ? "" : "!") + syms.name(p.predicate));
+      }
+      out += Join(parts, ", ") + "];\n";
+    }
+  }
+  for (const QueryEdge& e : edges) {
+    out += "  edge " + LabelToString(nodes[e.from].label, syms) + " -> " +
+           LabelToString(nodes[e.to].label, syms) + " : ";
+    if (e.comparison.has_value()) {
+      out += std::string(datalog::CmpOpToString(*e.comparison));
+    } else {
+      out += e.expr.ToString(syms);
+    }
+    out += ";\n";
+  }
+  for (const datalog::Literal& l : constraints) {
+    out += "  where " + l.ToString(syms) + ";\n";
+  }
+  if (summary.has_value()) {
+    out += "  summarize " + syms.name(summary->output_var) + " = " +
+           std::string(datalog::AggKindToString(summary->across)) + "<" +
+           std::string(datalog::AggKindToString(summary->along)) + "<" +
+           syms.name(summary->value_var) + ">> over " +
+           summary->base.ToString(syms) + "+;\n";
+  }
+  out += "  distinguished " + LabelToString(nodes[distinguished.from].label,
+                                            syms) +
+         " -> " + LabelToString(nodes[distinguished.to].label, syms) + " : " +
+         syms.name(distinguished.predicate);
+  if (!distinguished.params.empty()) {
+    std::vector<std::string> parts;
+    for (const datalog::HeadTerm& h : distinguished.params) {
+      parts.push_back(h.ToString(syms));
+    }
+    out += "(" + Join(parts, ", ") + ")";
+  }
+  out += ";\n}\n";
+  return out;
+}
+
+std::vector<Symbol> GraphicalQuery::IdbPredicates() const {
+  std::set<Symbol> seen;
+  std::vector<Symbol> out;
+  for (const QueryGraph& g : graphs) {
+    if (seen.insert(g.distinguished.predicate).second) {
+      out.push_back(g.distinguished.predicate);
+    }
+  }
+  return out;
+}
+
+std::vector<Symbol> GraphicalQuery::EdbPredicates() const {
+  std::set<Symbol> idb;
+  for (const QueryGraph& g : graphs) idb.insert(g.distinguished.predicate);
+  std::set<Symbol> used;
+  for (const QueryGraph& g : graphs) {
+    for (const QueryEdge& e : g.edges) {
+      if (!e.comparison.has_value()) CollectExprPredicates(e.expr, &used);
+    }
+    for (const QueryNode& n : g.nodes) {
+      for (const NodePredicate& p : n.predicates) used.insert(p.predicate);
+    }
+    if (g.summary.has_value()) CollectExprPredicates(g.summary->base, &used);
+  }
+  std::vector<Symbol> out;
+  for (Symbol p : used) {
+    if (idb.count(p) == 0) out.push_back(p);
+  }
+  return out;
+}
+
+std::string GraphicalQuery::ToString(const SymbolTable& syms) const {
+  std::string out;
+  for (const QueryGraph& g : graphs) out += g.ToString(syms);
+  return out;
+}
+
+Status ValidateQueryGraph(const QueryGraph& g, const SymbolTable& syms) {
+  int n = static_cast<int>(g.nodes.size());
+  if (n == 0) return Status::InvalidArgument("query graph has no nodes");
+  auto in_range = [&](int i) { return i >= 0 && i < n; };
+
+  for (const QueryNode& node : g.nodes) {
+    if (node.label.empty()) {
+      return Status::InvalidArgument("query node with empty label");
+    }
+  }
+  if (!in_range(g.distinguished.from) || !in_range(g.distinguished.to)) {
+    return Status::InvalidArgument("distinguished edge endpoint out of range");
+  }
+
+  // No isolated nodes (Definition 2.3): every node touches some edge
+  // (including the distinguished one).
+  std::vector<bool> touched(n, false);
+  touched[g.distinguished.from] = touched[g.distinguished.to] = true;
+  for (const QueryEdge& e : g.edges) {
+    if (!in_range(e.from) || !in_range(e.to)) {
+      return Status::InvalidArgument("edge endpoint out of range");
+    }
+    touched[e.from] = touched[e.to] = true;
+  }
+  for (int i = 0; i < n; ++i) {
+    if (!touched[i]) {
+      return Status::InvalidArgument("isolated node in query graph (node " +
+                                     std::to_string(i) + ")");
+    }
+  }
+
+  // Per-edge structural checks.
+  for (const QueryEdge& e : g.edges) {
+    size_t k1 = g.nodes[e.from].arity();
+    size_t k2 = g.nodes[e.to].arity();
+    if (e.comparison.has_value()) {
+      if (k1 != k2) {
+        return Status::ArityMismatch(
+            "comparison edge between nodes of different arity");
+      }
+      continue;
+    }
+    const PathExpr& expr = e.expr;
+    // Negation only outermost (footnote 4 of the paper).
+    if (expr.HasNestedNegation()) {
+      return Status::UnsafeRule(
+          "negation must be the outermost operator of an edge label: " +
+          expr.ToString(syms));
+    }
+    // Plain (possibly negated / inverted) literals may connect nodes of any
+    // arities; everything else requires equal-arity endpoints
+    // (Definition 2.3's closure-literal restriction, extended to p.r.e.s).
+    const PathExpr* core = &expr;
+    while (core->kind == PathExpr::Kind::kNegate ||
+           core->kind == PathExpr::Kind::kInverse) {
+      core = &core->children[0];
+    }
+    if (core->kind != PathExpr::Kind::kAtom && k1 != k2) {
+      return Status::ArityMismatch(
+          "path-expression edge between nodes labeled by sequences of "
+          "different length: " +
+          expr.ToString(syms));
+    }
+  }
+
+  // Ghost-variable scoping: a variable that occurs in some but not all
+  // branches of an alternation must not occur anywhere outside that
+  // alternation (Section 2). We count occurrences: ghost var total count
+  // in the whole graph must equal its count within the alternation.
+  std::map<Symbol, int> total;
+  for (const QueryNode& node : g.nodes) CountTermVars(node.label, &total);
+  for (const QueryEdge& e : g.edges) {
+    if (!e.comparison.has_value()) CountExprVars(e.expr, &total);
+  }
+  for (const datalog::HeadTerm& h : g.distinguished.params) {
+    if (h.is_aggregate) {
+      if (h.agg_var != kNoSymbol) total[h.agg_var]++;
+    } else if (h.term.is_variable()) {
+      total[h.term.var()]++;
+    }
+  }
+  for (const datalog::Literal& l : g.constraints) {
+    std::vector<Symbol> vars;
+    l.CollectVariables(&vars);
+    for (Symbol v : vars) total[v]++;
+  }
+  if (g.summary.has_value()) {
+    CountExprVars(g.summary->base, &total);
+    total[g.summary->output_var]++;
+  }
+
+  Status ghost_status = Status::OK();
+  for (const QueryEdge& e : g.edges) {
+    if (e.comparison.has_value()) continue;
+    ForEachAlt(e.expr, [&](const PathExpr& alt) {
+      if (!ghost_status.ok()) return;
+      std::vector<Symbol> ghosts = alt.GhostVariables();
+      std::map<Symbol, int> inside;
+      CountExprVars(alt, &inside);
+      for (Symbol v : ghosts) {
+        auto it = total.find(v);
+        if (it != total.end() && it->second != inside[v]) {
+          ghost_status = Status::GhostVariable(
+              "ghost variable '" + syms.name(v) +
+              "' escapes its alternation scope in " +
+              e.expr.ToString(syms));
+          return;
+        }
+      }
+    });
+    GRAPHLOG_RETURN_NOT_OK(ghost_status);
+  }
+
+  // Summarization well-formedness.
+  if (g.summary.has_value()) {
+    const PathSummarySpec& s = *g.summary;
+    if (s.base.kind != PathExpr::Kind::kAtom) {
+      return Status::Unsupported(
+          "path summarization base must be a single literal");
+    }
+    int var_params = 0;
+    bool found = false;
+    for (const Term& t : s.base.params) {
+      if (t.is_variable()) {
+        ++var_params;
+        if (t.var() == s.value_var) found = true;
+      }
+    }
+    if (!found || var_params != 1) {
+      return Status::InvalidArgument(
+          "summarization base literal must carry exactly the summed "
+          "variable as its parameter");
+    }
+    bool out_in_params = false;
+    for (const datalog::HeadTerm& h : g.distinguished.params) {
+      if (!h.is_aggregate && h.term.is_variable() &&
+          h.term.var() == s.output_var) {
+        out_in_params = true;
+      }
+    }
+    if (!out_in_params) {
+      return Status::InvalidArgument(
+          "summarization output variable must appear in the distinguished "
+          "edge parameters");
+    }
+  }
+
+  return Status::OK();
+}
+
+std::vector<std::pair<Symbol, Symbol>> DependenceEdges(
+    const GraphicalQuery& q) {
+  std::set<std::pair<Symbol, Symbol>> edges;
+  for (const QueryGraph& g : q.graphs) {
+    Symbol head = g.distinguished.predicate;
+    std::set<Symbol> used;
+    for (const QueryEdge& e : g.edges) {
+      if (!e.comparison.has_value()) CollectExprPredicates(e.expr, &used);
+    }
+    for (const QueryNode& n : g.nodes) {
+      for (const NodePredicate& p : n.predicates) used.insert(p.predicate);
+    }
+    if (g.summary.has_value()) CollectExprPredicates(g.summary->base, &used);
+    for (Symbol p : used) edges.insert({p, head});
+  }
+  return std::vector<std::pair<Symbol, Symbol>>(edges.begin(), edges.end());
+}
+
+Status ValidateGraphicalQuery(const GraphicalQuery& q,
+                              const SymbolTable& syms) {
+  if (q.graphs.empty()) {
+    return Status::InvalidArgument("graphical query has no query graphs");
+  }
+  for (const QueryGraph& g : q.graphs) {
+    GRAPHLOG_RETURN_NOT_OK(ValidateQueryGraph(g, syms));
+  }
+
+  // Acyclic dependence graph (Definition 2.7). DFS cycle detection over
+  // the IDB-restricted dependence edges.
+  std::vector<Symbol> idb_list = q.IdbPredicates();
+  std::set<Symbol> idb(idb_list.begin(), idb_list.end());
+  std::map<Symbol, std::vector<Symbol>> succ;
+  for (const auto& [from, to] : DependenceEdges(q)) {
+    if (idb.count(from) > 0) succ[from].push_back(to);
+  }
+  std::map<Symbol, int> state;  // 0 unvisited, 1 in-progress, 2 done
+  std::vector<std::pair<Symbol, size_t>> stack;
+  for (Symbol root : idb) {
+    if (state[root] != 0) continue;
+    stack.push_back({root, 0});
+    state[root] = 1;
+    while (!stack.empty()) {
+      auto& [v, i] = stack.back();
+      auto& next = succ[v];
+      if (i < next.size()) {
+        Symbol w = next[i++];
+        if (idb.count(w) == 0) continue;
+        if (state[w] == 1) {
+          return Status::CyclicDependence(
+              "graphical query has a cyclic dependence graph through '" +
+              syms.name(w) + "' (recursion must use closure literals)");
+        }
+        if (state[w] == 0) {
+          state[w] = 1;
+          stack.push_back({w, 0});
+        }
+      } else {
+        state[v] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace graphlog::gl

@@ -1,0 +1,150 @@
+// Query graphs and graphical queries (Definitions 2.2 - 2.7).
+//
+// A QueryGraph is a graph pattern: nodes labeled by sequences of terms
+// (variables, per the paper; constants are also allowed, as the prototype's
+// Rome/Tokyo query of Figure 12 requires), edges labeled by path regular
+// expressions, and one distinguished edge labeled by a positive non-closure
+// literal that defines a new relation whenever the pattern matches.
+//
+// Beyond the paper's core we support, as explicit extensions used by the
+// paper's own examples:
+//   * node predicates — unary literals attached to nodes (person, capital),
+//   * comparison edges — edges labeled <, <=, >, >=, =, != between value
+//     nodes (Figure 4's "arrival before departure"),
+//   * constraint literals — rule-level builtins (Figure 11's arithmetic),
+//   * a path-summarization spec on the distinguished edge (Section 4).
+//
+// A GraphicalQuery is a set of query graphs; it is a valid GraphLog
+// expression when its dependence graph (Definition 2.6) is acyclic
+// (Definition 2.7).
+
+#ifndef GRAPHLOG_GRAPHLOG_QUERY_GRAPH_H_
+#define GRAPHLOG_GRAPHLOG_QUERY_GRAPH_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/symbol_table.h"
+#include "datalog/ast.h"
+#include "graphlog/pre.h"
+
+namespace graphlog::gl {
+
+/// \brief A unary literal attached to a node (e.g. person, capital).
+struct NodePredicate {
+  bool positive = true;
+  Symbol predicate = kNoSymbol;
+};
+
+/// \brief A pattern node: a sequence of terms plus node predicates.
+struct QueryNode {
+  std::vector<datalog::Term> label;
+  std::vector<NodePredicate> predicates;
+
+  size_t arity() const { return label.size(); }
+};
+
+/// \brief A non-distinguished pattern edge labeled by a p.r.e., or a
+/// comparison edge.
+struct QueryEdge {
+  int from = 0;  ///< index into QueryGraph::nodes
+  int to = 0;
+
+  /// When set, this is a comparison edge: label is the operator applied
+  /// componentwise between the endpoint labels (Definition 2.4 case 2
+  /// generalized to all comparison operators).
+  std::optional<datalog::CmpOp> comparison;
+
+  /// Otherwise the edge is labeled by this path regular expression
+  /// (a plain literal and a closure literal are the special cases
+  /// PathExpr::kAtom and kPlus(kAtom)).
+  PathExpr expr;
+};
+
+/// \brief Path summarization attached to a distinguished edge (Section 4):
+/// "output_var is the <across> over all paths of the <along> of the values
+/// of value position along a <base>-path".
+struct PathSummarySpec {
+  datalog::AggKind along = datalog::AggKind::kSum;   ///< per-path fold
+  datalog::AggKind across = datalog::AggKind::kMin;  ///< across paths
+  PathExpr base;          ///< kAtom with exactly one variable parameter
+  Symbol value_var = kNoSymbol;   ///< the summed variable in `base`
+  Symbol output_var = kNoSymbol;  ///< receives the summarized value
+};
+
+/// \brief The distinguished edge: defines predicate(from.., to.., params..).
+///
+/// Parameters are head terms: plain terms, or aggregates (Section 4), e.g.
+/// `distinguished R -> C : total(sum<V>)` groups by the endpoint labels
+/// and sums V over the pattern's matches. A query graph whose
+/// distinguished edge aggregates must have exactly one rule variant (no
+/// identity alternatives from =, *, ? on its edges).
+struct DistinguishedEdge {
+  int from = 0;
+  int to = 0;
+  Symbol predicate = kNoSymbol;
+  std::vector<datalog::HeadTerm> params;
+
+  bool has_aggregates() const {
+    for (const datalog::HeadTerm& h : params) {
+      if (h.is_aggregate) return true;
+    }
+    return false;
+  }
+};
+
+/// \brief One query graph (Definition 2.3).
+struct QueryGraph {
+  std::vector<QueryNode> nodes;
+  std::vector<QueryEdge> edges;
+  DistinguishedEdge distinguished;
+  /// Rule-level builtin constraints (comparisons / assignments).
+  std::vector<datalog::Literal> constraints;
+  /// Optional summarization; when set, `edges` must form the closure base
+  /// context and the output variable appears in distinguished.params.
+  std::optional<PathSummarySpec> summary;
+
+  /// \brief Pretty-prints the pattern (a textual stand-in for drawing it).
+  std::string ToString(const SymbolTable& syms) const;
+};
+
+/// \brief A graphical query: a set of query graphs (Definition 2.5).
+struct GraphicalQuery {
+  std::vector<QueryGraph> graphs;
+
+  /// \brief IDB predicates: labels of distinguished edges (Definition 2.5).
+  std::vector<Symbol> IdbPredicates() const;
+
+  /// \brief EDB predicates: all others used on edges/nodes.
+  std::vector<Symbol> EdbPredicates() const;
+
+  std::string ToString(const SymbolTable& syms) const;
+};
+
+/// \brief Validates a single query graph:
+///  * no isolated nodes; node labels non-empty; indices in range,
+///  * the distinguished edge label is a positive non-closure literal by
+///    construction; its predicate must not also label a non-distinguished
+///    edge *of arity-incompatible shape* (arity checks happen at
+///    translation),
+///  * closure/p.r.e. edges connect equal-arity endpoints (Definition 2.3);
+///    plain (possibly inverted, possibly negated) literals may connect any
+///    arities,
+///  * negation appears only outermost in edge labels (footnote 4),
+///  * ghost variables never occur outside their alternation's scope.
+Status ValidateQueryGraph(const QueryGraph& g, const SymbolTable& syms);
+
+/// \brief Builds the dependence graph of the query (Definition 2.6) and
+/// checks it is acyclic (Definition 2.7), after validating each graph.
+Status ValidateGraphicalQuery(const GraphicalQuery& q,
+                              const SymbolTable& syms);
+
+/// \brief Edges q -> p of the dependence graph (Definition 2.6).
+std::vector<std::pair<Symbol, Symbol>> DependenceEdges(
+    const GraphicalQuery& q);
+
+}  // namespace graphlog::gl
+
+#endif  // GRAPHLOG_GRAPHLOG_QUERY_GRAPH_H_

@@ -1,0 +1,383 @@
+#include "graphlog/translate.h"
+
+#include <string>
+
+#include "graphlog/pre.h"
+
+namespace graphlog::gl {
+
+using datalog::Atom;
+using datalog::CmpOp;
+using datalog::Head;
+using datalog::HeadTerm;
+using datalog::Literal;
+using datalog::Program;
+using datalog::Rule;
+using datalog::Term;
+
+namespace {
+
+/// Shared state for translating one query graph.
+class GraphTranslator {
+ public:
+  GraphTranslator(const QueryGraph& g, SymbolTable* syms)
+      : g_(g), syms_(syms) {}
+
+  Result<Translation> Run() {
+    GRAPHLOG_RETURN_NOT_OK(ValidateQueryGraph(g_, *syms_));
+    if (g_.summary.has_value()) {
+      return Status::Unsupported(
+          "query graph with path summarization cannot be translated to "
+          "Datalog; evaluate it with the summarization engine");
+    }
+
+    // Each edge yields one or more conjunct options (identity alternatives
+    // from =, *, ? produce a second, equality-atom option). One rule is
+    // emitted per combination.
+    std::vector<std::vector<std::vector<Literal>>> edge_options;
+    for (const QueryEdge& e : g_.edges) {
+      GRAPHLOG_ASSIGN_OR_RETURN(auto options, EdgeOptions(e));
+      edge_options.push_back(std::move(options));
+    }
+
+    // Node predicates and constraints appear in every rule.
+    std::vector<Literal> common;
+    for (const QueryNode& n : g_.nodes) {
+      for (const NodePredicate& p : n.predicates) {
+        Atom a;
+        a.predicate = p.predicate;
+        a.args = n.label;
+        common.push_back(p.positive ? Literal::Positive(std::move(a))
+                                    : Literal::Negative(std::move(a)));
+      }
+    }
+    for (const Literal& l : g_.constraints) common.push_back(l);
+
+    // Head: predicate(from-label, to-label, params) — rule (1) of
+    // Definition 2.4.
+    Head head;
+    head.predicate = g_.distinguished.predicate;
+    auto push_head = [&](const Term& t) {
+      head.args.push_back(HeadTerm::Plain(t));
+    };
+    for (const Term& t : g_.nodes[g_.distinguished.from].label) push_head(t);
+    for (const Term& t : g_.nodes[g_.distinguished.to].label) push_head(t);
+    for (const HeadTerm& h : g_.distinguished.params) head.args.push_back(h);
+
+    // Aggregate heads must compile to a single rule: per-rule grouping
+    // across several rule variants would aggregate each variant
+    // separately (Section 4 semantics are per-pattern).
+    if (g_.distinguished.has_aggregates()) {
+      size_t variants = 1;
+      for (const auto& options : edge_options) variants *= options.size();
+      if (variants != 1) {
+        return Status::Unsupported(
+            "a query graph with aggregate parameters cannot use edges "
+            "with identity alternatives (=, *, ?)");
+      }
+    }
+
+    // Cross product of edge options.
+    std::vector<size_t> choice(edge_options.size(), 0);
+    while (true) {
+      Rule rule;
+      rule.head = head;
+      for (size_t i = 0; i < edge_options.size(); ++i) {
+        const auto& lits = edge_options[i][choice[i]];
+        rule.body.insert(rule.body.end(), lits.begin(), lits.end());
+      }
+      rule.body.insert(rule.body.end(), common.begin(), common.end());
+      out_.program.rules.insert(out_.program.rules.begin() + main_rules_++,
+                                std::move(rule));
+      // Advance the odometer.
+      size_t i = 0;
+      for (; i < choice.size(); ++i) {
+        if (++choice[i] < edge_options[i].size()) break;
+        choice[i] = 0;
+      }
+      if (i == choice.size()) break;
+      if (edge_options.empty()) break;
+    }
+    return std::move(out_);
+  }
+
+ private:
+  Term FreshVar(const char* base) {
+    return Term::Var(syms_->Fresh(std::string("_") + base +
+                                  std::to_string(fresh_counter_++)));
+  }
+
+  /// A vector of k fresh variables (an endpoint of an auxiliary rule).
+  std::vector<Term> FreshVars(size_t k, const char* base) {
+    std::vector<Term> out;
+    out.reserve(k);
+    for (size_t i = 0; i < k; ++i) out.push_back(FreshVar(base));
+    return out;
+  }
+
+  /// Replaces wildcards in a parameter list by fresh variables (the
+  /// underscore projection of Section 2).
+  std::vector<Term> FreshenParams(const std::vector<Term>& params) {
+    std::vector<Term> out;
+    out.reserve(params.size());
+    for (const Term& t : params) {
+      out.push_back(t.is_wildcard() ? FreshVar("u") : t);
+    }
+    return out;
+  }
+
+  /// Builds the body literal representing "E holds from U to V".
+  /// Atoms inline; inversion swaps endpoints recursively; alternation,
+  /// composition and closure compile to auxiliary predicates.
+  Result<Literal> BodyLiteral(const PathExpr& e, const std::vector<Term>& U,
+                              const std::vector<Term>& V) {
+    switch (e.kind) {
+      case PathExpr::Kind::kAtom: {
+        Atom a;
+        a.predicate = e.predicate;
+        a.args = U;
+        a.args.insert(a.args.end(), V.begin(), V.end());
+        for (const Term& t : FreshenParams(e.params)) a.args.push_back(t);
+        return Literal::Positive(std::move(a));
+      }
+      case PathExpr::Kind::kInverse:
+        return BodyLiteral(e.children[0], V, U);
+      case PathExpr::Kind::kAlt:
+      case PathExpr::Kind::kSeq:
+      case PathExpr::Kind::kPlus: {
+        GRAPHLOG_ASSIGN_OR_RETURN(Compiled c, CompileExpr(e, U.size()));
+        Atom a;
+        a.predicate = c.pred;
+        a.args = U;
+        a.args.insert(a.args.end(), V.begin(), V.end());
+        for (Symbol v : c.vars) a.args.push_back(Term::Var(v));
+        return Literal::Positive(std::move(a));
+      }
+      default:
+        return Status::Internal(
+            "BodyLiteral on non-normalized path expression: " +
+            e.ToString(*syms_));
+    }
+  }
+
+  struct Compiled {
+    Symbol pred = kNoSymbol;
+    std::vector<Symbol> vars;  // exported (shared) variables, in order
+  };
+
+  /// Compiles a normalized (=-free, negation-free) non-atom expression to
+  /// an auxiliary predicate of arity 2k + |vars|.
+  Result<Compiled> CompileExpr(const PathExpr& e, size_t k) {
+    Compiled c;
+    c.vars = e.SharedVariables();
+    switch (e.kind) {
+      case PathExpr::Kind::kInverse: {
+        // Only reached as a closure base (see kPlus); a standalone
+        // inverse is inlined by BodyLiteral with swapped endpoints.
+        c.pred = syms_->Fresh(
+            e.children[0].is_atom()
+                ? syms_->name(e.children[0].predicate) + "-inv"
+                : BaseName() + "-inv");
+        std::vector<Term> X = FreshVars(k, "X"), Y = FreshVars(k, "Y");
+        GRAPHLOG_ASSIGN_OR_RETURN(Literal body,
+                                  BodyLiteral(e.children[0], Y, X));
+        AddAuxRule(c, X, Y, {std::move(body)});
+        break;
+      }
+      case PathExpr::Kind::kAlt: {
+        c.pred = syms_->Fresh(BaseName() + "-alt");
+        for (const PathExpr& child : e.children) {
+          std::vector<Term> X = FreshVars(k, "X"), Y = FreshVars(k, "Y");
+          GRAPHLOG_ASSIGN_OR_RETURN(Literal body, BodyLiteral(child, X, Y));
+          AddAuxRule(c, X, Y, {std::move(body)});
+        }
+        break;
+      }
+      case PathExpr::Kind::kSeq: {
+        c.pred = syms_->Fresh(BaseName() + "-path");
+        std::vector<Term> X = FreshVars(k, "X"), Y = FreshVars(k, "Y");
+        std::vector<Literal> body;
+        std::vector<Term> cur = X;
+        for (size_t i = 0; i < e.children.size(); ++i) {
+          std::vector<Term> next =
+              (i + 1 == e.children.size()) ? Y : FreshVars(k, "Z");
+          GRAPHLOG_ASSIGN_OR_RETURN(Literal l,
+                                    BodyLiteral(e.children[i], cur, next));
+          body.push_back(std::move(l));
+          cur = next;
+        }
+        AddAuxRule(c, X, Y, std::move(body));
+        break;
+      }
+      case PathExpr::Kind::kPlus: {
+        // Rules (2) and (3) of Definition 2.4. A closure of a plain
+        // predicate p is named p-tc, as in Figure 3. A compound child is
+        // compiled ONCE so both TC rules reference the same base
+        // predicate — keeping the output inside STC-DATALOG (its
+        // recursion is exactly a generalized TC pair).
+        const PathExpr& child = e.children[0];
+        // Only a direct atom stays inline; even an inverted atom gets an
+        // auxiliary predicate so the TC pair has the canonical
+        // q(X,Z),t(Z,Y) orientation (recognizable STC-DATALOG).
+        bool plain = child.is_atom();
+        const PathExpr* base_expr = &child;
+        PathExpr compiled_child;
+        if (!plain) {
+          GRAPHLOG_ASSIGN_OR_RETURN(Compiled cc,
+                                    CompileExpr(child, k));
+          compiled_child = PathExpr::Atom(cc.pred);
+          for (Symbol v : cc.vars) {
+            compiled_child.params.push_back(Term::Var(v));
+          }
+          // The compiled predicate's first 2k columns are the endpoints,
+          // so it reads as a (k-endpoint) atom with |vars| parameters.
+          base_expr = &compiled_child;
+        }
+        c.pred = syms_->Fresh(child.is_atom()
+                                  ? syms_->name(child.predicate) + "-tc"
+                                  : BaseName() + "-tc");
+        {
+          std::vector<Term> X = FreshVars(k, "X"), Y = FreshVars(k, "Y");
+          GRAPHLOG_ASSIGN_OR_RETURN(Literal base,
+                                    BodyLiteral(*base_expr, X, Y));
+          AddAuxRule(c, X, Y, {std::move(base)});
+        }
+        {
+          std::vector<Term> X = FreshVars(k, "X"), Y = FreshVars(k, "Y"),
+                            Z = FreshVars(k, "Z");
+          GRAPHLOG_ASSIGN_OR_RETURN(Literal step,
+                                    BodyLiteral(*base_expr, X, Z));
+          Atom rec;
+          rec.predicate = c.pred;
+          rec.args = Z;
+          rec.args.insert(rec.args.end(), Y.begin(), Y.end());
+          for (Symbol v : c.vars) rec.args.push_back(Term::Var(v));
+          AddAuxRule(c, X, Y,
+                     {std::move(step), Literal::Positive(std::move(rec))});
+        }
+        break;
+      }
+      default:
+        return Status::Internal("CompileExpr on unexpected kind");
+    }
+    out_.aux_predicates.push_back(c.pred);
+    return c;
+  }
+
+  /// Emits `c.pred(X, Y, c.vars) :- body.` into the auxiliary rule block.
+  void AddAuxRule(const Compiled& c, const std::vector<Term>& X,
+                  const std::vector<Term>& Y, std::vector<Literal> body) {
+    Rule r;
+    r.head.predicate = c.pred;
+    for (const Term& t : X) r.head.args.push_back(HeadTerm::Plain(t));
+    for (const Term& t : Y) r.head.args.push_back(HeadTerm::Plain(t));
+    for (Symbol v : c.vars) {
+      r.head.args.push_back(HeadTerm::Plain(Term::Var(v)));
+    }
+    r.body = std::move(body);
+    out_.program.rules.push_back(std::move(r));
+  }
+
+  /// Componentwise comparison literals between two equal-length labels
+  /// (footnote 3 of the paper).
+  static std::vector<Literal> ComparisonLiterals(CmpOp op,
+                                                 const std::vector<Term>& U,
+                                                 const std::vector<Term>& V) {
+    std::vector<Literal> out;
+    for (size_t i = 0; i < U.size(); ++i) {
+      out.push_back(Literal::Comparison(op, U[i], V[i]));
+    }
+    return out;
+  }
+
+  /// The conjunct options for one edge. Most edges have exactly one
+  /// option; an identity alternative (from =, *, ?) adds an equality
+  /// option; a negated edge conjoins the negations of all alternatives.
+  Result<std::vector<std::vector<Literal>>> EdgeOptions(const QueryEdge& e) {
+    const std::vector<Term>& U = g_.nodes[e.from].label;
+    const std::vector<Term>& V = g_.nodes[e.to].label;
+
+    if (e.comparison.has_value()) {
+      return std::vector<std::vector<Literal>>{
+          ComparisonLiterals(*e.comparison, U, V)};
+    }
+
+    bool negated = e.expr.kind == PathExpr::Kind::kNegate;
+    const PathExpr& body = negated ? e.expr.children[0] : e.expr;
+    GRAPHLOG_ASSIGN_OR_RETURN(ExpandedPre x, ExpandEquality(body));
+
+    if (negated) {
+      // ¬(=|a1|...|am): conjunction U != V (componentwise), ¬a1, ..., ¬am.
+      std::vector<Literal> lits;
+      if (x.has_identity) {
+        for (Literal& l : ComparisonLiterals(CmpOp::kNe, U, V)) {
+          lits.push_back(std::move(l));
+        }
+      }
+      for (const PathExpr& a : x.alternatives) {
+        GRAPHLOG_ASSIGN_OR_RETURN(Literal pos, BodyLiteral(a, U, V));
+        if (pos.kind != Literal::Kind::kAtom) {
+          return Status::Internal("negated edge produced non-atom literal");
+        }
+        lits.push_back(Literal::Negative(std::move(pos.atom)));
+      }
+      return std::vector<std::vector<Literal>>{std::move(lits)};
+    }
+
+    std::vector<std::vector<Literal>> options;
+    if (!x.alternatives.empty()) {
+      PathExpr positive = x.alternatives.size() == 1
+                              ? std::move(x.alternatives[0])
+                              : PathExpr::Alt(std::move(x.alternatives));
+      GRAPHLOG_ASSIGN_OR_RETURN(Literal l, BodyLiteral(positive, U, V));
+      options.push_back({std::move(l)});
+    }
+    if (x.has_identity) {
+      options.push_back(ComparisonLiterals(CmpOp::kEq, U, V));
+    }
+    if (options.empty()) {
+      return Status::InvalidArgument("edge label denotes the empty language");
+    }
+    return options;
+  }
+
+  std::string BaseName() const {
+    return syms_->name(g_.distinguished.predicate);
+  }
+
+  const QueryGraph& g_;
+  SymbolTable* syms_;
+  Translation out_;
+  size_t main_rules_ = 0;  // main rules precede aux rules in the output
+  int fresh_counter_ = 0;
+};
+
+}  // namespace
+
+Result<Translation> TranslateQueryGraph(const QueryGraph& g,
+                                        SymbolTable* syms) {
+  GraphTranslator t(g, syms);
+  return t.Run();
+}
+
+Result<Translation> Translate(const GraphicalQuery& q, SymbolTable* syms,
+                              bool skip_summaries) {
+  GRAPHLOG_RETURN_NOT_OK(ValidateGraphicalQuery(q, *syms));
+  Translation out;
+  for (const QueryGraph& g : q.graphs) {
+    if (g.summary.has_value()) {
+      if (skip_summaries) continue;
+      return Status::Unsupported(
+          "graphical query contains a summarization graph; evaluate with "
+          "the GraphLog engine (Section 4 semantics)");
+    }
+    GRAPHLOG_ASSIGN_OR_RETURN(Translation t, TranslateQueryGraph(g, syms));
+    out.program.Append(t.program);
+    out.aux_predicates.insert(out.aux_predicates.end(),
+                              t.aux_predicates.begin(),
+                              t.aux_predicates.end());
+  }
+  return out;
+}
+
+}  // namespace graphlog::gl

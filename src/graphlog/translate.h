@@ -1,0 +1,53 @@
+// The logical translation function lambda (Definition 2.4), generalized to
+// path regular expressions.
+//
+// A query graph maps to one or more Datalog rules (one per combination of
+// identity alternatives contributed by `=`/*/? operators) plus auxiliary
+// rules defining:
+//   * closure predicates — the TC rule pairs (2)-(3) of Definition 2.4;
+//     a closure over predicate `p` is named `p-tc`, matching Figure 3,
+//   * composition ("path") predicates for sequenced sub-expressions,
+//   * alternation ("alt") predicates, with ghost variables projected away.
+//
+// Inversion needs no auxiliary predicate: -(E) between U and V is E between
+// V and U, recursively.
+//
+// A graphical query translates to the union of its query graphs' programs
+// (Definition 2.5); the result is stratified Datalog whose only recursion
+// is through generalized TC rules — i.e. GraphLog lands inside
+// STC-DATALOG, which Section 3 shows is no accident.
+
+#ifndef GRAPHLOG_GRAPHLOG_TRANSLATE_H_
+#define GRAPHLOG_GRAPHLOG_TRANSLATE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/symbol_table.h"
+#include "datalog/ast.h"
+#include "graphlog/query_graph.h"
+
+namespace graphlog::gl {
+
+/// \brief Output of the translation.
+struct Translation {
+  datalog::Program program;
+  /// Auxiliary predicates introduced (closure / path / alt predicates).
+  std::vector<Symbol> aux_predicates;
+};
+
+/// \brief Translates a single validated query graph. Fails with
+/// kUnsupported when the graph carries a summarization spec (those are
+/// evaluated by the summarization operator, not by Datalog — Section 4).
+Result<Translation> TranslateQueryGraph(const QueryGraph& g,
+                                        SymbolTable* syms);
+
+/// \brief Validates and translates a graphical query; summary graphs are
+/// skipped when `skip_summaries` (the engine evaluates them separately),
+/// otherwise their presence is an error.
+Result<Translation> Translate(const GraphicalQuery& q, SymbolTable* syms,
+                              bool skip_summaries = false);
+
+}  // namespace graphlog::gl
+
+#endif  // GRAPHLOG_GRAPHLOG_TRANSLATE_H_

@@ -1,0 +1,270 @@
+#include "ham/ham.h"
+
+#include <algorithm>
+
+namespace graphlog::ham {
+
+using storage::Database;
+using storage::Tuple;
+
+// ---------------------------------------------------------------------------
+// Transactions
+
+Status Ham::Begin() {
+  if (in_txn_) {
+    return Status::InvalidArgument("a transaction is already open");
+  }
+  in_txn_ = true;
+  return Status::OK();
+}
+
+Result<Version> Ham::Commit() {
+  if (!in_txn_) return Status::InvalidArgument("no open transaction");
+  Version v = version_ + 1;
+  // Created objects were inserted with born == v already.
+  for (const StagedAttr& sa : staged_attrs_) {
+    auto it = objects_.find(sa.obj);
+    if (it == objects_.end()) continue;  // destroyed in same txn
+    it->second.attributes[sa.name].history.emplace_back(v, sa.value);
+  }
+  for (ObjectId id : staged_destroys_) {
+    auto it = objects_.find(id);
+    if (it == objects_.end()) continue;
+    if (it->second.born == v) {
+      objects_.erase(it);  // created and destroyed in the same txn
+    } else {
+      it->second.died = v;
+    }
+  }
+  staged_creates_.clear();
+  staged_attrs_.clear();
+  staged_destroys_.clear();
+  in_txn_ = false;
+  version_ = v;
+  return v;
+}
+
+Status Ham::Abort() {
+  if (!in_txn_) return Status::InvalidArgument("no open transaction");
+  for (ObjectId id : staged_creates_) objects_.erase(id);
+  staged_creates_.clear();
+  staged_attrs_.clear();
+  staged_destroys_.clear();
+  in_txn_ = false;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Mutations
+
+Result<ObjectId> Ham::CreateNode(std::string_view name) {
+  if (!in_txn_) return Status::InvalidArgument("mutation outside transaction");
+  ObjectId id = next_id_++;
+  Object o;
+  o.kind = ObjectKind::kNode;
+  o.name = std::string(name);
+  o.born = version_ + 1;
+  objects_.emplace(id, std::move(o));
+  staged_creates_.push_back(id);
+  return id;
+}
+
+Result<ObjectId> Ham::CreateLink(ObjectId from, ObjectId to,
+                                 std::string_view label) {
+  if (!in_txn_) return Status::InvalidArgument("mutation outside transaction");
+  const Object* f = FindVisible(from);
+  const Object* t = FindVisible(to);
+  if (f == nullptr || t == nullptr) {
+    return Status::NotFound("link endpoint does not exist");
+  }
+  if (f->kind != ObjectKind::kNode || t->kind != ObjectKind::kNode) {
+    return Status::InvalidArgument("links connect nodes");
+  }
+  ObjectId id = next_id_++;
+  Object o;
+  o.kind = ObjectKind::kLink;
+  o.name = std::string(label);
+  o.from = from;
+  o.to = to;
+  o.born = version_ + 1;
+  objects_.emplace(id, std::move(o));
+  staged_creates_.push_back(id);
+  return id;
+}
+
+Status Ham::SetAttribute(ObjectId obj, std::string_view name, Value value) {
+  if (!in_txn_) return Status::InvalidArgument("mutation outside transaction");
+  if (FindVisible(obj) == nullptr) {
+    return Status::NotFound("object does not exist");
+  }
+  staged_attrs_.push_back(StagedAttr{obj, std::string(name), value});
+  return Status::OK();
+}
+
+Status Ham::Destroy(ObjectId obj) {
+  if (!in_txn_) return Status::InvalidArgument("mutation outside transaction");
+  const Object* o = FindVisible(obj);
+  if (o == nullptr) return Status::NotFound("object does not exist");
+  staged_destroys_.push_back(obj);
+  if (o->kind == ObjectKind::kNode) {
+    // Cascade to incident links.
+    for (const auto& [id, other] : objects_) {
+      if (other.kind == ObjectKind::kLink &&
+          (other.from == obj || other.to == obj) &&
+          FindVisible(id) != nullptr) {
+        staged_destroys_.push_back(id);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Reads
+
+bool Ham::VisibleNow(ObjectId id, const Object& o) const {
+  if (in_txn_) {
+    if (std::find(staged_destroys_.begin(), staged_destroys_.end(), id) !=
+        staged_destroys_.end()) {
+      return false;
+    }
+    // Pending creations (born == version_ + 1) are visible in-txn.
+    return o.born <= version_ + 1 &&
+           (!o.died.has_value() || *o.died > version_);
+  }
+  return AliveAt(o, version_);
+}
+
+const Ham::Object* Ham::FindVisible(ObjectId id) const {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) return nullptr;
+  return VisibleNow(id, it->second) ? &it->second : nullptr;
+}
+
+bool Ham::Exists(ObjectId obj) const { return FindVisible(obj) != nullptr; }
+
+Result<ObjectKind> Ham::KindOf(ObjectId obj) const {
+  const Object* o = FindVisible(obj);
+  if (o == nullptr) return Status::NotFound("object does not exist");
+  return o->kind;
+}
+
+Result<Value> Ham::GetAttribute(ObjectId obj, std::string_view name,
+                                std::optional<Version> at) const {
+  auto it = objects_.find(obj);
+  if (it == objects_.end()) return Status::NotFound("object does not exist");
+  const Object& o = it->second;
+
+  if (!at.has_value()) {
+    if (FindVisible(obj) == nullptr) {
+      return Status::NotFound("object does not exist");
+    }
+    // Read-your-writes: the latest staged value wins inside a txn.
+    if (in_txn_) {
+      for (auto rit = staged_attrs_.rbegin(); rit != staged_attrs_.rend();
+           ++rit) {
+        if (rit->obj == obj && rit->name == name) return rit->value;
+      }
+    }
+    at = version_;
+  }
+  if (!AliveAt(o, *at)) {
+    return Status::NotFound("object does not exist at that version");
+  }
+  auto ait = o.attributes.find(name);
+  if (ait == o.attributes.end()) {
+    return Status::NotFound("attribute never set");
+  }
+  const Value* best = nullptr;
+  for (const auto& [v, value] : ait->second.history) {
+    if (v <= *at) best = &value;
+  }
+  if (best == nullptr) {
+    return Status::NotFound("attribute not set at that version");
+  }
+  return *best;
+}
+
+Result<std::string> Ham::NodeName(ObjectId node) const {
+  const Object* o = FindVisible(node);
+  if (o == nullptr || o->kind != ObjectKind::kNode) {
+    return Status::NotFound("no such node");
+  }
+  return o->name;
+}
+
+Result<std::pair<ObjectId, ObjectId>> Ham::LinkEndpoints(
+    ObjectId link) const {
+  const Object* o = FindVisible(link);
+  if (o == nullptr || o->kind != ObjectKind::kLink) {
+    return Status::NotFound("no such link");
+  }
+  return std::make_pair(o->from, o->to);
+}
+
+Result<std::string> Ham::LinkLabel(ObjectId link) const {
+  const Object* o = FindVisible(link);
+  if (o == nullptr || o->kind != ObjectKind::kLink) {
+    return Status::NotFound("no such link");
+  }
+  return o->name;
+}
+
+size_t Ham::num_objects() const {
+  size_t n = 0;
+  for (const auto& [id, o] : objects_) {
+    if (VisibleNow(id, o)) ++n;
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Export
+
+Status Ham::Export(Database* db, std::optional<Version> at) const {
+  Version v = at.value_or(version_);
+  auto attr_tuple = [&](const Object& o, Version when,
+                        const std::string& name) -> std::optional<Value> {
+    auto it = o.attributes.find(name);
+    if (it == o.attributes.end()) return std::nullopt;
+    const Value* best = nullptr;
+    for (const auto& [ver, value] : it->second.history) {
+      if (ver <= when) best = &value;
+    }
+    return best == nullptr ? std::nullopt : std::optional<Value>(*best);
+  };
+
+  for (const auto& [id, o] : objects_) {
+    if (!AliveAt(o, v)) continue;
+    if (o.kind == ObjectKind::kNode) {
+      Value name = Value::Sym(db->Intern(o.name));
+      GRAPHLOG_RETURN_NOT_OK(db->AddFact("node", Tuple{name}));
+      for (const auto& [aname, attr] : o.attributes) {
+        auto val = attr_tuple(o, v, aname);
+        if (val.has_value()) {
+          GRAPHLOG_RETURN_NOT_OK(db->AddFact(
+              "node-attr",
+              Tuple{name, Value::Sym(db->Intern(aname)), *val}));
+        }
+      }
+    } else {
+      const Object& f = objects_.at(o.from);
+      const Object& t = objects_.at(o.to);
+      Value from = Value::Sym(db->Intern(f.name));
+      Value to = Value::Sym(db->Intern(t.name));
+      GRAPHLOG_RETURN_NOT_OK(db->AddFact(o.name, Tuple{from, to}));
+      for (const auto& [aname, attr] : o.attributes) {
+        auto val = attr_tuple(o, v, aname);
+        if (val.has_value()) {
+          GRAPHLOG_RETURN_NOT_OK(db->AddFact(
+              "link-attr",
+              Tuple{from, to, Value::Sym(db->Intern(o.name)),
+                    Value::Sym(db->Intern(aname)), *val}));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace graphlog::ham

@@ -1,0 +1,160 @@
+// A miniature Hypertext Abstract Machine (HAM).
+//
+// Section 5 of the paper: the prototype "has an interface for processing
+// G+/GraphLog queries on top of the Neptune hypertext front-end to the
+// Hypertext Abstract Machine (HAM). The HAM is a general-purpose,
+// transaction-based, multiuser server for a hypertext storage system.
+// Using this interface, queries on large graphs may be posed."
+//
+// This module is the substitution for that backend (DESIGN.md): a
+// single-process HAM with the architecture the original exposed —
+//
+//   * objects: NODEs and LINKs (a link connects two nodes and carries a
+//     label), each with an attribute map,
+//   * transactions: Begin / Commit / Abort with staged writes — nothing
+//     becomes visible until commit,
+//   * versions: every commit advances a global version clock; attribute
+//     history is retained, so any past version can be read back
+//     (HAM-style version history),
+//   * a query interface: Export() materializes the current (or a
+//     historical) state as a relational Database, from which GraphLog
+//     queries and RPQs run unchanged.
+
+#ifndef GRAPHLOG_HAM_HAM_H_
+#define GRAPHLOG_HAM_HAM_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/database.h"
+
+namespace graphlog::ham {
+
+/// \brief Identifier of a HAM object (node or link).
+using ObjectId = uint64_t;
+
+/// \brief A HAM version number; versions advance on commit.
+using Version = uint64_t;
+
+/// \brief Object categories.
+enum class ObjectKind : uint8_t { kNode, kLink };
+
+/// \brief The miniature Hypertext Abstract Machine.
+///
+/// Mutations are only permitted inside a transaction. Reads outside a
+/// transaction see the last committed state; reads inside see staged
+/// changes (read-your-writes).
+class Ham {
+ public:
+  Ham() = default;
+
+  // --- Transactions --------------------------------------------------------
+
+  /// \brief Opens a transaction. Fails if one is already open (the
+  /// original HAM serialized writers; this miniature has one writer).
+  Status Begin();
+
+  /// \brief Atomically publishes all staged changes and advances the
+  /// version clock. Fails when no transaction is open.
+  Result<Version> Commit();
+
+  /// \brief Discards all staged changes.
+  Status Abort();
+
+  bool in_transaction() const { return in_txn_; }
+
+  /// \brief The current committed version (0 before any commit).
+  Version current_version() const { return version_; }
+
+  // --- Mutations (require an open transaction) -----------------------------
+
+  /// \brief Creates a node.
+  Result<ObjectId> CreateNode(std::string_view name);
+
+  /// \brief Creates a link from `from` to `to` with a label.
+  Result<ObjectId> CreateLink(ObjectId from, ObjectId to,
+                              std::string_view label);
+
+  /// \brief Sets (or overwrites) an attribute on any live object.
+  Status SetAttribute(ObjectId obj, std::string_view name, Value value);
+
+  /// \brief Deletes an object; deleting a node also deletes its incident
+  /// links.
+  Status Destroy(ObjectId obj);
+
+  // --- Reads ----------------------------------------------------------------
+
+  bool Exists(ObjectId obj) const;
+  Result<ObjectKind> KindOf(ObjectId obj) const;
+
+  /// \brief The attribute value as of `at` (default: latest visible
+  /// state). NotFound when the attribute was never set or the object does
+  /// not exist at that version.
+  Result<Value> GetAttribute(ObjectId obj, std::string_view name,
+                             std::optional<Version> at = {}) const;
+
+  /// \brief Node name / link endpoints.
+  Result<std::string> NodeName(ObjectId node) const;
+  Result<std::pair<ObjectId, ObjectId>> LinkEndpoints(ObjectId link) const;
+  Result<std::string> LinkLabel(ObjectId link) const;
+
+  size_t num_objects() const;
+
+  // --- Query interface ------------------------------------------------------
+
+  /// \brief Materializes the committed state (or the state as of `at`)
+  /// into `db`:
+  ///   node(name).
+  ///   <label>(from-name, to-name).          one relation per link label
+  ///   node-attr(name, attr, value).
+  ///   link-attr(from-name, to-name, label, attr, value).
+  /// GraphLog queries then run against `db` unchanged.
+  Status Export(storage::Database* db, std::optional<Version> at = {}) const;
+
+ private:
+  struct Attribute {
+    // (version the write became visible at, value); destroyed attributes
+    // are not modeled — objects die whole.
+    std::vector<std::pair<Version, Value>> history;
+  };
+  struct Object {
+    ObjectKind kind = ObjectKind::kNode;
+    std::string name;           // node name or link label
+    ObjectId from = 0, to = 0;  // links only
+    Version born = 0;
+    std::optional<Version> died;
+    std::map<std::string, Attribute, std::less<>> attributes;
+  };
+
+  // Staged operations.
+  struct StagedAttr {
+    ObjectId obj;
+    std::string name;
+    Value value;
+  };
+
+  bool AliveAt(const Object& o, Version at) const {
+    return o.born <= at && (!o.died.has_value() || *o.died > at);
+  }
+  /// Visible liveness for reads (committed state + staged changes).
+  bool VisibleNow(ObjectId id, const Object& o) const;
+
+  const Object* FindVisible(ObjectId id) const;
+
+  std::map<ObjectId, Object> objects_;
+  Version version_ = 0;
+  ObjectId next_id_ = 1;
+
+  bool in_txn_ = false;
+  std::vector<ObjectId> staged_creates_;
+  std::vector<StagedAttr> staged_attrs_;
+  std::vector<ObjectId> staged_destroys_;
+};
+
+}  // namespace graphlog::ham
+
+#endif  // GRAPHLOG_HAM_HAM_H_

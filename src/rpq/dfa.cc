@@ -1,0 +1,138 @@
+#include "rpq/dfa.h"
+
+#include <algorithm>
+#include <set>
+
+namespace graphlog::rpq {
+
+Result<Dfa> Dfa::Determinize(const Nfa& nfa) {
+  // Collect the alphabet and reject filtered labels.
+  std::set<DfaLabel> labels;
+  for (uint32_t s = 0; s < nfa.num_states(); ++s) {
+    for (const NfaTransition& t : nfa.TransitionsFrom(s)) {
+      if (t.epsilon) continue;
+      for (const auto& f : t.filters) {
+        if (f.has_value()) {
+          return Status::Unsupported(
+              "DFA evaluation supports plain labels only (attribute "
+              "filters present)");
+        }
+      }
+      labels.insert(DfaLabel{t.predicate, t.inverted});
+    }
+  }
+
+  Dfa dfa;
+  dfa.alphabet_.assign(labels.begin(), labels.end());
+  const size_t na = dfa.alphabet_.size();
+
+  std::vector<bool> scratch(nfa.num_states());
+  auto closure = [&](std::vector<uint32_t> states) {
+    nfa.EpsilonClosure(&states, &scratch);
+    std::sort(states.begin(), states.end());
+    states.erase(std::unique(states.begin(), states.end()), states.end());
+    return states;
+  };
+
+  std::map<std::vector<uint32_t>, uint32_t> ids;
+  std::vector<std::vector<uint32_t>> subsets;
+  auto intern = [&](std::vector<uint32_t> subset) {
+    auto [it, inserted] =
+        ids.emplace(subset, static_cast<uint32_t>(subsets.size()));
+    if (inserted) {
+      subsets.push_back(std::move(subset));
+      dfa.accepting_.push_back(false);
+      dfa.table_.resize(dfa.table_.size() + na, kNoTransition);
+    }
+    return it->second;
+  };
+
+  std::vector<uint32_t> start = closure({nfa.start()});
+  dfa.start_ = intern(start);
+
+  for (uint32_t cur = 0; cur < subsets.size(); ++cur) {
+    const std::vector<uint32_t> subset = subsets[cur];
+    dfa.accepting_[cur] =
+        std::binary_search(subset.begin(), subset.end(), nfa.accept());
+    for (size_t li = 0; li < na; ++li) {
+      const DfaLabel& label = dfa.alphabet_[li];
+      std::vector<uint32_t> next;
+      for (uint32_t s : subset) {
+        for (const NfaTransition& t : nfa.TransitionsFrom(s)) {
+          if (t.epsilon) continue;
+          if (t.predicate == label.predicate &&
+              t.inverted == label.inverted) {
+            next.push_back(t.to);
+          }
+        }
+      }
+      if (next.empty()) continue;
+      uint32_t id = intern(closure(std::move(next)));
+      dfa.table_[cur * na + li] = id;
+      // Recompute acceptance flag lazily; intern() may have grown tables.
+    }
+  }
+  // Acceptance pass (intern during the loop grew the vectors).
+  for (uint32_t s = 0; s < subsets.size(); ++s) {
+    dfa.accepting_[s] =
+        std::binary_search(subsets[s].begin(), subsets[s].end(),
+                           nfa.accept());
+  }
+  return dfa;
+}
+
+Dfa Dfa::Minimize() const {
+  const size_t n = num_states();
+  const size_t na = alphabet_.size();
+  // Moore refinement over a completed automaton: treat kNoTransition as a
+  // virtual dead class.
+  std::vector<uint32_t> cls(n);
+  for (size_t s = 0; s < n; ++s) cls[s] = accepting_[s] ? 1 : 0;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Signature: (class, successor classes).
+    std::map<std::vector<uint32_t>, uint32_t> sig_ids;
+    std::vector<uint32_t> next_cls(n);
+    for (size_t s = 0; s < n; ++s) {
+      std::vector<uint32_t> sig;
+      sig.reserve(na + 1);
+      sig.push_back(cls[s]);
+      for (size_t li = 0; li < na; ++li) {
+        uint32_t t = Next(static_cast<uint32_t>(s), li);
+        sig.push_back(t == kNoTransition ? static_cast<uint32_t>(-1)
+                                         : cls[t]);
+      }
+      auto [it, inserted] =
+          sig_ids.emplace(std::move(sig),
+                          static_cast<uint32_t>(sig_ids.size()));
+      next_cls[s] = it->second;
+    }
+    if (next_cls != cls) {
+      changed = true;
+      cls = std::move(next_cls);
+    }
+  }
+
+  uint32_t num_classes = 0;
+  for (uint32_t c : cls) num_classes = std::max(num_classes, c + 1);
+
+  Dfa out;
+  out.alphabet_ = alphabet_;
+  out.start_ = cls[start_];
+  out.accepting_.assign(num_classes, false);
+  out.table_.assign(static_cast<size_t>(num_classes) * na, kNoTransition);
+  for (size_t s = 0; s < n; ++s) {
+    if (accepting_[s]) out.accepting_[cls[s]] = true;
+    for (size_t li = 0; li < na; ++li) {
+      uint32_t t = Next(static_cast<uint32_t>(s), li);
+      if (t != kNoTransition) {
+        out.table_[cls[s] * na + li] = cls[t];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace graphlog::rpq

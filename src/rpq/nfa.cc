@@ -1,0 +1,122 @@
+#include "rpq/nfa.h"
+
+#include <algorithm>
+
+namespace graphlog::rpq {
+
+using gl::PathExpr;
+
+Result<Nfa> Nfa::Compile(const PathExpr& expr) {
+  Nfa nfa;
+  nfa.start_ = nfa.NewState();
+  nfa.accept_ = nfa.NewState();
+  GRAPHLOG_RETURN_NOT_OK(
+      nfa.Build(expr, /*inverted=*/false, nfa.start_, nfa.accept_));
+  return nfa;
+}
+
+Status Nfa::Build(const PathExpr& e, bool inverted, uint32_t from,
+                  uint32_t to) {
+  switch (e.kind) {
+    case PathExpr::Kind::kAtom: {
+      NfaTransition t;
+      t.to = to;
+      t.epsilon = false;
+      t.predicate = e.predicate;
+      t.inverted = inverted;
+      for (const auto& p : e.params) {
+        if (p.is_constant()) {
+          t.filters.push_back(p.value());
+        } else if (p.is_wildcard()) {
+          t.filters.push_back(std::nullopt);
+        } else {
+          return Status::Unsupported(
+              "variable parameters are outside the RPQ fragment; use the "
+              "Datalog translation");
+        }
+      }
+      transitions_[from].push_back(std::move(t));
+      return Status::OK();
+    }
+    case PathExpr::Kind::kEquals:
+      AddEpsilon(from, to);
+      return Status::OK();
+    case PathExpr::Kind::kInverse:
+      // -(E) flips every atom's direction and reverses composition order
+      // (-(E1 E2) == (-E2)(-E1)); both effects are carried by `inverted`.
+      return Build(e.children[0], !inverted, from, to);
+    case PathExpr::Kind::kNegate:
+      return Status::Unsupported(
+          "negation is outside the RPQ fragment; use the Datalog "
+          "translation");
+    case PathExpr::Kind::kAlt: {
+      for (const PathExpr& c : e.children) {
+        uint32_t s = NewState(), t = NewState();
+        AddEpsilon(from, s);
+        GRAPHLOG_RETURN_NOT_OK(Build(c, inverted, s, t));
+        AddEpsilon(t, to);
+      }
+      return Status::OK();
+    }
+    case PathExpr::Kind::kSeq: {
+      // Under inversion the composition applies in reverse order.
+      uint32_t cur = from;
+      for (size_t k = 0; k < e.children.size(); ++k) {
+        size_t i = inverted ? e.children.size() - 1 - k : k;
+        uint32_t next = (k + 1 == e.children.size()) ? to : NewState();
+        GRAPHLOG_RETURN_NOT_OK(Build(e.children[i], inverted, cur, next));
+        cur = next;
+      }
+      return Status::OK();
+    }
+    case PathExpr::Kind::kPlus: {
+      uint32_t s = NewState(), t = NewState();
+      AddEpsilon(from, s);
+      GRAPHLOG_RETURN_NOT_OK(Build(e.children[0], inverted, s, t));
+      AddEpsilon(t, s);  // repeat
+      AddEpsilon(t, to);
+      return Status::OK();
+    }
+    case PathExpr::Kind::kStar: {
+      uint32_t s = NewState(), t = NewState();
+      AddEpsilon(from, s);
+      AddEpsilon(from, to);  // zero occurrences
+      GRAPHLOG_RETURN_NOT_OK(Build(e.children[0], inverted, s, t));
+      AddEpsilon(t, s);
+      AddEpsilon(t, to);
+      return Status::OK();
+    }
+    case PathExpr::Kind::kOptional: {
+      AddEpsilon(from, to);
+      return Build(e.children[0], inverted, from, to);
+    }
+  }
+  return Status::Internal("unknown PathExpr kind in NFA construction");
+}
+
+void Nfa::EpsilonClosure(std::vector<uint32_t>* states,
+                         std::vector<bool>* scratch) const {
+  std::fill(scratch->begin(), scratch->end(), false);
+  std::vector<uint32_t> stack(*states);
+  for (uint32_t s : *states) (*scratch)[s] = true;
+  while (!stack.empty()) {
+    uint32_t s = stack.back();
+    stack.pop_back();
+    for (const NfaTransition& t : transitions_[s]) {
+      if (t.epsilon && !(*scratch)[t.to]) {
+        (*scratch)[t.to] = true;
+        states->push_back(t.to);
+        stack.push_back(t.to);
+      }
+    }
+  }
+}
+
+bool Nfa::AcceptsEmpty() const {
+  std::vector<uint32_t> states{start_};
+  std::vector<bool> scratch(num_states());
+  EpsilonClosure(&states, &scratch);
+  return std::find(states.begin(), states.end(), accept_) != states.end();
+}
+
+}  // namespace graphlog::rpq

@@ -1,0 +1,82 @@
+// Thompson NFA construction for path regular expressions.
+//
+// The Section 5 prototype evaluates G+ "edge queries" — a single edge
+// labeled by an arbitrary regular expression — by searching the database
+// graph directly, following [MW89]. This module provides the automaton
+// half: a p.r.e. compiles to an NFA whose transitions match data-graph
+// edges by predicate (forward or inverted) with optional constant filters
+// on edge attributes.
+//
+// Supported fragment: atoms with constant/wildcard parameters, inversion,
+// alternation, composition, +, *, ?, and `=`. Variable parameters and
+// negation are outside the RPQ fragment (use the Datalog translation).
+
+#ifndef GRAPHLOG_RPQ_NFA_H_
+#define GRAPHLOG_RPQ_NFA_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/symbol_table.h"
+#include "graphlog/pre.h"
+
+namespace graphlog::rpq {
+
+/// \brief One NFA transition.
+struct NfaTransition {
+  uint32_t to = 0;
+  bool epsilon = false;
+  Symbol predicate = kNoSymbol;  ///< edge label to match (when !epsilon)
+  bool inverted = false;         ///< traverse the data edge backwards
+  /// Per-attribute constant filters; nullopt positions match anything.
+  std::vector<std::optional<Value>> filters;
+};
+
+/// \brief A nondeterministic finite automaton over edge labels.
+class Nfa {
+ public:
+  /// \brief Compiles a p.r.e. into an NFA (Thompson construction).
+  /// Fails with kUnsupported on negation or variable parameters.
+  static Result<Nfa> Compile(const gl::PathExpr& expr);
+
+  uint32_t start() const { return start_; }
+  uint32_t accept() const { return accept_; }
+  size_t num_states() const { return transitions_.size(); }
+
+  const std::vector<NfaTransition>& TransitionsFrom(uint32_t state) const {
+    return transitions_[state];
+  }
+
+  /// \brief States reachable from `states` via epsilon transitions
+  /// (including the inputs). `scratch` must be sized num_states().
+  void EpsilonClosure(std::vector<uint32_t>* states,
+                      std::vector<bool>* scratch) const;
+
+  /// \brief True when the empty path is accepted (start ->eps* accept).
+  bool AcceptsEmpty() const;
+
+ private:
+  uint32_t NewState() {
+    transitions_.emplace_back();
+    return static_cast<uint32_t>(transitions_.size() - 1);
+  }
+  void AddEpsilon(uint32_t from, uint32_t to) {
+    NfaTransition t;
+    t.to = to;
+    t.epsilon = true;
+    transitions_[from].push_back(t);
+  }
+
+  // Builds expr between fresh (from, to); returns Status.
+  Status Build(const gl::PathExpr& expr, bool inverted, uint32_t from,
+               uint32_t to);
+
+  uint32_t start_ = 0;
+  uint32_t accept_ = 0;
+  std::vector<std::vector<NfaTransition>> transitions_;
+};
+
+}  // namespace graphlog::rpq
+
+#endif  // GRAPHLOG_RPQ_NFA_H_

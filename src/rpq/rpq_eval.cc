@@ -1,0 +1,276 @@
+#include "rpq/rpq_eval.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "rpq/dfa.h"
+
+namespace graphlog::rpq {
+
+using graph::DataGraph;
+using graph::Edge;
+using graph::NodeId;
+using storage::Relation;
+using storage::Tuple;
+
+namespace {
+
+bool EdgeMatches(const Edge& e, const NfaTransition& t) {
+  if (e.predicate != t.predicate) return false;
+  if (t.filters.empty()) return true;
+  if (t.filters.size() != e.args.size()) return false;
+  for (size_t i = 0; i < t.filters.size(); ++i) {
+    if (t.filters[i].has_value() && !(e.args[i] == *t.filters[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// BFS over the (node, nfa-state) product from one source node.
+void SearchFrom(const DataGraph& g, const Nfa& nfa, NodeId source,
+                const std::optional<NodeId>& target, Relation* out,
+                RpqStats* stats) {
+  const size_t ns = nfa.num_states();
+  // visited[node * ns + state]
+  std::vector<bool> visited(g.num_nodes() * ns, false);
+  std::vector<bool> scratch(ns);
+
+  std::deque<std::pair<NodeId, uint32_t>> queue;
+  auto enqueue = [&](NodeId n, uint32_t state) {
+    // Expand the epsilon closure of `state` at node n.
+    std::vector<uint32_t> states{state};
+    nfa.EpsilonClosure(&states, &scratch);
+    for (uint32_t s : states) {
+      size_t idx = static_cast<size_t>(n) * ns + s;
+      if (!visited[idx]) {
+        visited[idx] = true;
+        queue.emplace_back(n, s);
+      }
+    }
+  };
+
+  enqueue(source, nfa.start());
+  while (!queue.empty()) {
+    auto [n, state] = queue.front();
+    queue.pop_front();
+    if (stats != nullptr) ++stats->product_states_visited;
+    if (state == nfa.accept()) {
+      if (!target.has_value() || n == *target) {
+        out->Insert(Tuple{g.node_value(source), g.node_value(n)});
+      }
+      // Keep searching: other accepting nodes may lie further on.
+    }
+    for (const NfaTransition& t : nfa.TransitionsFrom(state)) {
+      if (t.epsilon) continue;  // covered by closure at enqueue
+      const auto& edge_ids = t.inverted ? g.InEdges(n) : g.OutEdges(n);
+      for (uint32_t ei : edge_ids) {
+        if (stats != nullptr) ++stats->edge_traversals;
+        const Edge& e = g.edge(ei);
+        if (!EdgeMatches(e, t)) continue;
+        NodeId next = t.inverted ? e.from : e.to;
+        enqueue(next, t.to);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Result<Relation> EvalRpq(const DataGraph& g, const gl::PathExpr& expr,
+                         const RpqOptions& options, RpqStats* stats) {
+  GRAPHLOG_ASSIGN_OR_RETURN(Nfa nfa, Nfa::Compile(expr));
+
+  Relation out(2);
+  std::optional<NodeId> target;
+  if (options.target.has_value()) {
+    NodeId t;
+    if (!g.FindNode(*options.target, &t)) return out;  // unknown node
+    target = t;
+  }
+
+  if (options.source.has_value()) {
+    NodeId s;
+    if (!g.FindNode(*options.source, &s)) return out;
+    SearchFrom(g, nfa, s, target, &out, stats);
+    return out;
+  }
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    SearchFrom(g, nfa, s, target, &out, stats);
+  }
+  return out;
+}
+
+Result<Relation> EvalRpqText(const DataGraph& g, std::string_view expr_text,
+                             SymbolTable* syms, const RpqOptions& options,
+                             RpqStats* stats) {
+  GRAPHLOG_ASSIGN_OR_RETURN(gl::PathExpr expr,
+                            gl::ParsePathExpr(expr_text, syms));
+  return EvalRpq(g, expr, options, stats);
+}
+
+namespace {
+
+/// BFS over the (node, dfa-state) product from one source node.
+void SearchFromDfa(const DataGraph& g, const Dfa& dfa, NodeId source,
+                   const std::optional<NodeId>& target, Relation* out,
+                   RpqStats* stats) {
+  const size_t ns = dfa.num_states();
+  std::vector<bool> visited(g.num_nodes() * ns, false);
+  std::deque<std::pair<NodeId, uint32_t>> queue;
+  auto enqueue = [&](NodeId n, uint32_t state) {
+    size_t idx = static_cast<size_t>(n) * ns + state;
+    if (!visited[idx]) {
+      visited[idx] = true;
+      queue.emplace_back(n, state);
+    }
+  };
+  enqueue(source, dfa.start());
+  while (!queue.empty()) {
+    auto [n, state] = queue.front();
+    queue.pop_front();
+    if (stats != nullptr) ++stats->product_states_visited;
+    if (dfa.IsAccepting(state)) {
+      if (!target.has_value() || n == *target) {
+        out->Insert(Tuple{g.node_value(source), g.node_value(n)});
+      }
+    }
+    for (size_t li = 0; li < dfa.alphabet().size(); ++li) {
+      uint32_t next_state = dfa.Next(state, li);
+      if (next_state == Dfa::kNoTransition) continue;
+      const DfaLabel& label = dfa.alphabet()[li];
+      const auto& edge_ids = label.inverted ? g.InEdges(n) : g.OutEdges(n);
+      for (uint32_t ei : edge_ids) {
+        if (stats != nullptr) ++stats->edge_traversals;
+        const Edge& e = g.edge(ei);
+        if (e.predicate != label.predicate) continue;
+        enqueue(label.inverted ? e.from : e.to, next_state);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+namespace {
+
+/// BFS with parent pointers: reconstructs one shortest qualifying path
+/// per reached accepting (node, state) pair.
+void SearchWitnesses(const DataGraph& g, const Nfa& nfa, NodeId source,
+                     const std::optional<NodeId>& target,
+                     std::vector<RpqWitness>* out) {
+  const size_t ns = nfa.num_states();
+  constexpr uint32_t kNone = static_cast<uint32_t>(-1);
+  struct Parent {
+    size_t prev = static_cast<size_t>(-1);  // product index
+    uint32_t edge = kNone;                  // edge taken (kNone: epsilon)
+  };
+  std::vector<bool> visited(g.num_nodes() * ns, false);
+  std::vector<Parent> parent(g.num_nodes() * ns);
+  std::vector<bool> scratch(ns);
+  std::set<NodeId> reported;
+
+  std::deque<std::pair<NodeId, uint32_t>> queue;
+  auto product = [&](NodeId n, uint32_t s) {
+    return static_cast<size_t>(n) * ns + s;
+  };
+  auto enqueue = [&](NodeId n, uint32_t state, size_t prev, uint32_t edge) {
+    // Expand the epsilon closure, recording epsilon parents.
+    std::vector<uint32_t> states{state};
+    nfa.EpsilonClosure(&states, &scratch);
+    for (uint32_t s : states) {
+      size_t idx = product(n, s);
+      if (visited[idx]) continue;
+      visited[idx] = true;
+      // Closure-only states chain to the entry state via an edge-less
+      // (epsilon) parent; the entry state records the traversed edge.
+      parent[idx] =
+          (s == state) ? Parent{prev, edge} : Parent{product(n, state), kNone};
+      queue.emplace_back(n, s);
+    }
+  };
+
+  enqueue(source, nfa.start(), static_cast<size_t>(-1), kNone);
+  while (!queue.empty()) {
+    auto [n, state] = queue.front();
+    queue.pop_front();
+    if (state == nfa.accept() && reported.insert(n).second) {
+      if (!target.has_value() || n == *target) {
+        RpqWitness w;
+        w.source = g.node_value(source);
+        w.target = g.node_value(n);
+        size_t idx = product(n, state);
+        while (idx != static_cast<size_t>(-1)) {
+          const Parent& p = parent[idx];
+          if (p.edge != kNone) w.edge_ids.push_back(p.edge);
+          idx = p.prev;
+        }
+        std::reverse(w.edge_ids.begin(), w.edge_ids.end());
+        out->push_back(std::move(w));
+      }
+    }
+    for (const NfaTransition& t : nfa.TransitionsFrom(state)) {
+      if (t.epsilon) continue;
+      const auto& edge_ids = t.inverted ? g.InEdges(n) : g.OutEdges(n);
+      for (uint32_t ei : edge_ids) {
+        const Edge& e = g.edge(ei);
+        if (!EdgeMatches(e, t)) continue;
+        NodeId next = t.inverted ? e.from : e.to;
+        enqueue(next, t.to, product(n, state), ei);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Result<std::vector<RpqWitness>> EvalRpqWitnesses(const DataGraph& g,
+                                                 const gl::PathExpr& expr,
+                                                 const RpqOptions& options) {
+  GRAPHLOG_ASSIGN_OR_RETURN(Nfa nfa, Nfa::Compile(expr));
+  std::vector<RpqWitness> out;
+  std::optional<NodeId> target;
+  if (options.target.has_value()) {
+    NodeId t;
+    if (!g.FindNode(*options.target, &t)) return out;
+    target = t;
+  }
+  if (options.source.has_value()) {
+    NodeId s;
+    if (!g.FindNode(*options.source, &s)) return out;
+    SearchWitnesses(g, nfa, s, target, &out);
+    return out;
+  }
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    SearchWitnesses(g, nfa, s, target, &out);
+  }
+  return out;
+}
+
+Result<Relation> EvalRpqDfa(const DataGraph& g, const gl::PathExpr& expr,
+                            const RpqOptions& options, RpqStats* stats) {
+  GRAPHLOG_ASSIGN_OR_RETURN(Nfa nfa, Nfa::Compile(expr));
+  GRAPHLOG_ASSIGN_OR_RETURN(Dfa det, Dfa::Determinize(nfa));
+  Dfa dfa = det.Minimize();
+
+  Relation out(2);
+  std::optional<NodeId> target;
+  if (options.target.has_value()) {
+    NodeId t;
+    if (!g.FindNode(*options.target, &t)) return out;
+    target = t;
+  }
+  if (options.source.has_value()) {
+    NodeId s;
+    if (!g.FindNode(*options.source, &s)) return out;
+    SearchFromDfa(g, dfa, s, target, &out, stats);
+    return out;
+  }
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    SearchFromDfa(g, dfa, s, target, &out, stats);
+  }
+  return out;
+}
+
+}  // namespace graphlog::rpq

@@ -1,0 +1,78 @@
+// Regular path query evaluation by automaton-graph product search.
+//
+// This is the [MW89]-style evaluator behind the Section 5 prototype's edge
+// queries: instead of materializing closure relations through Datalog, it
+// BFS-walks the product of the data graph and the query NFA. When an
+// endpoint is fixed (the Figure 12 Rome -> Tokyo query) the search touches
+// only the reachable part of the product — the asymptotic win the
+// benchmark bench_fig12_prototype measures.
+
+#ifndef GRAPHLOG_RPQ_RPQ_EVAL_H_
+#define GRAPHLOG_RPQ_RPQ_EVAL_H_
+
+#include <optional>
+
+#include "common/result.h"
+#include "graph/data_graph.h"
+#include "graphlog/pre.h"
+#include "rpq/nfa.h"
+#include "storage/relation.h"
+
+namespace graphlog::rpq {
+
+/// \brief Endpoint restrictions for EvalRpq.
+struct RpqOptions {
+  /// When set, only paths starting at this node are searched.
+  std::optional<Value> source;
+  /// When set, only pairs ending at this node are reported.
+  std::optional<Value> target;
+};
+
+/// \brief Search-effort counters.
+struct RpqStats {
+  uint64_t product_states_visited = 0;
+  uint64_t edge_traversals = 0;
+};
+
+/// \brief Evaluates `expr` over `g`, returning the binary relation of
+/// (source, target) node values connected by a matching path.
+///
+/// Zero-length matches (from `=`, `*`, `?`) relate every graph node to
+/// itself, subject to the endpoint restrictions.
+Result<storage::Relation> EvalRpq(const graph::DataGraph& g,
+                                  const gl::PathExpr& expr,
+                                  const RpqOptions& options = {},
+                                  RpqStats* stats = nullptr);
+
+/// \brief Convenience: parse the expression and evaluate.
+Result<storage::Relation> EvalRpqText(const graph::DataGraph& g,
+                                      std::string_view expr_text,
+                                      SymbolTable* syms,
+                                      const RpqOptions& options = {},
+                                      RpqStats* stats = nullptr);
+
+/// \brief Table-driven evaluation through the determinized + minimized
+/// automaton (see rpq/dfa.h). Same results as EvalRpq for the plain-label
+/// fragment; rejects expressions with attribute filters or negation.
+Result<storage::Relation> EvalRpqDfa(const graph::DataGraph& g,
+                                     const gl::PathExpr& expr,
+                                     const RpqOptions& options = {},
+                                     RpqStats* stats = nullptr);
+
+/// \brief One answer with a qualifying path: the data-graph edge indices
+/// of a shortest matching path from `source` to `target`.
+struct RpqWitness {
+  Value source, target;
+  std::vector<uint32_t> edge_ids;  ///< indices into DataGraph::edges()
+};
+
+/// \brief Like EvalRpq, but also returns one (BFS-shortest) qualifying
+/// path per answer pair — the Section 5 prototype's "highlighting
+/// qualifying paths directly on the database graph".
+Result<std::vector<RpqWitness>> EvalRpqWitnesses(
+    const graph::DataGraph& g, const gl::PathExpr& expr,
+    const RpqOptions& options = {});
+
+}  // namespace graphlog::rpq
+
+#endif  // GRAPHLOG_RPQ_RPQ_EVAL_H_

@@ -1,0 +1,53 @@
+#include "storage/database.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace graphlog::storage {
+
+namespace {
+
+/// Renders a value as a Datalog constant: symbols that are not bare
+/// lowercase identifiers are quoted so the output re-parses as facts.
+std::string RenderConstant(const Value& v, const SymbolTable& syms) {
+  if (!v.is_symbol()) return v.ToString(syms);
+  const std::string& s = syms.name(v.AsSymbol());
+  bool bare = !s.empty() && std::islower(static_cast<unsigned char>(s[0]));
+  if (bare) {
+    for (size_t i = 0; i < s.size() && bare; ++i) {
+      char c = s[i];
+      if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+            (c == '-' && i + 1 < s.size() &&
+             std::isalpha(static_cast<unsigned char>(s[i + 1]))))) {
+        bare = false;
+      }
+    }
+  }
+  if (bare) return s;
+  return "\"" + EscapeQuoted(s) + "\"";
+}
+
+}  // namespace
+
+std::string Database::RelationToString(Symbol name) const {
+  const Relation* rel = Find(name);
+  if (rel == nullptr) return "";
+  // Sort rendered lines: the Value total order sorts symbols by intern id,
+  // which is meaningless to a reader.
+  std::vector<std::string> lines;
+  lines.reserve(rel->size());
+  for (const Tuple& t : rel->rows()) {
+    std::vector<std::string> parts;
+    parts.reserve(t.size());
+    for (const Value& v : t) parts.push_back(RenderConstant(v, syms_));
+    lines.push_back(syms_.name(name) + "(" + Join(parts, ", ") + ").\n");
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& l : lines) out += l;
+  return out;
+}
+
+}  // namespace graphlog::storage

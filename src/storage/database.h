@@ -1,0 +1,126 @@
+// Database: the catalog of named relations plus the symbol table.
+
+#ifndef GRAPHLOG_STORAGE_DATABASE_H_
+#define GRAPHLOG_STORAGE_DATABASE_H_
+
+#include <initializer_list>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/symbol_table.h"
+#include "storage/relation.h"
+
+namespace graphlog::storage {
+
+/// \brief An extensional database: named relations over interned symbols.
+///
+/// The Database owns the SymbolTable through which all programs and queries
+/// that run against it must intern their identifiers.
+class Database {
+ public:
+  Database() = default;
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  SymbolTable& symbols() { return syms_; }
+  const SymbolTable& symbols() const { return syms_; }
+
+  /// \brief Interns a string (convenience passthrough).
+  Symbol Intern(std::string_view s) { return syms_.Intern(s); }
+
+  /// \brief Declares `name` with the given arity; returns the existing
+  /// relation if already declared with the same arity.
+  Result<Relation*> Declare(std::string_view name, size_t arity) {
+    return Declare(syms_.Intern(name), arity);
+  }
+  Result<Relation*> Declare(Symbol name, size_t arity) {
+    auto it = relations_.find(name);
+    if (it != relations_.end()) {
+      if (it->second.arity() != arity) {
+        return Status::ArityMismatch(
+            "relation '" + syms_.name(name) + "' declared with arity " +
+            std::to_string(arity) + " but exists with arity " +
+            std::to_string(it->second.arity()));
+      }
+      return &it->second;
+    }
+    return &relations_.emplace(name, Relation(arity)).first->second;
+  }
+
+  /// \brief The relation for `name`, or nullptr.
+  const Relation* Find(Symbol name) const {
+    auto it = relations_.find(name);
+    return it == relations_.end() ? nullptr : &it->second;
+  }
+  Relation* FindMutable(Symbol name) {
+    auto it = relations_.find(name);
+    return it == relations_.end() ? nullptr : &it->second;
+  }
+  const Relation* Find(std::string_view name) const {
+    Symbol s = syms_.Lookup(name);
+    return s == kNoSymbol ? nullptr : Find(s);
+  }
+
+  bool Contains(Symbol name) const { return relations_.count(name) > 0; }
+
+  /// \brief Adds a fact, declaring the relation on first use.
+  Status AddFact(std::string_view name, Tuple t) {
+    GRAPHLOG_ASSIGN_OR_RETURN(Relation * rel, Declare(name, t.size()));
+    rel->Insert(std::move(t));
+    return Status::OK();
+  }
+  Status AddFact(Symbol name, Tuple t) {
+    GRAPHLOG_ASSIGN_OR_RETURN(Relation * rel, Declare(name, t.size()));
+    rel->Insert(std::move(t));
+    return Status::OK();
+  }
+
+  /// \brief Convenience: adds a fact whose arguments are strings interned
+  /// as symbols.
+  Status AddSymFact(std::string_view name,
+                    std::initializer_list<std::string_view> args) {
+    Tuple t;
+    t.reserve(args.size());
+    for (std::string_view a : args) t.push_back(Value::Sym(syms_.Intern(a)));
+    return AddFact(name, std::move(t));
+  }
+
+  const std::map<Symbol, Relation>& relations() const { return relations_; }
+  std::map<Symbol, Relation>& relations() { return relations_; }
+
+  /// \brief Total number of tuples across all relations.
+  size_t TotalTuples() const {
+    size_t n = 0;
+    for (const auto& [_, rel] : relations_) n += rel.size();
+    return n;
+  }
+
+  /// \brief Drops every relation whose name is not in `keep`; used to
+  /// strip IDB results between runs.
+  void RetainOnly(const std::set<Symbol>& keep) {
+    for (auto it = relations_.begin(); it != relations_.end();) {
+      if (keep.count(it->first) == 0) {
+        it = relations_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  /// \brief Renders the named relation sorted, one fact per line.
+  std::string RelationToString(Symbol name) const;
+
+ private:
+  SymbolTable syms_;
+  std::map<Symbol, Relation> relations_;
+};
+
+}  // namespace graphlog::storage
+
+#endif  // GRAPHLOG_STORAGE_DATABASE_H_

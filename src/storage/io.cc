@@ -1,0 +1,66 @@
+#include "storage/io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "datalog/ast.h"
+#include "datalog/parser.h"
+
+namespace graphlog::storage {
+
+Result<size_t> LoadFacts(std::string_view text, Database* db) {
+  GRAPHLOG_ASSIGN_OR_RETURN(
+      datalog::Program prog, datalog::ParseProgram(text, &db->symbols()));
+  size_t added = 0;
+  for (const datalog::Rule& r : prog.rules) {
+    if (!r.is_fact() || r.head.has_aggregates()) {
+      return Status::InvalidArgument(
+          "fact file contains a non-fact rule: " +
+          r.ToString(db->symbols()));
+    }
+    Tuple t;
+    t.reserve(r.head.arity());
+    for (const datalog::HeadTerm& h : r.head.args) {
+      if (!h.term.is_constant()) {
+        return Status::InvalidArgument(
+            "fact with a non-constant argument: " +
+            r.ToString(db->symbols()));
+      }
+      t.push_back(h.term.value());
+    }
+    GRAPHLOG_RETURN_NOT_OK(db->AddFact(r.head.predicate, std::move(t)));
+    ++added;
+  }
+  return added;
+}
+
+Result<size_t> LoadFactsFile(const std::string& path, Database* db) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open fact file '" + path + "'");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return LoadFacts(buf.str(), db);
+}
+
+std::string DumpFacts(const Database& db) {
+  std::string out;
+  for (const auto& [name, rel] : db.relations()) {
+    (void)rel;
+    out += db.RelationToString(name);
+  }
+  return out;
+}
+
+Status SaveFactsFile(const std::string& path, const Database& db) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  out << DumpFacts(db);
+  return out.good() ? Status::OK()
+                    : Status::Internal("write to '" + path + "' failed");
+}
+
+}  // namespace graphlog::storage

@@ -1,0 +1,37 @@
+// Textual database I/O.
+//
+// Facts are stored in Datalog fact syntax, one per line:
+//
+//   from(106, toronto).
+//   departure(106, 1305).
+//
+// which makes database dumps valid Datalog programs and vice versa.
+
+#ifndef GRAPHLOG_STORAGE_IO_H_
+#define GRAPHLOG_STORAGE_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "storage/database.h"
+
+namespace graphlog::storage {
+
+/// \brief Parses `text` as a list of ground facts and inserts them into
+/// `db`, declaring relations on first use. Non-ground rules are rejected.
+Result<size_t> LoadFacts(std::string_view text, Database* db);
+
+/// \brief Reads a fact file from disk into `db`.
+Result<size_t> LoadFactsFile(const std::string& path, Database* db);
+
+/// \brief Renders every relation of `db` (sorted by name, facts sorted
+/// lexicographically) as a fact program.
+std::string DumpFacts(const Database& db);
+
+/// \brief Writes DumpFacts(db) to `path`.
+Status SaveFactsFile(const std::string& path, const Database& db);
+
+}  // namespace graphlog::storage
+
+#endif  // GRAPHLOG_STORAGE_IO_H_

@@ -1,0 +1,119 @@
+// Relation: a deduplicated set of tuples with lazy hash indexes.
+//
+// Relations preserve insertion order for deterministic iteration, maintain
+// a hash set for O(1) duplicate elimination and membership tests, and build
+// hash indexes over column subsets on demand (invalidated on insert).
+
+#ifndef GRAPHLOG_STORAGE_RELATION_H_
+#define GRAPHLOG_STORAGE_RELATION_H_
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/tuple.h"
+
+namespace graphlog::storage {
+
+/// \brief A set of same-arity tuples.
+class Relation {
+ public:
+  explicit Relation(size_t arity) : arity_(arity) {}
+
+  size_t arity() const { return arity_; }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  /// \brief Inserts `t`; returns true when the tuple is new.
+  /// The tuple's size must equal arity().
+  bool Insert(Tuple t) {
+    if (set_.insert(t).second) {
+      rows_.push_back(std::move(t));
+      indexes_.clear();
+      return true;
+    }
+    return false;
+  }
+
+  /// \brief Inserts every tuple of `other`; returns the number actually new.
+  size_t InsertAll(const Relation& other) {
+    size_t added = 0;
+    for (const Tuple& t : other.rows_) {
+      if (Insert(t)) ++added;
+    }
+    return added;
+  }
+
+  bool Contains(const Tuple& t) const { return set_.count(t) > 0; }
+
+  /// \brief Insertion-ordered rows.
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+  /// \brief Rows in canonical (lexicographic) order; for diffing and
+  /// printing.
+  std::vector<Tuple> SortedRows() const {
+    std::vector<Tuple> out = rows_;
+    std::sort(out.begin(), out.end(), TupleLess());
+    return out;
+  }
+
+  void Clear() {
+    rows_.clear();
+    set_.clear();
+    indexes_.clear();
+  }
+
+  /// \brief Row indices whose values at `cols` equal `key` (parallel
+  /// vectors). Builds a hash index over `cols` on first use.
+  ///
+  /// `cols` must be strictly increasing column positions < arity().
+  const std::vector<uint32_t>& Probe(const std::vector<uint32_t>& cols,
+                                     const Tuple& key) const {
+    static const std::vector<uint32_t> kEmpty;
+    auto& index = EnsureIndex(cols);
+    auto it = index.find(key);
+    return it == index.end() ? kEmpty : it->second;
+  }
+
+  const Tuple& row(uint32_t i) const { return rows_[i]; }
+
+  /// \brief True when the two relations hold the same set of tuples.
+  bool SetEquals(const Relation& other) const {
+    if (size() != other.size()) return false;
+    for (const Tuple& t : rows_) {
+      if (!other.Contains(t)) return false;
+    }
+    return true;
+  }
+
+ private:
+  using Index = std::unordered_map<Tuple, std::vector<uint32_t>, TupleHash>;
+
+  Index& EnsureIndex(const std::vector<uint32_t>& cols) const {
+    auto it = indexes_.find(cols);
+    if (it != indexes_.end()) return it->second;
+    Index index;
+    index.reserve(rows_.size());
+    for (uint32_t i = 0; i < rows_.size(); ++i) {
+      Tuple key;
+      key.reserve(cols.size());
+      for (uint32_t c : cols) key.push_back(rows_[i][c]);
+      index[std::move(key)].push_back(i);
+    }
+    return indexes_.emplace(cols, std::move(index)).first->second;
+  }
+
+  size_t arity_;
+  std::vector<Tuple> rows_;
+  std::unordered_set<Tuple, TupleHash> set_;
+  // Lazily built; cleared on insert. Keyed by the column subset.
+  mutable std::map<std::vector<uint32_t>, Index> indexes_;
+};
+
+}  // namespace graphlog::storage
+
+#endif  // GRAPHLOG_STORAGE_RELATION_H_

@@ -1,0 +1,40 @@
+// Tuples: the flat records stored in relations.
+
+#ifndef GRAPHLOG_STORAGE_TUPLE_H_
+#define GRAPHLOG_STORAGE_TUPLE_H_
+
+#include <vector>
+
+#include "common/hash.h"
+#include "common/value.h"
+
+namespace graphlog::storage {
+
+/// \brief A database tuple: a fixed-arity vector of values.
+using Tuple = std::vector<Value>;
+
+/// \brief Hash functor over whole tuples.
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    size_t h = 0x51ed270b;
+    for (const Value& v : t) h = HashCombine(h, v.Hash());
+    return h;
+  }
+};
+
+/// \brief Lexicographic comparison using the Value total order; used to
+/// produce canonical sorted listings.
+struct TupleLess {
+  bool operator()(const Tuple& a, const Tuple& b) const {
+    size_t n = a.size() < b.size() ? a.size() : b.size();
+    for (size_t i = 0; i < n; ++i) {
+      if (a[i] < b[i]) return true;
+      if (b[i] < a[i]) return false;
+    }
+    return a.size() < b.size();
+  }
+};
+
+}  // namespace graphlog::storage
+
+#endif  // GRAPHLOG_STORAGE_TUPLE_H_

@@ -1,0 +1,95 @@
+#include "tc/parallel_tc.h"
+
+#include <atomic>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace graphlog::tc {
+
+using storage::Relation;
+using storage::Tuple;
+
+Result<Relation> ParallelTransitiveClosure(const Relation& edges,
+                                           unsigned num_threads) {
+  if (edges.arity() != 2) {
+    return Status::InvalidArgument(
+        "transitive closure requires a binary relation");
+  }
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+
+  // Dense-id adjacency (same layout as the sequential kernels).
+  std::unordered_map<Value, uint32_t, ValueHash> ids;
+  std::vector<Value> values;
+  auto intern = [&](const Value& v) {
+    auto [it, inserted] = ids.emplace(v, static_cast<uint32_t>(values.size()));
+    if (inserted) values.push_back(v);
+    return it->second;
+  };
+  std::vector<std::pair<uint32_t, uint32_t>> flat;
+  flat.reserve(edges.size());
+  for (const Tuple& t : edges.rows()) {
+    uint32_t u = intern(t[0]);
+    uint32_t v = intern(t[1]);
+    flat.emplace_back(u, v);
+  }
+  const size_t n = values.size();
+  std::vector<std::vector<uint32_t>> out(n);
+  for (auto [u, v] : flat) out[u].push_back(v);
+
+  // Each worker claims sources from a shared counter and accumulates its
+  // closure pairs locally; the merge into one Relation is sequential (the
+  // dedup hash set is not concurrent), but per-source search dominates.
+  std::atomic<uint32_t> next_source{0};
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> partials(
+      num_threads);
+
+  auto worker = [&](unsigned wid) {
+    std::vector<bool> seen(n);
+    std::vector<uint32_t> stack;
+    auto& local = partials[wid];
+    while (true) {
+      uint32_t s = next_source.fetch_add(1, std::memory_order_relaxed);
+      if (s >= n) break;
+      std::fill(seen.begin(), seen.end(), false);
+      stack.clear();
+      for (uint32_t v : out[s]) {
+        if (!seen[v]) {
+          seen[v] = true;
+          stack.push_back(v);
+          local.emplace_back(s, v);
+        }
+      }
+      while (!stack.empty()) {
+        uint32_t u = stack.back();
+        stack.pop_back();
+        for (uint32_t v : out[u]) {
+          if (!seen[v]) {
+            seen[v] = true;
+            stack.push_back(v);
+            local.emplace_back(s, v);
+          }
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (unsigned w = 0; w < num_threads; ++w) {
+    threads.emplace_back(worker, w);
+  }
+  for (std::thread& t : threads) t.join();
+
+  Relation tc(2);
+  for (const auto& local : partials) {
+    for (auto [u, v] : local) {
+      tc.Insert(Tuple{values[u], values[v]});
+    }
+  }
+  return tc;
+}
+
+}  // namespace graphlog::tc

@@ -1,0 +1,26 @@
+// Parallel transitive closure.
+//
+// Section 6 of the paper: "Our results imply that GraphLog is in QNC,
+// hence amenable to efficient parallel implementations." This module
+// exercises that claim operationally: per-source BFS closure is
+// embarrassingly parallel across sources, so the closure of a graph
+// partitions cleanly over worker threads. The bench_parallel_tc harness
+// measures the speedup curve.
+
+#ifndef GRAPHLOG_TC_PARALLEL_TC_H_
+#define GRAPHLOG_TC_PARALLEL_TC_H_
+
+#include "common/result.h"
+#include "storage/relation.h"
+
+namespace graphlog::tc {
+
+/// \brief Computes the positive transitive closure of binary `edges`
+/// with `num_threads` workers (0 = hardware concurrency). Results are
+/// identical to TransitiveClosure(); only wall-clock differs.
+Result<storage::Relation> ParallelTransitiveClosure(
+    const storage::Relation& edges, unsigned num_threads = 0);
+
+}  // namespace graphlog::tc
+
+#endif  // GRAPHLOG_TC_PARALLEL_TC_H_

@@ -1,0 +1,189 @@
+#include "tc/transitive_closure.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace graphlog::tc {
+
+using storage::Relation;
+using storage::Tuple;
+
+namespace {
+
+/// Dense-id view of a binary relation: node values interned to uint32.
+struct Adjacency {
+  std::vector<Value> values;
+  std::unordered_map<Value, uint32_t, ValueHash> ids;
+  std::vector<std::vector<uint32_t>> out;
+
+  uint32_t Intern(const Value& v) {
+    auto [it, inserted] = ids.emplace(v, static_cast<uint32_t>(values.size()));
+    if (inserted) {
+      values.push_back(v);
+      out.emplace_back();
+    }
+    return it->second;
+  }
+
+  static Adjacency Build(const Relation& edges) {
+    Adjacency a;
+    for (const Tuple& t : edges.rows()) {
+      uint32_t u = a.Intern(t[0]);
+      uint32_t v = a.Intern(t[1]);
+      a.out[u].push_back(v);
+    }
+    return a;
+  }
+};
+
+Relation NaiveTc(const Relation& edges, TcStats* stats) {
+  Relation tc(2);
+  tc.InsertAll(edges);
+  bool changed = true;
+  const std::vector<uint32_t> cols = {0};
+  while (changed) {
+    if (stats != nullptr) ++stats->rounds;
+    changed = false;
+    // Recompute T(x,y) :- T(x,z), E(z,y) over the FULL current closure.
+    std::vector<Tuple> fresh;
+    for (const Tuple& t : tc.rows()) {
+      for (uint32_t i : edges.Probe(cols, Tuple{t[1]})) {
+        if (stats != nullptr) ++stats->pair_visits;
+        Tuple cand{t[0], edges.row(i)[1]};
+        if (!tc.Contains(cand)) fresh.push_back(std::move(cand));
+      }
+    }
+    for (Tuple& t : fresh) {
+      if (tc.Insert(std::move(t))) changed = true;
+    }
+  }
+  return tc;
+}
+
+Relation SemiNaiveTc(const Relation& edges, TcStats* stats) {
+  Relation tc(2);
+  Relation delta(2);
+  tc.InsertAll(edges);
+  delta.InsertAll(edges);
+  const std::vector<uint32_t> cols = {0};
+  while (!delta.empty()) {
+    if (stats != nullptr) ++stats->rounds;
+    Relation next(2);
+    for (const Tuple& t : delta.rows()) {
+      for (uint32_t i : edges.Probe(cols, Tuple{t[1]})) {
+        if (stats != nullptr) ++stats->pair_visits;
+        Tuple cand{t[0], edges.row(i)[1]};
+        if (!tc.Contains(cand)) next.Insert(std::move(cand));
+      }
+    }
+    tc.InsertAll(next);
+    delta = std::move(next);
+  }
+  return tc;
+}
+
+Relation SquaringTc(const Relation& edges, TcStats* stats) {
+  Relation tc(2);
+  tc.InsertAll(edges);
+  const std::vector<uint32_t> cols = {0};
+  bool changed = true;
+  while (changed) {
+    if (stats != nullptr) ++stats->rounds;
+    changed = false;
+    // T := T ∪ T∘T — doubles the reachable path length each round.
+    std::vector<Tuple> fresh;
+    for (const Tuple& t : tc.rows()) {
+      for (uint32_t i : tc.Probe(cols, Tuple{t[1]})) {
+        if (stats != nullptr) ++stats->pair_visits;
+        Tuple cand{t[0], tc.row(i)[1]};
+        if (!tc.Contains(cand)) fresh.push_back(std::move(cand));
+      }
+    }
+    for (Tuple& t : fresh) {
+      if (tc.Insert(std::move(t))) changed = true;
+    }
+  }
+  return tc;
+}
+
+Relation BfsTc(const Relation& edges, TcStats* stats) {
+  Adjacency adj = Adjacency::Build(edges);
+  Relation tc(2);
+  size_t n = adj.values.size();
+  std::vector<uint32_t> stack;
+  std::vector<bool> seen(n);
+  for (uint32_t s = 0; s < n; ++s) {
+    if (stats != nullptr) ++stats->rounds;
+    std::fill(seen.begin(), seen.end(), false);
+    stack.clear();
+    for (uint32_t v : adj.out[s]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        stack.push_back(v);
+      }
+    }
+    while (!stack.empty()) {
+      uint32_t u = stack.back();
+      stack.pop_back();
+      tc.Insert(Tuple{adj.values[s], adj.values[u]});
+      for (uint32_t v : adj.out[u]) {
+        if (stats != nullptr) ++stats->pair_visits;
+        if (!seen[v]) {
+          seen[v] = true;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  return tc;
+}
+
+}  // namespace
+
+Result<Relation> TransitiveClosure(const Relation& edges,
+                                   TcAlgorithm algorithm, TcStats* stats) {
+  if (edges.arity() != 2) {
+    return Status::InvalidArgument(
+        "transitive closure requires a binary relation");
+  }
+  switch (algorithm) {
+    case TcAlgorithm::kNaive:
+      return NaiveTc(edges, stats);
+    case TcAlgorithm::kSemiNaive:
+      return SemiNaiveTc(edges, stats);
+    case TcAlgorithm::kSquaring:
+      return SquaringTc(edges, stats);
+    case TcAlgorithm::kBfs:
+      return BfsTc(edges, stats);
+  }
+  return Status::InvalidArgument("unknown TC algorithm");
+}
+
+Result<Relation> ReachableFrom(const Relation& edges, const Value& source) {
+  if (edges.arity() != 2) {
+    return Status::InvalidArgument(
+        "transitive closure requires a binary relation");
+  }
+  Adjacency adj = Adjacency::Build(edges);
+  Relation out(1);
+  auto it = adj.ids.find(source);
+  if (it == adj.ids.end()) return out;
+  std::vector<uint32_t> stack{it->second};
+  // The source itself is reachable only via a non-empty path (positive
+  // closure); do not pre-mark it.
+  std::vector<bool> emitted(adj.values.size());
+  while (!stack.empty()) {
+    uint32_t u = stack.back();
+    stack.pop_back();
+    for (uint32_t v : adj.out[u]) {
+      if (!emitted[v]) {
+        emitted[v] = true;
+        out.Insert(Tuple{adj.values[v]});
+        stack.push_back(v);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace graphlog::tc

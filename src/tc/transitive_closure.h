@@ -1,0 +1,57 @@
+// Dedicated transitive-closure kernels.
+//
+// Section 6 of the paper: "implementations can benefit from the existing
+// work on transitive closure computation and linear Datalog optimization".
+// This module provides that substrate: four interchangeable algorithms for
+// computing the positive closure of a binary relation, used by the
+// benchmark ablation (bench_tc_ablation) and as oracles in tests.
+//
+//   * kNaive      — iterate T := T ∪ T∘E until fixpoint, recomputing the
+//                   full join each round (the naive Datalog evaluation).
+//   * kSemiNaive  — differential: only join the last round's new pairs
+//                   against E (what the Datalog engine does).
+//   * kSquaring   — logarithmic rounds: T := T ∪ T∘T ("smart" TC, [Ull89]);
+//                   few rounds, heavier joins.
+//   * kBfs        — per-source DFS/BFS over an adjacency list; the classic
+//                   graph-algorithmic approach ([JAN87] style).
+//
+// All four return identical relations; they differ only in cost shape.
+
+#ifndef GRAPHLOG_TC_TRANSITIVE_CLOSURE_H_
+#define GRAPHLOG_TC_TRANSITIVE_CLOSURE_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "storage/relation.h"
+
+namespace graphlog::tc {
+
+/// \brief Algorithm selector for TransitiveClosure().
+enum class TcAlgorithm : uint8_t {
+  kNaive,
+  kSemiNaive,
+  kSquaring,
+  kBfs,
+};
+
+/// \brief Statistics of one closure computation.
+struct TcStats {
+  uint64_t rounds = 0;        ///< fixpoint rounds (BFS: source count)
+  uint64_t pair_visits = 0;   ///< candidate pairs generated (incl. dups)
+};
+
+/// \brief Computes the positive transitive closure of binary relation
+/// `edges`. Fails with kInvalidArgument when arity != 2.
+Result<storage::Relation> TransitiveClosure(const storage::Relation& edges,
+                                            TcAlgorithm algorithm,
+                                            TcStats* stats = nullptr);
+
+/// \brief Closure of a single source: all y with source ->+ y. Linear-time
+/// BFS; the right tool when one endpoint is fixed (the Figure 12 query).
+Result<storage::Relation> ReachableFrom(const storage::Relation& edges,
+                                        const Value& source);
+
+}  // namespace graphlog::tc
+
+#endif  // GRAPHLOG_TC_TRANSITIVE_CLOSURE_H_

@@ -1,0 +1,148 @@
+#include "testing/equivalence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "datalog/analysis.h"
+#include "datalog/parser.h"
+#include "storage/relation.h"
+
+namespace graphlog::testing {
+
+using datalog::Program;
+using storage::Database;
+using storage::Relation;
+using storage::Tuple;
+
+void FillRandomEdb(const std::vector<RelationSchema>& schemas,
+                   const RandomEdbOptions& options, std::mt19937_64* rng,
+                   Database* db) {
+  // Pre-intern the domain constants d0..d{n-1}.
+  std::vector<Value> domain;
+  domain.reserve(options.domain_size);
+  for (int i = 0; i < options.domain_size; ++i) {
+    domain.push_back(
+        Value::Sym(db->Intern("d" + std::to_string(i))));
+  }
+  for (const RelationSchema& s : schemas) {
+    auto rel_or = db->Declare(s.name, s.arity);
+    if (!rel_or.ok()) continue;
+    Relation* rel = *rel_or;
+    double total = std::pow(static_cast<double>(options.domain_size),
+                            static_cast<double>(s.arity));
+    size_t target = static_cast<size_t>(total * options.fill);
+    target = std::min(target, options.max_facts_per_relation);
+    if (s.arity == 0) continue;
+    std::uniform_int_distribution<int> pick(0, options.domain_size - 1);
+    for (size_t k = 0; k < target; ++k) {
+      Tuple t;
+      t.reserve(s.arity);
+      for (size_t a = 0; a < s.arity; ++a) t.push_back(domain[pick(*rng)]);
+      rel->Insert(std::move(t));
+    }
+  }
+}
+
+namespace {
+
+/// Renders a relation as a set of strings. The two databases under
+/// comparison have independent symbol tables, so raw tuples (which hold
+/// intern ids) are not comparable across them — strings are.
+std::set<std::string> RenderRelation(const Relation* rel,
+                                     const SymbolTable& syms) {
+  std::set<std::string> out;
+  if (rel == nullptr) return out;
+  for (const Tuple& t : rel->rows()) {
+    std::string s = "(";
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += t[i].ToString(syms);
+    }
+    out.insert(s + ")");
+  }
+  return out;
+}
+
+/// First element of `a` missing from `b`; empty if none.
+std::string FirstMissing(const std::set<std::string>& a,
+                         const std::set<std::string>& b) {
+  for (const std::string& s : a) {
+    if (b.count(s) == 0) return s;
+  }
+  return "";
+}
+
+}  // namespace
+
+Result<EquivalenceReport> CheckEquivalent(std::string_view left_text,
+                                          std::string_view right_text,
+                                          const EquivalenceOptions& options) {
+  // Infer schemas and compare predicates from a scratch parse.
+  std::vector<RelationSchema> schemas;
+  std::vector<std::string> compare = options.compare;
+  {
+    Database scratch;
+    GRAPHLOG_ASSIGN_OR_RETURN(
+        Program left, datalog::ParseProgram(left_text, &scratch.symbols()));
+    GRAPHLOG_ASSIGN_OR_RETURN(
+        Program right, datalog::ParseProgram(right_text, &scratch.symbols()));
+    std::set<Symbol> heads;
+    for (const auto& r : left.rules) heads.insert(r.head.predicate);
+    for (const auto& r : right.rules) heads.insert(r.head.predicate);
+    auto arities = datalog::PredicateArities(left);
+    for (const auto& [pred, arity] : arities) {
+      if (heads.count(pred) == 0) {
+        schemas.push_back({scratch.symbols().name(pred), arity});
+      }
+    }
+    if (compare.empty()) {
+      std::set<std::string> seen;
+      for (const auto& r : left.rules) {
+        std::string name = scratch.symbols().name(r.head.predicate);
+        if (seen.insert(name).second) compare.push_back(name);
+      }
+    }
+  }
+
+  std::mt19937_64 rng(options.edb.seed);
+  EquivalenceReport report;
+  for (int trial = 0; trial < options.trials; ++trial) {
+    report.trials_run = trial + 1;
+    // Same seed-derived facts for both sides.
+    uint64_t trial_seed = rng();
+    Database dbl, dbr;
+    std::mt19937_64 rl(trial_seed), rr(trial_seed);
+    FillRandomEdb(schemas, options.edb, &rl, &dbl);
+    FillRandomEdb(schemas, options.edb, &rr, &dbr);
+
+    GRAPHLOG_RETURN_NOT_OK(
+        eval::EvaluateText(left_text, &dbl, options.eval).status());
+    GRAPHLOG_RETURN_NOT_OK(
+        eval::EvaluateText(right_text, &dbr, options.eval).status());
+
+    for (const std::string& pred : compare) {
+      std::set<std::string> ra = RenderRelation(dbl.Find(pred), dbl.symbols());
+      std::set<std::string> rb = RenderRelation(dbr.Find(pred), dbr.symbols());
+      if (ra != rb) {
+        report.equivalent = false;
+        report.failing_trial = trial;
+        std::string missing_r = FirstMissing(ra, rb);
+        std::string missing_l = FirstMissing(rb, ra);
+        report.detail = "predicate '" + pred + "' differs: left has " +
+                        std::to_string(ra.size()) + " facts, right has " +
+                        std::to_string(rb.size());
+        if (!missing_r.empty()) {
+          report.detail += "; left-only fact " + missing_r;
+        }
+        if (!missing_l.empty()) {
+          report.detail += "; right-only fact " + missing_l;
+        }
+        return report;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace graphlog::testing

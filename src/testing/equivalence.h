@@ -1,0 +1,74 @@
+// Empirical program-equivalence checking.
+//
+// Query equivalence is undecidable in general; the repository instead
+// *certifies* each translation (lambda, Algorithm 3.1, p.r.e. rewrites,
+// RPQ evaluation strategies) empirically: evaluate both sides on many
+// randomized extensional databases and diff the designated output
+// predicates. A disagreement is a counterexample; agreement over many
+// trials is the reproduction evidence for Theorem 3.2 / Theorem 3.3.
+
+#ifndef GRAPHLOG_TESTING_EQUIVALENCE_H_
+#define GRAPHLOG_TESTING_EQUIVALENCE_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "datalog/ast.h"
+#include "eval/engine.h"
+#include "storage/database.h"
+
+namespace graphlog::testing {
+
+/// \brief Shape of the random EDBs fed to both programs.
+struct RandomEdbOptions {
+  int domain_size = 8;        ///< constants are d0..d{n-1}
+  double fill = 0.15;         ///< fraction of the full cross product kept
+  size_t max_facts_per_relation = 200;
+  uint64_t seed = 42;
+};
+
+/// \brief A named relation schema (name + arity).
+struct RelationSchema {
+  std::string name;
+  size_t arity = 0;
+};
+
+/// \brief Populates `db` with random facts for each schema entry.
+void FillRandomEdb(const std::vector<RelationSchema>& schemas,
+                   const RandomEdbOptions& options, std::mt19937_64* rng,
+                   storage::Database* db);
+
+/// \brief Result of one equivalence run.
+struct EquivalenceReport {
+  bool equivalent = true;
+  int trials_run = 0;
+  /// On inequivalence: which trial, predicate, and a sample differing fact.
+  int failing_trial = -1;
+  std::string detail;
+};
+
+/// \brief Options for CheckEquivalent.
+struct EquivalenceOptions {
+  int trials = 20;
+  RandomEdbOptions edb;
+  /// Predicates whose extensions must agree; empty = the head predicates
+  /// of `left`.
+  std::vector<std::string> compare;
+  eval::EvalOptions eval;
+};
+
+/// \brief Evaluates `left_text` and `right_text` (Datalog source) on the
+/// same random EDBs and diffs the compare predicates.
+///
+/// The EDB schemas are inferred from `left_text`'s EDB predicates (body
+/// predicates never appearing in a head of either program).
+Result<EquivalenceReport> CheckEquivalent(std::string_view left_text,
+                                          std::string_view right_text,
+                                          const EquivalenceOptions& options);
+
+}  // namespace graphlog::testing
+
+#endif  // GRAPHLOG_TESTING_EQUIVALENCE_H_

@@ -1,0 +1,121 @@
+#include "testing/random_programs.h"
+
+#include <vector>
+
+namespace graphlog::testing {
+
+std::string RandomLinearProgram(const RandomProgramOptions& options,
+                                uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::bernoulli_distribution recurse(options.recursion_prob);
+  std::bernoulli_distribution negate(options.negation_prob);
+  std::bernoulli_distribution second_base(options.second_base_prob);
+  std::uniform_int_distribution<int> coin(0, 1);
+
+  // Lower relations available to predicate i: the EDBs plus p0..p{i-1}.
+  auto lower = [&](int i) -> std::string {
+    int pick = std::uniform_int_distribution<int>(0, i + 1)(rng);
+    if (pick == 0) return "e1";
+    if (pick == 1) return "e2";
+    return "p" + std::to_string(pick - 2);
+  };
+
+  std::string out;
+  for (int i = 0; i < options.num_idb_predicates; ++i) {
+    std::string p = "p" + std::to_string(i);
+
+    // Base rule: p(X, Y) :- L(X, Y).  or  a 2-step chain.
+    if (coin(rng) == 0) {
+      out += p + "(X, Y) :- " + lower(i) + "(X, Y).\n";
+    } else {
+      out += p + "(X, Y) :- " + lower(i) + "(X, Z), " + lower(i) +
+             "(Z, Y).\n";
+    }
+    if (second_base(rng)) {
+      std::string rule = p + "(X, Y) :- " + lower(i) + "(X, Y)";
+      if (negate(rng)) {
+        // Negation of a *lower* relation keeps the program stratified;
+        // arguments are bound by the positive atom.
+        rule += ", !" + lower(i) + "(Y, X)";
+      }
+      if (coin(rng) == 0) {
+        rule += ", n1(X)";
+      }
+      out += rule + ".\n";
+    }
+
+    // Recursive rule: left- or right-linear extension.
+    if (recurse(rng)) {
+      if (coin(rng) == 0) {
+        out += p + "(X, Y) :- " + lower(i) + "(X, Z), " + p + "(Z, Y).\n";
+      } else {
+        out += p + "(X, Y) :- " + p + "(X, Z), " + lower(i) + "(Z, Y).\n";
+      }
+    }
+  }
+  // A final consumer predicate exercising negation across the whole stack.
+  std::string top = "p" + std::to_string(options.num_idb_predicates - 1);
+  out += "result(X, Y) :- " + top + "(X, Y).\n";
+  out += "non-result(X, Y) :- e1(X, Y), !" + top + "(X, Y).\n";
+  return out;
+}
+
+namespace {
+
+gl::PathExpr RandomPreNode(std::mt19937_64* rng, int depth,
+                           SymbolTable* syms) {
+  std::uniform_int_distribution<int> label(0, 1);
+  auto atom = [&]() {
+    return gl::PathExpr::Atom(syms->Intern(label(*rng) == 0 ? "p" : "q"));
+  };
+  if (depth <= 0) return atom();
+  // Kinds: 0 atom, 1 seq, 2 alt, 3 plus, 4 star, 5 optional, 6 inverse.
+  std::uniform_int_distribution<int> kind(0, 6);
+  switch (kind(*rng)) {
+    case 0:
+      return atom();
+    case 1: {
+      std::vector<gl::PathExpr> parts;
+      parts.push_back(RandomPreNode(rng, depth - 1, syms));
+      parts.push_back(RandomPreNode(rng, depth - 1, syms));
+      return gl::PathExpr::Seq(std::move(parts));
+    }
+    case 2: {
+      std::vector<gl::PathExpr> parts;
+      parts.push_back(RandomPreNode(rng, depth - 1, syms));
+      parts.push_back(RandomPreNode(rng, depth - 1, syms));
+      return gl::PathExpr::Alt(std::move(parts));
+    }
+    case 3:
+      return gl::PathExpr::Plus(RandomPreNode(rng, depth - 1, syms));
+    case 4:
+      return gl::PathExpr::Star(RandomPreNode(rng, depth - 1, syms));
+    case 5:
+      return gl::PathExpr::Optional(RandomPreNode(rng, depth - 1, syms));
+    case 6:
+      return gl::PathExpr::Inverse(RandomPreNode(rng, depth - 1, syms));
+  }
+  return atom();
+}
+
+}  // namespace
+
+gl::PathExpr RandomPathExpr(const RandomPreOptions& options, uint64_t seed,
+                            SymbolTable* syms) {
+  std::mt19937_64 rng(seed);
+  gl::PathExpr e = RandomPreNode(&rng, options.max_depth, syms);
+  // Kill any top-level identity alternative: prefix with a mandatory atom
+  // so every match consumes at least one edge. (A pure-identity top level
+  // is not domain-independent for the Datalog strategy.)
+  auto expanded = gl::ExpandEquality(e);
+  if (!expanded.ok() || expanded->has_identity ||
+      expanded->alternatives.empty()) {
+    std::vector<gl::PathExpr> parts;
+    parts.push_back(gl::PathExpr::Atom(syms->Intern("p")));
+    parts.push_back(std::move(e));
+    return gl::PathExpr::Seq(std::move(parts));
+  }
+  return e;
+}
+
+}  // namespace graphlog::testing

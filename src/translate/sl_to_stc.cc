@@ -1,0 +1,333 @@
+#include "translate/sl_to_stc.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "datalog/analysis.h"
+
+namespace graphlog::translate {
+
+using datalog::Atom;
+using datalog::DependenceGraph;
+using datalog::Head;
+using datalog::HeadTerm;
+using datalog::Literal;
+using datalog::Program;
+using datalog::Rule;
+using datalog::Term;
+
+namespace {
+
+/// Collects every constant Value appearing in the program (heads, atoms,
+/// comparisons) — the candidates for the generated domain.
+std::vector<Value> ProgramConstants(const Program& prog) {
+  std::vector<Value> out;
+  auto add = [&](const Term& t) {
+    if (!t.is_constant()) return;
+    if (std::find(out.begin(), out.end(), t.value()) == out.end()) {
+      out.push_back(t.value());
+    }
+  };
+  for (const Rule& r : prog.rules) {
+    for (const HeadTerm& h : r.head.args) {
+      if (!h.is_aggregate) add(h.term);
+    }
+    for (const Literal& l : r.body) {
+      switch (l.kind) {
+        case Literal::Kind::kAtom:
+        case Literal::Kind::kNegatedAtom:
+          for (const Term& t : l.atom.args) add(t);
+          break;
+        case Literal::Kind::kComparison:
+          add(l.lhs);
+          add(l.rhs);
+          break;
+        case Literal::Kind::kAssignment:
+          break;
+      }
+    }
+  }
+  return out;
+}
+
+/// Variables limited by the positive relational atoms of `body` (plus
+/// equality propagation).
+std::set<Symbol> LimitedVars(const std::vector<Literal>& body) {
+  std::set<Symbol> limited;
+  for (const Literal& l : body) {
+    if (l.is_positive_atom()) {
+      for (const Term& t : l.atom.args) {
+        if (t.is_variable()) limited.insert(t.var());
+      }
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Literal& l : body) {
+      if (l.kind != Literal::Kind::kComparison ||
+          l.cmp != datalog::CmpOp::kEq) {
+        continue;
+      }
+      auto bound = [&](const Term& t) {
+        return t.is_constant() ||
+               (t.is_variable() && limited.count(t.var()) > 0);
+      };
+      if (bound(l.lhs) && l.rhs.is_variable() &&
+          limited.insert(l.rhs.var()).second) {
+        changed = true;
+      }
+      if (bound(l.rhs) && l.lhs.is_variable() &&
+          limited.insert(l.lhs.var()).second) {
+        changed = true;
+      }
+    }
+  }
+  return limited;
+}
+
+}  // namespace
+
+Result<SlToStcResult> TranslateSlToStc(const Program& input,
+                                       SymbolTable* syms,
+                                       const SlToStcOptions& options) {
+  // Fragment check: the paper's language is relational with stratified
+  // negation (plus comparisons, which are harmless filters).
+  for (const Rule& r : input.rules) {
+    if (r.head.has_aggregates()) {
+      return Status::Unsupported(
+          "Algorithm 3.1 applies to aggregate-free programs");
+    }
+    for (const Literal& l : r.body) {
+      if (l.kind == Literal::Kind::kAssignment) {
+        return Status::Unsupported(
+            "Algorithm 3.1 applies to arithmetic-free programs");
+      }
+    }
+  }
+  GRAPHLOG_RETURN_NOT_OK(datalog::CheckArities(input, *syms));
+  GRAPHLOG_RETURN_NOT_OK(datalog::CheckLinear(input, *syms));
+  GRAPHLOG_RETURN_NOT_OK(datalog::Stratify(input, *syms).status());
+
+  DependenceGraph g = DependenceGraph::Build(input);
+  std::map<Symbol, int> comp_of = g.ComponentIndex();
+  auto comps = g.StronglyConnectedComponents();
+
+  SlToStcResult out;
+  out.start_constant = syms->Fresh("c-sig");
+  const Value start_const = Value::Sym(out.start_constant);
+
+  Symbol dom = kNoSymbol;
+  bool dom_used = false;
+  if (options.add_domain_rules) dom = syms->Fresh("dom");
+
+  for (size_t ci = 0; ci < comps.size(); ++ci) {
+    const std::vector<Symbol>& comp = comps[ci];
+    bool recursive = comp.size() > 1 || g.HasEdge(comp[0], comp[0]);
+
+    std::vector<const Rule*> rules_in;
+    for (const Rule& r : input.rules) {
+      if (std::find(comp.begin(), comp.end(), r.head.predicate) !=
+          comp.end()) {
+        rules_in.push_back(&r);
+      }
+    }
+    if (rules_in.empty()) continue;  // pure EDB component
+
+    if (!recursive) {
+      for (const Rule* r : rules_in) out.program.Add(*r);
+      continue;
+    }
+
+    // --- Recursive SCC: build e_l / t_l per Figure 7. ---
+    std::map<Symbol, size_t> arity;
+    size_t m = 0;
+    for (const Rule* r : rules_in) {
+      arity[r->head.predicate] = r->head.arity();
+    }
+    for (const Literal& l : rules_in[0]->body) {
+      (void)l;  // arities of body members of the SCC are covered by heads
+    }
+    for (Symbol p : comp) {
+      auto it = arity.find(p);
+      if (it != arity.end()) m = std::max(m, it->second);
+    }
+    const size_t w = m + 1;  // configuration width
+
+    // Signature constant per predicate of the SCC.
+    std::map<Symbol, Value> signature;
+    for (Symbol p : comp) {
+      signature[p] = Value::Sym(syms->Fresh("c-" + syms->name(p)));
+    }
+
+    const std::string scc_name = syms->name(comp[0]);
+    Symbol e_l = syms->Fresh("e-" + scc_name);
+    Symbol t_l = syms->Fresh("t-" + scc_name);
+    out.edge_closure_pairs.emplace_back(e_l, t_l);
+
+    // cfg_i(args): args padded to width w with the signature constant.
+    auto cfg = [&](Symbol pred, const std::vector<Term>& args) {
+      std::vector<Term> node = args;
+      while (node.size() < w) {
+        node.push_back(Term::Const(signature.at(pred)));
+      }
+      return node;
+    };
+    auto start_cfg = [&]() {
+      return std::vector<Term>(w, Term::Const(start_const));
+    };
+
+    for (const Rule* r : rules_in) {
+      // Locate the (single, by linearity) recursive subgoal.
+      int rec_idx = -1;
+      for (size_t bi = 0; bi < r->body.size(); ++bi) {
+        const Literal& l = r->body[bi];
+        if (l.is_relational() && comp_of.count(l.atom.predicate) > 0 &&
+            comp_of.at(l.atom.predicate) == comp_of.at(r->head.predicate)) {
+          rec_idx = static_cast<int>(bi);
+          // Negated recursion cannot be stratified; Stratify() above
+          // already rejected it.
+        }
+      }
+
+      Rule nr;  // the e_l rule
+      nr.head.predicate = e_l;
+      std::vector<Term> dst = cfg(r->head.predicate, r->head.ToAtom().args);
+      std::vector<Term> src;
+      std::vector<Literal> body;
+      if (rec_idx >= 0) {
+        const Atom& rec = r->body[rec_idx].atom;
+        src = cfg(rec.predicate, rec.args);
+        for (size_t bi = 0; bi < r->body.size(); ++bi) {
+          if (static_cast<int>(bi) != rec_idx) body.push_back(r->body[bi]);
+        }
+      } else {
+        src = start_cfg();
+        body = r->body;
+      }
+
+      // Ground pass-through variables with dom (see header comment).
+      std::set<Symbol> limited = LimitedVars(body);
+      std::set<Symbol> need;
+      for (const std::vector<Term>* side : {&src, &dst}) {
+        for (const Term& t : *side) {
+          if (t.is_variable() && limited.count(t.var()) == 0) {
+            need.insert(t.var());
+          }
+        }
+      }
+      if (!need.empty()) {
+        if (dom == kNoSymbol) {
+          return Status::UnsafeRule(
+              "rule '" + r->ToString(*syms) +
+              "' has pass-through variables and domain grounding is "
+              "disabled");
+        }
+        for (Symbol v : need) {
+          Atom a;
+          a.predicate = dom;
+          a.args = {Term::Var(v)};
+          body.push_back(Literal::Positive(std::move(a)));
+          dom_used = true;
+        }
+      }
+
+      for (const Term& t : src) nr.head.args.push_back(HeadTerm::Plain(t));
+      for (const Term& t : dst) nr.head.args.push_back(HeadTerm::Plain(t));
+      nr.body = std::move(body);
+      out.program.Add(std::move(nr));
+    }
+
+    // TC rule pair for t_l (Definition 3.2 shape, n = w).
+    {
+      auto vars = [&](const char* base, size_t count) {
+        std::vector<Term> v;
+        for (size_t i = 0; i < count; ++i) {
+          v.push_back(Term::Var(
+              syms->Fresh(std::string("_") + base + std::to_string(i))));
+        }
+        return v;
+      };
+      std::vector<Term> X = vars("TX", w), Y = vars("TY", w),
+                        Z = vars("TZ", w);
+      auto atom = [&](Symbol p, const std::vector<Term>& a,
+                      const std::vector<Term>& b) {
+        Atom at;
+        at.predicate = p;
+        at.args = a;
+        at.args.insert(at.args.end(), b.begin(), b.end());
+        return at;
+      };
+      Rule base;
+      base.head.predicate = t_l;
+      for (const Term& t : X) base.head.args.push_back(HeadTerm::Plain(t));
+      for (const Term& t : Y) base.head.args.push_back(HeadTerm::Plain(t));
+      base.body.push_back(Literal::Positive(atom(e_l, X, Y)));
+      out.program.Add(base);
+
+      Rule step;
+      step.head = base.head;
+      step.body.push_back(Literal::Positive(atom(e_l, X, Z)));
+      step.body.push_back(Literal::Positive(atom(t_l, Z, Y)));
+      out.program.Add(std::move(step));
+    }
+
+    // Extraction rules r'_3: p_i(V...) :- t_l(start, cfg_i(V...)).
+    for (Symbol p : comp) {
+      auto it = arity.find(p);
+      if (it == arity.end()) continue;
+      Rule ext;
+      ext.head.predicate = p;
+      std::vector<Term> V;
+      for (size_t i = 0; i < it->second; ++i) {
+        V.push_back(Term::Var(syms->Fresh("_V" + std::to_string(i))));
+      }
+      for (const Term& t : V) ext.head.args.push_back(HeadTerm::Plain(t));
+      Atom a;
+      a.predicate = t_l;
+      a.args = start_cfg();
+      std::vector<Term> dst = cfg(p, V);
+      a.args.insert(a.args.end(), dst.begin(), dst.end());
+      ext.body.push_back(Literal::Positive(std::move(a)));
+      out.program.Add(std::move(ext));
+    }
+  }
+
+  // Domain rules: one projection rule per EDB column, one fact per program
+  // constant.
+  if (dom_used) {
+    out.dom_predicate = dom;
+    std::map<Symbol, size_t> arities = datalog::PredicateArities(input);
+    std::set<Symbol> idb;
+    for (const Rule& r : input.rules) idb.insert(r.head.predicate);
+    for (const auto& [pred, a] : arities) {
+      if (idb.count(pred) > 0 || a == 0) continue;
+      for (size_t col = 0; col < a; ++col) {
+        Rule r;
+        r.head.predicate = dom;
+        Symbol v = syms->Fresh("_D");
+        r.head.args.push_back(HeadTerm::Plain(Term::Var(v)));
+        Atom at;
+        at.predicate = pred;
+        for (size_t k = 0; k < a; ++k) {
+          at.args.push_back(k == col
+                                ? Term::Var(v)
+                                : Term::Var(syms->Fresh("_Dw")));
+        }
+        r.body.push_back(Literal::Positive(std::move(at)));
+        out.program.Add(std::move(r));
+      }
+    }
+    for (const Value& c : ProgramConstants(input)) {
+      Rule r;
+      r.head.predicate = dom;
+      r.head.args.push_back(HeadTerm::Plain(Term::Const(c)));
+      out.program.Add(std::move(r));
+    }
+  }
+
+  return out;
+}
+
+}  // namespace graphlog::translate

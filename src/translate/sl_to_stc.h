@@ -1,0 +1,69 @@
+// Algorithm 3.1 of the paper: translation of stratified linear Datalog
+// (SL-DATALOG) into stratified TC Datalog (STC-DATALOG).
+//
+// Following Figure 7: for each strongly connected component S_l of the
+// dependence graph containing recursion, the algorithm introduces an edge
+// predicate e_l and a closure predicate t_l over "configuration" nodes of
+// width m+1 (m = max arity in the SCC). A configuration encodes a
+// predicate instance p_i(a_1..a_n_i) as the tuple (a_1..a_n_i, c_i, ...,
+// c_i) — the signature constant c_i both pads and tags — and a distinguished
+// start configuration (c, ..., c). Then:
+//
+//   recursive rule  p_i(X) :- p_j(Y), s_1..s_k   becomes
+//       e_l(cfg_j(Y), cfg_i(X)) :- s_1..s_k.
+//   non-recursive   p_i(X) :- s_1..s_k           becomes
+//       e_l(start, cfg_i(X)) :- s_1..s_k.
+//   t_l := TC(e_l)   (the TC rule pair)
+//   p_i(X) :- t_l(start, cfg_i(X)).
+//
+// Safety note (implementation addition): the paper's r'_1 may leave
+// pass-through variables (variables of the recursive subgoal p_j that do
+// not occur in s_1..s_k) unbound once p_j is deleted from the body. These
+// range over the active domain, so the translation grounds them with a
+// generated unary predicate `dom` holding every constant of the EDB and of
+// the program. This preserves equivalence for all range-restricted inputs
+// and keeps the output inside STC-DATALOG (dom is non-recursive).
+//
+// The signature constants are fresh interned symbols, guaranteed distinct
+// from every symbol present at translation time.
+
+#ifndef GRAPHLOG_TRANSLATE_SL_TO_STC_H_
+#define GRAPHLOG_TRANSLATE_SL_TO_STC_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/symbol_table.h"
+#include "datalog/ast.h"
+
+namespace graphlog::translate {
+
+/// \brief Options for TranslateSlToStc.
+struct SlToStcOptions {
+  /// Generate `dom` rules/facts and use them to ground pass-through
+  /// variables. Disable only for inputs known to bind every recursive
+  /// variable in the non-recursive body part (e.g. Figure 8).
+  bool add_domain_rules = true;
+};
+
+/// \brief Output of Algorithm 3.1.
+struct SlToStcResult {
+  datalog::Program program;
+  /// The start/pad constant c and per-predicate signature constants.
+  Symbol start_constant = kNoSymbol;
+  /// e_l / t_l predicates, one pair per recursive SCC.
+  std::vector<std::pair<Symbol, Symbol>> edge_closure_pairs;
+  /// The domain predicate, when domain rules were emitted.
+  Symbol dom_predicate = kNoSymbol;
+};
+
+/// \brief Runs Algorithm 3.1. Fails with kNotLinear when `input` is not
+/// linear, kUnstratifiable when it has no stratification, and kUnsupported
+/// when it uses aggregates or arithmetic (outside the paper's fragment).
+Result<SlToStcResult> TranslateSlToStc(const datalog::Program& input,
+                                       SymbolTable* syms,
+                                       const SlToStcOptions& options = {});
+
+}  // namespace graphlog::translate
+
+#endif  // GRAPHLOG_TRANSLATE_SL_TO_STC_H_

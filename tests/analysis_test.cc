@@ -1,0 +1,259 @@
+// Tests for program analysis: dependence graphs, SCCs, stratification,
+// safety, linearity, and TC-shape recognition.
+
+#include <gtest/gtest.h>
+
+#include "datalog/analysis.h"
+#include "datalog/parser.h"
+#include "tests/test_util.h"
+
+namespace graphlog::datalog {
+namespace {
+
+Program Parse(const char* text, SymbolTable* syms) {
+  auto r = ParseProgram(text, syms);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).ValueOrDie();
+}
+
+TEST(DependenceGraphTest, EdgesAndPolarity) {
+  SymbolTable syms;
+  Program p = Parse("r(X) :- p(X), !q(X).", &syms);
+  DependenceGraph g = DependenceGraph::Build(p);
+  Symbol pp = syms.Lookup("p"), q = syms.Lookup("q"), r = syms.Lookup("r");
+  EXPECT_TRUE(g.HasEdge(pp, r));
+  EXPECT_TRUE(g.HasEdge(q, r));
+  EXPECT_FALSE(g.HasNegativeEdge(pp, r));
+  EXPECT_TRUE(g.HasNegativeEdge(q, r));
+  EXPECT_TRUE(g.IsAcyclic());
+}
+
+TEST(DependenceGraphTest, AggregateHeadMakesEdgesNegative) {
+  SymbolTable syms;
+  Program p = Parse("s(X, sum<Y>) :- f(X, Y).", &syms);
+  DependenceGraph g = DependenceGraph::Build(p);
+  EXPECT_TRUE(g.HasNegativeEdge(syms.Lookup("f"), syms.Lookup("s")));
+}
+
+TEST(DependenceGraphTest, SelfLoopIsCyclic) {
+  SymbolTable syms;
+  Program p = Parse("t(X, Y) :- t(X, Z), e(Z, Y).", &syms);
+  DependenceGraph g = DependenceGraph::Build(p);
+  EXPECT_FALSE(g.IsAcyclic());
+}
+
+TEST(SccTest, MutualRecursionIsOneComponent) {
+  SymbolTable syms;
+  Program p = Parse(
+      "a(X) :- b(X).\n"
+      "b(X) :- a(X).\n"
+      "c(X) :- b(X).\n",
+      &syms);
+  DependenceGraph g = DependenceGraph::Build(p);
+  auto comps = g.StronglyConnectedComponents();
+  // {a,b} together; c alone.
+  size_t sizes[2] = {0, 0};
+  ASSERT_EQ(comps.size(), 2u);
+  sizes[0] = comps[0].size();
+  sizes[1] = comps[1].size();
+  EXPECT_EQ(sizes[0] + sizes[1], 3u);
+  EXPECT_TRUE(sizes[0] == 2 || sizes[1] == 2);
+  auto idx = g.ComponentIndex();
+  EXPECT_EQ(idx[syms.Lookup("a")], idx[syms.Lookup("b")]);
+  EXPECT_NE(idx[syms.Lookup("a")], idx[syms.Lookup("c")]);
+}
+
+TEST(SccTest, LongCycle) {
+  SymbolTable syms;
+  Program p = Parse(
+      "a(X) :- d(X).\n"
+      "b(X) :- a(X).\n"
+      "c(X) :- b(X).\n"
+      "d(X) :- c(X).\n",
+      &syms);
+  DependenceGraph g = DependenceGraph::Build(p);
+  auto comps = g.StronglyConnectedComponents();
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_EQ(comps[0].size(), 4u);
+}
+
+TEST(StratifyTest, NegationPushesUp) {
+  SymbolTable syms;
+  Program p = Parse(
+      "r(X) :- e(X, Y).\n"
+      "s(X) :- n(X), !r(X).\n"
+      "t(X) :- s(X), !u(X).\n"
+      "u(X) :- n(X), n(X).\n",
+      &syms);
+  ASSERT_OK_AND_ASSIGN(Stratification s, Stratify(p, syms));
+  EXPECT_EQ(s.stratum_of[syms.Lookup("r")], 0);
+  EXPECT_EQ(s.stratum_of[syms.Lookup("u")], 0);
+  EXPECT_EQ(s.stratum_of[syms.Lookup("s")], 1);
+  // t needs stratum(s) and stratum(u)+1; both give 1 (minimal strata).
+  EXPECT_EQ(s.stratum_of[syms.Lookup("t")], 1);
+  EXPECT_EQ(s.num_strata, 2);
+}
+
+TEST(StratifyTest, RecursionThroughNegationFails) {
+  SymbolTable syms;
+  Program p = Parse("w(X) :- m(X, Y), !w(Y).", &syms);
+  auto r = Stratify(p, syms);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnstratifiable);
+}
+
+TEST(StratifyTest, PositiveRecursionIsFine) {
+  SymbolTable syms;
+  Program p = Parse("t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, Z), t(Z, Y).\n",
+                    &syms);
+  ASSERT_OK_AND_ASSIGN(Stratification s, Stratify(p, syms));
+  EXPECT_EQ(s.num_strata, 1);
+}
+
+TEST(SafetyTest, HeadVariableMustBeLimited) {
+  SymbolTable syms;
+  Program p = Parse("q(X, Y) :- p(X).", &syms);
+  EXPECT_EQ(CheckSafety(p, syms).code(), StatusCode::kUnsafeRule);
+}
+
+TEST(SafetyTest, EqualityPropagatesLimitedness) {
+  SymbolTable syms;
+  Program p = Parse("q(Y) :- p(X), Y = X.", &syms);
+  EXPECT_OK(CheckSafety(p, syms));
+}
+
+TEST(SafetyTest, AssignmentLimitsTarget) {
+  SymbolTable syms;
+  Program p = Parse("q(Z) :- p(X), Z := X + 1.", &syms);
+  EXPECT_OK(CheckSafety(p, syms));
+}
+
+TEST(SafetyTest, AssignmentFromUnboundFails) {
+  SymbolTable syms;
+  Program p = Parse("q(Z) :- p(X), Z := Y + 1.", &syms);
+  EXPECT_EQ(CheckSafety(p, syms).code(), StatusCode::kUnsafeRule);
+}
+
+TEST(SafetyTest, ComparisonNeedsBothBound) {
+  SymbolTable syms;
+  Program p = Parse("q(X) :- p(X), X < Y.", &syms);
+  EXPECT_EQ(CheckSafety(p, syms).code(), StatusCode::kUnsafeRule);
+}
+
+TEST(SafetyTest, LocalNegatedVariableAllowed) {
+  SymbolTable syms;
+  Program p = Parse("q(X) :- p(X), !r(X, Y).", &syms);
+  EXPECT_OK(CheckSafety(p, syms));
+}
+
+TEST(SafetyTest, SharedNegatedVariableRejected) {
+  SymbolTable syms;
+  // Y in the negated subgoal also occurs in the head: not allowed.
+  Program p = Parse("q(X, Y) :- p(X), !r(X, Y).", &syms);
+  EXPECT_EQ(CheckSafety(p, syms).code(), StatusCode::kUnsafeRule);
+}
+
+TEST(LinearTest, LinearPrograms) {
+  SymbolTable syms;
+  EXPECT_OK(CheckLinear(
+      Parse("t(X,Y) :- e(X,Y).\nt(X,Y) :- e(X,Z), t(Z,Y).\n", &syms), syms));
+  // Figure 8 is linear.
+  EXPECT_OK(CheckLinear(
+      Parse("sg(X,X) :- person(X).\n"
+            "sg(X,Y) :- parent(X,Z), sg(Z,W), parent(Y,W).\n",
+            &syms),
+      syms));
+}
+
+TEST(LinearTest, NonlinearDetected) {
+  SymbolTable syms;
+  Program p = Parse("t(X,Y) :- e(X,Y).\nt(X,Y) :- t(X,Z), t(Z,Y).\n", &syms);
+  EXPECT_EQ(CheckLinear(p, syms).code(), StatusCode::kNotLinear);
+  EXPECT_FALSE(IsLinear(p));
+}
+
+TEST(LinearTest, NonRecursiveSubgoalsDoNotCount) {
+  SymbolTable syms;
+  // Two IDB subgoals, but only one in the head's SCC.
+  Program p = Parse(
+      "base(X, Y) :- e(X, Y).\n"
+      "t(X, Y) :- base(X, Y).\n"
+      "t(X, Y) :- base(X, Z), base(Z, W), t(W, Y).\n",
+      &syms);
+  EXPECT_OK(CheckLinear(p, syms));
+}
+
+TEST(TcShapeTest, RecognizesPlainTc) {
+  SymbolTable syms;
+  Program p = Parse("t(X,Y) :- e(X,Y).\nt(X,Y) :- e(X,Z), t(Z,Y).\n", &syms);
+  ASSERT_OK_AND_ASSIGN(TcShape shape, MatchTcRules(p, syms.Lookup("t")));
+  EXPECT_EQ(shape.base, syms.Lookup("e"));
+  EXPECT_EQ(shape.n, 1u);
+  EXPECT_EQ(shape.w, 0u);
+  EXPECT_TRUE(IsTcProgram(p));
+}
+
+TEST(TcShapeTest, RecognizesWideTc) {
+  SymbolTable syms;
+  Program p = Parse(
+      "t(A,B,C,D) :- e(A,B,C,D).\n"
+      "t(A,B,C,D) :- e(A,B,E,F), t(E,F,C,D).\n",
+      &syms);
+  ASSERT_OK_AND_ASSIGN(TcShape shape, MatchTcRules(p, syms.Lookup("t")));
+  EXPECT_EQ(shape.n, 2u);
+  EXPECT_EQ(shape.w, 0u);
+}
+
+TEST(TcShapeTest, RecognizesParameterizedTc) {
+  SymbolTable syms;
+  // Definition 2.4 rules (2)-(3): closure with a carried parameter W.
+  Program p = Parse(
+      "t(X,Y,W) :- e(X,Y,W).\n"
+      "t(X,Y,W) :- e(X,Z,W), t(Z,Y,W).\n",
+      &syms);
+  ASSERT_OK_AND_ASSIGN(TcShape shape, MatchTcRules(p, syms.Lookup("t")));
+  EXPECT_EQ(shape.n, 1u);
+  EXPECT_EQ(shape.w, 1u);
+  EXPECT_TRUE(IsTcProgram(p));
+}
+
+TEST(TcShapeTest, RejectsRightLinearVariant) {
+  SymbolTable syms;
+  // t(X,Y) :- t(X,Z), e(Z,Y) is linear but not the canonical TC shape
+  // (the closure subgoal must extend on the left).
+  Program p = Parse("t(X,Y) :- e(X,Y).\nt(X,Y) :- t(X,Z), e(Z,Y).\n", &syms);
+  EXPECT_FALSE(MatchTcRules(p, syms.Lookup("t")).ok());
+  EXPECT_FALSE(IsTcProgram(p));
+}
+
+TEST(TcShapeTest, RejectsNonTcRecursion) {
+  SymbolTable syms;
+  Program p = Parse(
+      "sg(X,X) :- person(X).\n"
+      "sg(X,Y) :- parent(X,Z), sg(Z,W), parent(Y,W).\n",
+      &syms);
+  EXPECT_FALSE(IsTcProgram(p));
+}
+
+TEST(AritiesTest, ConsistentAndInconsistent) {
+  SymbolTable syms;
+  EXPECT_OK(CheckArities(Parse("q(X) :- p(X, Y), p(Y, X).", &syms), syms));
+  Program bad = Parse("q(X) :- p(X), p(X, X).", &syms);
+  EXPECT_EQ(CheckArities(bad, syms).code(), StatusCode::kArityMismatch);
+}
+
+TEST(ProgramTest, EdbIdbClassification) {
+  SymbolTable syms;
+  Program p = Parse(
+      "t(X, Y) :- e(X, Y).\n"
+      "t(X, Y) :- e(X, Z), t(Z, Y).\n"
+      "q(X) :- t(X, X), n(X).\n",
+      &syms);
+  auto heads = p.HeadPredicates();
+  auto edbs = p.EdbPredicates();
+  EXPECT_EQ(heads.size(), 2u);
+  EXPECT_EQ(edbs.size(), 2u);  // e and n
+}
+
+}  // namespace
+}  // namespace graphlog::datalog

@@ -1,0 +1,213 @@
+// Tests for the Datalog lexer and parser.
+
+#include <gtest/gtest.h>
+
+#include "datalog/ast.h"
+#include "datalog/lexer.h"
+#include "datalog/parser.h"
+#include "tests/test_util.h"
+
+namespace graphlog::datalog {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  ASSERT_OK_AND_ASSIGN(auto toks, Tokenize("p(X, y) :- q(X), X < 3."));
+  std::vector<TokenKind> kinds;
+  for (const auto& t : toks) kinds.push_back(t.kind);
+  std::vector<TokenKind> expected = {
+      TokenKind::kIdent,  TokenKind::kLParen, TokenKind::kVariable,
+      TokenKind::kComma,  TokenKind::kIdent,  TokenKind::kRParen,
+      TokenKind::kImplies, TokenKind::kIdent, TokenKind::kLParen,
+      TokenKind::kVariable, TokenKind::kRParen, TokenKind::kComma,
+      TokenKind::kVariable, TokenKind::kLt,    TokenKind::kInt,
+      TokenKind::kDot,    TokenKind::kEnd};
+  EXPECT_EQ(kinds, expected);
+}
+
+TEST(LexerTest, HyphenatedIdentifiers) {
+  // The paper writes predicate names like not-desc-of; a hyphen followed by
+  // a letter is absorbed into the identifier.
+  ASSERT_OK_AND_ASSIGN(auto toks, Tokenize("not-desc-of"));
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kIdent);
+  EXPECT_EQ(toks[0].text, "not-desc-of");
+}
+
+TEST(LexerTest, HyphenBeforeDigitIsMinus) {
+  ASSERT_OK_AND_ASSIGN(auto toks, Tokenize("a-1"));
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kIdent);
+  EXPECT_EQ(toks[1].kind, TokenKind::kMinus);
+  EXPECT_EQ(toks[2].kind, TokenKind::kInt);
+}
+
+TEST(LexerTest, VariablesDoNotAbsorbHyphens) {
+  ASSERT_OK_AND_ASSIGN(auto toks, Tokenize("X-y"));
+  EXPECT_EQ(toks[0].kind, TokenKind::kVariable);
+  EXPECT_EQ(toks[1].kind, TokenKind::kMinus);
+}
+
+TEST(LexerTest, NumbersAndStrings) {
+  ASSERT_OK_AND_ASSIGN(auto toks, Tokenize("42 3.25 \"hi \\\"there\\\"\""));
+  EXPECT_EQ(toks[0].kind, TokenKind::kInt);
+  EXPECT_EQ(toks[0].int_value, 42);
+  EXPECT_EQ(toks[1].kind, TokenKind::kFloat);
+  EXPECT_DOUBLE_EQ(toks[1].float_value, 3.25);
+  EXPECT_EQ(toks[2].kind, TokenKind::kString);
+  EXPECT_EQ(toks[2].text, "hi \"there\"");
+}
+
+TEST(LexerTest, Comments) {
+  ASSERT_OK_AND_ASSIGN(auto toks, Tokenize("a // comment\n# also\nb"));
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(LexerTest, OperatorDisambiguation) {
+  ASSERT_OK_AND_ASSIGN(auto toks, Tokenize(":- := != <= >= -> => : ! < >"));
+  std::vector<TokenKind> kinds;
+  for (const auto& t : toks) kinds.push_back(t.kind);
+  std::vector<TokenKind> expected = {
+      TokenKind::kImplies, TokenKind::kAssign,  TokenKind::kNe,
+      TokenKind::kLe,      TokenKind::kGe,      TokenKind::kArrow,
+      TokenKind::kDoubleArrow, TokenKind::kColon, TokenKind::kBang,
+      TokenKind::kLt,      TokenKind::kGt,      TokenKind::kEnd};
+  EXPECT_EQ(kinds, expected);
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  auto r = Tokenize("\"oops");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, TracksLineNumbers) {
+  ASSERT_OK_AND_ASSIGN(auto toks, Tokenize("a\nb\n  c"));
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[2].line, 3);
+  EXPECT_EQ(toks[2].column, 3);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(ParserTest, SimpleRuleRoundTrips) {
+  SymbolTable syms;
+  ASSERT_OK_AND_ASSIGN(Rule r,
+                       ParseRule("path(X, Y) :- edge(X, Y).", &syms));
+  EXPECT_EQ(r.ToString(syms), "path(X, Y) :- edge(X, Y).");
+}
+
+TEST(ParserTest, FactHasEmptyBody) {
+  SymbolTable syms;
+  ASSERT_OK_AND_ASSIGN(Rule r, ParseRule("edge(a, b).", &syms));
+  EXPECT_TRUE(r.is_fact());
+  EXPECT_EQ(r.head.arity(), 2u);
+  EXPECT_TRUE(r.head.args[0].term.is_constant());
+}
+
+TEST(ParserTest, NegationAndComparison) {
+  SymbolTable syms;
+  ASSERT_OK_AND_ASSIGN(
+      Rule r, ParseRule("q(X) :- p(X), !r(X), X < 10.", &syms));
+  ASSERT_EQ(r.body.size(), 3u);
+  EXPECT_TRUE(r.body[0].is_positive_atom());
+  EXPECT_TRUE(r.body[1].is_negated_atom());
+  EXPECT_EQ(r.body[2].kind, Literal::Kind::kComparison);
+  EXPECT_EQ(r.body[2].cmp, CmpOp::kLt);
+}
+
+TEST(ParserTest, EqWithPlainTermIsComparison) {
+  SymbolTable syms;
+  ASSERT_OK_AND_ASSIGN(Rule r, ParseRule("q(X, Y) :- p(X, Y), X = Y.", &syms));
+  EXPECT_EQ(r.body[1].kind, Literal::Kind::kComparison);
+  EXPECT_EQ(r.body[1].cmp, CmpOp::kEq);
+}
+
+TEST(ParserTest, EqWithCompoundExprIsAssignment) {
+  SymbolTable syms;
+  ASSERT_OK_AND_ASSIGN(
+      Rule r, ParseRule("q(X, Z) :- p(X, Y), Z = Y + 2 * X.", &syms));
+  EXPECT_EQ(r.body[1].kind, Literal::Kind::kAssignment);
+  // Multiplication binds tighter than addition.
+  EXPECT_EQ(r.body[1].assign_expr.op, ArithOp::kAdd);
+}
+
+TEST(ParserTest, ExplicitAssignOperator) {
+  SymbolTable syms;
+  ASSERT_OK_AND_ASSIGN(Rule r, ParseRule("q(Z) :- p(Y), Z := Y.", &syms));
+  EXPECT_EQ(r.body[1].kind, Literal::Kind::kAssignment);
+}
+
+TEST(ParserTest, AggregateHeads) {
+  SymbolTable syms;
+  ASSERT_OK_AND_ASSIGN(
+      Program p,
+      ParseProgram("total(X, sum<D>) :- f(X, D).\n"
+                   "n(count<*>) :- f(_, _).\n"
+                   "lo(X, min<D>) :- f(X, D).\n",
+                   &syms));
+  ASSERT_EQ(p.rules.size(), 3u);
+  EXPECT_TRUE(p.rules[0].head.has_aggregates());
+  EXPECT_EQ(p.rules[0].head.args[1].agg, AggKind::kSum);
+  EXPECT_EQ(p.rules[1].head.args[0].agg, AggKind::kCount);
+  EXPECT_EQ(p.rules[1].head.args[0].agg_var, kNoSymbol);
+  EXPECT_EQ(p.rules[2].head.args[1].agg, AggKind::kMin);
+}
+
+TEST(ParserTest, WildcardsBecomeFreshVariables) {
+  SymbolTable syms;
+  ASSERT_OK_AND_ASSIGN(Rule r, ParseRule("q(X) :- p(X, _, _).", &syms));
+  const auto& args = r.body[0].atom.args;
+  ASSERT_TRUE(args[1].is_variable());
+  ASSERT_TRUE(args[2].is_variable());
+  EXPECT_NE(args[1].var(), args[2].var());
+}
+
+TEST(ParserTest, NegativeNumericConstants) {
+  SymbolTable syms;
+  ASSERT_OK_AND_ASSIGN(Rule r, ParseRule("p(-5, -2.5).", &syms));
+  EXPECT_EQ(r.head.args[0].term.value(), Value::Int(-5));
+  EXPECT_EQ(r.head.args[1].term.value(), Value::Double(-2.5));
+}
+
+TEST(ParserTest, QuotedStringConstants) {
+  SymbolTable syms;
+  ASSERT_OK_AND_ASSIGN(Rule r, ParseRule("city(\"Sao Paulo\").", &syms));
+  EXPECT_TRUE(r.head.args[0].term.value().is_symbol());
+  // Round trip keeps the quotes because of the space.
+  EXPECT_EQ(r.ToString(syms), "city(\"Sao Paulo\").");
+}
+
+TEST(ParserTest, ProgramToStringReparses) {
+  SymbolTable syms;
+  const char* text =
+      "sg(X, X) :- person(X).\n"
+      "sg(X, Y) :- parent(X, Z), sg(Z, W), parent(Y, W).\n";
+  ASSERT_OK_AND_ASSIGN(Program p, ParseProgram(text, &syms));
+  std::string printed = p.ToString(syms);
+  ASSERT_OK_AND_ASSIGN(Program p2, ParseProgram(printed, &syms));
+  EXPECT_EQ(printed, p2.ToString(syms));
+}
+
+TEST(ParserTest, ErrorsCarryPosition) {
+  SymbolTable syms;
+  auto r = ParseRule("p(X) :- q(X", &syms);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(ParserTest, MissingDotFails) {
+  SymbolTable syms;
+  EXPECT_FALSE(ParseRule("p(X) :- q(X)", &syms).ok());
+}
+
+TEST(ParserTest, ZeroArityPredicate) {
+  SymbolTable syms;
+  ASSERT_OK_AND_ASSIGN(Rule r, ParseRule("flag() :- p(X).", &syms));
+  EXPECT_EQ(r.head.arity(), 0u);
+}
+
+}  // namespace
+}  // namespace graphlog::datalog

@@ -1,0 +1,227 @@
+// Edge-case tests for the rule compiler and evaluation engine: join
+// ordering, repeated variables, constants in odd positions, empty
+// relations, self joins, zero-arity predicates.
+
+#include <gtest/gtest.h>
+
+#include "eval/compiled_rule.h"
+#include "eval/engine.h"
+#include "datalog/parser.h"
+#include "storage/database.h"
+#include "tests/test_util.h"
+
+namespace graphlog::eval {
+namespace {
+
+using storage::Database;
+using testutil::RelationSet;
+using testutil::RelationSize;
+
+TEST(EvalEdgeCasesTest, RepeatedVariableInAtom) {
+  Database db;
+  ASSERT_OK(db.AddSymFact("e", {"a", "a"}));
+  ASSERT_OK(db.AddSymFact("e", {"a", "b"}));
+  ASSERT_OK(EvaluateText("loop(X) :- e(X, X).", &db).status());
+  EXPECT_EQ(RelationSet(db, "loop"), (std::set<std::string>{"a"}));
+}
+
+TEST(EvalEdgeCasesTest, RepeatedVariableAcrossAtoms) {
+  Database db;
+  ASSERT_OK(db.AddSymFact("p", {"a", "b"}));
+  ASSERT_OK(db.AddSymFact("q", {"b", "c"}));
+  ASSERT_OK(db.AddSymFact("q", {"x", "y"}));
+  ASSERT_OK(EvaluateText("j(X, Z) :- p(X, Y), q(Y, Z).", &db).status());
+  EXPECT_EQ(RelationSet(db, "j"), (std::set<std::string>{"a,c"}));
+}
+
+TEST(EvalEdgeCasesTest, RepeatedUnboundVariableInNegatedAtom) {
+  // !e(X, X) where X is bound: anti-join with intra-atom equality.
+  Database db;
+  ASSERT_OK(db.AddSymFact("n", {"a"}));
+  ASSERT_OK(db.AddSymFact("n", {"b"}));
+  ASSERT_OK(db.AddSymFact("e", {"a", "a"}));
+  ASSERT_OK(EvaluateText("noloop(X) :- n(X), !e(X, X).", &db).status());
+  EXPECT_EQ(RelationSet(db, "noloop"), (std::set<std::string>{"b"}));
+}
+
+TEST(EvalEdgeCasesTest, NegatedAtomWithRepeatedLocalVariable) {
+  // !e(Y, Y) with Y local: fails iff ANY self-loop exists.
+  Database db1, db2;
+  for (Database* db : {&db1, &db2}) {
+    ASSERT_OK(db->AddSymFact("n", {"a"}));
+  }
+  ASSERT_OK(db1.AddSymFact("e", {"x", "x"}));  // self loop somewhere
+  ASSERT_OK(db2.AddSymFact("e", {"x", "y"}));  // no self loop
+  ASSERT_OK(EvaluateText("ok(X) :- n(X), !e(Y, Y).", &db1).status());
+  ASSERT_OK(EvaluateText("ok(X) :- n(X), !e(Y, Y).", &db2).status());
+  EXPECT_EQ(RelationSize(db1, "ok"), 0u);
+  EXPECT_EQ(RelationSize(db2, "ok"), 1u);
+}
+
+TEST(EvalEdgeCasesTest, ConstantInBodyPosition) {
+  Database db;
+  ASSERT_OK(db.AddFact("p", {Value::Sym(db.Intern("a")), Value::Int(1)}));
+  ASSERT_OK(db.AddFact("p", {Value::Sym(db.Intern("b")), Value::Int(2)}));
+  ASSERT_OK(EvaluateText("one(X) :- p(X, 1).", &db).status());
+  EXPECT_EQ(RelationSet(db, "one"), (std::set<std::string>{"a"}));
+}
+
+TEST(EvalEdgeCasesTest, ConstantInHead) {
+  Database db;
+  ASSERT_OK(db.AddSymFact("p", {"a"}));
+  ASSERT_OK(EvaluateText("tagged(X, hello, 42) :- p(X).", &db).status());
+  EXPECT_EQ(RelationSet(db, "tagged"), (std::set<std::string>{"a,hello,42"}));
+}
+
+TEST(EvalEdgeCasesTest, RepeatedHeadVariable) {
+  Database db;
+  ASSERT_OK(db.AddSymFact("p", {"a"}));
+  ASSERT_OK(EvaluateText("dup(X, X) :- p(X).", &db).status());
+  EXPECT_EQ(RelationSet(db, "dup"), (std::set<std::string>{"a,a"}));
+}
+
+TEST(EvalEdgeCasesTest, MissingEdbIsEmpty) {
+  Database db;
+  ASSERT_OK(db.AddSymFact("p", {"a"}));
+  // `never` is not in the database: treated as empty, not an error.
+  ASSERT_OK(EvaluateText("q(X) :- p(X), never(X).", &db).status());
+  EXPECT_EQ(RelationSize(db, "q"), 0u);
+}
+
+TEST(EvalEdgeCasesTest, NegationOfMissingEdbAlwaysHolds) {
+  Database db;
+  ASSERT_OK(db.AddSymFact("p", {"a"}));
+  ASSERT_OK(EvaluateText("q(X) :- p(X), !never(X).", &db).status());
+  EXPECT_EQ(RelationSet(db, "q"), (std::set<std::string>{"a"}));
+}
+
+TEST(EvalEdgeCasesTest, ZeroArityPredicates) {
+  Database db;
+  ASSERT_OK(db.AddSymFact("p", {"a"}));
+  ASSERT_OK(EvaluateText("flag() :- p(a).\n"
+                         "out(X) :- p(X), flag().\n",
+                         &db)
+                .status());
+  EXPECT_EQ(RelationSize(db, "flag"), 1u);
+  EXPECT_EQ(RelationSet(db, "out"), (std::set<std::string>{"a"}));
+}
+
+TEST(EvalEdgeCasesTest, ZeroArityNegation) {
+  Database db;
+  ASSERT_OK(db.AddSymFact("p", {"a"}));
+  ASSERT_OK(EvaluateText("flag() :- p(b).\n"
+                         "out(X) :- p(X), !flag().\n",
+                         &db)
+                .status());
+  EXPECT_EQ(RelationSet(db, "out"), (std::set<std::string>{"a"}));
+}
+
+TEST(EvalEdgeCasesTest, CartesianProduct) {
+  Database db;
+  ASSERT_OK(db.AddSymFact("a", {"x"}));
+  ASSERT_OK(db.AddSymFact("a", {"y"}));
+  ASSERT_OK(db.AddSymFact("b", {"1"}));
+  ASSERT_OK(db.AddSymFact("b", {"2"}));
+  ASSERT_OK(EvaluateText("prod(X, Y) :- a(X), b(Y).", &db).status());
+  EXPECT_EQ(RelationSize(db, "prod"), 4u);
+}
+
+TEST(EvalEdgeCasesTest, SelfJoinSameRelation) {
+  Database db;
+  ASSERT_OK(db.AddFact("num", {Value::Int(1)}));
+  ASSERT_OK(db.AddFact("num", {Value::Int(2)}));
+  ASSERT_OK(db.AddFact("num", {Value::Int(3)}));
+  ASSERT_OK(
+      EvaluateText("lt(X, Y) :- num(X), num(Y), X < Y.", &db).status());
+  EXPECT_EQ(RelationSize(db, "lt"), 3u);
+}
+
+TEST(EvalEdgeCasesTest, ChainOfAssignments) {
+  Database db;
+  ASSERT_OK(db.AddFact("p", {Value::Int(5)}));
+  ASSERT_OK(EvaluateText("q(C) :- p(X), A := X + 1, B := A * 2, C := B - X.",
+                         &db)
+                .status());
+  EXPECT_EQ(RelationSet(db, "q"), (std::set<std::string>{"7"}));
+}
+
+TEST(EvalEdgeCasesTest, AssignmentAsEqualityCheck) {
+  // Target already bound: the assignment filters.
+  Database db;
+  ASSERT_OK(db.AddFact("pair", {Value::Int(2), Value::Int(4)}));
+  ASSERT_OK(db.AddFact("pair", {Value::Int(3), Value::Int(5)}));
+  ASSERT_OK(
+      EvaluateText("dbl(X, Y) :- pair(X, Y), Y := X * 2.", &db).status());
+  EXPECT_EQ(RelationSet(db, "dbl"), (std::set<std::string>{"2,4"}));
+}
+
+TEST(EvalEdgeCasesTest, MixedIntDoubleArithmetic) {
+  Database db;
+  ASSERT_OK(db.AddFact("p", {Value::Int(3), Value::Double(0.5)}));
+  ASSERT_OK(EvaluateText("q(Z) :- p(X, Y), Z := X * Y.", &db).status());
+  EXPECT_EQ(RelationSet(db, "q"), (std::set<std::string>{"1.5"}));
+}
+
+TEST(EvalEdgeCasesTest, EqualityIsValueIdentity) {
+  // 3 and 3.0 are distinct domain values: `=` agrees with join equality
+  // regardless of literal order, while ordering comparisons are numeric.
+  Database db;
+  ASSERT_OK(db.AddFact("p", {Value::Int(3)}));
+  ASSERT_OK(db.AddFact("q", {Value::Double(3.0)}));
+  ASSERT_OK(EvaluateText("same() :- p(X), q(Y), X = Y.", &db).status());
+  EXPECT_EQ(RelationSize(db, "same"), 0u);
+  ASSERT_OK(EvaluateText("joined(X) :- p(X), q(X).", &db).status());
+  EXPECT_EQ(RelationSize(db, "joined"), 0u);
+  // Numeric ordering still mixes kinds: 3 <= 3.0 and 3 >= 3.0.
+  ASSERT_OK(
+      EvaluateText("le() :- p(X), q(Y), X <= Y, X >= Y.", &db).status());
+  EXPECT_EQ(RelationSize(db, "le"), 1u);
+}
+
+TEST(EvalEdgeCasesTest, FactOnlyProgram) {
+  Database db;
+  ASSERT_OK(EvaluateText("p(a).\np(b).\nq(a, b).\n", &db).status());
+  EXPECT_EQ(RelationSize(db, "p"), 2u);
+  EXPECT_EQ(RelationSize(db, "q"), 1u);
+}
+
+TEST(EvalEdgeCasesTest, IdbExtendsExistingRelation) {
+  Database db;
+  ASSERT_OK(db.AddSymFact("p", {"seed"}));
+  ASSERT_OK(db.AddSymFact("q", {"x"}));
+  // p is both EDB (has facts) and IDB (has a rule): facts survive.
+  ASSERT_OK(EvaluateText("p(X) :- q(X).", &db).status());
+  EXPECT_EQ(RelationSet(db, "p"), (std::set<std::string>{"seed", "x"}));
+}
+
+TEST(EvalEdgeCasesTest, HeadArityConflictWithExistingRelation) {
+  Database db;
+  ASSERT_OK(db.AddSymFact("p", {"a", "b"}));
+  auto r = EvaluateText("p(X) :- q(X).", &db);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kArityMismatch);
+}
+
+TEST(EvalEdgeCasesTest, LongChainDeepRecursion) {
+  Database db;
+  for (int i = 0; i < 600; ++i) {
+    ASSERT_OK(db.AddFact("e", {Value::Int(i), Value::Int(i + 1)}));
+  }
+  ASSERT_OK(EvaluateText("r(Y) :- e(0, Y).\nr(Y) :- r(X), e(X, Y).\n", &db)
+                .status());
+  EXPECT_EQ(RelationSize(db, "r"), 600u);
+}
+
+TEST(EvalEdgeCasesTest, CompiledRuleRejectsWildcardHead) {
+  SymbolTable syms;
+  datalog::Rule r;
+  r.head.predicate = syms.Intern("p");
+  r.head.args.push_back(
+      datalog::HeadTerm::Plain(datalog::Term::Wildcard()));
+  auto c = CompiledRule::Compile(r, syms);
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kUnsafeRule);
+}
+
+}  // namespace
+}  // namespace graphlog::eval

@@ -1,0 +1,134 @@
+// Regression pins for the paper's running example: the exact Figure 1
+// database and the exact answers of the Figure 4 query over it, plus
+// error paths of the surface syntax.
+
+#include <gtest/gtest.h>
+
+#include "graphlog/engine.h"
+#include "graphlog/parser.h"
+#include "storage/database.h"
+#include "tests/test_util.h"
+#include "workload/generators.h"
+
+namespace graphlog::gl {
+namespace {
+
+using storage::Database;
+using testutil::RelationSet;
+
+TEST(Figure1RegressionTest, Figure4AnswersOnThePapersDatabase) {
+  Database db;
+  ASSERT_OK(workload::Figure1Flights(&db));
+  ASSERT_OK(EvaluateGraphLogText(
+                "query feasible {\n"
+                "  edge F1 -> A1 : arrival;\n"
+                "  edge F2 -> D2 : departure;\n"
+                "  edge A1 -> D2 : <;\n"
+                "  edge F1 -> C : to;\n"
+                "  edge F2 -> C : from;\n"
+                "  distinguished F1 -> F2 : feasible;\n"
+                "}\n"
+                "query stop-connected {\n"
+                "  edge C1 -> C2 : (-from) feasible+ to;\n"
+                "  distinguished C1 -> C2 : stop-connected;\n"
+                "}\n",
+                &db)
+                .status());
+  // Hand-checked against the Figure 1 times:
+  //   109 (ott->tor, arr 9:00) connects to 106 (tor->ott, dep 21:45)
+  //   and 132 (tor->mtl, dep 12:00); etc.
+  EXPECT_EQ(RelationSet(db, "feasible"),
+            (std::set<std::string>{"109,106", "109,132", "132,143",
+                                   "132,158", "143,106", "156,143",
+                                   "156,158"}));
+  EXPECT_EQ(RelationSet(db, "stop-connected"),
+            (std::set<std::string>{"montreal,ottawa", "ottawa,montreal",
+                                   "ottawa,ottawa", "ottawa,toronto",
+                                   "toronto,ottawa", "toronto,toronto"}));
+}
+
+TEST(Figure1RegressionTest, CapitalIsANodePredicate) {
+  Database db;
+  ASSERT_OK(workload::Figure1Flights(&db));
+  // Flights into the national capital, using the unary predicate.
+  ASSERT_OK(EvaluateGraphLogText("query to-capital {\n"
+                                 "  node C [capital];\n"
+                                 "  edge F -> C : to;\n"
+                                 "  distinguished F -> C : to-capital;\n"
+                                 "}\n",
+                                 &db)
+                .status());
+  EXPECT_EQ(RelationSet(db, "to-capital"),
+            (std::set<std::string>{"106,ottawa", "158,ottawa"}));
+}
+
+TEST(SurfaceSyntaxErrorTest, MissingDistinguishedEdge) {
+  Database db;
+  auto r = ParseGraphicalQuery("query t { edge X -> Y : e; }",
+                               &db.symbols());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("distinguished"), std::string::npos);
+}
+
+TEST(SurfaceSyntaxErrorTest, NameMismatchRejected) {
+  Database db;
+  auto r = ParseGraphicalQuery(
+      "query t { edge X -> Y : e; distinguished X -> Y : other; }",
+      &db.symbols());
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("does not match"), std::string::npos);
+}
+
+TEST(SurfaceSyntaxErrorTest, UnterminatedBlock) {
+  Database db;
+  auto r = ParseGraphicalQuery(
+      "query t { edge X -> Y : e; distinguished X -> Y : t;",
+      &db.symbols());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SurfaceSyntaxErrorTest, UnknownStatement) {
+  Database db;
+  auto r = ParseGraphicalQuery(
+      "query t { frobnicate X; distinguished X -> X : t; }",
+      &db.symbols());
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("expected node/edge"),
+            std::string::npos);
+}
+
+TEST(SurfaceSyntaxErrorTest, EmptyInput) {
+  Database db;
+  EXPECT_FALSE(ParseGraphicalQuery("", &db.symbols()).ok());
+  EXPECT_FALSE(ParseGraphicalQuery("   // just a comment\n",
+                                   &db.symbols())
+                   .ok());
+}
+
+TEST(SurfaceSyntaxErrorTest, DuplicateSummarize) {
+  Database db;
+  auto r = ParseGraphicalQuery(
+      "query t {\n"
+      "  summarize E = max<sum<D>> over w(D);\n"
+      "  summarize E = min<sum<D>> over w(D);\n"
+      "  distinguished X -> Y : t(E);\n"
+      "}\n",
+      &db.symbols());
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(SurfaceSyntaxErrorTest, BadAggregateSpelling) {
+  Database db;
+  auto r = ParseGraphicalQuery(
+      "query t {\n"
+      "  summarize E = median<sum<D>> over w(D);\n"
+      "  distinguished X -> Y : t(E);\n"
+      "}\n",
+      &db.symbols());
+  ASSERT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace graphlog::gl

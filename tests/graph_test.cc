@@ -1,0 +1,119 @@
+// Tests for the DataGraph model (Definition 2.1) and its relational
+// round-trip.
+
+#include <gtest/gtest.h>
+
+#include "graph/data_graph.h"
+#include "storage/database.h"
+#include "tests/test_util.h"
+
+namespace graphlog::graph {
+namespace {
+
+using storage::Database;
+using storage::Tuple;
+
+TEST(DataGraphTest, AddNodeInterns) {
+  DataGraph g;
+  NodeId a = g.AddNode(Value::Int(1));
+  NodeId b = g.AddNode(Value::Int(1));
+  NodeId c = g.AddNode(Value::Int(2));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(g.num_nodes(), 2u);
+}
+
+TEST(DataGraphTest, MultigraphKeepsDistinctParallelEdges) {
+  Database db;
+  DataGraph g;
+  Symbol p = db.Intern("p");
+  Symbol q = db.Intern("q");
+  Value a = Value::Int(1), b = Value::Int(2);
+  g.AddEdge(a, b, p);
+  g.AddEdge(a, b, q);                       // different label: kept
+  g.AddEdge(a, b, p, {Value::Int(5)});      // different args: kept
+  g.AddEdge(a, b, p);                       // exact duplicate: dropped
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(DataGraphTest, AdjacencyLists) {
+  Database db;
+  DataGraph g;
+  Symbol p = db.Intern("p");
+  g.AddEdge(Value::Int(1), Value::Int(2), p);
+  g.AddEdge(Value::Int(1), Value::Int(3), p);
+  g.AddEdge(Value::Int(2), Value::Int(3), p);
+  NodeId n1;
+  ASSERT_TRUE(g.FindNode(Value::Int(1), &n1));
+  EXPECT_EQ(g.OutEdges(n1).size(), 2u);
+  NodeId n3;
+  ASSERT_TRUE(g.FindNode(Value::Int(3), &n3));
+  EXPECT_EQ(g.InEdges(n3).size(), 2u);
+}
+
+TEST(DataGraphTest, NodePredicates) {
+  Database db;
+  DataGraph g;
+  Symbol cap = db.Intern("capital");
+  g.AddNodePredicate(Value::Int(7), cap);
+  NodeId n;
+  ASSERT_TRUE(g.FindNode(Value::Int(7), &n));
+  EXPECT_TRUE(g.NodeHas(cap, n));
+  EXPECT_EQ(g.NodesWith(cap).size(), 1u);
+  EXPECT_FALSE(g.NodeHas(db.Intern("other"), n));
+}
+
+TEST(DataGraphTest, DatabaseRoundTrip) {
+  Database db;
+  ASSERT_OK(db.AddSymFact("road", {"a", "b"}));
+  ASSERT_OK(db.AddFact("road", {Value::Sym(db.Intern("b")),
+                                Value::Sym(db.Intern("c"))}));
+  ASSERT_OK(db.AddFact(
+      "flight", {Value::Sym(db.Intern("a")), Value::Sym(db.Intern("c")),
+                 Value::Int(100)}));
+  ASSERT_OK(db.AddSymFact("capital", {"a"}));
+
+  DataGraph g = DataGraph::FromDatabase(db);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.EdgePredicates().size(), 2u);
+
+  Database back;
+  ASSERT_OK(g.ToDatabase(db.symbols(), &back));
+  // Note: `back` has its own symbol table; compare by rendering.
+  EXPECT_EQ(back.RelationToString(back.Intern("road")),
+            db.RelationToString(db.Intern("road")));
+  EXPECT_EQ(back.RelationToString(back.Intern("capital")),
+            db.RelationToString(db.Intern("capital")));
+  EXPECT_EQ(back.RelationToString(back.Intern("flight")),
+            db.RelationToString(db.Intern("flight")));
+}
+
+TEST(DataGraphTest, DotExport) {
+  Database db;
+  DataGraph g;
+  g.AddEdge(Value::Sym(db.Intern("x")), Value::Sym(db.Intern("y")),
+            db.Intern("link"), {Value::Int(3)});
+  DotOptions opts;
+  opts.highlight_edges = {0};
+  std::string dot = ToDot(g, db.symbols(), opts);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("link(3)"), std::string::npos);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);
+  EXPECT_NE(dot.find("\"x\""), std::string::npos);
+}
+
+TEST(DataGraphTest, DotWithoutArgs) {
+  Database db;
+  DataGraph g;
+  g.AddEdge(Value::Sym(db.Intern("x")), Value::Sym(db.Intern("y")),
+            db.Intern("link"), {Value::Int(3)});
+  DotOptions opts;
+  opts.show_edge_args = false;
+  std::string dot = ToDot(g, db.symbols(), opts);
+  EXPECT_EQ(dot.find("link(3)"), std::string::npos);
+  EXPECT_NE(dot.find("link"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace graphlog::graph

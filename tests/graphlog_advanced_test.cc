@@ -1,0 +1,213 @@
+// Advanced GraphLog tests: multi-variable node labels (the general
+// Definition 2.1/2.3 encoding), the paper's alternative flight
+// representation, hypertext integration ([CM89]), and engine options.
+
+#include <gtest/gtest.h>
+
+#include "datalog/analysis.h"
+#include "eval/provenance.h"
+#include "graphlog/engine.h"
+#include "graphlog/parser.h"
+#include "graphlog/translate.h"
+#include "storage/database.h"
+#include "tests/test_util.h"
+#include "workload/generators.h"
+
+namespace graphlog::gl {
+namespace {
+
+using storage::Database;
+using testutil::RelationSet;
+using testutil::RelationSize;
+
+TEST(MultiVarNodesTest, PlainEdgesBetweenTupleNodes) {
+  // The paper's Section 2: "a tuple P(a.., b.., c..) can be represented by
+  // an edge between nodes (a..) and (b..) labelled P(c..)". Here flights
+  // are edges between (city, city) pairs carrying times.
+  Database db;
+  auto sym = [&](const char* s) { return Value::Sym(db.Intern(s)); };
+  // flight(from, to, dep, arr) — nodes are cities; the query pairs up
+  // two-leg journeys using tuple-labeled nodes.
+  ASSERT_OK(db.AddFact(
+      "flight", {sym("yyz"), sym("yul"), Value::Int(700), Value::Int(800)}));
+  ASSERT_OK(db.AddFact(
+      "flight", {sym("yul"), sym("cdg"), Value::Int(900), Value::Int(1400)}));
+  ASSERT_OK(EvaluateGraphLogText(
+                "query two-leg {\n"
+                "  edge (A, B) -> (D1, A1) : leg;\n"
+                "  edge (B, C) -> (D2, A2) : leg;\n"
+                "  where A1 < D2;\n"
+                "  distinguished (A, B) -> (B, C) : two-leg;\n"
+                "}\n"
+                "query leg {\n"
+                "  edge (A, B) -> (D, R) : flight-times;\n"
+                "  distinguished (A, B) -> (D, R) : leg;\n"
+                "}\n"
+                "query flight-times {\n"
+                "  edge A -> B : flight(D, R);\n"
+                "  distinguished (A, B) -> (D, R) : flight-times;\n"
+                "}\n",
+                &db)
+                .status());
+  // two-leg(A, B, B, C): yyz->yul then yul->cdg.
+  EXPECT_EQ(RelationSet(db, "two-leg"),
+            (std::set<std::string>{"yyz,yul,yul,cdg"}));
+}
+
+TEST(MultiVarNodesTest, ClosureBetweenTupleNodes) {
+  // Closure over a 4-ary relation viewed as edges between pairs.
+  Database db;
+  auto sym = [&](const char* s) { return Value::Sym(db.Intern(s)); };
+  ASSERT_OK(db.AddFact("step", {sym("a"), sym("b"), sym("b"), sym("c")}));
+  ASSERT_OK(db.AddFact("step", {sym("b"), sym("c"), sym("c"), sym("d")}));
+  ASSERT_OK(EvaluateGraphLogText(
+                "query reach2 {\n"
+                "  edge (X1, X2) -> (Y1, Y2) : step+;\n"
+                "  distinguished (X1, X2) -> (Y1, Y2) : reach2;\n"
+                "}\n",
+                &db)
+                .status());
+  auto res = RelationSet(db, "reach2");
+  EXPECT_TRUE(res.count("a,b,b,c"));
+  EXPECT_TRUE(res.count("a,b,c,d"));  // two steps
+  EXPECT_EQ(res.size(), 3u);
+}
+
+TEST(MultiVarNodesTest, MixedArityPlainLiteralAllowed) {
+  // A plain literal may connect nodes of different arities
+  // (Definition 2.3 only restricts closure literals).
+  Database db;
+  auto sym = [&](const char* s) { return Value::Sym(db.Intern(s)); };
+  ASSERT_OK(db.AddFact("locates", {sym("x"), sym("u"), sym("v")}));
+  ASSERT_OK(EvaluateGraphLogText(
+                "query at {\n"
+                "  edge X -> (U, V) : locates;\n"
+                "  distinguished X -> (U, V) : at;\n"
+                "}\n",
+                &db)
+                .status());
+  EXPECT_EQ(RelationSet(db, "at"), (std::set<std::string>{"x,u,v"}));
+}
+
+TEST(MultiVarNodesTest, ClosureAcrossDifferentAritiesRejected) {
+  Database db;
+  auto r = EvaluateGraphLogText(
+      "query bad {\n"
+      "  edge X -> (U, V) : locates+;\n"
+      "  distinguished X -> (U, V) : bad;\n"
+      "}\n",
+      &db);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kArityMismatch);
+}
+
+TEST(HypertextIntegrationTest, Cm89StyleQueries) {
+  Database db;
+  workload::HypertextOptions opts;
+  opts.num_pages = 25;
+  opts.link_prob = 0.1;
+  ASSERT_OK(workload::Hypertext(opts, &db));
+  ASSERT_OK(EvaluateGraphLogText(
+                "query reachable {\n"
+                "  edge P1 -> P2 : link+;\n"
+                "  distinguished P1 -> P2 : reachable;\n"
+                "}\n"
+                "query authored-link {\n"
+                "  edge P1 -> P2 : link;\n"
+                "  edge P1 -> A : author;\n"
+                "  edge P2 -> A : author;\n"
+                "  distinguished P1 -> P2 : authored-link(A);\n"
+                "}\n"
+                "query same-author-reach {\n"
+                "  edge P1 -> P2 : authored-link(A)+;\n"
+                "  distinguished P1 -> P2 : same-author-reach(A);\n"
+                "}\n",
+                &db)
+                .status());
+  // Sanity: same-author reachability is a sub-relation of reachability.
+  EXPECT_GT(RelationSize(db, "reachable"), 0u);
+  const auto* sar = db.Find("same-author-reach");
+  const auto* reach = db.Find("reachable");
+  for (const auto& t : sar->rows()) {
+    EXPECT_TRUE(reach->Contains({t[0], t[1]}));
+  }
+}
+
+TEST(EngineOptionsTest, MagicSpecializationPreservesResults) {
+  Database db1, db2;
+  for (Database* db : {&db1, &db2}) {
+    ASSERT_OK(workload::RandomDigraph(30, 80, 21, db, "e"));
+  }
+  const char* query =
+      "query from-n0 {\n"
+      "  edge \"n0\" -> Y : e+;\n"
+      "  distinguished \"n0\" -> Y : from-n0;\n"
+      "}\n";
+  ASSERT_OK_AND_ASSIGN(GraphicalQuery q1,
+                       ParseGraphicalQuery(query, &db1.symbols()));
+  ASSERT_OK_AND_ASSIGN(GraphicalQuery q2,
+                       ParseGraphicalQuery(query, &db2.symbols()));
+  ASSERT_OK(EvaluateGraphicalQuery(q1, &db1).status());
+  GraphLogOptions magic;
+  magic.specialize_bound_closures = true;
+  ASSERT_OK(EvaluateGraphicalQuery(q2, &db2, magic).status());
+  EXPECT_EQ(RelationSet(db1, "from-n0"), RelationSet(db2, "from-n0"));
+}
+
+TEST(EngineOptionsTest, NaiveStrategyThroughGraphLog) {
+  Database db;
+  ASSERT_OK(db.AddSymFact("e", {"a", "b"}));
+  ASSERT_OK(db.AddSymFact("e", {"b", "c"}));
+  eval::EvalOptions naive;
+  naive.strategy = eval::Strategy::kNaive;
+  ASSERT_OK(EvaluateGraphLogText(
+                "query t { edge X -> Y : e+; distinguished X -> Y : t; }",
+                &db, naive)
+                .status());
+  EXPECT_EQ(RelationSize(db, "t"), 3u);
+}
+
+TEST(EngineOptionsTest, ProvenanceThroughGraphLog) {
+  Database db;
+  ASSERT_OK(db.AddSymFact("e", {"a", "b"}));
+  ASSERT_OK(db.AddSymFact("e", {"b", "c"}));
+  ASSERT_OK_AND_ASSIGN(
+      GraphicalQuery q,
+      ParseGraphicalQuery(
+          "query t { edge X -> Y : e+; distinguished X -> Y : t; }",
+          &db.symbols()));
+  eval::ProvenanceStore store;
+  GraphLogOptions opts;
+  opts.eval.provenance = &store;
+  ASSERT_OK_AND_ASSIGN(auto stats, EvaluateGraphicalQuery(q, &db, opts));
+  EXPECT_GT(stats.programs.size(), 0u);
+  ASSERT_OK_AND_ASSIGN(
+      std::string tree,
+      eval::ExplainFact(store, stats.programs, db.symbols(), "t(a, c)"));
+  EXPECT_NE(tree.find("by rule:"), std::string::npos);
+  EXPECT_NE(tree.find("[edb]"), std::string::npos);
+}
+
+TEST(TranslateShapeTest, TranslationsAreAlwaysStratifiedLinear) {
+  // Every lambda output lands in SL-DATALOG (Lemma 3.4's inclusion).
+  Database db;
+  const char* queries[] = {
+      "query a { edge X -> Y : (p | q r)+ (-p)?; "
+      "distinguished X -> Y : a; }",
+      "query b { edge X -> Y : !((p | q)+); edge X -> Y : p; "
+      "distinguished X -> Y : b; }",
+      "query c { node X [n]; edge X -> Y : p (q | =) p; "
+      "distinguished X -> Y : c; }",
+  };
+  for (const char* text : queries) {
+    ASSERT_OK_AND_ASSIGN(GraphicalQuery q,
+                         ParseGraphicalQuery(text, &db.symbols()));
+    ASSERT_OK_AND_ASSIGN(Translation t, Translate(q, &db.symbols()));
+    EXPECT_TRUE(datalog::IsLinear(t.program)) << text;
+    EXPECT_OK(datalog::Stratify(t.program, db.symbols()).status());
+    EXPECT_TRUE(datalog::IsTcProgram(t.program)) << text;
+  }
+}
+
+}  // namespace
+}  // namespace graphlog::gl

@@ -1,0 +1,194 @@
+// Tests for aggregates on distinguished edges (Section 4) and for the DOT
+// rendering of the visual formalism.
+
+#include <gtest/gtest.h>
+
+#include "graphlog/dot.h"
+#include "graphlog/engine.h"
+#include "graphlog/parser.h"
+#include "storage/database.h"
+#include "tests/test_util.h"
+
+namespace graphlog::gl {
+namespace {
+
+using storage::Database;
+using testutil::RelationSet;
+
+TEST(GraphLogAggregatesTest, SumOnDistinguishedEdge) {
+  Database db;
+  auto sym = [&](const char* s) { return Value::Sym(db.Intern(s)); };
+  EXPECT_OK(db.AddFact("sale", {sym("east"), sym("c1"), Value::Int(10)}));
+  EXPECT_OK(db.AddFact("sale", {sym("east"), sym("c2"), Value::Int(5)}));
+  EXPECT_OK(db.AddFact("sale", {sym("west"), sym("c3"), Value::Int(7)}));
+  EXPECT_OK(db.AddSymFact("in-region", {"c1", "north"}));
+  EXPECT_OK(db.AddSymFact("in-region", {"c2", "north"}));
+  EXPECT_OK(db.AddSymFact("in-region", {"c3", "south"}));
+  ASSERT_OK(EvaluateGraphLogText(
+                "query region-total {\n"
+                "  edge R -> C : sale(V);\n"
+                "  edge C -> G : in-region;\n"
+                "  distinguished R -> G : region-total(sum<V>);\n"
+                "}\n",
+                &db)
+                .status());
+  EXPECT_EQ(RelationSet(db, "region-total"),
+            (std::set<std::string>{"east,north,15", "west,south,7"}));
+}
+
+TEST(GraphLogAggregatesTest, CountReachable) {
+  Database db;
+  EXPECT_OK(db.AddSymFact("edge", {"a", "b"}));
+  EXPECT_OK(db.AddSymFact("edge", {"b", "c"}));
+  EXPECT_OK(db.AddSymFact("edge", {"a", "d"}));
+  ASSERT_OK(EvaluateGraphLogText(
+                "query reach {\n"
+                "  edge X -> Y : edge+;\n"
+                "  distinguished X -> Y : reach;\n"
+                "}\n"
+                "query fanout {\n"
+                "  edge X -> Y : reach;\n"
+                "  distinguished X -> X : fanout(count<Y>);\n"
+                "}\n",
+                &db)
+                .status());
+  EXPECT_EQ(RelationSet(db, "fanout"),
+            (std::set<std::string>{"a,a,3", "b,b,1"}));
+}
+
+TEST(GraphLogAggregatesTest, MinMaxAvg) {
+  Database db;
+  auto sym = [&](const char* s) { return Value::Sym(db.Intern(s)); };
+  EXPECT_OK(db.AddFact("temp", {sym("yyz"), Value::Int(10)}));
+  EXPECT_OK(db.AddFact("temp", {sym("yyz"), Value::Int(20)}));
+  EXPECT_OK(db.AddFact("temp", {sym("yul"), Value::Int(4)}));
+  ASSERT_OK(EvaluateGraphLogText(
+                "query stats {\n"
+                "  edge S -> T : temp;\n"
+                "  distinguished S -> S : stats(min<T>, max<T>, avg<T>);\n"
+                "}\n",
+                &db)
+                .status());
+  EXPECT_EQ(RelationSet(db, "stats"),
+            (std::set<std::string>{"yyz,yyz,10,20,15.0", "yul,yul,4,4,4.0"}));
+}
+
+TEST(GraphLogAggregatesTest, AggregateWithIdentityEdgeRejected) {
+  Database db;
+  EXPECT_OK(db.AddSymFact("e", {"a", "b"}));
+  auto r = EvaluateGraphLogText(
+      "query bad {\n"
+      "  edge X -> Y : e*;\n"
+      "  distinguished X -> X : bad(count<Y>);\n"
+      "}\n",
+      &db);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(GraphLogAggregatesTest, AggregationOverClosure) {
+  // Count each node's descendants through a closure edge — recursion
+  // below, aggregation above, stratified (Section 4's design point).
+  Database db;
+  EXPECT_OK(db.AddSymFact("parent", {"a", "b"}));
+  EXPECT_OK(db.AddSymFact("parent", {"b", "c"}));
+  EXPECT_OK(db.AddSymFact("parent", {"a", "d"}));
+  ASSERT_OK(EvaluateGraphLogText(
+                "query descendants {\n"
+                "  edge X -> Y : parent+;\n"
+                "  distinguished X -> X : descendants(count<Y>);\n"
+                "}\n",
+                &db)
+                .status());
+  EXPECT_EQ(RelationSet(db, "descendants"),
+            (std::set<std::string>{"a,a,3", "b,b,1"}));
+}
+
+TEST(GraphLogAggregatesTest, ParseRoundTrip) {
+  Database db;
+  const char* text =
+      "query fanout {\n"
+      "  edge X -> Y : reach;\n"
+      "  distinguished X -> X : fanout(count<Y>);\n"
+      "}\n";
+  ASSERT_OK_AND_ASSIGN(GraphicalQuery q,
+                       ParseGraphicalQuery(text, &db.symbols()));
+  std::string printed = q.ToString(db.symbols());
+  EXPECT_NE(printed.find("count<Y>"), std::string::npos);
+  ASSERT_OK_AND_ASSIGN(GraphicalQuery q2,
+                       ParseGraphicalQuery(printed, &db.symbols()));
+  EXPECT_EQ(printed, q2.ToString(db.symbols()));
+}
+
+// ---------------------------------------------------------------------------
+// DOT rendering of query graphs
+
+TEST(QueryGraphDotTest, RendersPaperConventions) {
+  Database db;
+  ASSERT_OK_AND_ASSIGN(
+      GraphicalQuery q,
+      ParseGraphicalQuery("query not-desc-of {\n"
+                          "  node P2 [person];\n"
+                          "  edge P1 -> P3 : descendant+;\n"
+                          "  edge P2 -> P3 : !descendant+;\n"
+                          "  distinguished P1 -> P3 : not-desc-of(P2);\n"
+                          "}\n",
+                          &db.symbols()));
+  std::string dot = RenderQueryGraph(q.graphs[0], db.symbols());
+  // Closure edges dashed (Example 2.2's drawing convention).
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+  // Negative literal marked.
+  EXPECT_NE(dot.find("¬descendant+"), std::string::npos);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);
+  // Distinguished edge bold.
+  EXPECT_NE(dot.find("style=bold"), std::string::npos);
+  // Node predicate annotation.
+  EXPECT_NE(dot.find("[person]"), std::string::npos);
+}
+
+TEST(QueryGraphDotTest, ComparisonEdgesDotted) {
+  Database db;
+  ASSERT_OK_AND_ASSIGN(
+      GraphicalQuery q,
+      ParseGraphicalQuery("query f {\n"
+                          "  edge F1 -> A : arrival;\n"
+                          "  edge F2 -> D : departure;\n"
+                          "  edge A -> D : <;\n"
+                          "  distinguished F1 -> F2 : f;\n"
+                          "}\n",
+                          &db.symbols()));
+  std::string dot = RenderQueryGraph(q.graphs[0], db.symbols());
+  EXPECT_NE(dot.find("style=dotted"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"<\""), std::string::npos);
+}
+
+TEST(QueryGraphDotTest, GraphicalQueryUsesClusters) {
+  Database db;
+  ASSERT_OK_AND_ASSIGN(
+      GraphicalQuery q,
+      ParseGraphicalQuery("query a { edge X -> Y : e; "
+                          "distinguished X -> Y : a; }\n"
+                          "query b { edge X -> Y : a+; "
+                          "distinguished X -> Y : b; }\n",
+                          &db.symbols()));
+  std::string dot = RenderGraphicalQuery(q, db.symbols());
+  EXPECT_NE(dot.find("subgraph cluster_0"), std::string::npos);
+  EXPECT_NE(dot.find("subgraph cluster_1"), std::string::npos);
+}
+
+TEST(QueryGraphDotTest, SummaryEdgeRendered) {
+  Database db;
+  ASSERT_OK_AND_ASSIGN(
+      GraphicalQuery q,
+      ParseGraphicalQuery("query es {\n"
+                          "  summarize E = max<sum<D>> over w(D);\n"
+                          "  distinguished T1 -> T2 : es(E);\n"
+                          "}\n",
+                          &db.symbols()));
+  std::string dot = RenderQueryGraph(q.graphs[0], db.symbols());
+  EXPECT_NE(dot.find("max<sum<D>>"), std::string::npos);
+  EXPECT_NE(dot.find("color=blue"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace graphlog::gl

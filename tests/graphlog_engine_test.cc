@@ -1,0 +1,423 @@
+// End-to-end GraphLog tests: the paper's own example queries, evaluated
+// through parse -> validate -> lambda-translate -> stratified Datalog.
+
+#include <gtest/gtest.h>
+
+#include "graphlog/engine.h"
+#include "graphlog/parser.h"
+#include "graphlog/translate.h"
+#include "storage/database.h"
+#include "tests/test_util.h"
+
+namespace graphlog::gl {
+namespace {
+
+using storage::Database;
+using testutil::RelationSet;
+using testutil::RelationSize;
+
+/// A small family: grandparents ann&art -> parents bob,bea -> kids cid,cora.
+/// descendant(ancestor, descendant).
+Database FamilyDb() {
+  Database db;
+  for (const char* p : {"ann", "art", "bob", "bea", "cid", "cora", "zoe"}) {
+    EXPECT_OK(db.AddSymFact("person", {p}));
+  }
+  EXPECT_OK(db.AddSymFact("descendant", {"ann", "bob"}));
+  EXPECT_OK(db.AddSymFact("descendant", {"art", "bea"}));
+  EXPECT_OK(db.AddSymFact("descendant", {"bob", "cid"}));
+  EXPECT_OK(db.AddSymFact("descendant", {"bea", "cora"}));
+  return db;
+}
+
+TEST(GraphLogEngineTest, Figure2DescendantsQuery) {
+  // "The descendants of P1 which are not descendants of P2."
+  Database db = FamilyDb();
+  ASSERT_OK_AND_ASSIGN(
+      QueryStats stats,
+      EvaluateGraphLogText("query not-desc-of {\n"
+                           "  node P2 [person];\n"
+                           "  edge P1 -> P3 : descendant+;\n"
+                           "  edge P2 -> P3 : !descendant+;\n"
+                           "  distinguished P1 -> P3 : not-desc-of(P2);\n"
+                           "}\n",
+                           &db));
+  EXPECT_EQ(stats.graphs_translated, 1u);
+  auto res = RelationSet(db, "not-desc-of");
+  // bob is a descendant of ann; bob is not a descendant of art.
+  EXPECT_TRUE(res.count("ann,bob,art"));
+  // cid is a descendant of ann (via bob) and not of art/bea.
+  EXPECT_TRUE(res.count("ann,cid,art"));
+  EXPECT_TRUE(res.count("ann,cid,bea"));
+  // but cid IS a descendant of bob, so (ann, cid, bob) is excluded.
+  EXPECT_FALSE(res.count("ann,cid,bob"));
+  // (ann, cid, ann): cid descends from ann, so excluded.
+  EXPECT_FALSE(res.count("ann,cid,ann"));
+}
+
+TEST(GraphLogEngineTest, Figure3TranslationShape) {
+  // The lambda translation of Figure 2 must match Figure 3: one main rule
+  // over descendant-tc plus the two TC rules.
+  Database db = FamilyDb();
+  ASSERT_OK_AND_ASSIGN(
+      GraphicalQuery q,
+      ParseGraphicalQuery("query not-desc-of {\n"
+                          "  node P2 [person];\n"
+                          "  edge P1 -> P3 : descendant+;\n"
+                          "  edge P2 -> P3 : !descendant+;\n"
+                          "  distinguished P1 -> P3 : not-desc-of(P2);\n"
+                          "}\n",
+                          &db.symbols()));
+  ASSERT_OK_AND_ASSIGN(Translation t, Translate(q, &db.symbols()));
+  // 1 main rule + 2 TC rules for each of the two closure edges (the
+  // negated closure reuses a separately generated closure predicate).
+  ASSERT_EQ(t.program.rules.size(), 5u);
+  std::string text = t.program.ToString(db.symbols());
+  EXPECT_NE(text.find("descendant-tc"), std::string::npos);
+  EXPECT_NE(text.find("!descendant-tc"), std::string::npos);
+  EXPECT_NE(text.find("person(P2)"), std::string::npos);
+}
+
+TEST(GraphLogEngineTest, Figure4FeasibleConnections) {
+  Database db;
+  auto mkflight = [&](const char* f, const char* from, const char* to,
+                      int dep, int arr) {
+    EXPECT_OK(db.AddSymFact("from", {f, from}));
+    EXPECT_OK(db.AddSymFact("to", {f, to}));
+    EXPECT_OK(db.AddFact(
+        "departure", {Value::Sym(db.Intern(f)), Value::Int(dep)}));
+    EXPECT_OK(db.AddFact(
+        "arrival", {Value::Sym(db.Intern(f)), Value::Int(arr)}));
+  };
+  // toronto -> montreal -> paris, plus one infeasible (too early) leg.
+  mkflight("f1", "toronto", "montreal", 540, 600);
+  mkflight("f2", "montreal", "paris", 700, 1100);
+  mkflight("f3", "montreal", "paris", 550, 1000);  // departs before f1 lands
+  ASSERT_OK(
+      EvaluateGraphLogText(
+          "query feasible {\n"
+          "  edge F1 -> A1 : arrival;\n"
+          "  edge F2 -> D2 : departure;\n"
+          "  edge A1 -> D2 : <;\n"
+          "  edge F1 -> C : to;\n"
+          "  edge F2 -> C : from;\n"
+          "  distinguished F1 -> F2 : feasible;\n"
+          "}\n"
+          "query stop-connected {\n"
+          "  edge C1 -> C2 : (-from) feasible+ to;\n"
+          "  distinguished C1 -> C2 : stop-connected;\n"
+          "}\n",
+          &db)
+          .status());
+  EXPECT_EQ(RelationSet(db, "feasible"), (std::set<std::string>{"f1,f2"}));
+  // A connection with >= 2 flights: toronto -> paris.
+  EXPECT_EQ(RelationSet(db, "stop-connected"),
+            (std::set<std::string>{"toronto,paris"}));
+}
+
+TEST(GraphLogEngineTest, Figure5LocalFamilyFriends) {
+  Database db;
+  // me -> father bob -> father art; art's friend zoe lives in toronto;
+  // my own friend sam lives in ottawa; mother-with-hospital chain too.
+  EXPECT_OK(db.AddSymFact("father", {"bob", "me"}));
+  EXPECT_OK(db.AddSymFact("father", {"art", "bob"}));
+  EXPECT_OK(db.AddSymFact("mother", {"mia", "me", "stmikes"}));
+  EXPECT_OK(db.AddSymFact("friend", {"art", "zoe"}));
+  EXPECT_OK(db.AddSymFact("friend", {"me", "sam"}));
+  EXPECT_OK(db.AddSymFact("friend", {"mia", "pat"}));
+  EXPECT_OK(db.AddSymFact("residence", {"zoe", "toronto"}));
+  EXPECT_OK(db.AddSymFact("residence", {"sam", "ottawa"}));
+  EXPECT_OK(db.AddSymFact("residence", {"pat", "toronto"}));
+  // Ancestors of `me` are found by *inverted* father/mother edges
+  // (father(P1,P2): P1 is the father of P2), so the paper's edge reads
+  // from the person to their ancestors: (-(father|mother(_)))* friend.
+  ASSERT_OK(EvaluateGraphLogText(
+                "query local-friend {\n"
+                "  edge P -> F : (-(father | mother(_)))* friend;\n"
+                "  edge F -> \"toronto\" : residence;\n"
+                "  distinguished P -> F : local-friend;\n"
+                "}\n",
+                &db)
+                .status());
+  auto res = RelationSet(db, "local-friend");
+  // me -> zoe (friend of grandfather art, lives in toronto)
+  EXPECT_TRUE(res.count("me,zoe"));
+  // me -> pat (friend of mother mia, toronto)
+  EXPECT_TRUE(res.count("me,pat"));
+  // sam lives in ottawa: excluded.
+  EXPECT_FALSE(res.count("me,sam"));
+}
+
+TEST(GraphLogEngineTest, Figure6CircularModules) {
+  Database db;
+  // Modules m1 -> m2 -> m1 circular; m1 uses async-io via f3.
+  EXPECT_OK(db.AddSymFact("in-module", {"f1", "m1"}));
+  EXPECT_OK(db.AddSymFact("in-module", {"f2", "m2"}));
+  EXPECT_OK(db.AddSymFact("in-module", {"f3", "m1"}));
+  EXPECT_OK(db.AddSymFact("in-module", {"f4", "m3"}));
+  EXPECT_OK(db.AddSymFact("calls-extn", {"f1", "f2"}));
+  EXPECT_OK(db.AddSymFact("calls-extn", {"f2", "f3"}));
+  EXPECT_OK(db.AddSymFact("calls-local", {"f3", "f1"}));
+  EXPECT_OK(db.AddSymFact("in-library", {"f3", "async-io"}));
+  EXPECT_OK(db.AddSymFact("calls-extn", {"f4", "f1"}));
+
+  // module-calls(M1, M2): some function of M1 calls (possibly via local
+  // calls) an external function belonging to M2.
+  ASSERT_OK(
+      EvaluateGraphLogText(
+          "query module-calls {\n"
+          "  edge M1 -> M2 : -(in-module) (calls-local)* calls-extn "
+          "in-module;\n"
+          "  distinguished M1 -> M2 : module-calls;\n"
+          "}\n"
+          "query uses-async {\n"
+          "  edge M -> F : -(in-module) (calls-local | calls-extn)+;\n"
+          "  edge F -> \"async-io\" : in-library;\n"
+          "  distinguished M -> M : uses-async;\n"
+          "}\n"
+          "query self-used {\n"
+          "  edge M -> M : module-calls+;\n"
+          "  edge M -> M : uses-async;\n"
+          "  distinguished M -> M : self-used;\n"
+          "}\n",
+          &db)
+          .status());
+  auto mc = RelationSet(db, "module-calls");
+  EXPECT_TRUE(mc.count("m1,m2"));
+  EXPECT_TRUE(mc.count("m2,m1"));
+  EXPECT_TRUE(mc.count("m3,m1"));
+  // m1 and m2 call themselves through each other, and both invoke f3
+  // (which is in the async-io library); m3 calls m1 but is not circular.
+  EXPECT_EQ(RelationSet(db, "self-used"),
+            (std::set<std::string>{"m1,m1", "m2,m2"}));
+}
+
+TEST(GraphLogEngineTest, KleeneStarIncludesZeroLengthPaths) {
+  Database db;
+  EXPECT_OK(db.AddSymFact("e", {"a", "b"}));
+  EXPECT_OK(db.AddSymFact("n", {"a"}));
+  EXPECT_OK(db.AddSymFact("n", {"b"}));
+  EXPECT_OK(db.AddSymFact("n", {"c"}));
+  ASSERT_OK(EvaluateGraphLogText("query r {\n"
+                                 "  node X [n];\n"
+                                 "  node Y [n];\n"
+                                 "  edge X -> Y : e*;\n"
+                                 "  distinguished X -> Y : r;\n"
+                                 "}\n",
+                                 &db)
+                .status());
+  auto res = RelationSet(db, "r");
+  // Zero-length: every n-node relates to itself.
+  EXPECT_TRUE(res.count("a,a"));
+  EXPECT_TRUE(res.count("c,c"));
+  EXPECT_TRUE(res.count("a,b"));
+  EXPECT_FALSE(res.count("b,a"));
+  EXPECT_EQ(res.size(), 4u);
+}
+
+TEST(GraphLogEngineTest, ClosureWithParameterThreadsValue) {
+  // p(D)+ follows edges with the SAME parameter value along the path.
+  Database db;
+  auto sym = [&](const char* s) { return Value::Sym(db.Intern(s)); };
+  EXPECT_OK(db.AddFact("p", {sym("a"), sym("b"), Value::Int(1)}));
+  EXPECT_OK(db.AddFact("p", {sym("b"), sym("c"), Value::Int(1)}));
+  EXPECT_OK(db.AddFact("p", {sym("b"), sym("d"), Value::Int(2)}));
+  ASSERT_OK(EvaluateGraphLogText("query same-val {\n"
+                                 "  edge X -> Y : p(D)+;\n"
+                                 "  distinguished X -> Y : same-val(D);\n"
+                                 "}\n",
+                                 &db)
+                .status());
+  auto res = RelationSet(db, "same-val");
+  EXPECT_TRUE(res.count("a,c,1"));   // a->b->c all with value 1
+  EXPECT_FALSE(res.count("a,d,1"));  // a->b(1), b->d(2): mixed values
+  EXPECT_FALSE(res.count("a,d,2"));
+  EXPECT_TRUE(res.count("b,d,2"));
+}
+
+TEST(GraphLogEngineTest, UnderscoreProjectsClosureParameter) {
+  // p(_)+ allows the parameter to vary along the path.
+  Database db;
+  auto sym = [&](const char* s) { return Value::Sym(db.Intern(s)); };
+  EXPECT_OK(db.AddFact("p", {sym("a"), sym("b"), Value::Int(1)}));
+  EXPECT_OK(db.AddFact("p", {sym("b"), sym("c"), Value::Int(2)}));
+  ASSERT_OK(EvaluateGraphLogText("query reach {\n"
+                                 "  edge X -> Y : p(_)+;\n"
+                                 "  distinguished X -> Y : reach;\n"
+                                 "}\n",
+                                 &db)
+                .status());
+  EXPECT_TRUE(RelationSet(db, "reach").count("a,c"));
+}
+
+TEST(GraphLogEngineTest, GhostVariableEscapeIsRejected) {
+  Database db;
+  EXPECT_OK(db.AddSymFact("p", {"a", "b"}));
+  EXPECT_OK(db.AddSymFact("q", {"a", "b", "x"}));
+  // H occurs in only one branch of the alternation but also in the
+  // distinguished edge: ghost escape.
+  auto r = EvaluateGraphLogText("query bad {\n"
+                                "  edge X -> Y : p | q(H);\n"
+                                "  distinguished X -> Y : bad(H);\n"
+                                "}\n",
+                                &db);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kGhostVariable);
+}
+
+TEST(GraphLogEngineTest, NestedNegationIsRejected) {
+  Database db;
+  EXPECT_OK(db.AddSymFact("p", {"a", "b"}));
+  auto r = EvaluateGraphLogText("query bad {\n"
+                                "  edge X -> Y : p (!p);\n"
+                                "  distinguished X -> Y : bad;\n"
+                                "}\n",
+                                &db);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsafeRule);
+}
+
+TEST(GraphLogEngineTest, CyclicDependenceIsRejected) {
+  Database db;
+  EXPECT_OK(db.AddSymFact("e", {"a", "b"}));
+  auto r = EvaluateGraphLogText("query p {\n"
+                                "  edge X -> Y : q;\n"
+                                "  distinguished X -> Y : p;\n"
+                                "}\n"
+                                "query q {\n"
+                                "  edge X -> Y : p;\n"
+                                "  distinguished X -> Y : q;\n"
+                                "}\n",
+                                &db);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCyclicDependence);
+}
+
+TEST(GraphLogEngineTest, SelfReferenceIsRejected) {
+  Database db;
+  auto r = EvaluateGraphLogText("query p {\n"
+                                "  edge X -> Y : p;\n"
+                                "  distinguished X -> Y : p;\n"
+                                "}\n",
+                                &db);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCyclicDependence);
+}
+
+TEST(GraphLogEngineTest, MultipleGraphsSamePredicateUnion) {
+  Database db;
+  EXPECT_OK(db.AddSymFact("a", {"x", "y"}));
+  EXPECT_OK(db.AddSymFact("b", {"y", "z"}));
+  ASSERT_OK(EvaluateGraphLogText("query c {\n"
+                                 "  edge X -> Y : a;\n"
+                                 "  distinguished X -> Y : c;\n"
+                                 "}\n"
+                                 "query c {\n"
+                                 "  edge X -> Y : b;\n"
+                                 "  distinguished X -> Y : c;\n"
+                                 "}\n"
+                                 "query d {\n"
+                                 "  edge X -> Y : c+;\n"
+                                 "  distinguished X -> Y : d;\n"
+                                 "}\n",
+                                 &db)
+                .status());
+  EXPECT_EQ(RelationSet(db, "c"), (std::set<std::string>{"x,y", "y,z"}));
+  EXPECT_EQ(RelationSet(db, "d"),
+            (std::set<std::string>{"x,y", "y,z", "x,z"}));
+}
+
+TEST(GraphLogEngineTest, ConstantEndpointsFigure12Style) {
+  // The prototype's RT-scale query: scales on a CP-flights path from Rome
+  // to Tokyo (Figure 12), as a loop edge on the scale city.
+  Database db;
+  EXPECT_OK(db.AddSymFact("cp", {"rome", "geneva"}));
+  EXPECT_OK(db.AddSymFact("cp", {"geneva", "bombay"}));
+  EXPECT_OK(db.AddSymFact("cp", {"bombay", "tokyo"}));
+  EXPECT_OK(db.AddSymFact("cp", {"rome", "paris"}));   // dead end
+  EXPECT_OK(db.AddSymFact("aa", {"paris", "tokyo"}));  // wrong airline
+  ASSERT_OK(EvaluateGraphLogText(
+                "query rt-scale {\n"
+                "  edge \"rome\" -> C : cp+;\n"
+                "  edge C -> \"tokyo\" : cp+;\n"
+                "  distinguished C -> C : rt-scale;\n"
+                "}\n",
+                &db)
+                .status());
+  EXPECT_EQ(RelationSet(db, "rt-scale"),
+            (std::set<std::string>{"geneva,geneva", "bombay,bombay"}));
+}
+
+TEST(GraphLogEngineTest, WhereClauseArithmetic) {
+  Database db;
+  EXPECT_OK(db.AddFact("val", {Value::Sym(db.Intern("a")), Value::Int(10)}));
+  EXPECT_OK(db.AddFact("val", {Value::Sym(db.Intern("b")), Value::Int(3)}));
+  ASSERT_OK(EvaluateGraphLogText("query doubled {\n"
+                                 "  edge X -> V : val;\n"
+                                 "  where D := V * 2, V > 5;\n"
+                                 "  distinguished X -> V : doubled(D);\n"
+                                 "}\n",
+                                 &db)
+                .status());
+  EXPECT_EQ(RelationSet(db, "doubled"), (std::set<std::string>{"a,10,20"}));
+}
+
+TEST(GraphLogEngineTest, SummarizationCriticalPath) {
+  // Figure 11's earlier-start: longest sum of durations along paths.
+  Database db;
+  auto sym = [&](const char* s) { return Value::Sym(db.Intern(s)); };
+  // affects-d(T1, T2, D): T1 affects T2, and T2's work takes D days.
+  EXPECT_OK(db.AddFact("affects-d", {sym("t1"), sym("t2"), Value::Int(3)}));
+  EXPECT_OK(db.AddFact("affects-d", {sym("t2"), sym("t4"), Value::Int(5)}));
+  EXPECT_OK(db.AddFact("affects-d", {sym("t1"), sym("t3"), Value::Int(4)}));
+  EXPECT_OK(db.AddFact("affects-d", {sym("t3"), sym("t4"), Value::Int(6)}));
+  ASSERT_OK_AND_ASSIGN(
+      QueryStats stats,
+      EvaluateGraphLogText(
+          "query earlier-start {\n"
+          "  summarize E = max<sum<D>> over affects-d(D);\n"
+          "  distinguished T1 -> T2 : earlier-start(E);\n"
+          "}\n",
+          &db));
+  EXPECT_EQ(stats.graphs_summarized, 1u);
+  auto res = RelationSet(db, "earlier-start");
+  // Longest path t1->t4: via t3 (4+6=10) beats via t2 (3+5=8).
+  EXPECT_TRUE(res.count("t1,t4,10"));
+  EXPECT_TRUE(res.count("t1,t2,3"));
+  EXPECT_TRUE(res.count("t2,t4,5"));
+  EXPECT_FALSE(res.count("t1,t4,8"));
+}
+
+TEST(GraphLogEngineTest, SummarizationCycleIsRejected) {
+  Database db;
+  auto sym = [&](const char* s) { return Value::Sym(db.Intern(s)); };
+  EXPECT_OK(db.AddFact("w", {sym("a"), sym("b"), Value::Int(1)}));
+  EXPECT_OK(db.AddFact("w", {sym("b"), sym("a"), Value::Int(1)}));
+  auto r = EvaluateGraphLogText("query longest {\n"
+                                "  summarize E = max<sum<D>> over w(D);\n"
+                                "  distinguished X -> Y : longest(E);\n"
+                                "}\n",
+                                &db);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCycleInPath);
+}
+
+TEST(GraphLogEngineTest, QueryGraphToStringReparses) {
+  Database db;
+  const char* text =
+      "query not-desc-of {\n"
+      "  node P2 [person];\n"
+      "  edge P1 -> P3 : descendant+;\n"
+      "  edge P2 -> P3 : !(descendant+);\n"
+      "  distinguished P1 -> P3 : not-desc-of(P2);\n"
+      "}\n";
+  ASSERT_OK_AND_ASSIGN(GraphicalQuery q,
+                       ParseGraphicalQuery(text, &db.symbols()));
+  std::string printed = q.ToString(db.symbols());
+  ASSERT_OK_AND_ASSIGN(GraphicalQuery q2,
+                       ParseGraphicalQuery(printed, &db.symbols()));
+  EXPECT_EQ(printed, q2.ToString(db.symbols()));
+}
+
+}  // namespace
+}  // namespace graphlog::gl

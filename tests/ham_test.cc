@@ -1,0 +1,185 @@
+// Tests for the miniature Hypertext Abstract Machine: transactions,
+// version history, cascade deletes, and the GraphLog query interface.
+
+#include <gtest/gtest.h>
+
+#include "graphlog/engine.h"
+#include "ham/ham.h"
+#include "storage/database.h"
+#include "tests/test_util.h"
+
+namespace graphlog::ham {
+namespace {
+
+using storage::Database;
+using testutil::RelationSet;
+using testutil::RelationSize;
+
+TEST(HamTest, MutationOutsideTransactionFails) {
+  Ham ham;
+  EXPECT_FALSE(ham.CreateNode("a").ok());
+  ASSERT_OK(ham.Begin());
+  ASSERT_OK_AND_ASSIGN(ObjectId a, ham.CreateNode("a"));
+  ASSERT_OK(ham.Commit().status());
+  EXPECT_FALSE(ham.SetAttribute(a, "x", Value::Int(1)).ok());
+}
+
+TEST(HamTest, CommitPublishesAbortDiscards) {
+  Ham ham;
+  ASSERT_OK(ham.Begin());
+  ASSERT_OK(ham.CreateNode("a").status());
+  ASSERT_OK(ham.Abort());
+  EXPECT_EQ(ham.num_objects(), 0u);
+  EXPECT_EQ(ham.current_version(), 0u);
+
+  ASSERT_OK(ham.Begin());
+  ASSERT_OK(ham.CreateNode("a").status());
+  ASSERT_OK_AND_ASSIGN(Version v, ham.Commit());
+  EXPECT_EQ(v, 1u);
+  EXPECT_EQ(ham.num_objects(), 1u);
+}
+
+TEST(HamTest, ReadYourWritesInsideTransaction) {
+  Ham ham;
+  ASSERT_OK(ham.Begin());
+  ASSERT_OK_AND_ASSIGN(ObjectId a, ham.CreateNode("a"));
+  EXPECT_TRUE(ham.Exists(a));  // pending creation visible in-txn
+  ASSERT_OK(ham.SetAttribute(a, "color", Value::Sym(0)));
+  ASSERT_OK_AND_ASSIGN(Value c, ham.GetAttribute(a, "color"));
+  EXPECT_EQ(c, Value::Sym(0));
+  ASSERT_OK(ham.Commit().status());
+}
+
+TEST(HamTest, DoubleBeginFails) {
+  Ham ham;
+  ASSERT_OK(ham.Begin());
+  EXPECT_FALSE(ham.Begin().ok());
+  ASSERT_OK(ham.Abort());
+  EXPECT_FALSE(ham.Abort().ok());
+}
+
+TEST(HamTest, AttributeVersionHistory) {
+  Ham ham;
+  ASSERT_OK(ham.Begin());
+  ASSERT_OK_AND_ASSIGN(ObjectId a, ham.CreateNode("a"));
+  ASSERT_OK(ham.SetAttribute(a, "size", Value::Int(1)));
+  ASSERT_OK(ham.Commit().status());  // v1
+
+  ASSERT_OK(ham.Begin());
+  ASSERT_OK(ham.SetAttribute(a, "size", Value::Int(2)));
+  ASSERT_OK(ham.Commit().status());  // v2
+
+  ASSERT_OK_AND_ASSIGN(Value now, ham.GetAttribute(a, "size"));
+  EXPECT_EQ(now, Value::Int(2));
+  ASSERT_OK_AND_ASSIGN(Value v1, ham.GetAttribute(a, "size", Version{1}));
+  EXPECT_EQ(v1, Value::Int(1));
+  // Before the node existed.
+  EXPECT_FALSE(ham.GetAttribute(a, "size", Version{0}).ok());
+}
+
+TEST(HamTest, DestroyNodeCascadesToLinks) {
+  Ham ham;
+  ASSERT_OK(ham.Begin());
+  ASSERT_OK_AND_ASSIGN(ObjectId a, ham.CreateNode("a"));
+  ASSERT_OK_AND_ASSIGN(ObjectId b, ham.CreateNode("b"));
+  ASSERT_OK_AND_ASSIGN(ObjectId l, ham.CreateLink(a, b, "link"));
+  ASSERT_OK(ham.Commit().status());
+  EXPECT_EQ(ham.num_objects(), 3u);
+
+  ASSERT_OK(ham.Begin());
+  ASSERT_OK(ham.Destroy(a));
+  ASSERT_OK(ham.Commit().status());
+  EXPECT_FALSE(ham.Exists(a));
+  EXPECT_FALSE(ham.Exists(l));
+  EXPECT_TRUE(ham.Exists(b));
+}
+
+TEST(HamTest, HistoricalStateSurvivesDestroy) {
+  Ham ham;
+  ASSERT_OK(ham.Begin());
+  ASSERT_OK_AND_ASSIGN(ObjectId a, ham.CreateNode("a"));
+  ASSERT_OK(ham.SetAttribute(a, "t", Value::Int(9)));
+  ASSERT_OK(ham.Commit().status());  // v1
+  ASSERT_OK(ham.Begin());
+  ASSERT_OK(ham.Destroy(a));
+  ASSERT_OK(ham.Commit().status());  // v2
+  EXPECT_FALSE(ham.Exists(a));
+  // The v1 state is still queryable.
+  ASSERT_OK_AND_ASSIGN(Value t, ham.GetAttribute(a, "t", Version{1}));
+  EXPECT_EQ(t, Value::Int(9));
+}
+
+TEST(HamTest, LinkRequiresLiveNodeEndpoints) {
+  Ham ham;
+  ASSERT_OK(ham.Begin());
+  ASSERT_OK_AND_ASSIGN(ObjectId a, ham.CreateNode("a"));
+  EXPECT_FALSE(ham.CreateLink(a, 999, "x").ok());
+  ASSERT_OK_AND_ASSIGN(ObjectId b, ham.CreateNode("b"));
+  ASSERT_OK_AND_ASSIGN(ObjectId l, ham.CreateLink(a, b, "x"));
+  // Links cannot be endpoints.
+  EXPECT_FALSE(ham.CreateLink(a, l, "x").ok());
+  ASSERT_OK(ham.Commit().status());
+}
+
+TEST(HamTest, CreateAndDestroyInSameTransactionLeavesNothing) {
+  Ham ham;
+  ASSERT_OK(ham.Begin());
+  ASSERT_OK_AND_ASSIGN(ObjectId a, ham.CreateNode("a"));
+  ASSERT_OK(ham.Destroy(a));
+  ASSERT_OK(ham.Commit().status());
+  EXPECT_EQ(ham.num_objects(), 0u);
+}
+
+TEST(HamTest, ExportAndQueryWithGraphLog) {
+  // Build a small web in the HAM and pose a GraphLog query over the
+  // export — the Section 5 "queries on large graphs may be posed" path.
+  Ham ham;
+  ASSERT_OK(ham.Begin());
+  ASSERT_OK_AND_ASSIGN(ObjectId p0, ham.CreateNode("page0"));
+  ASSERT_OK_AND_ASSIGN(ObjectId p1, ham.CreateNode("page1"));
+  ASSERT_OK_AND_ASSIGN(ObjectId p2, ham.CreateNode("page2"));
+  ASSERT_OK(ham.CreateLink(p0, p1, "link").status());
+  ASSERT_OK(ham.CreateLink(p1, p2, "link").status());
+  ASSERT_OK(ham.SetAttribute(p2, "title", Value::Sym(0)));
+  ASSERT_OK(ham.Commit().status());
+
+  Database db;
+  ASSERT_OK(ham.Export(&db));
+  EXPECT_EQ(RelationSize(db, "node"), 3u);
+  EXPECT_EQ(RelationSize(db, "link"), 2u);
+  EXPECT_EQ(RelationSize(db, "node-attr"), 1u);
+
+  ASSERT_OK(gl::EvaluateGraphLogText(
+                "query reach {\n"
+                "  edge X -> Y : link+;\n"
+                "  distinguished X -> Y : reach;\n"
+                "}\n",
+                &db)
+                .status());
+  EXPECT_EQ(RelationSet(db, "reach"),
+            (std::set<std::string>{"page0,page1", "page0,page2",
+                                   "page1,page2"}));
+}
+
+TEST(HamTest, ExportHistoricalVersion) {
+  Ham ham;
+  ASSERT_OK(ham.Begin());
+  ASSERT_OK_AND_ASSIGN(ObjectId a, ham.CreateNode("a"));
+  ASSERT_OK_AND_ASSIGN(ObjectId b, ham.CreateNode("b"));
+  ASSERT_OK(ham.CreateLink(a, b, "link").status());
+  ASSERT_OK(ham.Commit().status());  // v1
+  ASSERT_OK(ham.Begin());
+  ASSERT_OK(ham.Destroy(b));
+  ASSERT_OK(ham.Commit().status());  // v2
+
+  Database now, then;
+  ASSERT_OK(ham.Export(&now));
+  ASSERT_OK(ham.Export(&then, Version{1}));
+  EXPECT_EQ(RelationSize(now, "node"), 1u);
+  EXPECT_EQ(RelationSize(now, "link"), 0u);
+  EXPECT_EQ(RelationSize(then, "node"), 2u);
+  EXPECT_EQ(RelationSize(then, "link"), 1u);
+}
+
+}  // namespace
+}  // namespace graphlog::ham

@@ -1,0 +1,83 @@
+// Tests for textual database I/O.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "storage/database.h"
+#include "storage/io.h"
+#include "tests/test_util.h"
+
+namespace graphlog::storage {
+namespace {
+
+using testutil::RelationSet;
+
+TEST(IoTest, LoadFactsBasic) {
+  Database db;
+  ASSERT_OK_AND_ASSIGN(size_t n, LoadFacts("edge(a, b).\n"
+                                           "edge(b, c).\n"
+                                           "weight(a, b, 3).\n"
+                                           "pi(3.5).\n",
+                                           &db));
+  EXPECT_EQ(n, 4u);
+  EXPECT_EQ(RelationSet(db, "edge"),
+            (std::set<std::string>{"a,b", "b,c"}));
+  EXPECT_EQ(RelationSet(db, "pi"), (std::set<std::string>{"3.5"}));
+}
+
+TEST(IoTest, LoadFactsRejectsRules) {
+  Database db;
+  auto r = LoadFacts("p(X) :- q(X).", &db);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(IoTest, LoadFactsRejectsVariables) {
+  Database db;
+  EXPECT_FALSE(LoadFacts("p(X).", &db).ok());
+}
+
+TEST(IoTest, DumpRoundTrips) {
+  Database db;
+  ASSERT_OK(db.AddSymFact("edge", {"a", "b"}));
+  ASSERT_OK(db.AddFact("w", {Value::Sym(db.Intern("a")), Value::Int(-7)}));
+  ASSERT_OK(db.AddSymFact("city", {"Sao Paulo"}));  // needs quoting
+  std::string dump = DumpFacts(db);
+
+  Database db2;
+  ASSERT_OK(LoadFacts(dump, &db2).status());
+  EXPECT_EQ(DumpFacts(db2), dump);
+}
+
+TEST(IoTest, FileRoundTrip) {
+  Database db;
+  ASSERT_OK(db.AddSymFact("edge", {"x", "y"}));
+  std::string path = ::testing::TempDir() + "/graphlog_io_test.facts";
+  ASSERT_OK(SaveFactsFile(path, db));
+  Database db2;
+  ASSERT_OK_AND_ASSIGN(size_t n, LoadFactsFile(path, &db2));
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(RelationSet(db2, "edge"), (std::set<std::string>{"x,y"}));
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, MissingFileFails) {
+  Database db;
+  auto r = LoadFactsFile("/nonexistent/path/facts.dl", &db);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(IoTest, CommentsAndWhitespaceIgnored) {
+  Database db;
+  ASSERT_OK_AND_ASSIGN(size_t n, LoadFacts("// header\n"
+                                           "  edge(a, b).   # trailing\n"
+                                           "\n",
+                                           &db));
+  EXPECT_EQ(n, 1u);
+}
+
+}  // namespace
+}  // namespace graphlog::storage

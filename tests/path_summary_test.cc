@@ -1,0 +1,182 @@
+// Tests for path summarization (Section 4), parameterized across the
+// along/across aggregate combinations.
+
+#include <gtest/gtest.h>
+
+#include "aggr/path_summary.h"
+#include "storage/database.h"
+#include "tests/test_util.h"
+
+namespace graphlog::aggr {
+namespace {
+
+using datalog::AggKind;
+using storage::Database;
+using storage::Relation;
+using storage::Tuple;
+
+/// Builds a weighted-edge relation from (from, to, w) triples.
+Relation Weighted(Database* db,
+                  std::vector<std::tuple<const char*, const char*, int>> es) {
+  Relation r(3);
+  for (auto& [a, b, w] : es) {
+    r.Insert(Tuple{Value::Sym(db->Intern(a)), Value::Sym(db->Intern(b)),
+                   Value::Int(w)});
+  }
+  return r;
+}
+
+/// Looks up the summarized value for (from, to); INT_MIN when absent.
+int64_t Get(const Relation& result, Database* db, const char* a,
+            const char* b) {
+  for (const Tuple& t : result.rows()) {
+    if (t[0] == Value::Sym(db->Intern(a)) &&
+        t[1] == Value::Sym(db->Intern(b))) {
+      return t[2].AsInt();
+    }
+  }
+  return INT64_MIN;
+}
+
+TEST(PathSummaryTest, ShortestPathSumMin) {
+  Database db;
+  Relation base = Weighted(
+      &db, {{"a", "b", 1}, {"b", "c", 1}, {"a", "c", 5}});
+  PathSummaryOptions opts;
+  opts.along = AggKind::kSum;
+  opts.across = AggKind::kMin;
+  ASSERT_OK_AND_ASSIGN(Relation r, PathSummarize(base, opts));
+  EXPECT_EQ(Get(r, &db, "a", "c"), 2);  // a->b->c beats direct 5
+  EXPECT_EQ(Get(r, &db, "a", "b"), 1);
+}
+
+TEST(PathSummaryTest, CriticalPathSumMax) {
+  Database db;
+  Relation base = Weighted(
+      &db, {{"a", "b", 3}, {"b", "d", 5}, {"a", "c", 4}, {"c", "d", 6}});
+  PathSummaryOptions opts;
+  opts.along = AggKind::kSum;
+  opts.across = AggKind::kMax;
+  ASSERT_OK_AND_ASSIGN(Relation r, PathSummarize(base, opts));
+  EXPECT_EQ(Get(r, &db, "a", "d"), 10);  // via c
+}
+
+TEST(PathSummaryTest, HopCountMin) {
+  Database db;
+  Relation base = Weighted(
+      &db, {{"a", "b", 99}, {"b", "c", 99}, {"a", "c", 99}});
+  PathSummaryOptions opts;
+  opts.along = AggKind::kCount;
+  opts.across = AggKind::kMin;
+  ASSERT_OK_AND_ASSIGN(Relation r, PathSummarize(base, opts));
+  EXPECT_EQ(Get(r, &db, "a", "c"), 1);  // direct edge, ignoring weights
+}
+
+TEST(PathSummaryTest, BottleneckMaxMin) {
+  // Widest-path: maximize the minimum edge weight along the path.
+  Database db;
+  Relation base = Weighted(
+      &db, {{"a", "b", 10}, {"b", "c", 2}, {"a", "d", 5}, {"d", "c", 5}});
+  PathSummaryOptions opts;
+  opts.along = AggKind::kMin;   // path value = narrowest edge
+  opts.across = AggKind::kMax;  // pick the widest path
+  ASSERT_OK_AND_ASSIGN(Relation r, PathSummarize(base, opts));
+  EXPECT_EQ(Get(r, &db, "a", "c"), 5);  // via d: min(5,5) beats min(10,2)
+}
+
+TEST(PathSummaryTest, MinimaxWithCycleConverges) {
+  // Bounded along-operators converge even on cyclic graphs.
+  Database db;
+  Relation base = Weighted(
+      &db, {{"a", "b", 3}, {"b", "a", 7}, {"b", "c", 9}});
+  PathSummaryOptions opts;
+  opts.along = AggKind::kMax;
+  opts.across = AggKind::kMin;
+  ASSERT_OK_AND_ASSIGN(Relation r, PathSummarize(base, opts));
+  EXPECT_EQ(Get(r, &db, "a", "c"), 9);
+  // a -> a around the cycle: max(3, 7) = 7.
+  EXPECT_EQ(Get(r, &db, "a", "a"), 7);
+}
+
+TEST(PathSummaryTest, SumMaxOnCycleFails) {
+  Database db;
+  Relation base = Weighted(&db, {{"a", "b", 1}, {"b", "a", 1}});
+  PathSummaryOptions opts;
+  opts.along = AggKind::kSum;
+  opts.across = AggKind::kMax;
+  auto r = PathSummarize(base, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCycleInPath);
+}
+
+TEST(PathSummaryTest, NegativeCycleUnderMinFails) {
+  Database db;
+  Relation base = Weighted(&db, {{"a", "b", -2}, {"b", "a", 1}});
+  PathSummaryOptions opts;
+  opts.along = AggKind::kSum;
+  opts.across = AggKind::kMin;
+  auto r = PathSummarize(base, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCycleInPath);
+}
+
+TEST(PathSummaryTest, PositiveCycleUnderMinIsFine) {
+  Database db;
+  Relation base = Weighted(&db, {{"a", "b", 2}, {"b", "a", 1}, {"b", "c", 4}});
+  PathSummaryOptions opts;
+  opts.along = AggKind::kSum;
+  opts.across = AggKind::kMin;
+  ASSERT_OK_AND_ASSIGN(Relation r, PathSummarize(base, opts));
+  EXPECT_EQ(Get(r, &db, "a", "c"), 6);
+  EXPECT_EQ(Get(r, &db, "a", "a"), 3);  // around the cycle once
+}
+
+TEST(PathSummaryTest, DoubleWeightsWidenResult) {
+  Database db;
+  Relation base(3);
+  base.Insert(Tuple{Value::Sym(db.Intern("a")), Value::Sym(db.Intern("b")),
+                    Value::Double(1.5)});
+  PathSummaryOptions opts;
+  opts.along = AggKind::kSum;
+  opts.across = AggKind::kMin;
+  ASSERT_OK_AND_ASSIGN(Relation r, PathSummarize(base, opts));
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r.rows()[0][2].is_double());
+}
+
+TEST(PathSummaryTest, AvgRejected) {
+  Database db;
+  Relation base = Weighted(&db, {{"a", "b", 1}});
+  PathSummaryOptions opts;
+  opts.along = AggKind::kAvg;
+  EXPECT_EQ(PathSummarize(base, opts).status().code(),
+            StatusCode::kUnsupported);
+}
+
+TEST(PathSummaryTest, AcrossMustBeMinOrMax) {
+  Database db;
+  Relation base = Weighted(&db, {{"a", "b", 1}});
+  PathSummaryOptions opts;
+  opts.across = AggKind::kSum;
+  EXPECT_EQ(PathSummarize(base, opts).status().code(),
+            StatusCode::kUnsupported);
+}
+
+TEST(PathSummaryTest, NonNumericWeightRejected) {
+  Database db;
+  Relation base(3);
+  base.Insert(Tuple{Value::Sym(db.Intern("a")), Value::Sym(db.Intern("b")),
+                    Value::Sym(db.Intern("oops"))});
+  PathSummaryOptions opts;
+  EXPECT_EQ(PathSummarize(base, opts).status().code(),
+            StatusCode::kTypeError);
+}
+
+TEST(PathSummaryTest, EmptyBaseYieldsEmptyResult) {
+  Relation base(3);
+  ASSERT_OK_AND_ASSIGN(Relation r, PathSummarize(base, {}));
+  EXPECT_TRUE(r.empty());
+}
+
+}  // namespace
+}  // namespace graphlog::aggr

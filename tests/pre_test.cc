@@ -1,0 +1,226 @@
+// Tests for path regular expressions (Definition 2.8): parsing, variable
+// analysis, and equality expansion.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "graphlog/pre.h"
+#include "tests/test_util.h"
+
+namespace graphlog::gl {
+namespace {
+
+TEST(PreParserTest, PlainLiteral) {
+  SymbolTable syms;
+  ASSERT_OK_AND_ASSIGN(PathExpr e, ParsePathExpr("descendant", &syms));
+  EXPECT_EQ(e.kind, PathExpr::Kind::kAtom);
+  EXPECT_EQ(syms.name(e.predicate), "descendant");
+  EXPECT_TRUE(e.params.empty());
+}
+
+TEST(PreParserTest, ClosureLiteral) {
+  SymbolTable syms;
+  ASSERT_OK_AND_ASSIGN(PathExpr e, ParsePathExpr("descendant+", &syms));
+  EXPECT_EQ(e.kind, PathExpr::Kind::kPlus);
+  EXPECT_EQ(e.children[0].kind, PathExpr::Kind::kAtom);
+}
+
+TEST(PreParserTest, ParamsRequireAdjacency) {
+  SymbolTable syms;
+  // p(D) is an atom with a parameter...
+  ASSERT_OK_AND_ASSIGN(PathExpr e1, ParsePathExpr("p(D)", &syms));
+  EXPECT_EQ(e1.kind, PathExpr::Kind::kAtom);
+  ASSERT_EQ(e1.params.size(), 1u);
+  // ...but `p (q)` is p composed with q.
+  ASSERT_OK_AND_ASSIGN(PathExpr e2, ParsePathExpr("p (q)", &syms));
+  EXPECT_EQ(e2.kind, PathExpr::Kind::kSeq);
+}
+
+TEST(PreParserTest, Figure5Expression) {
+  SymbolTable syms;
+  // The Figure 5 edge: ancestors through father or mother (hospital
+  // projected out), then friend, with residence on the target node.
+  ASSERT_OK_AND_ASSIGN(PathExpr e,
+                       ParsePathExpr("(father | mother(_))* friend", &syms));
+  EXPECT_EQ(e.kind, PathExpr::Kind::kSeq);
+  ASSERT_EQ(e.children.size(), 2u);
+  EXPECT_EQ(e.children[0].kind, PathExpr::Kind::kStar);
+  EXPECT_EQ(e.children[0].children[0].kind, PathExpr::Kind::kAlt);
+  EXPECT_EQ(e.children[1].kind, PathExpr::Kind::kAtom);
+}
+
+TEST(PreParserTest, InversionAndComposition) {
+  SymbolTable syms;
+  ASSERT_OK_AND_ASSIGN(PathExpr e,
+                       ParsePathExpr("(-from) feasible+ to", &syms));
+  EXPECT_EQ(e.kind, PathExpr::Kind::kSeq);
+  ASSERT_EQ(e.children.size(), 3u);
+  EXPECT_EQ(e.children[0].kind, PathExpr::Kind::kInverse);
+  EXPECT_EQ(e.children[1].kind, PathExpr::Kind::kPlus);
+}
+
+TEST(PreParserTest, NegatedClosure) {
+  SymbolTable syms;
+  ASSERT_OK_AND_ASSIGN(PathExpr e, ParsePathExpr("!descendant+", &syms));
+  EXPECT_EQ(e.kind, PathExpr::Kind::kNegate);
+  EXPECT_EQ(e.children[0].kind, PathExpr::Kind::kPlus);
+  EXPECT_FALSE(e.HasNestedNegation());
+}
+
+TEST(PreParserTest, NestedNegationDetected) {
+  SymbolTable syms;
+  ASSERT_OK_AND_ASSIGN(PathExpr e, ParsePathExpr("p (!q)", &syms));
+  EXPECT_TRUE(e.HasNestedNegation());
+}
+
+TEST(PreParserTest, AlternationPrecedenceIsLowest) {
+  SymbolTable syms;
+  ASSERT_OK_AND_ASSIGN(PathExpr e, ParsePathExpr("a b | c", &syms));
+  EXPECT_EQ(e.kind, PathExpr::Kind::kAlt);
+  EXPECT_EQ(e.children[0].kind, PathExpr::Kind::kSeq);
+  EXPECT_EQ(e.children[1].kind, PathExpr::Kind::kAtom);
+}
+
+TEST(PreParserTest, EqualsAndOptional) {
+  SymbolTable syms;
+  ASSERT_OK_AND_ASSIGN(PathExpr e, ParsePathExpr("= | p?", &syms));
+  EXPECT_EQ(e.kind, PathExpr::Kind::kAlt);
+  EXPECT_EQ(e.children[0].kind, PathExpr::Kind::kEquals);
+  EXPECT_EQ(e.children[1].kind, PathExpr::Kind::kOptional);
+}
+
+TEST(PreParserTest, RoundTripThroughToString) {
+  SymbolTable syms;
+  for (const char* text :
+       {"descendant+", "(father | mother(_))* friend",
+        "(-from) feasible+ to", "!descendant+", "a (b | c)+ d?",
+        "in-module ((calls-local)* calls-extn -(in-module))+"}) {
+    ASSERT_OK_AND_ASSIGN(PathExpr e, ParsePathExpr(text, &syms));
+    std::string printed = e.ToString(syms);
+    ASSERT_OK_AND_ASSIGN(PathExpr e2, ParsePathExpr(printed, &syms));
+    EXPECT_EQ(printed, e2.ToString(syms)) << "for input: " << text;
+  }
+}
+
+TEST(PreVarsTest, SharedVsGhostInAlternation) {
+  SymbolTable syms;
+  ASSERT_OK_AND_ASSIGN(PathExpr e, ParsePathExpr("p(D) | q(D, H)", &syms));
+  Symbol d = syms.Lookup("D"), h = syms.Lookup("H");
+  EXPECT_EQ(e.SharedVariables(), (std::vector<Symbol>{d}));
+  EXPECT_EQ(e.GhostVariables(), (std::vector<Symbol>{h}));
+}
+
+TEST(PreVarsTest, SeqUnionsVariables) {
+  SymbolTable syms;
+  ASSERT_OK_AND_ASSIGN(PathExpr e, ParsePathExpr("p(A) q(B)", &syms));
+  EXPECT_EQ(e.SharedVariables().size(), 2u);
+  EXPECT_TRUE(e.GhostVariables().empty());
+}
+
+TEST(PreVarsTest, ClosureThreadsItsVariables) {
+  SymbolTable syms;
+  ASSERT_OK_AND_ASSIGN(PathExpr e, ParsePathExpr("p(D)+", &syms));
+  ASSERT_EQ(e.SharedVariables().size(), 1u);
+  EXPECT_EQ(syms.name(e.SharedVariables()[0]), "D");
+}
+
+TEST(PreVarsTest, WildcardIsNotAVariable) {
+  SymbolTable syms;
+  ASSERT_OK_AND_ASSIGN(PathExpr e, ParsePathExpr("p(_)+", &syms));
+  EXPECT_TRUE(e.SharedVariables().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Equality expansion
+
+TEST(ExpandTest, AtomIsItself) {
+  SymbolTable syms;
+  ASSERT_OK_AND_ASSIGN(PathExpr e, ParsePathExpr("p", &syms));
+  ASSERT_OK_AND_ASSIGN(ExpandedPre x, ExpandEquality(e));
+  EXPECT_FALSE(x.has_identity);
+  ASSERT_EQ(x.alternatives.size(), 1u);
+}
+
+TEST(ExpandTest, StarBecomesIdentityPlusClosure) {
+  SymbolTable syms;
+  ASSERT_OK_AND_ASSIGN(PathExpr e, ParsePathExpr("p*", &syms));
+  ASSERT_OK_AND_ASSIGN(ExpandedPre x, ExpandEquality(e));
+  EXPECT_TRUE(x.has_identity);
+  ASSERT_EQ(x.alternatives.size(), 1u);
+  EXPECT_EQ(x.alternatives[0].kind, PathExpr::Kind::kPlus);
+}
+
+TEST(ExpandTest, OptionalBecomesIdentityPlusSelf) {
+  SymbolTable syms;
+  ASSERT_OK_AND_ASSIGN(PathExpr e, ParsePathExpr("p?", &syms));
+  ASSERT_OK_AND_ASSIGN(ExpandedPre x, ExpandEquality(e));
+  EXPECT_TRUE(x.has_identity);
+  ASSERT_EQ(x.alternatives.size(), 1u);
+  EXPECT_EQ(x.alternatives[0].kind, PathExpr::Kind::kAtom);
+}
+
+TEST(ExpandTest, SeqWithOptionalDistributes) {
+  SymbolTable syms;
+  // a b? == a | a b
+  ASSERT_OK_AND_ASSIGN(PathExpr e, ParsePathExpr("a b?", &syms));
+  ASSERT_OK_AND_ASSIGN(ExpandedPre x, ExpandEquality(e));
+  EXPECT_FALSE(x.has_identity);
+  EXPECT_EQ(x.alternatives.size(), 2u);
+}
+
+TEST(ExpandTest, StarInsideClosureCollapses) {
+  SymbolTable syms;
+  // (p*)+ == = | p+
+  ASSERT_OK_AND_ASSIGN(PathExpr e, ParsePathExpr("(p*)+", &syms));
+  ASSERT_OK_AND_ASSIGN(ExpandedPre x, ExpandEquality(e));
+  EXPECT_TRUE(x.has_identity);
+  ASSERT_EQ(x.alternatives.size(), 1u);
+  EXPECT_EQ(x.alternatives[0].kind, PathExpr::Kind::kPlus);
+  // The inner expression of the + must be =-free.
+  EXPECT_EQ(x.alternatives[0].children[0].kind, PathExpr::Kind::kAtom);
+}
+
+TEST(ExpandTest, PureEqualsIsIdentityOnly) {
+  SymbolTable syms;
+  ASSERT_OK_AND_ASSIGN(PathExpr e, ParsePathExpr("=", &syms));
+  ASSERT_OK_AND_ASSIGN(ExpandedPre x, ExpandEquality(e));
+  EXPECT_TRUE(x.has_identity);
+  EXPECT_TRUE(x.alternatives.empty());
+}
+
+TEST(ExpandTest, InverseDistributes) {
+  SymbolTable syms;
+  ASSERT_OK_AND_ASSIGN(PathExpr e, ParsePathExpr("-(p | q?)", &syms));
+  ASSERT_OK_AND_ASSIGN(ExpandedPre x, ExpandEquality(e));
+  EXPECT_TRUE(x.has_identity);
+  EXPECT_EQ(x.alternatives.size(), 2u);
+  for (const PathExpr& a : x.alternatives) {
+    EXPECT_EQ(a.kind, PathExpr::Kind::kInverse);
+  }
+}
+
+TEST(ExpandTest, AlternativesAreEqualsFree) {
+  SymbolTable syms;
+  ASSERT_OK_AND_ASSIGN(PathExpr e,
+                       ParsePathExpr("(a? b*)+ (c | =)", &syms));
+  ASSERT_OK_AND_ASSIGN(ExpandedPre x, ExpandEquality(e));
+  // Sanity: no kEquals / kStar / kOptional anywhere in the alternatives.
+  std::function<bool(const PathExpr&)> clean = [&](const PathExpr& p) {
+    if (p.kind == PathExpr::Kind::kEquals ||
+        p.kind == PathExpr::Kind::kStar ||
+        p.kind == PathExpr::Kind::kOptional) {
+      return false;
+    }
+    for (const PathExpr& c : p.children) {
+      if (!clean(c)) return false;
+    }
+    return true;
+  };
+  for (const PathExpr& a : x.alternatives) {
+    EXPECT_TRUE(clean(a)) << a.ToString(syms);
+  }
+}
+
+}  // namespace
+}  // namespace graphlog::gl

@@ -1,0 +1,131 @@
+// Tests for provenance tracking and derivation-tree explanations.
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+#include "eval/engine.h"
+#include "eval/provenance.h"
+#include "storage/database.h"
+#include "tests/test_util.h"
+
+namespace graphlog::eval {
+namespace {
+
+using storage::Database;
+using storage::Tuple;
+
+struct EvalRun {
+  Database db;
+  datalog::Program program;
+  ProvenanceStore store;
+};
+
+EvalRun RunProgram(const char* facts, const char* program_text) {
+  EvalRun r;
+  if (facts != nullptr) {
+    auto facts_prog = datalog::ParseProgram(facts, &r.db.symbols());
+    EXPECT_TRUE(facts_prog.ok());
+    EXPECT_TRUE(Evaluate(*facts_prog, &r.db).ok());
+  }
+  auto prog = datalog::ParseProgram(program_text, &r.db.symbols());
+  EXPECT_TRUE(prog.ok()) << prog.status().ToString();
+  r.program = *prog;
+  EvalOptions opts;
+  opts.provenance = &r.store;
+  EXPECT_TRUE(Evaluate(r.program, &r.db, opts).ok());
+  return r;
+}
+
+TEST(ProvenanceTest, RecordsFirstDerivation) {
+  EvalRun r = RunProgram("e(a, b).\ne(b, c).\n",
+                   "tc(X, Y) :- e(X, Y).\n"
+                   "tc(X, Y) :- e(X, Z), tc(Z, Y).\n");
+  EXPECT_EQ(r.store.size(), 3u);  // tc has 3 tuples
+  Symbol tc = r.db.symbols().Lookup("tc");
+  Tuple ac{Value::Sym(r.db.Intern("a")), Value::Sym(r.db.Intern("c"))};
+  const Justification* j = r.store.Find(tc, ac);
+  ASSERT_NE(j, nullptr);
+  EXPECT_EQ(j->rule_index, 1);  // the recursive rule
+  ASSERT_EQ(j->premises.size(), 2u);
+}
+
+TEST(ProvenanceTest, EdbFactsHaveNoJustification) {
+  EvalRun r = RunProgram("e(a, b).\n", "tc(X, Y) :- e(X, Y).\n");
+  Symbol e = r.db.symbols().Lookup("e");
+  Tuple ab{Value::Sym(r.db.Intern("a")), Value::Sym(r.db.Intern("b"))};
+  EXPECT_EQ(r.store.Find(e, ab), nullptr);
+}
+
+TEST(ProvenanceTest, ExplainRendersTree) {
+  EvalRun r = RunProgram("e(a, b).\ne(b, c).\n",
+                   "tc(X, Y) :- e(X, Y).\n"
+                   "tc(X, Y) :- e(X, Z), tc(Z, Y).\n");
+  ASSERT_OK_AND_ASSIGN(
+      std::string tree,
+      ExplainFact(r.store, r.program, r.db.symbols(), "tc(a, c)"));
+  EXPECT_NE(tree.find("tc(a, c)"), std::string::npos);
+  EXPECT_NE(tree.find("by rule:"), std::string::npos);
+  EXPECT_NE(tree.find("e(a, b)   [edb]"), std::string::npos);
+  EXPECT_NE(tree.find("tc(b, c)"), std::string::npos);
+  // The inner tc is justified by the base rule, whose premise is an EDB.
+  EXPECT_NE(tree.find("e(b, c)   [edb]"), std::string::npos);
+}
+
+TEST(ProvenanceTest, ExplainUnknownPredicateFails) {
+  EvalRun r = RunProgram(nullptr, "p(a).\n");
+  EXPECT_FALSE(
+      ExplainFact(r.store, r.program, r.db.symbols(), "zzz(a)").ok());
+}
+
+TEST(ProvenanceTest, ExplainNonFactFails) {
+  EvalRun r = RunProgram(nullptr, "p(a).\n");
+  EXPECT_FALSE(
+      ExplainFact(r.store, r.program, r.db.symbols(), "p(X)").ok());
+}
+
+TEST(ProvenanceTest, DepthCapElides) {
+  // A chain of length 30 explained with max_depth 3.
+  std::string facts;
+  for (int i = 0; i < 30; ++i) {
+    facts += "e(n" + std::to_string(i) + ", n" + std::to_string(i + 1) +
+             ").\n";
+  }
+  EvalRun r = RunProgram(facts.c_str(),
+                   "tc(X, Y) :- e(X, Y).\n"
+                   "tc(X, Y) :- e(X, Z), tc(Z, Y).\n");
+  ASSERT_OK_AND_ASSIGN(
+      std::string tree,
+      ExplainFact(r.store, r.program, r.db.symbols(), "tc(n0, n30)",
+                  /*max_depth=*/3));
+  EXPECT_NE(tree.find("..."), std::string::npos);
+}
+
+TEST(ProvenanceTest, NegationAndBuiltinsAreNotPremises) {
+  EvalRun r = RunProgram("p(1).\np(2).\nq(2).\n",
+                   "keep(X) :- p(X), !q(X), X < 10.\n");
+  Symbol keep = r.db.symbols().Lookup("keep");
+  const Justification* j = r.store.Find(keep, Tuple{Value::Int(1)});
+  ASSERT_NE(j, nullptr);
+  // Only the positive relational atom is a premise.
+  ASSERT_EQ(j->premises.size(), 1u);
+  EXPECT_EQ(r.db.symbols().name(j->premises[0].first), "p");
+}
+
+TEST(ProvenanceTest, FirstDerivationIsStable) {
+  // Two rules derive the same tuple; the recorded rule is the first one
+  // that fired (the non-recursive one runs before the fixpoint).
+  EvalRun r = RunProgram("a(x).\nb(x).\n",
+                   "out(X) :- a(X).\n"
+                   "out(X) :- b(X).\n");
+  Symbol out = r.db.symbols().Lookup("out");
+  const Justification* j =
+      r.store.Find(out, Tuple{Value::Sym(r.db.Intern("x"))});
+  ASSERT_NE(j, nullptr);
+  EXPECT_EQ(r.db.symbols().name(r.program.rules[j->rule_index]
+                                    .body[0]
+                                    .atom.predicate),
+            "a");
+}
+
+}  // namespace
+}  // namespace graphlog::eval

@@ -1,0 +1,236 @@
+// Tests for Algorithm 3.1 (SL-DATALOG -> STC-DATALOG), including the
+// empirical equivalence certification of Theorem 3.2.
+
+#include <gtest/gtest.h>
+
+#include "datalog/analysis.h"
+#include "datalog/parser.h"
+#include "eval/engine.h"
+#include "storage/database.h"
+#include "testing/equivalence.h"
+#include "tests/test_util.h"
+#include "translate/sl_to_stc.h"
+
+namespace graphlog::translate {
+namespace {
+
+using datalog::Program;
+using storage::Database;
+using testing::CheckEquivalent;
+using testing::EquivalenceOptions;
+using testutil::RelationSet;
+
+const char* kSameGeneration =
+    "sg(X, X) :- person(X).\n"
+    "sg(X, Y) :- parent(X, Z), sg(Z, W), parent(Y, W).\n";
+
+/// Runs Algorithm 3.1 on `text` and returns (input program text unchanged,
+/// translated program text).
+std::string TranslateToText(const char* text, SymbolTable* syms) {
+  auto prog = datalog::ParseProgram(text, syms);
+  EXPECT_TRUE(prog.ok()) << prog.status().ToString();
+  auto out = TranslateSlToStc(*prog, syms);
+  EXPECT_TRUE(out.ok()) << out.status().ToString();
+  return out->program.ToString(*syms);
+}
+
+TEST(SlToStcTest, SameGenerationShapeMatchesFigure9) {
+  SymbolTable syms;
+  ASSERT_OK_AND_ASSIGN(Program input,
+                       datalog::ParseProgram(kSameGeneration, &syms));
+  ASSERT_OK_AND_ASSIGN(SlToStcResult out, TranslateSlToStc(input, &syms));
+
+  // The output must be a TC program (only TC-shaped recursion).
+  EXPECT_TRUE(datalog::IsTcProgram(out.program));
+  EXPECT_TRUE(datalog::IsLinear(out.program));
+  ASSERT_EQ(out.edge_closure_pairs.size(), 1u);
+
+  // Figure 9 structure: 2 e-rules, 2 t-rules, 1 extraction rule.
+  EXPECT_EQ(out.program.rules.size(), 5u);
+
+  // The configuration width is m+1 = 3, so e has arity 6 (as in Figure 9).
+  auto arities = datalog::PredicateArities(out.program);
+  EXPECT_EQ(arities[out.edge_closure_pairs[0].first], 6u);
+  EXPECT_EQ(arities[out.edge_closure_pairs[0].second], 6u);
+}
+
+TEST(SlToStcTest, SameGenerationEquivalent) {
+  SymbolTable syms;
+  std::string translated = TranslateToText(kSameGeneration, &syms);
+  EquivalenceOptions opts;
+  opts.trials = 15;
+  opts.compare = {"sg"};
+  opts.edb.domain_size = 7;
+  opts.edb.fill = 0.2;
+  ASSERT_OK_AND_ASSIGN(auto report,
+                       CheckEquivalent(kSameGeneration, translated, opts));
+  EXPECT_TRUE(report.equivalent) << report.detail;
+}
+
+TEST(SlToStcTest, PlainTcPassthroughVariables) {
+  // tc's recursive rule has the pass-through variable Y; the translation
+  // grounds it with the generated dom predicate.
+  SymbolTable syms;
+  const char* tc =
+      "tc(X, Y) :- edge(X, Y).\n"
+      "tc(X, Y) :- edge(X, Z), tc(Z, Y).\n";
+  ASSERT_OK_AND_ASSIGN(Program input, datalog::ParseProgram(tc, &syms));
+  ASSERT_OK_AND_ASSIGN(SlToStcResult out, TranslateSlToStc(input, &syms));
+  EXPECT_NE(out.dom_predicate, kNoSymbol);
+  EXPECT_TRUE(datalog::IsTcProgram(out.program));
+
+  EquivalenceOptions opts;
+  opts.trials = 15;
+  opts.compare = {"tc"};
+  ASSERT_OK_AND_ASSIGN(
+      auto report,
+      CheckEquivalent(tc, out.program.ToString(syms), opts));
+  EXPECT_TRUE(report.equivalent) << report.detail;
+}
+
+TEST(SlToStcTest, MutualRecursionSingleScc) {
+  // odd/even mutual recursion: one SCC with two predicates, exercising the
+  // per-predicate signature constants.
+  SymbolTable syms;
+  const char* prog =
+      "odd(Y) :- first(X), edge(X, Y).\n"
+      "odd(Y) :- even(X), edge(X, Y).\n"
+      "even(Y) :- odd(X), edge(X, Y).\n";
+  ASSERT_OK_AND_ASSIGN(Program input, datalog::ParseProgram(prog, &syms));
+  ASSERT_OK_AND_ASSIGN(SlToStcResult out, TranslateSlToStc(input, &syms));
+  EXPECT_TRUE(datalog::IsTcProgram(out.program));
+  EXPECT_EQ(out.edge_closure_pairs.size(), 1u);
+
+  EquivalenceOptions opts;
+  opts.trials = 15;
+  opts.compare = {"odd", "even"};
+  ASSERT_OK_AND_ASSIGN(
+      auto report,
+      CheckEquivalent(prog, out.program.ToString(syms), opts));
+  EXPECT_TRUE(report.equivalent) << report.detail;
+}
+
+TEST(SlToStcTest, StratifiedNegationPreserved) {
+  SymbolTable syms;
+  const char* prog =
+      "reach(Y) :- src(X), edge(X, Y).\n"
+      "reach(Y) :- reach(X), edge(X, Y).\n"
+      "blocked(X) :- node(X), !reach(X).\n"
+      "safe(Y) :- blocked(X), edge(X, Y).\n"
+      "safe(Y) :- safe(X), edge(X, Y).\n";
+  ASSERT_OK_AND_ASSIGN(Program input, datalog::ParseProgram(prog, &syms));
+  ASSERT_OK_AND_ASSIGN(SlToStcResult out, TranslateSlToStc(input, &syms));
+  EXPECT_TRUE(datalog::IsTcProgram(out.program));
+  // Two recursive SCCs -> two e/t pairs.
+  EXPECT_EQ(out.edge_closure_pairs.size(), 2u);
+  // Still stratifiable.
+  EXPECT_OK(datalog::Stratify(out.program, syms).status());
+
+  EquivalenceOptions opts;
+  opts.trials = 12;
+  opts.compare = {"reach", "blocked", "safe"};
+  ASSERT_OK_AND_ASSIGN(
+      auto report,
+      CheckEquivalent(prog, out.program.ToString(syms), opts));
+  EXPECT_TRUE(report.equivalent) << report.detail;
+}
+
+TEST(SlToStcTest, NonRecursiveProgramCopiedThrough) {
+  SymbolTable syms;
+  const char* prog = "q(X, Z) :- a(X, Y), b(Y, Z).\n";
+  ASSERT_OK_AND_ASSIGN(Program input, datalog::ParseProgram(prog, &syms));
+  ASSERT_OK_AND_ASSIGN(SlToStcResult out, TranslateSlToStc(input, &syms));
+  EXPECT_EQ(out.program.rules.size(), 1u);
+  EXPECT_TRUE(out.edge_closure_pairs.empty());
+}
+
+TEST(SlToStcTest, NonlinearRejected) {
+  SymbolTable syms;
+  ASSERT_OK_AND_ASSIGN(
+      Program input,
+      datalog::ParseProgram(
+          "t(X,Y) :- e(X,Y).\nt(X,Y) :- t(X,Z), t(Z,Y).\n", &syms));
+  auto r = TranslateSlToStc(input, &syms);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotLinear);
+}
+
+TEST(SlToStcTest, UnstratifiableRejected) {
+  SymbolTable syms;
+  ASSERT_OK_AND_ASSIGN(
+      Program input,
+      datalog::ParseProgram("w(X) :- m(X, Y), !w(Y).", &syms));
+  EXPECT_FALSE(TranslateSlToStc(input, &syms).ok());
+}
+
+TEST(SlToStcTest, AggregatesRejected) {
+  SymbolTable syms;
+  ASSERT_OK_AND_ASSIGN(
+      Program input,
+      datalog::ParseProgram("s(X, sum<Y>) :- f(X, Y).", &syms));
+  auto r = TranslateSlToStc(input, &syms);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(SlToStcTest, ConstantsInRulesSurviveViaDomFacts) {
+  SymbolTable syms;
+  const char* prog =
+      "hops(X, Y) :- special(X), edge(X, Y).\n"
+      "hops(X, Y) :- hops(X, Z), edge(Z, Y).\n";
+  ASSERT_OK_AND_ASSIGN(Program input, datalog::ParseProgram(prog, &syms));
+  ASSERT_OK_AND_ASSIGN(SlToStcResult out, TranslateSlToStc(input, &syms));
+  EquivalenceOptions opts;
+  opts.trials = 10;
+  opts.compare = {"hops"};
+  ASSERT_OK_AND_ASSIGN(
+      auto report,
+      CheckEquivalent(prog, out.program.ToString(syms), opts));
+  EXPECT_TRUE(report.equivalent) << report.detail;
+}
+
+TEST(SlToStcTest, PiecewiseLinearChains) {
+  // Several recursive SCCs feeding one another (piecewise linear).
+  SymbolTable syms;
+  const char* prog =
+      "r1(X, Y) :- e1(X, Y).\n"
+      "r1(X, Y) :- e1(X, Z), r1(Z, Y).\n"
+      "r2(X, Y) :- r1(X, Y).\n"
+      "r2(X, Y) :- r1(X, Z), r2(Z, Y).\n";
+  ASSERT_OK_AND_ASSIGN(Program input, datalog::ParseProgram(prog, &syms));
+  ASSERT_OK_AND_ASSIGN(SlToStcResult out, TranslateSlToStc(input, &syms));
+  EXPECT_TRUE(datalog::IsTcProgram(out.program));
+  EquivalenceOptions opts;
+  opts.trials = 10;
+  opts.edb.domain_size = 6;
+  opts.compare = {"r1", "r2"};
+  ASSERT_OK_AND_ASSIGN(
+      auto report,
+      CheckEquivalent(prog, out.program.ToString(syms), opts));
+  EXPECT_TRUE(report.equivalent) << report.detail;
+}
+
+TEST(EquivalenceHarnessTest, DetectsInequivalence) {
+  EquivalenceOptions opts;
+  opts.trials = 10;
+  opts.compare = {"t"};
+  ASSERT_OK_AND_ASSIGN(
+      auto report,
+      CheckEquivalent("t(X, Y) :- e(X, Y).\nt(X, Y) :- e(X, Z), t(Z, Y).\n",
+                      "t(X, Y) :- e(X, Y).\n", opts));
+  EXPECT_FALSE(report.equivalent);
+  EXPECT_GE(report.failing_trial, 0);
+  EXPECT_FALSE(report.detail.empty());
+}
+
+TEST(EquivalenceHarnessTest, IdenticalProgramsAgree) {
+  const char* prog = "q(X) :- p(X, Y), !r(Y).\n";
+  EquivalenceOptions opts;
+  opts.trials = 5;
+  ASSERT_OK_AND_ASSIGN(auto report, CheckEquivalent(prog, prog, opts));
+  EXPECT_TRUE(report.equivalent);
+  EXPECT_EQ(report.trials_run, 5);
+}
+
+}  // namespace
+}  // namespace graphlog::translate

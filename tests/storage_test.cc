@@ -1,0 +1,137 @@
+// Tests for the storage layer: relations, indexes, database catalog.
+
+#include <gtest/gtest.h>
+
+#include "storage/database.h"
+#include "storage/relation.h"
+#include "tests/test_util.h"
+
+namespace graphlog::storage {
+namespace {
+
+TEST(RelationTest, InsertDeduplicates) {
+  Relation r(2);
+  EXPECT_TRUE(r.Insert({Value::Int(1), Value::Int(2)}));
+  EXPECT_FALSE(r.Insert({Value::Int(1), Value::Int(2)}));
+  EXPECT_TRUE(r.Insert({Value::Int(2), Value::Int(1)}));
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(RelationTest, ContainsAndRows) {
+  Relation r(1);
+  r.Insert({Value::Int(5)});
+  EXPECT_TRUE(r.Contains({Value::Int(5)}));
+  EXPECT_FALSE(r.Contains({Value::Int(6)}));
+  EXPECT_EQ(r.rows().size(), 1u);
+}
+
+TEST(RelationTest, InsertionOrderPreserved) {
+  Relation r(1);
+  for (int i = 9; i >= 0; --i) r.Insert({Value::Int(i)});
+  EXPECT_EQ(r.rows().front()[0], Value::Int(9));
+  EXPECT_EQ(r.rows().back()[0], Value::Int(0));
+  // SortedRows is canonical.
+  EXPECT_EQ(r.SortedRows().front()[0], Value::Int(0));
+}
+
+TEST(RelationTest, ProbeSingleColumn) {
+  Relation r(2);
+  r.Insert({Value::Int(1), Value::Int(10)});
+  r.Insert({Value::Int(1), Value::Int(11)});
+  r.Insert({Value::Int(2), Value::Int(20)});
+  auto& hits = r.Probe({0}, {Value::Int(1)});
+  EXPECT_EQ(hits.size(), 2u);
+  EXPECT_TRUE(r.Probe({0}, {Value::Int(3)}).empty());
+}
+
+TEST(RelationTest, ProbeMultiColumn) {
+  Relation r(3);
+  r.Insert({Value::Int(1), Value::Int(2), Value::Int(3)});
+  r.Insert({Value::Int(1), Value::Int(9), Value::Int(3)});
+  auto& hits = r.Probe({0, 2}, {Value::Int(1), Value::Int(3)});
+  EXPECT_EQ(hits.size(), 2u);
+  auto& one = r.Probe({0, 1}, {Value::Int(1), Value::Int(2)});
+  EXPECT_EQ(one.size(), 1u);
+}
+
+TEST(RelationTest, IndexInvalidatedByInsert) {
+  Relation r(2);
+  r.Insert({Value::Int(1), Value::Int(2)});
+  EXPECT_EQ(r.Probe({0}, {Value::Int(1)}).size(), 1u);
+  r.Insert({Value::Int(1), Value::Int(3)});
+  EXPECT_EQ(r.Probe({0}, {Value::Int(1)}).size(), 2u);
+}
+
+TEST(RelationTest, SetEquals) {
+  Relation a(1), b(1);
+  a.Insert({Value::Int(1)});
+  a.Insert({Value::Int(2)});
+  b.Insert({Value::Int(2)});
+  b.Insert({Value::Int(1)});
+  EXPECT_TRUE(a.SetEquals(b));
+  b.Insert({Value::Int(3)});
+  EXPECT_FALSE(a.SetEquals(b));
+}
+
+TEST(RelationTest, InsertAllReportsNovelCount) {
+  Relation a(1), b(1);
+  a.Insert({Value::Int(1)});
+  b.Insert({Value::Int(1)});
+  b.Insert({Value::Int(2)});
+  EXPECT_EQ(a.InsertAll(b), 1u);
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(DatabaseTest, DeclareIsIdempotent) {
+  Database db;
+  ASSERT_OK_AND_ASSIGN(Relation * r1, db.Declare("p", 2));
+  ASSERT_OK_AND_ASSIGN(Relation * r2, db.Declare("p", 2));
+  EXPECT_EQ(r1, r2);
+}
+
+TEST(DatabaseTest, DeclareArityConflictFails) {
+  Database db;
+  ASSERT_OK(db.Declare("p", 2).status());
+  auto r = db.Declare("p", 3);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kArityMismatch);
+}
+
+TEST(DatabaseTest, AddFactDeclaresOnFirstUse) {
+  Database db;
+  ASSERT_OK(db.AddFact("q", {Value::Int(1)}));
+  const Relation* rel = db.Find("q");
+  ASSERT_NE(rel, nullptr);
+  EXPECT_EQ(rel->arity(), 1u);
+}
+
+TEST(DatabaseTest, FindByNameAndSymbol) {
+  Database db;
+  ASSERT_OK(db.AddSymFact("r", {"a", "b"}));
+  EXPECT_NE(db.Find("r"), nullptr);
+  EXPECT_EQ(db.Find("missing"), nullptr);
+  Symbol s = db.symbols().Lookup("r");
+  EXPECT_NE(db.Find(s), nullptr);
+}
+
+TEST(DatabaseTest, TotalTuplesAndRetainOnly) {
+  Database db;
+  ASSERT_OK(db.AddSymFact("a", {"x"}));
+  ASSERT_OK(db.AddSymFact("b", {"y"}));
+  ASSERT_OK(db.AddSymFact("b", {"z"}));
+  EXPECT_EQ(db.TotalTuples(), 3u);
+  db.RetainOnly({db.Intern("b")});
+  EXPECT_EQ(db.Find("a"), nullptr);
+  EXPECT_EQ(db.TotalTuples(), 2u);
+}
+
+TEST(DatabaseTest, RelationToStringSorted) {
+  Database db;
+  ASSERT_OK(db.AddSymFact("e", {"b", "c"}));
+  ASSERT_OK(db.AddSymFact("e", {"a", "b"}));
+  EXPECT_EQ(db.RelationToString(db.Intern("e")),
+            "e(a, b).\ne(b, c).\n");
+}
+
+}  // namespace
+}  // namespace graphlog::storage
