@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Runs the parallel-evaluation benchmark suite and leaves machine-readable
+# results next to the build tree:
+#
+#   BENCH_parallel_eval.json  thread ablation (1/2/4/8 lanes) for linear and
+#                             nonlinear transitive closure, plus the
+#                             incremental-vs-rebuild index maintenance ablation
+#   BENCH_parallel_tc.json    per-source-parallel TC kernel ablation
+#
+# Usage: bench/run_benches.sh [BUILD_DIR] [OUT_DIR]
+# Defaults: BUILD_DIR = ./build, OUT_DIR = BUILD_DIR.
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-${BUILD_DIR}}"
+
+if [[ ! -x "${BUILD_DIR}/bench/bench_parallel_eval" ]]; then
+  echo "error: ${BUILD_DIR}/bench/bench_parallel_eval not built" >&2
+  echo "  (cmake -S . -B ${BUILD_DIR} && cmake --build ${BUILD_DIR})" >&2
+  exit 1
+fi
+
+mkdir -p "${OUT_DIR}"
+
+run() {
+  local bin="$1" out="$2"
+  echo "== ${bin} -> ${out}"
+  # The report banner goes to stdout before google-benchmark starts; the
+  # JSON goes to its own file so it stays parseable.
+  "${BUILD_DIR}/bench/${bin}" \
+    --benchmark_out="${OUT_DIR}/${out}" \
+    --benchmark_out_format=json \
+    --benchmark_repetitions=3 \
+    --benchmark_report_aggregates_only=true
+}
+
+run bench_parallel_eval BENCH_parallel_eval.json
+run bench_parallel_tc BENCH_parallel_tc.json
+
+echo "wrote ${OUT_DIR}/BENCH_parallel_eval.json"
+echo "wrote ${OUT_DIR}/BENCH_parallel_tc.json"

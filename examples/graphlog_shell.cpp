@@ -25,6 +25,7 @@
 // Reads from stdin, so it is scriptable: `graphlog_shell < script.glog`.
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -60,6 +61,8 @@ void PrintHelp() {
       "  .rpq [SRC [DST]] EXPR    run a regular path query\n"
       "  .why FACT                derivation tree of a fact from the most\n"
       "                           recent query/.datalog evaluation\n"
+      "  .threads [N]             show or set evaluation worker lanes\n"
+      "                           (1 = serial, 0 = hardware concurrency)\n"
       "  .help / .quit\n");
 }
 
@@ -164,6 +167,25 @@ class Shell {
       DotQuery(text);
       return;
     }
+    if (line == ".threads" || StartsWith(line, ".threads ")) {
+      if (line == ".threads") {
+        std::printf("num_threads = %u\n", num_threads_);
+        return;
+      }
+      std::string arg(Trim(line.substr(9)));
+      // Digits only: strtoul would silently wrap a negative sign around.
+      bool numeric = !arg.empty() && arg.size() <= 4;
+      for (char c : arg) numeric = numeric && c >= '0' && c <= '9';
+      if (!numeric) {
+        std::printf(
+            "usage: .threads [N]   (1 = serial, 0 = hardware, max 9999)\n");
+        return;
+      }
+      num_threads_ = static_cast<unsigned>(std::strtoul(arg.c_str(),
+                                                        nullptr, 10));
+      std::printf("num_threads = %u\n", num_threads_);
+      return;
+    }
     if (StartsWith(line, ".datalog ")) {
       auto prog = datalog::ParseProgram(line.substr(9), &db_.symbols());
       if (!prog.ok()) {
@@ -174,6 +196,7 @@ class Shell {
       last_program_ = *prog;
       eval::EvalOptions opts;
       opts.provenance = &last_store_;
+      opts.num_threads = num_threads_;
       auto r = eval::Evaluate(*prog, &db_, opts);
       Report(r.status(), r.ok() ? r->tuples_derived : 0, "tuples derived");
       return;
@@ -222,6 +245,7 @@ class Shell {
     last_store_ = eval::ProvenanceStore();
     gl::GraphLogOptions opts;
     opts.eval.provenance = &last_store_;
+    opts.eval.num_threads = num_threads_;
     auto r = gl::EvaluateGraphicalQuery(*q, &db_, opts);
     if (!r.ok()) {
       std::printf("error: %s\n", r.status().ToString().c_str());
@@ -303,6 +327,8 @@ class Shell {
   std::string pending_;
   bool pending_dotquery_ = false;
   bool done_ = false;
+  // Worker lanes for .datalog and query evaluation (eval::EvalOptions).
+  unsigned num_threads_ = 1;
   // Provenance of the most recent query/.datalog evaluation (.why).
   eval::ProvenanceStore last_store_;
   datalog::Program last_program_;

@@ -329,18 +329,34 @@ Result<CompiledRule> CompiledRule::Compile(const Rule& rule,
   }
 
   out.num_slots_ = slots.size();
+  for (size_t k = 0; k < out.steps_.size(); ++k) {
+    if (out.steps_[k].kind == Step::Kind::kScanProbe) {
+      out.driver_step_ = static_cast<int>(k);
+      break;
+    }
+  }
   return out;
 }
 
 void CompiledRule::Execute(const RelationResolver& resolver,
                            const BindingSink& sink) const {
+  ExecutePartition(resolver, sink, 0, 1);
+}
+
+void CompiledRule::ExecutePartition(const RelationResolver& resolver,
+                                    const BindingSink& sink, size_t part,
+                                    size_t num_parts) const {
+  // A plan without a positive atom has nothing to partition over; its
+  // (at most one) satisfying assignment belongs to partition 0.
+  if (driver_step_ < 0 && part > 0) return;
   std::vector<Value> slots(num_slots_);
-  ExecuteStep(0, &slots, resolver, sink);
+  ExecuteStep(0, &slots, resolver, sink, part, num_parts);
 }
 
 void CompiledRule::ExecuteStep(size_t idx, std::vector<Value>* slots,
                                const RelationResolver& resolver,
-                               const BindingSink& sink) const {
+                               const BindingSink& sink, size_t part,
+                               size_t num_parts) const {
   if (idx == steps_.size()) {
     sink(*slots);
     return;
@@ -357,19 +373,34 @@ void CompiledRule::ExecuteStep(size_t idx, std::vector<Value>* slots,
         for (const auto& [col, slot] : s.out_cols) {
           (*slots)[slot] = row[col];
         }
-        ExecuteStep(idx + 1, slots, resolver, sink);
+        ExecuteStep(idx + 1, slots, resolver, sink, part, num_parts);
       };
+      // The driver step enumerates only its contiguous chunk of the row
+      // range; partition boundaries use the standard p*m/P split so the
+      // chunks are exhaustive, disjoint, and ordered.
+      const bool is_driver = static_cast<int>(idx) == driver_step_;
       if (s.probe_cols.empty()) {
-        for (const Tuple& row : rel->rows()) try_row(row);
+        const size_t m = rel->rows().size();
+        size_t lo = 0, hi = m;
+        if (is_driver && num_parts > 1) {
+          lo = part * m / num_parts;
+          hi = (part + 1) * m / num_parts;
+        }
+        for (size_t r = lo; r < hi; ++r) try_row(rel->row(r));
       } else {
         Tuple key;
         key.reserve(s.probe_cols.size());
         for (const ArgSource& src : s.probe_sources) {
           key.push_back(src.Get(*slots));
         }
-        for (uint32_t i : rel->Probe(s.probe_cols, key)) {
-          try_row(rel->row(i));
+        storage::ProbeResult hits = rel->Probe(s.probe_cols, key);
+        const size_t m = hits.size();
+        size_t lo = 0, hi = m;
+        if (is_driver && num_parts > 1) {
+          lo = part * m / num_parts;
+          hi = (part + 1) * m / num_parts;
         }
+        for (size_t k = lo; k < hi; ++k) try_row(rel->row(hits[k]));
       }
       return;
     }
@@ -401,18 +432,18 @@ void CompiledRule::ExecuteStep(size_t idx, std::vector<Value>* slots,
         }
         if (found) return;  // negation fails
       }
-      ExecuteStep(idx + 1, slots, resolver, sink);
+      ExecuteStep(idx + 1, slots, resolver, sink, part, num_parts);
       return;
     }
     case Step::Kind::kCompare: {
       if (EvalCmp(s.cmp, s.lhs.Get(*slots), s.rhs.Get(*slots))) {
-        ExecuteStep(idx + 1, slots, resolver, sink);
+        ExecuteStep(idx + 1, slots, resolver, sink, part, num_parts);
       }
       return;
     }
     case Step::Kind::kEqBind: {
       (*slots)[s.bind_slot] = s.bind_source.Get(*slots);
-      ExecuteStep(idx + 1, slots, resolver, sink);
+      ExecuteStep(idx + 1, slots, resolver, sink, part, num_parts);
       return;
     }
     case Step::Kind::kAssign: {
@@ -423,7 +454,7 @@ void CompiledRule::ExecuteStep(size_t idx, std::vector<Value>* slots,
       } else {
         (*slots)[s.target_slot] = v;
       }
-      ExecuteStep(idx + 1, slots, resolver, sink);
+      ExecuteStep(idx + 1, slots, resolver, sink, part, num_parts);
       return;
     }
   }

@@ -140,6 +140,19 @@ class CompiledRule {
   /// \brief Runs the plan, invoking `sink` once per satisfying assignment.
   void Execute(const RelationResolver& resolver, const BindingSink& sink) const;
 
+  /// \brief Runs one of `num_parts` contiguous partitions of the plan.
+  ///
+  /// The plan's *driver* step — the first positive scan/probe — splits its
+  /// row range into `num_parts` contiguous chunks and enumerates only the
+  /// `part`-th; all other steps run unchanged. Concatenating the sink
+  /// sequences for part = 0..num_parts-1 therefore yields exactly the
+  /// Execute() sequence, which is what lets the parallel engine merge
+  /// per-partition derivation buffers back into the serial insertion
+  /// order. Plans with no positive atom run entirely in partition 0.
+  void ExecutePartition(const RelationResolver& resolver,
+                        const BindingSink& sink, size_t part,
+                        size_t num_parts) const;
+
   /// \brief Builds the head tuple for a satisfying assignment; only valid
   /// when !has_aggregates().
   storage::Tuple EmitHead(const std::vector<Value>& slots) const;
@@ -162,6 +175,16 @@ class CompiledRule {
   /// \brief Number of positive relational atoms in the body.
   int num_occurrences() const { return num_occurrences_; }
 
+  /// \brief The lowered plan; the engine walks it to pre-build every index
+  /// the plan will probe before fanning execution across threads.
+  const std::vector<Step>& steps() const { return steps_; }
+
+  /// \brief The driver step (first positive scan/probe in plan order), or
+  /// nullptr when the body has no positive atom.
+  const Step* driver() const {
+    return driver_step_ < 0 ? nullptr : &steps_[driver_step_];
+  }
+
  private:
   Symbol head_predicate_ = kNoSymbol;
   std::vector<CompiledHeadArg> head_args_;
@@ -169,13 +192,14 @@ class CompiledRule {
   std::vector<Step> steps_;
   size_t num_slots_ = 0;
   int num_occurrences_ = 0;
+  int driver_step_ = -1;  ///< index into steps_, -1 when no positive atom
   std::vector<std::pair<Symbol, int>> occurrence_preds_;  // (pred, occ)
   // Positive body atoms as (pred, per-column sources), for Premises().
   std::vector<std::pair<Symbol, std::vector<ArgSource>>> premise_specs_;
 
   void ExecuteStep(size_t idx, std::vector<Value>* slots,
-                   const RelationResolver& resolver,
-                   const BindingSink& sink) const;
+                   const RelationResolver& resolver, const BindingSink& sink,
+                   size_t part, size_t num_parts) const;
 };
 
 }  // namespace graphlog::eval

@@ -1,6 +1,8 @@
 #include "eval/engine.h"
 
+#include <algorithm>
 #include <map>
+#include <memory>
 #include <set>
 #include <unordered_map>
 #include <unordered_set>
@@ -9,6 +11,7 @@
 #include "datalog/parser.h"
 #include "eval/compiled_rule.h"
 #include "eval/provenance.h"
+#include "exec/thread_pool.h"
 #include "storage/tuple.h"
 
 namespace graphlog::eval {
@@ -72,6 +75,10 @@ struct AggAccum {
   }
 };
 
+/// Below this many driver rows a rule execution is not split further;
+/// partition bookkeeping would outweigh the join work.
+constexpr size_t kMinRowsPerPartition = 128;
+
 /// Shared evaluation state for one program run.
 class Engine {
  public:
@@ -86,6 +93,19 @@ class Engine {
                               datalog::Stratify(prog_, syms));
     stats_.strata = strat.num_strata;
 
+    unsigned lanes =
+        exec::ThreadPool::ResolveParallelism(options_.num_threads);
+    if (lanes > 1) pool_ = std::make_unique<exec::ThreadPool>(lanes);
+
+    // Index-maintenance counters are reported as this run's delta over
+    // whatever the database accumulated before (plus the short-lived
+    // delta relations absorbed by the semi-naive loop).
+    uint64_t base_builds = 0, base_appends = 0;
+    for (const auto& [_, rel] : db_->relations()) {
+      base_builds += rel.index_builds();
+      base_appends += rel.index_appends();
+    }
+
     // Check IDB arity against any pre-existing relations and declare them.
     for (const Rule& r : prog_.rules) {
       GRAPHLOG_ASSIGN_OR_RETURN(Relation * rel,
@@ -97,6 +117,13 @@ class Engine {
     for (const auto& group : strat.rule_groups) {
       GRAPHLOG_RETURN_NOT_OK(RunStratum(group));
     }
+
+    for (const auto& [_, rel] : db_->relations()) {
+      stats_.index_builds += rel.index_builds();
+      stats_.index_appends += rel.index_appends();
+    }
+    stats_.index_builds -= base_builds;
+    stats_.index_appends -= base_appends;
     return stats_;
   }
 
@@ -157,11 +184,15 @@ class Engine {
       (recursive ? rec_rules : base_rules).push_back(i);
     }
 
-    // One pass over non-recursive rules.
+    // One pass over non-recursive rules. Base rules never read a local
+    // head (that would make them recursive), so they usually fan out as
+    // one batch; RunTasksBatched still verifies independence.
+    std::vector<RuleTask> base_tasks;
+    base_tasks.reserve(base_rules.size());
     for (int i : base_rules) {
-      RunRuleOnce(i, /*delta_pred=*/kNoSymbol, /*delta_occurrence=*/-1,
-                  nullptr, nullptr);
+      base_tasks.push_back({i, kNoSymbol, -1});
     }
+    RunTasksBatched(base_tasks, nullptr, nullptr);
     if (rec_rules.empty()) return Status::OK();
 
     if (options_.strategy == Strategy::kNaive) {
@@ -185,13 +216,15 @@ class Engine {
 
   Status SemiNaiveFixpoint(const std::vector<int>& rec_rules,
                            const std::set<Symbol>& local_idbs) {
-    // delta[p] starts as everything currently known for p.
+    // delta[p] starts as everything currently known for p. Relations are
+    // emplaced empty and filled in place so no populated relation is ever
+    // moved.
     std::map<Symbol, Relation> delta;
     for (Symbol p : local_idbs) {
       const Relation* full = db_->Find(p);
-      Relation d(full->arity());
-      d.InsertAll(*full);
-      delta.emplace(p, std::move(d));
+      auto [it, inserted] = delta.emplace(p, Relation(full->arity()));
+      (void)inserted;
+      it->second.InsertAll(*full);
     }
 
     bool any_delta = true;
@@ -201,76 +234,249 @@ class Engine {
       for (Symbol p : local_idbs) {
         next.emplace(p, Relation(db_->Find(p)->arity()));
       }
+      // The round's tasks in serial order: for each rule, one run per
+      // occurrence of a local IDB in the body, with that occurrence
+      // reading the delta.
+      std::vector<RuleTask> round;
       for (int i : rec_rules) {
         const CompiledRule& c = compiled_.at(i);
-        // For each occurrence of a local IDB in the body, run a version
-        // where that occurrence reads the delta.
         for (Symbol p : local_idbs) {
           for (int occ : c.OccurrencesOf(p)) {
-            RunRuleOnce(i, p, occ, &delta, &next);
+            round.push_back({i, p, occ});
           }
         }
       }
+      RunTasksBatched(round, &delta, &next);
       any_delta = false;
       for (auto& [p, d] : next) {
         if (!d.empty()) any_delta = true;
       }
+      // The old delta dies here; fold its index-maintenance counters into
+      // the run stats first.
+      for (auto& [p, d] : delta) AbsorbIndexStats(d);
       delta = std::move(next);
     }
+    for (auto& [p, d] : delta) AbsorbIndexStats(d);
     return Status::OK();
   }
 
-  /// Executes rule `i`. When `delta_pred != kNoSymbol`, occurrence
-  /// `delta_occurrence` of `delta_pred` reads from (*delta)[delta_pred].
-  /// New tuples go into the db relation and, if `next` != nullptr, into
-  /// (*next)[head].
+  /// One unit of rule execution: rule `rule` with occurrence
+  /// `delta_occurrence` of `delta_pred` reading the delta relation
+  /// (kNoSymbol/-1 for a plain full run).
+  struct RuleTask {
+    int rule;
+    Symbol delta_pred;
+    int delta_occurrence;
+  };
+
+  /// Executes `tasks` in serial task order, fanning maximal prefixes of
+  /// independent tasks across the pool. A task may run concurrently with
+  /// the tasks before it only when it reads none of their head predicates:
+  /// batch merges are deferred past the joins, and the serial engine would
+  /// have made those writes visible. Delta-substituted occurrences read
+  /// the (frozen) previous-round delta, not the head relation, so they do
+  /// not count as reads of it.
+  void RunTasksBatched(const std::vector<RuleTask>& tasks,
+                       std::map<Symbol, Relation>* delta,
+                       std::map<Symbol, Relation>* next) {
+    size_t b = 0;
+    while (b < tasks.size()) {
+      size_t e = b;
+      std::set<Symbol> batch_heads;
+      while (e < tasks.size()) {
+        const RuleTask& task = tasks[e];
+        const CompiledRule& c = compiled_.at(task.rule);
+        bool reads_batch_head = false;
+        for (const Step& s : c.steps()) {
+          if (s.kind != Step::Kind::kScanProbe &&
+              s.kind != Step::Kind::kNegCheck) {
+            continue;
+          }
+          if (s.pred == task.delta_pred &&
+              s.occurrence == task.delta_occurrence) {
+            continue;  // reads the frozen delta, not the head relation
+          }
+          if (batch_heads.count(s.pred) > 0) {
+            reads_batch_head = true;
+            break;
+          }
+        }
+        if (reads_batch_head) break;
+        batch_heads.insert(c.head_predicate());
+        ++e;
+      }
+      RunTaskBatch({tasks.begin() + b, tasks.begin() + e}, delta, next);
+      b = e;
+    }
+  }
+
+  /// Executes one batch of mutually independent tasks: a read-only join
+  /// fan-out (every index the plans touch is pre-built, and derivations
+  /// go to per-(task, partition) buffers), then a serial merge in (task,
+  /// partition) order. The merge order equals the serial engine's
+  /// derivation order, so relation contents, insertion order, provenance,
+  /// and stats are bit-identical to num_threads == 1. Returns the number
+  /// of novel tuples.
+  size_t RunTaskBatch(const std::vector<RuleTask>& tasks,
+                      std::map<Symbol, Relation>* delta,
+                      std::map<Symbol, Relation>* next) {
+    struct Item {
+      size_t task;
+      size_t part;
+    };
+    struct TaskState {
+      const CompiledRule* rule = nullptr;
+      const Relation* head_rel = nullptr;
+      RelationResolver resolver;
+      size_t parts = 1;
+      std::vector<std::vector<Tuple>> derived;
+      std::vector<std::vector<Justification>> just;
+      std::vector<uint64_t> firings;
+    };
+    const bool track = options_.provenance != nullptr;
+    const size_t lanes = pool_ != nullptr ? pool_->parallelism() : 1;
+
+    std::vector<TaskState> states(tasks.size());
+    std::vector<Item> items;
+    for (size_t t = 0; t < tasks.size(); ++t) {
+      const RuleTask& task = tasks[t];
+      TaskState& st = states[t];
+      st.rule = &compiled_.at(task.rule);
+      st.head_rel = db_->Find(st.rule->head_predicate());
+      st.resolver = MakeResolver(task, delta);
+      // Pre-build every index the plan probes so the fan-out below only
+      // reads relation state. Unconditional (also on the serial path) so
+      // index_builds is identical across thread counts.
+      size_t driver_rows = PrepareIndexes(*st.rule, st.resolver);
+      st.parts =
+          lanes <= 1
+              ? 1
+              : std::min(lanes, std::max<size_t>(
+                                    1, driver_rows / kMinRowsPerPartition));
+      st.derived.resize(st.parts);
+      st.just.resize(st.parts);
+      st.firings.assign(st.parts, 0);
+      for (size_t p = 0; p < st.parts; ++p) items.push_back({t, p});
+    }
+
+    auto run_item = [&](const Item& item) {
+      TaskState& st = states[item.task];
+      const CompiledRule& c = *st.rule;
+      std::vector<Tuple>& derived = st.derived[item.part];
+      std::vector<Justification>& just = st.just[item.part];
+      uint64_t& firings = st.firings[item.part];
+      // Derivations already present in the head relation would be dropped
+      // by the merge anyway (the head is frozen for the whole batch), as
+      // would repeats within this partition; filtering here keeps the
+      // serial merge phase small. Neither filter can change results: the
+      // first surviving occurrence in (task, partition, position) order
+      // is exactly the tuple the serial engine would have inserted.
+      std::unordered_set<Tuple, TupleHash> seen;
+      c.ExecutePartition(
+          st.resolver,
+          [&](const std::vector<Value>& slots) {
+            ++firings;
+            Tuple t = c.EmitHead(slots);
+            if (st.head_rel->Contains(t)) return;
+            if (!seen.insert(t).second) return;
+            derived.push_back(std::move(t));
+            if (track) {
+              Justification j;
+              j.rule_index = tasks[item.task].rule;
+              j.premises = c.Premises(slots);
+              just.push_back(std::move(j));
+            }
+          },
+          item.part, st.parts);
+    };
+    if (pool_ != nullptr && items.size() > 1) {
+      pool_->ParallelFor(items.size(),
+                         [&](unsigned, size_t k) { run_item(items[k]); });
+    } else {
+      for (const Item& item : items) run_item(item);
+    }
+
+    // Merge in (task, partition) order — the serial derivation order.
+    size_t added = 0;
+    for (size_t t = 0; t < tasks.size(); ++t) {
+      TaskState& st = states[t];
+      const CompiledRule& c = *st.rule;
+      Relation* head_rel = db_->FindMutable(c.head_predicate());
+      Relation* next_rel = nullptr;
+      if (next != nullptr) {
+        auto it = next->find(c.head_predicate());
+        if (it != next->end()) next_rel = &it->second;
+      }
+      for (size_t p = 0; p < st.parts; ++p) {
+        stats_.rule_firings += st.firings[p];
+        std::vector<Tuple>& derived = st.derived[p];
+        std::vector<Justification>& just = st.just[p];
+        for (size_t k = 0; k < derived.size(); ++k) {
+          Tuple& tup = derived[k];
+          // When no delta copy is needed the tuple moves straight into the
+          // head relation; otherwise it stays alive for the delta insert.
+          bool novel = next_rel != nullptr ? head_rel->Insert(tup)
+                                           : head_rel->Insert(std::move(tup));
+          if (!novel) continue;
+          ++added;
+          ++stats_.tuples_derived;
+          if (track) {
+            options_.provenance->Record(c.head_predicate(),
+                                        head_rel->rows().back(),
+                                        std::move(just[k]));
+          }
+          if (next_rel != nullptr) next_rel->Insert(std::move(tup));
+        }
+      }
+    }
+    return added;
+  }
+
+  /// Single-task convenience wrapper around RunTaskBatch.
   size_t RunRuleOnce(int i, Symbol delta_pred, int delta_occurrence,
                      std::map<Symbol, Relation>* delta,
                      std::map<Symbol, Relation>* next) {
-    const CompiledRule& c = compiled_.at(i);
-    Relation* head_rel = db_->FindMutable(c.head_predicate());
-    size_t added = 0;
-    RelationResolver resolver = [&](Symbol pred,
-                                    int occurrence) -> const Relation* {
-      if (pred == delta_pred && occurrence == delta_occurrence &&
-          delta != nullptr) {
+    return RunTaskBatch({{i, delta_pred, delta_occurrence}}, delta, next);
+  }
+
+  /// Resolves relations for one task: the designated delta occurrence
+  /// reads the delta relation, everything else the database.
+  RelationResolver MakeResolver(const RuleTask& task,
+                                std::map<Symbol, Relation>* delta) {
+    const Symbol dp = task.delta_pred;
+    const int docc = task.delta_occurrence;
+    return [this, dp, docc, delta](Symbol pred,
+                                   int occurrence) -> const Relation* {
+      if (pred == dp && occurrence == docc && delta != nullptr) {
         auto it = delta->find(pred);
         return it == delta->end() ? nullptr : &it->second;
       }
       return Resolve(pred);
     };
-    // Buffer derivations: inserting into the head relation while a step is
-    // iterating it (recursive rules read and write the same relation)
-    // would invalidate the rows/index storage being walked.
-    std::vector<Tuple> derived;
-    std::vector<Justification> just;
-    const bool track = options_.provenance != nullptr;
-    c.Execute(resolver, [&](const std::vector<Value>& slots) {
-      ++stats_.rule_firings;
-      derived.push_back(c.EmitHead(slots));
-      if (track) {
-        Justification j;
-        j.rule_index = i;
-        j.premises = c.Premises(slots);
-        just.push_back(std::move(j));
+  }
+
+  /// Builds every hash index the plan will probe and returns the row
+  /// count of the plan's driver relation (0 when there is none).
+  size_t PrepareIndexes(const CompiledRule& c,
+                        const RelationResolver& resolver) {
+    for (const Step& s : c.steps()) {
+      if (s.kind != Step::Kind::kScanProbe &&
+          s.kind != Step::Kind::kNegCheck) {
+        continue;
       }
-    });
-    for (size_t k = 0; k < derived.size(); ++k) {
-      Tuple& t = derived[k];
-      if (head_rel->Insert(t)) {
-        ++added;
-        ++stats_.tuples_derived;
-        if (track) {
-          options_.provenance->Record(c.head_predicate(), t,
-                                      std::move(just[k]));
-        }
-        if (next != nullptr) {
-          auto it = next->find(c.head_predicate());
-          if (it != next->end()) it->second.Insert(std::move(t));
-        }
-      }
+      if (s.probe_cols.empty()) continue;
+      const Relation* rel = resolver(s.pred, s.occurrence);
+      if (rel != nullptr && !rel->empty()) rel->BuildIndex(s.probe_cols);
     }
-    return added;
+    const Step* d = c.driver();
+    if (d == nullptr) return 0;
+    const Relation* rel = resolver(d->pred, d->occurrence);
+    return rel == nullptr ? 0 : rel->size();
+  }
+
+  void AbsorbIndexStats(const Relation& r) {
+    stats_.index_builds += r.index_builds();
+    stats_.index_appends += r.index_appends();
   }
 
   Status RunAggregateRule(int i) {
@@ -341,6 +547,8 @@ class Engine {
   EvalOptions options_;
   EvalStats stats_;
   std::map<int, CompiledRule> compiled_;
+  // Worker lanes shared by every batch of this run; null on the serial path.
+  std::unique_ptr<exec::ThreadPool> pool_;
 };
 
 }  // namespace

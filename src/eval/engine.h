@@ -40,6 +40,13 @@ struct EvalOptions {
   bool cardinality_join_ordering = true;
   /// Safety valve for runaway recursion in tests; 0 = unlimited.
   uint64_t max_iterations = 0;
+  /// Worker lanes for rule execution: 1 (default) is the serial path, 0
+  /// resolves to hardware concurrency, N > 1 uses N lanes. Join plans
+  /// partition their driver relation across lanes with per-partition
+  /// derivation buffers merged in partition order, so relation contents,
+  /// insertion order, provenance, and stats are bit-identical across all
+  /// settings.
+  unsigned num_threads = 1;
 };
 
 /// \brief Counters reported by an evaluation.
@@ -48,6 +55,8 @@ struct EvalStats {
   uint64_t rule_firings = 0;    ///< satisfying assignments enumerated
   uint64_t tuples_derived = 0;  ///< novel tuples inserted into IDBs
   uint64_t strata = 0;
+  uint64_t index_builds = 0;    ///< full hash-index builds across relations
+  uint64_t index_appends = 0;   ///< incremental index row appends
 };
 
 /// \brief Evaluates `prog` against `db` (checking arity consistency,

@@ -1,0 +1,80 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+
+namespace graphlog::exec {
+
+unsigned ThreadPool::ResolveParallelism(unsigned requested) {
+  if (requested != 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned parallelism)
+    : parallelism_(std::max(1u, parallelism)) {
+  workers_.reserve(parallelism_ - 1);
+  for (unsigned w = 1; w < parallelism_; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::RunBatch(unsigned worker) {
+  const size_t n = batch_n_;
+  const auto* fn = batch_fn_;
+  while (true) {
+    size_t i = batch_next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) break;
+    (*fn)(worker, i);
+  }
+}
+
+void ThreadPool::WorkerLoop(unsigned worker) {
+  uint64_t seen_epoch = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return shutdown_ || batch_epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = batch_epoch_;
+    }
+    RunBatch(worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--workers_busy_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(
+    size_t n, const std::function<void(unsigned, size_t)>& fn) {
+  if (n == 0) return;
+  if (parallelism_ == 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(0, i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_fn_ = &fn;
+    batch_n_ = n;
+    batch_next_.store(0, std::memory_order_relaxed);
+    workers_busy_ = parallelism_ - 1;
+    ++batch_epoch_;
+  }
+  work_cv_.notify_all();
+  RunBatch(0);  // the calling thread is lane 0
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return workers_busy_ == 0; });
+  batch_fn_ = nullptr;
+}
+
+}  // namespace graphlog::exec

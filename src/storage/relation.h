@@ -1,13 +1,30 @@
-// Relation: a deduplicated set of tuples with lazy hash indexes.
+// Relation: a deduplicated set of tuples with incrementally maintained
+// hash indexes.
 //
 // Relations preserve insertion order for deterministic iteration, maintain
 // a hash set for O(1) duplicate elimination and membership tests, and build
-// hash indexes over column subsets on demand (invalidated on insert).
+// hash indexes over column subsets on demand. Once built, an index is kept
+// current incrementally: Insert appends the new row id to the matching
+// posting list of every built index instead of discarding them, so a
+// fixpoint loop that alternates inserts and probes pays O(new rows) per
+// round instead of O(relation) index rebuilds.
+//
+// Invalidation contract: Probe returns a ProbeResult view into an index
+// posting list. The view is valid until the next structural change of the
+// relation — any successful Insert/InsertAll (the posting list may grow
+// and reallocate), Clear, or DropIndexes. Using a stale view is undefined
+// behavior; each access asserts validity in debug builds, and valid() can
+// be queried in any build. Relations are not internally synchronized:
+// concurrent const access (Probe on already-built indexes, Contains,
+// rows) is safe, concurrent mutation is not — parallel evaluation
+// pre-builds indexes with BuildIndex and keeps the fan-out read-only.
 
 #ifndef GRAPHLOG_STORAGE_RELATION_H_
 #define GRAPHLOG_STORAGE_RELATION_H_
 
 #include <algorithm>
+#include <cassert>
+#include <cstdint>
 #include <map>
 #include <unordered_map>
 #include <unordered_set>
@@ -19,6 +36,55 @@
 
 namespace graphlog::storage {
 
+class Relation;
+
+/// \brief View over the row indices matching a Probe().
+///
+/// Holds the relation's structure generation at probe time; any later
+/// structural change (insert, clear, index drop) invalidates the view.
+/// Accessors assert validity in debug builds.
+class ProbeResult {
+ public:
+  ProbeResult() = default;
+
+  /// \brief True while the underlying relation is structurally unchanged
+  /// since this result was probed.
+  bool valid() const;
+
+  size_t size() const {
+    CheckValid();
+    return hits_ == nullptr ? 0 : hits_->size();
+  }
+  bool empty() const { return size() == 0; }
+  const uint32_t* begin() const {
+    CheckValid();
+    return hits_ == nullptr ? nullptr : hits_->data();
+  }
+  const uint32_t* end() const {
+    CheckValid();
+    return hits_ == nullptr ? nullptr : hits_->data() + hits_->size();
+  }
+  uint32_t operator[](size_t i) const {
+    CheckValid();
+    return (*hits_)[i];
+  }
+
+ private:
+  friend class Relation;
+  ProbeResult(const std::vector<uint32_t>* hits, const Relation* rel,
+              uint64_t generation)
+      : hits_(hits), rel_(rel), generation_(generation) {}
+
+  void CheckValid() const {
+    assert(valid() && "ProbeResult used after a structural change of the "
+                      "relation (insert/clear/index drop)");
+  }
+
+  const std::vector<uint32_t>* hits_ = nullptr;  // nullptr: no matches
+  const Relation* rel_ = nullptr;                // nullptr: detached view
+  uint64_t generation_ = 0;
+};
+
 /// \brief A set of same-arity tuples.
 class Relation {
  public:
@@ -28,24 +94,32 @@ class Relation {
   size_t size() const { return rows_.size(); }
   bool empty() const { return rows_.empty(); }
 
-  /// \brief Inserts `t`; returns true when the tuple is new.
+  /// \brief Inserts `t`; returns true when the tuple is new. Appends the
+  /// new row to every built index; invalidates outstanding ProbeResults.
   /// The tuple's size must equal arity().
   bool Insert(Tuple t) {
-    if (set_.insert(t).second) {
-      rows_.push_back(std::move(t));
-      indexes_.clear();
-      return true;
-    }
-    return false;
+    if (!set_.insert(t).second) return false;
+    const uint32_t row_id = static_cast<uint32_t>(rows_.size());
+    rows_.push_back(std::move(t));
+    AppendToIndexes(rows_.back(), row_id);
+    ++generation_;
+    return true;
   }
 
   /// \brief Inserts every tuple of `other`; returns the number actually new.
   size_t InsertAll(const Relation& other) {
+    Reserve(rows_.size() + other.size());
     size_t added = 0;
     for (const Tuple& t : other.rows_) {
       if (Insert(t)) ++added;
     }
     return added;
+  }
+
+  /// \brief Pre-sizes the row store and dedup set for `n` total tuples.
+  void Reserve(size_t n) {
+    rows_.reserve(n);
+    set_.reserve(n);
   }
 
   bool Contains(const Tuple& t) const { return set_.count(t) > 0; }
@@ -65,18 +139,36 @@ class Relation {
     rows_.clear();
     set_.clear();
     indexes_.clear();
+    ++generation_;
+  }
+
+  /// \brief Discards every built index (releases memory; the next Probe
+  /// over a column set rebuilds from scratch). Invalidates outstanding
+  /// ProbeResults.
+  void DropIndexes() const {
+    indexes_.clear();
+    ++generation_;
   }
 
   /// \brief Row indices whose values at `cols` equal `key` (parallel
-  /// vectors). Builds a hash index over `cols` on first use.
+  /// vectors). Builds a hash index over `cols` on first use; the index is
+  /// maintained incrementally by subsequent inserts.
   ///
-  /// `cols` must be strictly increasing column positions < arity().
-  const std::vector<uint32_t>& Probe(const std::vector<uint32_t>& cols,
-                                     const Tuple& key) const {
-    static const std::vector<uint32_t> kEmpty;
-    auto& index = EnsureIndex(cols);
+  /// `cols` must be strictly increasing column positions < arity(). See
+  /// the file comment for the returned view's invalidation contract.
+  ProbeResult Probe(const std::vector<uint32_t>& cols,
+                    const Tuple& key) const {
+    const Index& index = EnsureIndex(cols);
     auto it = index.find(key);
-    return it == index.end() ? kEmpty : it->second;
+    return ProbeResult(it == index.end() ? nullptr : &it->second, this,
+                       generation_);
+  }
+
+  /// \brief Ensures the hash index over `cols` exists without probing it.
+  /// Parallel evaluation pre-builds every index a join plan needs so the
+  /// subsequent multi-threaded Probe()s are pure reads.
+  void BuildIndex(const std::vector<uint32_t>& cols) const {
+    EnsureIndex(cols);
   }
 
   const Tuple& row(uint32_t i) const { return rows_[i]; }
@@ -90,12 +182,23 @@ class Relation {
     return true;
   }
 
+  /// \brief Monotonic counter bumped by every structural change (insert,
+  /// clear, index drop); backs ProbeResult::valid().
+  uint64_t generation() const { return generation_; }
+
+  /// \brief Number of full from-scratch index builds (first Probe over a
+  /// column set).
+  uint64_t index_builds() const { return index_builds_; }
+  /// \brief Number of incremental row appends into already-built indexes.
+  uint64_t index_appends() const { return index_appends_; }
+
  private:
   using Index = std::unordered_map<Tuple, std::vector<uint32_t>, TupleHash>;
 
-  Index& EnsureIndex(const std::vector<uint32_t>& cols) const {
+  const Index& EnsureIndex(const std::vector<uint32_t>& cols) const {
     auto it = indexes_.find(cols);
     if (it != indexes_.end()) return it->second;
+    ++index_builds_;
     Index index;
     index.reserve(rows_.size());
     for (uint32_t i = 0; i < rows_.size(); ++i) {
@@ -107,12 +210,30 @@ class Relation {
     return indexes_.emplace(cols, std::move(index)).first->second;
   }
 
+  void AppendToIndexes(const Tuple& t, uint32_t row_id) {
+    for (auto& [cols, index] : indexes_) {
+      Tuple key;
+      key.reserve(cols.size());
+      for (uint32_t c : cols) key.push_back(t[c]);
+      index[std::move(key)].push_back(row_id);
+      ++index_appends_;
+    }
+  }
+
   size_t arity_;
   std::vector<Tuple> rows_;
   std::unordered_set<Tuple, TupleHash> set_;
-  // Lazily built; cleared on insert. Keyed by the column subset.
+  // Built lazily on first probe, then maintained incrementally on insert.
+  // Keyed by the column subset.
   mutable std::map<std::vector<uint32_t>, Index> indexes_;
+  mutable uint64_t generation_ = 0;
+  mutable uint64_t index_builds_ = 0;
+  uint64_t index_appends_ = 0;
 };
+
+inline bool ProbeResult::valid() const {
+  return rel_ == nullptr || rel_->generation() == generation_;
+}
 
 }  // namespace graphlog::storage
 

@@ -1,9 +1,9 @@
 #include "tc/parallel_tc.h"
 
-#include <atomic>
-#include <thread>
 #include <unordered_map>
 #include <vector>
+
+#include "exec/thread_pool.h"
 
 namespace graphlog::tc {
 
@@ -16,9 +16,7 @@ Result<Relation> ParallelTransitiveClosure(const Relation& edges,
     return Status::InvalidArgument(
         "transitive closure requires a binary relation");
   }
-  if (num_threads == 0) {
-    num_threads = std::max(1u, std::thread::hardware_concurrency());
-  }
+  const unsigned lanes = exec::ThreadPool::ResolveParallelism(num_threads);
 
   // Dense-id adjacency (same layout as the sequential kernels).
   std::unordered_map<Value, uint32_t, ValueHash> ids;
@@ -39,54 +37,49 @@ Result<Relation> ParallelTransitiveClosure(const Relation& edges,
   std::vector<std::vector<uint32_t>> out(n);
   for (auto [u, v] : flat) out[u].push_back(v);
 
-  // Each worker claims sources from a shared counter and accumulates its
-  // closure pairs locally; the merge into one Relation is sequential (the
-  // dedup hash set is not concurrent), but per-source search dominates.
-  std::atomic<uint32_t> next_source{0};
-  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> partials(
-      num_threads);
-
-  auto worker = [&](unsigned wid) {
-    std::vector<bool> seen(n);
-    std::vector<uint32_t> stack;
-    auto& local = partials[wid];
-    while (true) {
-      uint32_t s = next_source.fetch_add(1, std::memory_order_relaxed);
-      if (s >= n) break;
-      std::fill(seen.begin(), seen.end(), false);
+  // One DFS per source, fanned across the pool. Results are keyed by
+  // source, so the merge below runs in source order and the output
+  // relation's insertion order is identical for every thread count.
+  std::vector<std::vector<uint32_t>> reach(n);
+  {
+    exec::ThreadPool pool(lanes);
+    std::vector<std::vector<bool>> seen(pool.parallelism(),
+                                        std::vector<bool>(n));
+    std::vector<std::vector<uint32_t>> stacks(pool.parallelism());
+    pool.ParallelFor(n, [&](unsigned wid, size_t s) {
+      std::vector<bool>& sn = seen[wid];
+      std::vector<uint32_t>& stack = stacks[wid];
+      std::fill(sn.begin(), sn.end(), false);
       stack.clear();
+      std::vector<uint32_t>& local = reach[s];
       for (uint32_t v : out[s]) {
-        if (!seen[v]) {
-          seen[v] = true;
+        if (!sn[v]) {
+          sn[v] = true;
           stack.push_back(v);
-          local.emplace_back(s, v);
+          local.push_back(v);
         }
       }
       while (!stack.empty()) {
         uint32_t u = stack.back();
         stack.pop_back();
         for (uint32_t v : out[u]) {
-          if (!seen[v]) {
-            seen[v] = true;
+          if (!sn[v]) {
+            sn[v] = true;
             stack.push_back(v);
-            local.emplace_back(s, v);
+            local.push_back(v);
           }
         }
       }
-    }
-  };
-
-  std::vector<std::thread> threads;
-  threads.reserve(num_threads);
-  for (unsigned w = 0; w < num_threads; ++w) {
-    threads.emplace_back(worker, w);
+    });
   }
-  for (std::thread& t : threads) t.join();
 
+  size_t total = 0;
+  for (const auto& local : reach) total += local.size();
   Relation tc(2);
-  for (const auto& local : partials) {
-    for (auto [u, v] : local) {
-      tc.Insert(Tuple{values[u], values[v]});
+  tc.Reserve(total);
+  for (uint32_t s = 0; s < n; ++s) {
+    for (uint32_t v : reach[s]) {
+      tc.Insert(Tuple{values[s], values[v]});
     }
   }
   return tc;

@@ -16,8 +16,10 @@
 namespace graphlog::tc {
 
 /// \brief Computes the positive transitive closure of binary `edges`
-/// with `num_threads` workers (0 = hardware concurrency). Results are
-/// identical to TransitiveClosure(); only wall-clock differs.
+/// with `num_threads` workers (0 = hardware concurrency) on the shared
+/// exec::ThreadPool. Per-source results are merged in source order, so
+/// the output relation — contents *and* insertion order — is identical
+/// for every thread count; only wall-clock differs.
 Result<storage::Relation> ParallelTransitiveClosure(
     const storage::Relation& edges, unsigned num_threads = 0);
 

@@ -39,7 +39,7 @@ TEST(RelationTest, ProbeSingleColumn) {
   r.Insert({Value::Int(1), Value::Int(10)});
   r.Insert({Value::Int(1), Value::Int(11)});
   r.Insert({Value::Int(2), Value::Int(20)});
-  auto& hits = r.Probe({0}, {Value::Int(1)});
+  ProbeResult hits = r.Probe({0}, {Value::Int(1)});
   EXPECT_EQ(hits.size(), 2u);
   EXPECT_TRUE(r.Probe({0}, {Value::Int(3)}).empty());
 }
@@ -48,18 +48,113 @@ TEST(RelationTest, ProbeMultiColumn) {
   Relation r(3);
   r.Insert({Value::Int(1), Value::Int(2), Value::Int(3)});
   r.Insert({Value::Int(1), Value::Int(9), Value::Int(3)});
-  auto& hits = r.Probe({0, 2}, {Value::Int(1), Value::Int(3)});
+  ProbeResult hits = r.Probe({0, 2}, {Value::Int(1), Value::Int(3)});
   EXPECT_EQ(hits.size(), 2u);
-  auto& one = r.Probe({0, 1}, {Value::Int(1), Value::Int(2)});
+  ProbeResult one = r.Probe({0, 1}, {Value::Int(1), Value::Int(2)});
   EXPECT_EQ(one.size(), 1u);
 }
 
-TEST(RelationTest, IndexInvalidatedByInsert) {
+TEST(RelationTest, IndexMaintainedAcrossInserts) {
   Relation r(2);
   r.Insert({Value::Int(1), Value::Int(2)});
   EXPECT_EQ(r.Probe({0}, {Value::Int(1)}).size(), 1u);
   r.Insert({Value::Int(1), Value::Int(3)});
   EXPECT_EQ(r.Probe({0}, {Value::Int(1)}).size(), 2u);
+}
+
+TEST(RelationTest, InterleavedInsertProbeStaysConsistent) {
+  // Fixpoint-style usage: alternate inserts and probes and check the
+  // incrementally maintained index against the ground truth every round.
+  Relation r(2);
+  for (int i = 0; i < 200; ++i) {
+    r.Insert({Value::Int(i % 7), Value::Int(i)});
+    ProbeResult hits = r.Probe({0}, {Value::Int(i % 7)});
+    size_t expect = 0;
+    for (const Tuple& t : r.rows()) {
+      if (t[0] == Value::Int(i % 7)) ++expect;
+    }
+    ASSERT_EQ(hits.size(), expect) << "after insert " << i;
+    for (uint32_t id : hits) {
+      ASSERT_EQ(r.row(id)[0], Value::Int(i % 7));
+    }
+  }
+  // Exactly one build of the {0} index; everything after was an append.
+  EXPECT_EQ(r.index_builds(), 1u);
+  EXPECT_GT(r.index_appends(), 0u);
+}
+
+TEST(RelationTest, DuplicateInsertDoesNotTouchIndexes) {
+  Relation r(1);
+  r.Insert({Value::Int(1)});
+  r.Probe({0}, {Value::Int(1)});  // build the index
+  const uint64_t gen = r.generation();
+  const uint64_t appends = r.index_appends();
+  EXPECT_FALSE(r.Insert({Value::Int(1)}));
+  EXPECT_EQ(r.generation(), gen);
+  EXPECT_EQ(r.index_appends(), appends);
+}
+
+TEST(RelationTest, MultipleIndexesAllMaintained) {
+  Relation r(2);
+  r.Insert({Value::Int(1), Value::Int(10)});
+  r.Probe({0}, {Value::Int(1)});
+  r.Probe({1}, {Value::Int(10)});
+  r.Probe({0, 1}, {Value::Int(1), Value::Int(10)});
+  EXPECT_EQ(r.index_builds(), 3u);
+  r.Insert({Value::Int(1), Value::Int(11)});
+  EXPECT_EQ(r.Probe({0}, {Value::Int(1)}).size(), 2u);
+  EXPECT_EQ(r.Probe({1}, {Value::Int(11)}).size(), 1u);
+  EXPECT_EQ(r.Probe({0, 1}, {Value::Int(1), Value::Int(11)}).size(), 1u);
+  // One append per built index for the one new row.
+  EXPECT_EQ(r.index_appends(), 3u);
+  EXPECT_EQ(r.index_builds(), 3u);  // no rebuilds
+}
+
+TEST(ProbeResultTest, InvalidatedByInsert) {
+  Relation r(1);
+  r.Insert({Value::Int(1)});
+  ProbeResult hits = r.Probe({0}, {Value::Int(1)});
+  EXPECT_TRUE(hits.valid());
+  r.Insert({Value::Int(2)});
+  EXPECT_FALSE(hits.valid());
+}
+
+TEST(ProbeResultTest, DuplicateInsertKeepsViewValid) {
+  Relation r(1);
+  r.Insert({Value::Int(1)});
+  ProbeResult hits = r.Probe({0}, {Value::Int(1)});
+  EXPECT_FALSE(r.Insert({Value::Int(1)}));  // no structural change
+  EXPECT_TRUE(hits.valid());
+  EXPECT_EQ(hits.size(), 1u);
+}
+
+TEST(ProbeResultTest, InvalidatedByClearAndDropIndexes) {
+  Relation r(1);
+  r.Insert({Value::Int(1)});
+  ProbeResult a = r.Probe({0}, {Value::Int(1)});
+  r.DropIndexes();
+  EXPECT_FALSE(a.valid());
+  ProbeResult b = r.Probe({0}, {Value::Int(1)});
+  EXPECT_TRUE(b.valid());
+  r.Clear();
+  EXPECT_FALSE(b.valid());
+}
+
+TEST(ProbeResultTest, DefaultConstructedIsValidAndEmpty) {
+  ProbeResult p;
+  EXPECT_TRUE(p.valid());
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.begin(), p.end());
+}
+
+TEST(RelationTest, DropIndexesForcesRebuild) {
+  Relation r(2);
+  r.Insert({Value::Int(1), Value::Int(2)});
+  r.Probe({0}, {Value::Int(1)});
+  EXPECT_EQ(r.index_builds(), 1u);
+  r.DropIndexes();
+  EXPECT_EQ(r.Probe({0}, {Value::Int(1)}).size(), 1u);
+  EXPECT_EQ(r.index_builds(), 2u);
 }
 
 TEST(RelationTest, SetEquals) {
