@@ -6,6 +6,8 @@
 #                             nonlinear transitive closure, plus the
 #                             incremental-vs-rebuild index maintenance ablation
 #   BENCH_parallel_tc.json    per-source-parallel TC kernel ablation
+#   BENCH_observability.json  tracing-overhead ablation (tracing off vs on,
+#                             plus explain-only planning cost)
 #
 # Usage: bench/run_benches.sh [BUILD_DIR] [OUT_DIR]
 # Defaults: BUILD_DIR = ./build, OUT_DIR = BUILD_DIR.
@@ -37,6 +39,8 @@ run() {
 
 run bench_parallel_eval BENCH_parallel_eval.json
 run bench_parallel_tc BENCH_parallel_tc.json
+run bench_observability BENCH_observability.json
 
 echo "wrote ${OUT_DIR}/BENCH_parallel_eval.json"
 echo "wrote ${OUT_DIR}/BENCH_parallel_tc.json"
+echo "wrote ${OUT_DIR}/BENCH_observability.json"

@@ -20,6 +20,8 @@
 //   .show REL | .relations     inspect state
 //   .dot | .dotquery NAME{...} export DOT (database / query graph)
 //   .rpq [SRC [DST]] EXPR      automaton-product RPQ over the data graph
+//   .explain NAME { ... }      show translation + plans without evaluating
+//   .trace [on|off|json]       toggle tracing / print the last trace
 //   .help | .quit
 //
 // Reads from stdin, so it is scriptable: `graphlog_shell < script.glog`.
@@ -31,13 +33,12 @@
 #include <string>
 
 #include "common/strings.h"
-#include "datalog/parser.h"
-#include "eval/engine.h"
 #include "eval/provenance.h"
 #include "graph/data_graph.h"
+#include "graphlog/api.h"
 #include "graphlog/dot.h"
-#include "graphlog/engine.h"
 #include "graphlog/parser.h"
+#include "obs/trace.h"
 #include "rpq/rpq_eval.h"
 #include "storage/database.h"
 #include "storage/io.h"
@@ -59,6 +60,11 @@ void PrintHelp() {
       "  .dot                     DOT of the database graph\n"
       "  .dotquery QUERY          DOT of a query graph (visual formalism)\n"
       "  .rpq [SRC [DST]] EXPR    run a regular path query\n"
+      "  .explain QUERY           translated rules, strata, and join plans\n"
+      "                           of a query, without evaluating it\n"
+      "  .trace on|off            enable/disable tracing of evaluations\n"
+      "  .trace                   print the last evaluation's trace tree\n"
+      "  .trace json              print the last trace as JSON\n"
       "  .why FACT                derivation tree of a fact from the most\n"
       "                           recent query/.datalog evaluation\n"
       "  .threads [N]             show or set evaluation worker lanes\n"
@@ -169,7 +175,7 @@ class Shell {
     }
     if (line == ".threads" || StartsWith(line, ".threads ")) {
       if (line == ".threads") {
-        std::printf("num_threads = %u\n", num_threads_);
+        std::printf("num_threads = %u\n", opts_.eval.num_threads);
         return;
       }
       std::string arg(Trim(line.substr(9)));
@@ -181,24 +187,37 @@ class Shell {
             "usage: .threads [N]   (1 = serial, 0 = hardware, max 9999)\n");
         return;
       }
-      num_threads_ = static_cast<unsigned>(std::strtoul(arg.c_str(),
-                                                        nullptr, 10));
-      std::printf("num_threads = %u\n", num_threads_);
+      opts_.eval.num_threads =
+          static_cast<unsigned>(std::strtoul(arg.c_str(), nullptr, 10));
+      std::printf("num_threads = %u\n", opts_.eval.num_threads);
+      return;
+    }
+    if (line == ".trace" || StartsWith(line, ".trace ")) {
+      HandleTrace(line == ".trace" ? "" : std::string(Trim(line.substr(7))));
+      return;
+    }
+    if (StartsWith(line, ".explain ")) {
+      std::string text = line.substr(9);
+      if (!BlockComplete(text)) {
+        pending_explain_ = true;
+        pending_ = text;
+        return;
+      }
+      Explain(text);
       return;
     }
     if (StartsWith(line, ".datalog ")) {
-      auto prog = datalog::ParseProgram(line.substr(9), &db_.symbols());
-      if (!prog.ok()) {
-        std::printf("error: %s\n", prog.status().ToString().c_str());
-        return;
-      }
       last_store_ = eval::ProvenanceStore();
-      last_program_ = *prog;
-      eval::EvalOptions opts;
-      opts.provenance = &last_store_;
-      opts.num_threads = num_threads_;
-      auto r = eval::Evaluate(*prog, &db_, opts);
-      Report(r.status(), r.ok() ? r->tuples_derived : 0, "tuples derived");
+      QueryRequest req = QueryRequest::Datalog(line.substr(9));
+      req.options = opts_;
+      req.options.eval.provenance = &last_store_;
+      auto r = graphlog::Run(req, &db_);
+      if (r.ok()) {
+        last_program_ = r->stats.programs;
+        last_trace_ = std::move(r->trace);
+      }
+      Report(r.status(), r.ok() ? r->stats.datalog.tuples_derived : 0,
+             "tuples derived");
       return;
     }
     if (StartsWith(line, ".why ")) {
@@ -237,26 +256,67 @@ class Shell {
       DotQuery(text);
       return;
     }
-    auto q = gl::ParseGraphicalQuery(text, &db_.symbols());
-    if (!q.ok()) {
-      std::printf("error: %s\n", q.status().ToString().c_str());
+    if (pending_explain_) {
+      pending_explain_ = false;
+      Explain(text);
       return;
     }
     last_store_ = eval::ProvenanceStore();
-    gl::GraphLogOptions opts;
-    opts.eval.provenance = &last_store_;
-    opts.eval.num_threads = num_threads_;
-    auto r = gl::EvaluateGraphicalQuery(*q, &db_, opts);
+    QueryRequest req = QueryRequest::GraphLog(text);
+    req.options = opts_;
+    req.options.eval.provenance = &last_store_;
+    auto r = graphlog::Run(req, &db_);
     if (!r.ok()) {
       std::printf("error: %s\n", r.status().ToString().c_str());
       return;
     }
-    last_program_ = r->programs;
+    last_program_ = r->stats.programs;
+    last_trace_ = std::move(r->trace);
+    const gl::QueryStats& stats = r->stats;
     std::printf("%llu tuples derived (%llu graphs translated, %llu "
                 "summarized)\n",
-                static_cast<unsigned long long>(r->datalog.tuples_derived),
-                static_cast<unsigned long long>(r->graphs_translated),
-                static_cast<unsigned long long>(r->graphs_summarized));
+                static_cast<unsigned long long>(stats.datalog.tuples_derived),
+                static_cast<unsigned long long>(stats.graphs_translated),
+                static_cast<unsigned long long>(stats.graphs_summarized));
+  }
+
+  void Explain(const std::string& text) {
+    QueryRequest req = QueryRequest::GraphLog(text);
+    req.options = opts_;
+    req.options.observability.explain = true;
+    req.options.observability.explain_only = true;
+    auto r = graphlog::Run(req, &db_);
+    if (!r.ok()) {
+      std::printf("error: %s\n", r.status().ToString().c_str());
+      return;
+    }
+    std::printf("%s", r->explain.c_str());
+  }
+
+  void HandleTrace(const std::string& arg) {
+    if (arg == "on") {
+      opts_.observability.tracing = true;
+      std::printf("tracing on\n");
+      return;
+    }
+    if (arg == "off") {
+      opts_.observability.tracing = false;
+      std::printf("tracing off\n");
+      return;
+    }
+    if (!arg.empty() && arg != "json") {
+      std::printf("usage: .trace [on|off|json]\n");
+      return;
+    }
+    if (last_trace_.spans.empty() && last_trace_.metrics.empty()) {
+      std::printf("no trace recorded; .trace on, then run a query\n");
+      return;
+    }
+    if (arg == "json") {
+      std::printf("%s\n", last_trace_.ToJson().c_str());
+    } else {
+      std::printf("%s", last_trace_.ToText().c_str());
+    }
   }
 
   void DotQuery(const std::string& text) {
@@ -303,7 +363,10 @@ class Shell {
       }
     }
     graph::DataGraph g = graph::DataGraph::FromDatabase(db_);
+    obs::Tracer tracer;
+    if (opts_.observability.tracing) opts.tracer = &tracer;
     auto r = rpq::EvalRpqText(g, expr, &db_.symbols(), opts);
+    if (opts_.observability.tracing) last_trace_ = tracer.TakeReport();
     if (!r.ok()) {
       std::printf("error: %s\n", r.status().ToString().c_str());
       return;
@@ -326,9 +389,13 @@ class Shell {
   storage::Database db_;
   std::string pending_;
   bool pending_dotquery_ = false;
+  bool pending_explain_ = false;
   bool done_ = false;
-  // Worker lanes for .datalog and query evaluation (eval::EvalOptions).
-  unsigned num_threads_ = 1;
+  // Session-wide options for query/.datalog evaluation: worker lanes
+  // (.threads) and tracing (.trace on|off) both live here.
+  QueryOptions opts_;
+  // Trace of the most recent traced evaluation (.trace / .trace json).
+  obs::TraceReport last_trace_;
   // Provenance of the most recent query/.datalog evaluation (.why).
   eval::ProvenanceStore last_store_;
   datalog::Program last_program_;

@@ -10,7 +10,7 @@
 #include <cstdio>
 
 #include "graph/data_graph.h"
-#include "graphlog/engine.h"
+#include "graphlog/api.h"
 #include "graphlog/parser.h"
 #include "graphlog/translate.h"
 #include "storage/database.h"
@@ -63,24 +63,33 @@ int main() {
   std::printf("\n=== lambda translation to stratified Datalog ===\n%s",
               translation->program.ToString(db.symbols()).c_str());
 
-  // 4. Evaluate and print the answers.
-  auto stats = gl::EvaluateGraphicalQuery(*parsed, &db);
-  if (!stats.ok()) {
+  // 4. Evaluate through the unified API, with tracing on: one
+  //    QueryRequest in, one QueryResponse (stats + trace) out.
+  QueryRequest req = QueryRequest::Graphical(*parsed);
+  req.options.observability.tracing = true;
+  auto resp = Run(req, &db);
+  if (!resp.ok()) {
     std::fprintf(stderr, "evaluation failed: %s\n",
-                 stats.status().ToString().c_str());
+                 resp.status().ToString().c_str());
     return 1;
   }
   std::printf("\n=== Results ===\n");
   std::printf("%s", db.RelationToString(db.Intern("feasible")).c_str());
   std::printf("%s",
               db.RelationToString(db.Intern("stop-connected")).c_str());
+  const gl::QueryStats& stats = resp->stats;
   std::printf(
       "\n(%llu tuples derived, %llu rule firings, %llu fixpoint rounds)\n",
-      static_cast<unsigned long long>(stats->datalog.tuples_derived),
-      static_cast<unsigned long long>(stats->datalog.rule_firings),
-      static_cast<unsigned long long>(stats->datalog.iterations));
+      static_cast<unsigned long long>(stats.datalog.tuples_derived),
+      static_cast<unsigned long long>(stats.datalog.rule_firings),
+      static_cast<unsigned long long>(stats.datalog.iterations));
 
-  // 5. DOT rendering of the database graph (the prototype's display
+  // 5. The trace: a span tree of the whole pipeline (parse, translate,
+  //    stratify, per-stratum fixpoint rounds) plus run-level counters.
+  std::printf("\n=== Trace (.trace in the shell; ToJson() for export) ===\n%s",
+              resp->trace.ToText().c_str());
+
+  // 6. DOT rendering of the database graph (the prototype's display
   //    window, Section 5).
   graph::DataGraph g = graph::DataGraph::FromDatabase(db);
   graph::DotOptions dot_opts;

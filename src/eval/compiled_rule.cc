@@ -490,4 +490,44 @@ std::vector<int> CompiledRule::OccurrencesOf(Symbol p) const {
   return out;
 }
 
+std::string CompiledRule::PlanToString(const SymbolTable& syms) const {
+  std::string out = syms.name(head_predicate_) + " <-";
+  bool first = true;
+  for (const Step& s : steps_) {
+    out += first ? " " : " ; ";
+    first = false;
+    switch (s.kind) {
+      case Step::Kind::kScanProbe: {
+        if (s.probe_cols.empty()) {
+          out += "scan " + syms.name(s.pred);
+        } else {
+          out += "probe " + syms.name(s.pred) + "(";
+          for (size_t i = 0; i < s.probe_cols.size(); ++i) {
+            if (i > 0) out += ",";
+            out += std::to_string(s.probe_cols[i]);
+          }
+          out += ")";
+        }
+        if (driver() == &s) out += " [driver]";
+        break;
+      }
+      case Step::Kind::kNegCheck:
+        out += "antijoin !" + syms.name(s.pred);
+        break;
+      case Step::Kind::kCompare:
+        out += "filter ";
+        out += datalog::CmpOpToString(s.cmp);
+        break;
+      case Step::Kind::kEqBind:
+        out += "bind s" + std::to_string(s.bind_slot);
+        break;
+      case Step::Kind::kAssign:
+        out += s.target_bound ? "check s" : "assign s";
+        out += std::to_string(s.target_slot);
+        break;
+    }
+  }
+  return out;
+}
+
 }  // namespace graphlog::eval

@@ -185,6 +185,11 @@ class CompiledRule {
     return driver_step_ < 0 ? nullptr : &steps_[driver_step_];
   }
 
+  /// \brief One-line description of the chosen join plan, in step order
+  /// (scan/probe with probed columns, anti-joins, filters, binds). Used by
+  /// EXPLAIN and by the per-stratum trace notes.
+  std::string PlanToString(const SymbolTable& syms) const;
+
  private:
   Symbol head_predicate_ = kNoSymbol;
   std::vector<CompiledHeadArg> head_args_;

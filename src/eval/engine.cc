@@ -12,6 +12,7 @@
 #include "eval/compiled_rule.h"
 #include "eval/provenance.h"
 #include "exec/thread_pool.h"
+#include "obs/trace.h"
 #include "storage/tuple.h"
 
 namespace graphlog::eval {
@@ -87,10 +88,15 @@ class Engine {
 
   Result<EvalStats> Run() {
     const SymbolTable& syms = db_->symbols();
-    GRAPHLOG_RETURN_NOT_OK(datalog::CheckArities(prog_, syms));
-    GRAPHLOG_RETURN_NOT_OK(datalog::CheckSafety(prog_, syms));
-    GRAPHLOG_ASSIGN_OR_RETURN(Stratification strat,
-                              datalog::Stratify(prog_, syms));
+    Stratification strat;
+    {
+      obs::SpanGuard span(options_.tracer, "stratify");
+      GRAPHLOG_RETURN_NOT_OK(datalog::CheckArities(prog_, syms));
+      GRAPHLOG_RETURN_NOT_OK(datalog::CheckSafety(prog_, syms));
+      GRAPHLOG_ASSIGN_OR_RETURN(strat, datalog::Stratify(prog_, syms));
+      span.AddAttr("rules", static_cast<int64_t>(prog_.rules.size()));
+      span.AddAttr("strata", strat.num_strata);
+    }
     stats_.strata = strat.num_strata;
 
     unsigned lanes =
@@ -114,8 +120,12 @@ class Engine {
       (void)rel;
     }
 
-    for (const auto& group : strat.rule_groups) {
-      GRAPHLOG_RETURN_NOT_OK(RunStratum(group));
+    for (size_t gi = 0; gi < strat.rule_groups.size(); ++gi) {
+      obs::SpanGuard span(options_.tracer, "stratum");
+      span.AddAttr("index", static_cast<int64_t>(gi));
+      span.AddAttr("rules",
+                   static_cast<int64_t>(strat.rule_groups[gi].size()));
+      GRAPHLOG_RETURN_NOT_OK(RunStratum(strat.rule_groups[gi]));
     }
 
     for (const auto& [_, rel] : db_->relations()) {
@@ -124,6 +134,15 @@ class Engine {
     }
     stats_.index_builds -= base_builds;
     stats_.index_appends -= base_appends;
+    if (options_.tracer != nullptr) {
+      obs::Metrics& m = options_.tracer->metrics();
+      m.Count("eval.iterations", stats_.iterations);
+      m.Count("eval.rule_firings", stats_.rule_firings);
+      m.Count("eval.tuples_derived", stats_.tuples_derived);
+      m.Count("eval.strata", stats_.strata);
+      m.Count("eval.index_builds", stats_.index_builds);
+      m.Count("eval.index_appends", stats_.index_appends);
+    }
     return stats_;
   }
 
@@ -147,6 +166,14 @@ class Engine {
           CompiledRule::Compile(prog_.rules[i], db_->symbols(), card));
       compiled_.erase(i);
       compiled_.emplace(i, std::move(c));
+      if (options_.tracer != nullptr) {
+        // The chosen join plan, on the enclosing stratum span. Plans are a
+        // function of rule text + relation sizes, so this note is
+        // deterministic across thread counts.
+        options_.tracer->AddNote(
+            "plan rule " + std::to_string(i),
+            compiled_.at(i).PlanToString(db_->symbols()));
+      }
     }
 
     // IDB predicates defined in this stratum.
@@ -203,13 +230,23 @@ class Engine {
 
   Status NaiveFixpoint(const std::vector<int>& rec_rules) {
     bool changed = true;
+    int64_t round = 0;
     while (changed) {
+      obs::SpanGuard span(options_.tracer, "round");
+      span.AddAttr("round", round++);
+      const uint64_t firings_before = stats_.rule_firings;
+      const uint64_t derived_before = stats_.tuples_derived;
       GRAPHLOG_RETURN_NOT_OK(TickIteration());
       changed = false;
       for (int i : rec_rules) {
         size_t added = RunRuleOnce(i, kNoSymbol, -1, nullptr, nullptr);
         if (added > 0) changed = true;
       }
+      span.AddAttr("firings",
+                   static_cast<int64_t>(stats_.rule_firings - firings_before));
+      span.AddAttr(
+          "derived",
+          static_cast<int64_t>(stats_.tuples_derived - derived_before));
     }
     return Status::OK();
   }
@@ -228,7 +265,20 @@ class Engine {
     }
 
     bool any_delta = true;
+    int64_t round = 0;
     while (any_delta) {
+      obs::SpanGuard span(options_.tracer, "round");
+      if (span.enabled()) {
+        span.AddAttr("round", round++);
+        for (const auto& [p, d] : delta) {
+          span.AddAttr("delta." + db_->symbols().name(p),
+                       static_cast<int64_t>(d.size()));
+          options_.tracer->metrics().Observe(
+              "eval.delta_rows", static_cast<int64_t>(d.size()));
+        }
+      }
+      const uint64_t firings_before = stats_.rule_firings;
+      const uint64_t derived_before = stats_.tuples_derived;
       GRAPHLOG_RETURN_NOT_OK(TickIteration());
       std::map<Symbol, Relation> next;
       for (Symbol p : local_idbs) {
@@ -255,6 +305,11 @@ class Engine {
       // the run stats first.
       for (auto& [p, d] : delta) AbsorbIndexStats(d);
       delta = std::move(next);
+      span.AddAttr("firings",
+                   static_cast<int64_t>(stats_.rule_firings - firings_before));
+      span.AddAttr(
+          "derived",
+          static_cast<int64_t>(stats_.tuples_derived - derived_before));
     }
     for (auto& [p, d] : delta) AbsorbIndexStats(d);
     return Status::OK();
@@ -389,11 +444,40 @@ class Engine {
           },
           item.part, st.parts);
     };
+    // Per-lane busy time: each worker accumulates into its own slot (no
+    // synchronization needed), folded into the open span after the join.
+    // Clock reads happen only when tracing, keeping the disabled path hot.
+    const bool timed = options_.tracer != nullptr;
+    std::vector<int64_t> lane_busy_ns;
+    if (timed) lane_busy_ns.assign(lanes, 0);
+    auto run_timed = [&](unsigned worker, size_t k) {
+      const uint64_t t0 = obs::NowNs();
+      run_item(items[k]);
+      lane_busy_ns[worker] += static_cast<int64_t>(obs::NowNs() - t0);
+    };
     if (pool_ != nullptr && items.size() > 1) {
-      pool_->ParallelFor(items.size(),
-                         [&](unsigned, size_t k) { run_item(items[k]); });
+      if (timed) {
+        pool_->ParallelFor(items.size(), run_timed);
+      } else {
+        pool_->ParallelFor(items.size(),
+                           [&](unsigned, size_t k) { run_item(items[k]); });
+      }
     } else {
-      for (const Item& item : items) run_item(item);
+      for (size_t k = 0; k < items.size(); ++k) {
+        if (timed) {
+          run_timed(0, k);
+        } else {
+          run_item(items[k]);
+        }
+      }
+    }
+    if (timed) {
+      for (size_t lane = 0; lane < lane_busy_ns.size(); ++lane) {
+        if (lane_busy_ns[lane] != 0) {
+          options_.tracer->AddTiming("lane." + std::to_string(lane),
+                                     lane_busy_ns[lane]);
+        }
+      }
     }
 
     // Merge in (task, partition) order — the serial derivation order.

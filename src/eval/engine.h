@@ -17,6 +17,10 @@
 #include "datalog/ast.h"
 #include "storage/database.h"
 
+namespace graphlog::obs {
+class Tracer;  // obs/trace.h
+}
+
 namespace graphlog::eval {
 
 /// \brief Evaluation strategy for recursive strata.
@@ -47,6 +51,12 @@ struct EvalOptions {
   /// insertion order, provenance, and stats are bit-identical across all
   /// settings.
   unsigned num_threads = 1;
+  /// When set, the engine records a span per stratification, stratum, and
+  /// fixpoint round (delta sizes, rule firings, join-plan choice, per-lane
+  /// busy times) plus run-level counters into this tracer. Null (the
+  /// default) is the zero-overhead path: every instrumentation site is a
+  /// single pointer test. See obs/trace.h.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// \brief Counters reported by an evaluation.
@@ -57,6 +67,19 @@ struct EvalStats {
   uint64_t strata = 0;
   uint64_t index_builds = 0;    ///< full hash-index builds across relations
   uint64_t index_appends = 0;   ///< incremental index row appends
+
+  /// \brief Adds every counter of `other` into this one. The single
+  /// audited accumulation point for drivers that sum stats over multiple
+  /// engine runs (e.g. one per query graph) — field-by-field addition at
+  /// call sites silently dropped counters when new fields were added.
+  void Merge(const EvalStats& other) {
+    iterations += other.iterations;
+    rule_firings += other.rule_firings;
+    tuples_derived += other.tuples_derived;
+    strata += other.strata;
+    index_builds += other.index_builds;
+    index_appends += other.index_appends;
+  }
 };
 
 /// \brief Evaluates `prog` against `db` (checking arity consistency,
@@ -67,6 +90,10 @@ Result<EvalStats> Evaluate(const datalog::Program& prog,
                            const EvalOptions& options = {});
 
 /// \brief Convenience: parse + evaluate program text against `db`.
+///
+/// \deprecated For front-door use prefer graphlog::Run() with
+/// QueryRequest::Datalog (graphlog/api.h), which adds tracing, metrics,
+/// and EXPLAIN; this remains the engine-level entry the API builds on.
 Result<EvalStats> EvaluateText(std::string_view program_text,
                                storage::Database* db,
                                const EvalOptions& options = {});

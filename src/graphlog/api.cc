@@ -1,0 +1,369 @@
+#include "graphlog/api.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "aggr/path_summary.h"
+#include "datalog/analysis.h"
+#include "datalog/parser.h"
+#include "eval/compiled_rule.h"
+#include "eval/provenance.h"
+#include "graphlog/parser.h"
+#include "graphlog/translate.h"
+#include "translate/magic_tc.h"
+
+namespace graphlog {
+
+using datalog::Term;
+using gl::GraphicalQuery;
+using gl::PathSummarySpec;
+using gl::QueryGraph;
+using gl::QueryNode;
+using gl::QueryStats;
+using gl::Translation;
+using storage::Database;
+using storage::Relation;
+using storage::Tuple;
+
+namespace {
+
+/// Orders graphs so every graph runs after all graphs defining the IDB
+/// predicates it uses (Kahn's algorithm over the graph-level dependence;
+/// acyclicity was validated).
+Result<std::vector<int>> TopoOrderGraphs(const GraphicalQuery& q) {
+  std::vector<Symbol> idb_list = q.IdbPredicates();
+  std::set<Symbol> idb(idb_list.begin(), idb_list.end());
+
+  // Predicates used by each graph.
+  auto deps = DependenceEdges(q);
+  std::map<Symbol, std::set<Symbol>> uses;  // head -> used IDB preds
+  for (const auto& [from, to] : deps) {
+    if (idb.count(from) > 0) uses[to].insert(from);
+  }
+
+  std::vector<int> order;
+  std::set<Symbol> done_preds;
+  std::vector<bool> emitted(q.graphs.size(), false);
+  // A predicate is done when all graphs defining it have run.
+  while (order.size() < q.graphs.size()) {
+    bool progress = false;
+    // First emit every ready graph.
+    for (size_t i = 0; i < q.graphs.size(); ++i) {
+      if (emitted[i]) continue;
+      const std::set<Symbol>& u = uses[q.graphs[i].distinguished.predicate];
+      bool ready = std::all_of(u.begin(), u.end(), [&](Symbol p) {
+        return done_preds.count(p) > 0;
+      });
+      if (ready) {
+        emitted[i] = true;
+        order.push_back(static_cast<int>(i));
+        progress = true;
+      }
+    }
+    // Then mark fully-defined predicates done.
+    for (Symbol p : idb) {
+      if (done_preds.count(p) > 0) continue;
+      bool all = true;
+      for (size_t i = 0; i < q.graphs.size(); ++i) {
+        if (q.graphs[i].distinguished.predicate == p && !emitted[i]) {
+          all = false;
+          break;
+        }
+      }
+      if (all) done_preds.insert(p);
+    }
+    if (!progress) {
+      return Status::CyclicDependence(
+          "could not order query graphs (cyclic dependence)");
+    }
+  }
+  return order;
+}
+
+/// Evaluates a summarization graph (Section 4).
+Status RunSummaryGraph(const QueryGraph& g, Database* db,
+                       QueryStats* stats) {
+  const PathSummarySpec& spec = *g.summary;
+  const SymbolTable& syms = db->symbols();
+
+  if (!g.edges.empty() || !g.constraints.empty()) {
+    return Status::Unsupported(
+        "a summarization query graph may contain only the summarized "
+        "distinguished edge");
+  }
+  const QueryNode& from = g.nodes[g.distinguished.from];
+  const QueryNode& to = g.nodes[g.distinguished.to];
+  if (from.arity() != 1 || to.arity() != 1) {
+    return Status::Unsupported(
+        "summarization endpoints must be single-variable nodes");
+  }
+  if (g.distinguished.params.size() != 1 ||
+      g.distinguished.params[0].is_aggregate ||
+      !g.distinguished.params[0].term.is_variable() ||
+      g.distinguished.params[0].term.var() != spec.output_var) {
+    return Status::InvalidArgument(
+        "summarized distinguished edge must carry exactly the output "
+        "variable as its parameter");
+  }
+
+  const Relation* base = db->Find(spec.base.predicate);
+  if (base == nullptr) {
+    return Status::NotFound("summarization base relation '" +
+                            syms.name(spec.base.predicate) +
+                            "' does not exist");
+  }
+  if (base->arity() != 2 + spec.base.params.size()) {
+    return Status::ArityMismatch(
+        "summarization base literal arity mismatch for '" +
+        syms.name(spec.base.predicate) + "'");
+  }
+
+  // Restrict the base by any constant parameters, and locate the weight
+  // column (the summed variable's position).
+  uint32_t weight_col = 0;
+  Relation filtered(base->arity());
+  const Relation* effective = base;
+  bool need_filter = false;
+  for (size_t i = 0; i < spec.base.params.size(); ++i) {
+    if (spec.base.params[i].is_constant()) need_filter = true;
+  }
+  if (need_filter) {
+    for (const Tuple& t : base->rows()) {
+      bool keep = true;
+      for (size_t i = 0; i < spec.base.params.size(); ++i) {
+        const Term& p = spec.base.params[i];
+        if (p.is_constant() && !(t[2 + i] == p.value())) {
+          keep = false;
+          break;
+        }
+      }
+      if (keep) filtered.Insert(t);
+    }
+    effective = &filtered;
+  }
+  for (size_t i = 0; i < spec.base.params.size(); ++i) {
+    const Term& p = spec.base.params[i];
+    if (p.is_variable() && p.var() == spec.value_var) {
+      weight_col = static_cast<uint32_t>(2 + i);
+    }
+  }
+
+  aggr::PathSummaryOptions options;
+  options.along = spec.along;
+  options.across = spec.across;
+  options.weight_column = weight_col;
+  GRAPHLOG_ASSIGN_OR_RETURN(Relation summary,
+                            aggr::PathSummarize(*effective, options));
+
+  // Materialize under the distinguished predicate, honoring constant
+  // endpoints (e.g. `distinguished "source" -> T : dist(E)`).
+  GRAPHLOG_ASSIGN_OR_RETURN(
+      Relation * out, db->Declare(g.distinguished.predicate, 3));
+  const Term& from_t = from.label[0];
+  const Term& to_t = to.label[0];
+  for (const Tuple& t : summary.rows()) {
+    if (from_t.is_constant() && !(t[0] == from_t.value())) continue;
+    if (to_t.is_constant() && !(t[1] == to_t.value())) continue;
+    if (out->Insert(t)) ++stats->datalog.tuples_derived;
+  }
+  ++stats->graphs_summarized;
+  return Status::OK();
+}
+
+/// Renders one translated program for EXPLAIN: the rules (numbered in the
+/// provenance rule universe), the stratum order, and the join plan each
+/// rule would compile to against the *current* relation sizes. Rules in
+/// strata above materialized IDBs see pre-run estimates; the per-stratum
+/// trace notes record the plans actually chosen at execution time.
+std::string RenderProgramExplain(const datalog::Program& prog,
+                                 size_t rule_offset, Database* db) {
+  const SymbolTable& syms = db->symbols();
+  std::string out = "  program:\n";
+  for (size_t i = 0; i < prog.rules.size(); ++i) {
+    out += "    [" + std::to_string(rule_offset + i) + "] " +
+           prog.rules[i].ToString(syms) + "\n";
+  }
+  auto strat = datalog::Stratify(prog, syms);
+  if (!strat.ok()) {
+    return out + "  stratification: " + strat.status().ToString() + "\n";
+  }
+  out += "  stratification: " + std::to_string(strat->num_strata) +
+         " strata\n";
+  for (size_t s = 0; s < strat->rule_groups.size(); ++s) {
+    out += "    stratum " + std::to_string(s) + ": rules";
+    for (int i : strat->rule_groups[s]) {
+      out += " " + std::to_string(rule_offset + static_cast<size_t>(i));
+    }
+    out += "\n";
+  }
+  out += "  join plans (pre-run cardinality estimates):\n";
+  eval::CardinalityFn card = [db](Symbol p) {
+    const Relation* r = db->Find(p);
+    return r == nullptr ? size_t{0} : r->size();
+  };
+  for (size_t i = 0; i < prog.rules.size(); ++i) {
+    auto compiled = eval::CompiledRule::Compile(prog.rules[i], syms, card);
+    out += "    [" + std::to_string(rule_offset + i) + "] ";
+    out += compiled.ok() ? compiled->PlanToString(syms)
+                         : compiled.status().ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+Status RunGraphLog(const QueryRequest& req, const QueryOptions& options,
+                   obs::Tracer* tracer, Database* db, QueryResponse* resp) {
+  obs::SpanGuard query_span(tracer, "query");
+  query_span.AddNote("language", "graphlog");
+
+  GraphicalQuery parsed;
+  const GraphicalQuery* q = req.graphical;
+  if (q == nullptr) {
+    obs::SpanGuard span(tracer, "parse");
+    GRAPHLOG_ASSIGN_OR_RETURN(
+        parsed, gl::ParseGraphicalQuery(req.text, &db->symbols()));
+    span.AddAttr("graphs", static_cast<int64_t>(parsed.graphs.size()));
+    q = &parsed;
+  }
+  {
+    obs::SpanGuard span(tracer, "validate");
+    GRAPHLOG_RETURN_NOT_OK(gl::ValidateGraphicalQuery(*q, db->symbols()));
+  }
+  GRAPHLOG_ASSIGN_OR_RETURN(std::vector<int> order, TopoOrderGraphs(*q));
+
+  const bool explain = options.observability.explain ||
+                       options.observability.explain_only;
+  const bool execute = !options.observability.explain_only;
+  QueryStats& stats = resp->stats;
+  size_t rule_offset = 0;  // position in the query's rule universe
+  for (int i : order) {
+    const QueryGraph& g = q->graphs[i];
+    const std::string head = db->symbols().name(g.distinguished.predicate);
+    if (g.summary.has_value()) {
+      if (explain) {
+        resp->explain +=
+            "graph " + head + ": path summarization (Section 4 operator)\n";
+      }
+      if (!execute) continue;
+      obs::SpanGuard span(tracer, "summarize");
+      span.AddNote("graph", head);
+      GRAPHLOG_RETURN_NOT_OK(RunSummaryGraph(g, db, &stats));
+      continue;
+    }
+    Translation t;
+    {
+      obs::SpanGuard span(tracer, "translate");
+      span.AddNote("graph", head);
+      GRAPHLOG_ASSIGN_OR_RETURN(t,
+                                gl::TranslateQueryGraph(g, &db->symbols()));
+      span.AddAttr("rules", static_cast<int64_t>(t.program.size()));
+      span.AddAttr("aux_predicates",
+                   static_cast<int64_t>(t.aux_predicates.size()));
+    }
+    if (options.translation.specialize_bound_closures) {
+      obs::SpanGuard span(tracer, "specialize");
+      span.AddNote("graph", head);
+      GRAPHLOG_ASSIGN_OR_RETURN(
+          t.program,
+          translate::SpecializeBoundClosures(t.program, &db->symbols(),
+                                             {g.distinguished.predicate}));
+      span.AddAttr("rules", static_cast<int64_t>(t.program.size()));
+    }
+    if (explain) {
+      resp->explain += "graph " + head + ":\n" +
+                       RenderProgramExplain(t.program, rule_offset, db);
+    }
+    rule_offset += t.program.size();
+    if (!execute) continue;
+    if (options.eval.provenance != nullptr) {
+      // Keep justification rule indexes valid into stats.programs.
+      options.eval.provenance->set_rule_offset(
+          static_cast<int>(stats.programs.size()));
+    }
+    eval::EvalStats es;
+    {
+      obs::SpanGuard span(tracer, "evaluate");
+      span.AddNote("graph", head);
+      GRAPHLOG_ASSIGN_OR_RETURN(es,
+                                eval::Evaluate(t.program, db, options.eval));
+    }
+    stats.programs.Append(t.program);
+    stats.datalog.Merge(es);
+    ++stats.graphs_translated;
+  }
+  if (!execute) return Status::OK();
+  for (Symbol p : q->IdbPredicates()) {
+    const Relation* rel = db->Find(p);
+    if (rel != nullptr) stats.result_tuples += rel->size();
+  }
+  if (tracer != nullptr) {
+    obs::Metrics& m = tracer->metrics();
+    m.Count("query.graphs_translated", stats.graphs_translated);
+    m.Count("query.graphs_summarized", stats.graphs_summarized);
+    m.Count("query.result_tuples", stats.result_tuples);
+  }
+  return Status::OK();
+}
+
+Status RunDatalog(const QueryRequest& req, const QueryOptions& options,
+                  obs::Tracer* tracer, Database* db, QueryResponse* resp) {
+  obs::SpanGuard query_span(tracer, "query");
+  query_span.AddNote("language", "datalog");
+
+  datalog::Program prog;
+  {
+    obs::SpanGuard span(tracer, "parse");
+    GRAPHLOG_ASSIGN_OR_RETURN(
+        prog, datalog::ParseProgram(req.text, &db->symbols()));
+    span.AddAttr("rules", static_cast<int64_t>(prog.size()));
+  }
+  const bool explain = options.observability.explain ||
+                       options.observability.explain_only;
+  if (explain) resp->explain += RenderProgramExplain(prog, 0, db);
+  if (options.observability.explain_only) return Status::OK();
+
+  if (options.eval.provenance != nullptr) {
+    options.eval.provenance->set_rule_offset(0);
+  }
+  eval::EvalStats es;
+  {
+    obs::SpanGuard span(tracer, "evaluate");
+    GRAPHLOG_ASSIGN_OR_RETURN(es, eval::Evaluate(prog, db, options.eval));
+  }
+  resp->stats.datalog.Merge(es);
+  for (Symbol p : prog.HeadPredicates()) {
+    const Relation* rel = db->Find(p);
+    if (rel != nullptr) resp->stats.result_tuples += rel->size();
+  }
+  resp->stats.programs = std::move(prog);
+  if (tracer != nullptr) {
+    tracer->metrics().Count("query.result_tuples",
+                            resp->stats.result_tuples);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<QueryResponse> Run(const QueryRequest& req, Database* db) {
+  QueryResponse resp;
+  QueryOptions options = req.options;
+  obs::Tracer local_tracer;
+  if (options.observability.tracing && options.eval.tracer == nullptr) {
+    options.eval.tracer = &local_tracer;
+  }
+  obs::Tracer* tracer = options.eval.tracer;
+
+  Status st = req.language == QueryRequest::Language::kDatalog
+                  ? RunDatalog(req, options, tracer, db, &resp)
+                  : RunGraphLog(req, options, tracer, db, &resp);
+  // Harvest the trace even on failure: a span tree that ends at the
+  // failing stage is exactly what one wants when debugging — but an error
+  // Status is all the Result can carry, so only success returns it.
+  if (tracer == &local_tracer) resp.trace = local_tracer.TakeReport();
+  GRAPHLOG_RETURN_NOT_OK(st);
+  return resp;
+}
+
+}  // namespace graphlog

@@ -1,0 +1,138 @@
+// The unified query API: one request in, one response out.
+//
+// Historically the front door was a sprawl of overloads —
+// gl::EvaluateGraphicalQuery(.., EvalOptions) / (.., GraphLogOptions),
+// gl::EvaluateGraphLogText, eval::EvaluateText — with two parallel options
+// structs. This header replaces all of them with a single entry point:
+//
+//   QueryRequest req = QueryRequest::GraphLog(text);
+//   req.options.eval.num_threads = 4;
+//   req.options.observability.tracing = true;
+//   GRAPHLOG_ASSIGN_OR_RETURN(QueryResponse resp, Run(req, &db));
+//   // resp.stats, resp.trace.ToJson(), resp.explain
+//
+// A request names the query (GraphLog surface text, a parsed
+// GraphicalQuery, or raw Datalog text) and carries every knob in one
+// nested QueryOptions; the response carries the stats, the observability
+// artifacts (span tree + metrics, see obs/trace.h), and the EXPLAIN
+// rendering when requested. The old free functions survive as one-line
+// deprecated wrappers in graphlog/engine.h so existing callers migrate
+// incrementally.
+
+#ifndef GRAPHLOG_GRAPHLOG_API_H_
+#define GRAPHLOG_GRAPHLOG_API_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "eval/engine.h"
+#include "graphlog/query_graph.h"
+#include "obs/trace.h"
+#include "storage/database.h"
+
+namespace graphlog {
+
+namespace gl {
+
+/// \brief Statistics for one query evaluation.
+struct QueryStats {
+  eval::EvalStats datalog;       ///< accumulated Datalog engine stats
+  uint64_t graphs_translated = 0;
+  uint64_t graphs_summarized = 0;
+  uint64_t result_tuples = 0;    ///< tuples across all IDB predicates
+  /// Every rule the query translated to (in evaluation order) — the rule
+  /// universe that provenance justifications index into.
+  datalog::Program programs;
+};
+
+}  // namespace gl
+
+/// \brief Every knob of a query evaluation, in one place.
+///
+/// The former gl::GraphLogOptions / eval::EvalOptions split is merged
+/// here: engine knobs (strategy, num_threads, provenance, ...) live under
+/// `eval`, translation-time rewrites under `translation`, and the
+/// observability layer under `observability`.
+struct QueryOptions {
+  /// Datalog engine knobs (eval/engine.h); `eval.tracer` is managed by
+  /// Run() when `observability.tracing` is set.
+  eval::EvalOptions eval;
+
+  struct Translation {
+    /// Apply the bound-closure (magic-TC) specialization of
+    /// translate/magic_tc.h to each translated graph: closures whose
+    /// every use fixes an endpoint constant evaluate as seeded
+    /// reachability instead of full closure materialization (the
+    /// Figure 12 win).
+    bool specialize_bound_closures = false;
+  } translation;
+
+  struct Observability {
+    /// Record a hierarchical span tree (parse -> translate -> stratify ->
+    /// per-stratum fixpoint rounds -> summarize) plus counters/histograms
+    /// into QueryResponse::trace. Off by default; the disabled path costs
+    /// one pointer test per instrumentation site.
+    bool tracing = false;
+    /// Render the translated program, stratum order, and chosen join
+    /// plans into QueryResponse::explain before execution.
+    bool explain = false;
+    /// With `explain`: stop after planning — parse, validate, translate,
+    /// and plan, but do not execute. The response carries no stats.
+    bool explain_only = false;
+  } observability;
+};
+
+/// \brief One query to run: the text (or pre-parsed graph) plus options.
+struct QueryRequest {
+  enum class Language : uint8_t {
+    kGraphLog,  ///< GraphLog surface syntax (graphlog/parser.h)
+    kDatalog,   ///< raw Datalog program text (datalog/parser.h)
+  };
+
+  Language language = Language::kGraphLog;
+  std::string text;
+  /// When set, evaluated instead of `text` (language must be kGraphLog).
+  const gl::GraphicalQuery* graphical = nullptr;
+  QueryOptions options;
+
+  static QueryRequest GraphLog(std::string query_text) {
+    QueryRequest req;
+    req.language = Language::kGraphLog;
+    req.text = std::move(query_text);
+    return req;
+  }
+  static QueryRequest Datalog(std::string program_text) {
+    QueryRequest req;
+    req.language = Language::kDatalog;
+    req.text = std::move(program_text);
+    return req;
+  }
+  static QueryRequest Graphical(const gl::GraphicalQuery& q) {
+    QueryRequest req;
+    req.language = Language::kGraphLog;
+    req.graphical = &q;
+    return req;
+  }
+};
+
+/// \brief Everything a query evaluation produced.
+struct QueryResponse {
+  gl::QueryStats stats;
+  /// Span tree + metrics; empty unless options.observability.tracing.
+  /// `trace.ToJson(false)` is byte-identical across num_threads settings.
+  obs::TraceReport trace;
+  /// EXPLAIN rendering; empty unless options.observability.explain.
+  std::string explain;
+};
+
+/// \brief Evaluates `req` against `db`, materializing each IDB predicate
+/// (including translation auxiliaries) as a relation. The single front
+/// door of the engine: parse -> validate -> order query graphs ->
+/// per graph, lambda-translate (Definition 2.4) and run the stratified
+/// engine or the path-summarization operator (Section 4).
+Result<QueryResponse> Run(const QueryRequest& req, storage::Database* db);
+
+}  // namespace graphlog
+
+#endif  // GRAPHLOG_GRAPHLOG_API_H_

@@ -1,165 +1,17 @@
+// Deprecated wrappers over the unified API (graphlog/api.h). The pipeline
+// itself lives in graphlog/api.cc.
+
 #include "graphlog/engine.h"
-
-#include <algorithm>
-#include <map>
-#include <set>
-
-#include "aggr/path_summary.h"
-#include "eval/provenance.h"
-#include "graphlog/parser.h"
-#include "graphlog/translate.h"
-#include "translate/magic_tc.h"
 
 namespace graphlog::gl {
 
-using datalog::Term;
 using storage::Database;
-using storage::Relation;
-using storage::Tuple;
 
 namespace {
 
-/// Orders graphs so every graph runs after all graphs defining the IDB
-/// predicates it uses (Kahn's algorithm over the graph-level dependence;
-/// acyclicity was validated).
-Result<std::vector<int>> TopoOrderGraphs(const GraphicalQuery& q) {
-  std::vector<Symbol> idb_list = q.IdbPredicates();
-  std::set<Symbol> idb(idb_list.begin(), idb_list.end());
-
-  // Predicates used by each graph.
-  auto deps = DependenceEdges(q);
-  std::map<Symbol, std::set<Symbol>> uses;  // head -> used IDB preds
-  for (const auto& [from, to] : deps) {
-    if (idb.count(from) > 0) uses[to].insert(from);
-  }
-
-  std::vector<int> order;
-  std::set<Symbol> done_preds;
-  std::vector<bool> emitted(q.graphs.size(), false);
-  // A predicate is done when all graphs defining it have run.
-  while (order.size() < q.graphs.size()) {
-    bool progress = false;
-    // First emit every ready graph.
-    for (size_t i = 0; i < q.graphs.size(); ++i) {
-      if (emitted[i]) continue;
-      const std::set<Symbol>& u = uses[q.graphs[i].distinguished.predicate];
-      bool ready = std::all_of(u.begin(), u.end(), [&](Symbol p) {
-        return done_preds.count(p) > 0;
-      });
-      if (ready) {
-        emitted[i] = true;
-        order.push_back(static_cast<int>(i));
-        progress = true;
-      }
-    }
-    // Then mark fully-defined predicates done.
-    for (Symbol p : idb) {
-      if (done_preds.count(p) > 0) continue;
-      bool all = true;
-      for (size_t i = 0; i < q.graphs.size(); ++i) {
-        if (q.graphs[i].distinguished.predicate == p && !emitted[i]) {
-          all = false;
-          break;
-        }
-      }
-      if (all) done_preds.insert(p);
-    }
-    if (!progress) {
-      return Status::CyclicDependence(
-          "could not order query graphs (cyclic dependence)");
-    }
-  }
-  return order;
-}
-
-/// Evaluates a summarization graph (Section 4).
-Status RunSummaryGraph(const QueryGraph& g, Database* db,
-                       QueryStats* stats) {
-  const PathSummarySpec& spec = *g.summary;
-  const SymbolTable& syms = db->symbols();
-
-  if (!g.edges.empty() || !g.constraints.empty()) {
-    return Status::Unsupported(
-        "a summarization query graph may contain only the summarized "
-        "distinguished edge");
-  }
-  const QueryNode& from = g.nodes[g.distinguished.from];
-  const QueryNode& to = g.nodes[g.distinguished.to];
-  if (from.arity() != 1 || to.arity() != 1) {
-    return Status::Unsupported(
-        "summarization endpoints must be single-variable nodes");
-  }
-  if (g.distinguished.params.size() != 1 ||
-      g.distinguished.params[0].is_aggregate ||
-      !g.distinguished.params[0].term.is_variable() ||
-      g.distinguished.params[0].term.var() != spec.output_var) {
-    return Status::InvalidArgument(
-        "summarized distinguished edge must carry exactly the output "
-        "variable as its parameter");
-  }
-
-  const Relation* base = db->Find(spec.base.predicate);
-  if (base == nullptr) {
-    return Status::NotFound("summarization base relation '" +
-                            syms.name(spec.base.predicate) +
-                            "' does not exist");
-  }
-  if (base->arity() != 2 + spec.base.params.size()) {
-    return Status::ArityMismatch(
-        "summarization base literal arity mismatch for '" +
-        syms.name(spec.base.predicate) + "'");
-  }
-
-  // Restrict the base by any constant parameters, and locate the weight
-  // column (the summed variable's position).
-  uint32_t weight_col = 0;
-  Relation filtered(base->arity());
-  const Relation* effective = base;
-  bool need_filter = false;
-  for (size_t i = 0; i < spec.base.params.size(); ++i) {
-    if (spec.base.params[i].is_constant()) need_filter = true;
-  }
-  if (need_filter) {
-    for (const Tuple& t : base->rows()) {
-      bool keep = true;
-      for (size_t i = 0; i < spec.base.params.size(); ++i) {
-        const Term& p = spec.base.params[i];
-        if (p.is_constant() && !(t[2 + i] == p.value())) {
-          keep = false;
-          break;
-        }
-      }
-      if (keep) filtered.Insert(t);
-    }
-    effective = &filtered;
-  }
-  for (size_t i = 0; i < spec.base.params.size(); ++i) {
-    const Term& p = spec.base.params[i];
-    if (p.is_variable() && p.var() == spec.value_var) {
-      weight_col = static_cast<uint32_t>(2 + i);
-    }
-  }
-
-  aggr::PathSummaryOptions options;
-  options.along = spec.along;
-  options.across = spec.across;
-  options.weight_column = weight_col;
-  GRAPHLOG_ASSIGN_OR_RETURN(Relation summary,
-                            aggr::PathSummarize(*effective, options));
-
-  // Materialize under the distinguished predicate, honoring constant
-  // endpoints (e.g. `distinguished "source" -> T : dist(E)`).
-  GRAPHLOG_ASSIGN_OR_RETURN(
-      Relation * out, db->Declare(g.distinguished.predicate, 3));
-  const Term& from_t = from.label[0];
-  const Term& to_t = to.label[0];
-  for (const Tuple& t : summary.rows()) {
-    if (from_t.is_constant() && !(t[0] == from_t.value())) continue;
-    if (to_t.is_constant() && !(t[1] == to_t.value())) continue;
-    if (out->Insert(t)) ++stats->datalog.tuples_derived;
-  }
-  ++stats->graphs_summarized;
-  return Status::OK();
+Result<QueryStats> RunAndTakeStats(QueryRequest req, Database* db) {
+  GRAPHLOG_ASSIGN_OR_RETURN(QueryResponse resp, Run(req, db));
+  return std::move(resp.stats);
 }
 
 }  // namespace
@@ -167,58 +19,26 @@ Status RunSummaryGraph(const QueryGraph& g, Database* db,
 Result<QueryStats> EvaluateGraphicalQuery(const GraphicalQuery& q,
                                           Database* db,
                                           const eval::EvalOptions& options) {
-  GraphLogOptions full;
-  full.eval = options;
-  return EvaluateGraphicalQuery(q, db, full);
+  QueryRequest req = QueryRequest::Graphical(q);
+  req.options.eval = options;
+  return RunAndTakeStats(std::move(req), db);
 }
 
 Result<QueryStats> EvaluateGraphicalQuery(const GraphicalQuery& q,
                                           Database* db,
                                           const GraphLogOptions& options) {
-  GRAPHLOG_RETURN_NOT_OK(ValidateGraphicalQuery(q, db->symbols()));
-  GRAPHLOG_ASSIGN_OR_RETURN(std::vector<int> order, TopoOrderGraphs(q));
-
-  QueryStats stats;
-  for (int i : order) {
-    const QueryGraph& g = q.graphs[i];
-    if (g.summary.has_value()) {
-      GRAPHLOG_RETURN_NOT_OK(RunSummaryGraph(g, db, &stats));
-      continue;
-    }
-    GRAPHLOG_ASSIGN_OR_RETURN(Translation t,
-                              TranslateQueryGraph(g, &db->symbols()));
-    if (options.specialize_bound_closures) {
-      GRAPHLOG_ASSIGN_OR_RETURN(
-          t.program,
-          translate::SpecializeBoundClosures(
-              t.program, &db->symbols(), {g.distinguished.predicate}));
-    }
-    if (options.eval.provenance != nullptr) {
-      // Keep justification rule indexes valid into stats.programs.
-      options.eval.provenance->set_rule_offset(
-          static_cast<int>(stats.programs.size()));
-    }
-    GRAPHLOG_ASSIGN_OR_RETURN(eval::EvalStats es,
-                              eval::Evaluate(t.program, db, options.eval));
-    stats.programs.Append(t.program);
-    stats.datalog.iterations += es.iterations;
-    stats.datalog.rule_firings += es.rule_firings;
-    stats.datalog.tuples_derived += es.tuples_derived;
-    stats.datalog.strata += es.strata;
-    ++stats.graphs_translated;
-  }
-  for (Symbol p : q.IdbPredicates()) {
-    const Relation* rel = db->Find(p);
-    if (rel != nullptr) stats.result_tuples += rel->size();
-  }
-  return stats;
+  QueryRequest req = QueryRequest::Graphical(q);
+  req.options.eval = options.eval;
+  req.options.translation.specialize_bound_closures =
+      options.specialize_bound_closures;
+  return RunAndTakeStats(std::move(req), db);
 }
 
 Result<QueryStats> EvaluateGraphLogText(std::string_view text, Database* db,
                                         const eval::EvalOptions& options) {
-  GRAPHLOG_ASSIGN_OR_RETURN(GraphicalQuery q,
-                            ParseGraphicalQuery(text, &db->symbols()));
-  return EvaluateGraphicalQuery(q, db, options);
+  QueryRequest req = QueryRequest::GraphLog(std::string(text));
+  req.options.eval = options;
+  return RunAndTakeStats(std::move(req), db);
 }
 
 }  // namespace graphlog::gl

@@ -1,54 +1,52 @@
-// End-to-end GraphLog query evaluation.
+// Deprecated GraphLog entry points.
 //
-// Pipeline: validate (Definitions 2.3 / 2.7) -> order query graphs along
-// the dependence graph (Definition 2.6) -> per graph, either translate via
-// lambda (Definition 2.4) and run the stratified Datalog engine, or run the
-// path-summarization operator (Section 4). Results are materialized into
-// the Database under the distinguished-edge predicates.
+// The pipeline (validate -> order query graphs -> per graph, translate via
+// lambda and run the stratified Datalog engine, or run the
+// path-summarization operator) now lives behind the unified
+// QueryRequest/QueryResponse API in graphlog/api.h. Everything below is a
+// one-line wrapper kept so existing callers migrate incrementally; new
+// code should call graphlog::Run().
 
 #ifndef GRAPHLOG_GRAPHLOG_ENGINE_H_
 #define GRAPHLOG_GRAPHLOG_ENGINE_H_
 
 #include "common/result.h"
 #include "eval/engine.h"
+#include "graphlog/api.h"
 #include "graphlog/query_graph.h"
 #include "storage/database.h"
 
 namespace graphlog::gl {
 
-/// \brief Statistics for one graphical-query evaluation.
-struct QueryStats {
-  eval::EvalStats datalog;       ///< accumulated Datalog engine stats
-  uint64_t graphs_translated = 0;
-  uint64_t graphs_summarized = 0;
-  uint64_t result_tuples = 0;    ///< tuples across all IDB predicates
-  /// Every rule the query translated to (in evaluation order) — the rule
-  /// universe that provenance justifications index into.
-  datalog::Program programs;
-};
-
 /// \brief Evaluation knobs for the GraphLog engine.
+///
+/// \deprecated Merged into graphlog::QueryOptions (api.h), whose nested
+/// `eval` / `translation` sections carry these fields; kept only so old
+/// call sites compile.
 struct GraphLogOptions {
   eval::EvalOptions eval;
-  /// Apply the bound-closure (magic-TC) specialization of
-  /// translate/magic_tc.h to each translated graph: closures whose every
-  /// use fixes an endpoint constant evaluate as seeded reachability
-  /// instead of full closure materialization (the Figure 12 win).
+  /// See QueryOptions::Translation::specialize_bound_closures.
   bool specialize_bound_closures = false;
 };
 
 /// \brief Evaluates a graphical query against `db`, materializing each
 /// IDB predicate (including translation auxiliaries) as a relation.
+///
+/// \deprecated Wrapper over graphlog::Run(); use QueryRequest::Graphical.
 Result<QueryStats> EvaluateGraphicalQuery(
     const GraphicalQuery& q, storage::Database* db,
     const eval::EvalOptions& options = {});
 
 /// \brief Overload with the full option set.
+///
+/// \deprecated Wrapper over graphlog::Run(); use QueryRequest::Graphical.
 Result<QueryStats> EvaluateGraphicalQuery(const GraphicalQuery& q,
                                           storage::Database* db,
                                           const GraphLogOptions& options);
 
 /// \brief Parses the GraphLog surface syntax and evaluates it.
+///
+/// \deprecated Wrapper over graphlog::Run(); use QueryRequest::GraphLog.
 Result<QueryStats> EvaluateGraphLogText(std::string_view text,
                                         storage::Database* db,
                                         const eval::EvalOptions& options = {});

@@ -1,0 +1,568 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+namespace graphlog::obs {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void Histogram::Observe(int64_t value) {
+  if (count == 0) {
+    min = max = value;
+  } else {
+    if (value < min) min = value;
+    if (value > max) max = value;
+  }
+  ++count;
+  sum += value;
+  int width = 0;
+  for (uint64_t v = value < 0 ? 0 : static_cast<uint64_t>(value); v != 0;
+       v >>= 1) {
+    ++width;
+  }
+  ++buckets[width];
+}
+
+void Metrics::Count(std::string_view name, uint64_t delta) {
+  counters_[std::string(name)] += delta;
+}
+
+void Metrics::Observe(std::string_view name, int64_t value) {
+  histograms_[std::string(name)].Observe(value);
+}
+
+void Metrics::SetHistogram(std::string_view name, Histogram h) {
+  histograms_[std::string(name)] = std::move(h);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+Span* Tracer::Current() {
+  if (stack_.empty()) return nullptr;
+  Span* s = &roots_[stack_[0]];
+  for (size_t k = 1; k < stack_.size(); ++k) s = &s->children[stack_[k]];
+  return s;
+}
+
+void Tracer::BeginSpan(std::string_view name) {
+  Span span;
+  span.name = std::string(name);
+  span.start_ns = NowNs();
+  Span* cur = Current();
+  if (cur == nullptr) {
+    stack_.push_back(roots_.size());
+    roots_.push_back(std::move(span));
+  } else {
+    stack_.push_back(cur->children.size());
+    cur->children.push_back(std::move(span));
+  }
+}
+
+void Tracer::EndSpan() {
+  Span* cur = Current();
+  if (cur == nullptr) return;
+  cur->end_ns = NowNs();
+  stack_.pop_back();
+}
+
+void Tracer::AddAttr(std::string_view key, int64_t value) {
+  Span* cur = Current();
+  if (cur != nullptr) cur->attrs.emplace_back(std::string(key), value);
+}
+
+void Tracer::AddNote(std::string_view key, std::string_view value) {
+  Span* cur = Current();
+  if (cur != nullptr) {
+    cur->notes.emplace_back(std::string(key), std::string(value));
+  }
+}
+
+void Tracer::AddTiming(std::string_view key, int64_t value) {
+  Span* cur = Current();
+  if (cur != nullptr) cur->timings.emplace_back(std::string(key), value);
+}
+
+TraceReport Tracer::TakeReport() {
+  while (!stack_.empty()) EndSpan();
+  TraceReport report;
+  report.spans = std::move(roots_);
+  report.metrics = std::move(metrics_);
+  roots_.clear();
+  metrics_ = Metrics();
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// JSON export
+
+namespace {
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendInt(std::string* out, int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  *out += buf;
+}
+
+template <typename V, typename AppendValue>
+void AppendPairArray(std::string* out, const char* key,
+                     const std::vector<std::pair<std::string, V>>& pairs,
+                     const AppendValue& append_value) {
+  if (pairs.empty()) return;
+  *out += ",\"";
+  *out += key;
+  *out += "\":[";
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    out->push_back('[');
+    AppendJsonString(out, pairs[i].first);
+    out->push_back(',');
+    append_value(out, pairs[i].second);
+    out->push_back(']');
+  }
+  out->push_back(']');
+}
+
+void AppendSpan(std::string* out, const Span& span, bool include_timings) {
+  *out += "{\"name\":";
+  AppendJsonString(out, span.name);
+  if (include_timings) {
+    *out += ",\"duration_ns\":";
+    AppendInt(out, static_cast<int64_t>(span.duration_ns()));
+  }
+  AppendPairArray(out, "attrs", span.attrs, AppendInt);
+  AppendPairArray(out, "notes", span.notes,
+                  [](std::string* o, const std::string& v) {
+                    AppendJsonString(o, v);
+                  });
+  if (include_timings) {
+    AppendPairArray(out, "timings", span.timings, AppendInt);
+  }
+  if (!span.children.empty()) {
+    *out += ",\"children\":[";
+    for (size_t i = 0; i < span.children.size(); ++i) {
+      if (i > 0) out->push_back(',');
+      AppendSpan(out, span.children[i], include_timings);
+    }
+    out->push_back(']');
+  }
+  out->push_back('}');
+}
+
+}  // namespace
+
+std::string TraceReport::ToJson(bool include_timings) const {
+  std::string out = "{\"spans\":[";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    AppendSpan(&out, spans[i], include_timings);
+  }
+  out += "],\"metrics\":{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : metrics.counters()) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(&out, name);
+    out.push_back(':');
+    AppendInt(&out, static_cast<int64_t>(value));
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : metrics.histograms()) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(&out, name);
+    out += ":{\"count\":";
+    AppendInt(&out, static_cast<int64_t>(h.count));
+    out += ",\"sum\":";
+    AppendInt(&out, h.sum);
+    out += ",\"min\":";
+    AppendInt(&out, h.min);
+    out += ",\"max\":";
+    AppendInt(&out, h.max);
+    out += ",\"buckets\":[";
+    bool bfirst = true;
+    for (const auto& [width, n] : h.buckets) {
+      if (!bfirst) out.push_back(',');
+      bfirst = false;
+      out.push_back('[');
+      AppendInt(&out, width);
+      out.push_back(',');
+      AppendInt(&out, static_cast<int64_t>(n));
+      out.push_back(']');
+    }
+    out += "]}";
+  }
+  out += "}}}";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// JSON import (round-trip support)
+//
+// A minimal recursive-descent parser covering exactly the subset ToJson
+// emits: objects, arrays, strings with the escapes above, and integers.
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<TraceReport> ParseReport() {
+    TraceReport report;
+    GRAPHLOG_RETURN_NOT_OK(Expect('{'));
+    bool first = true;
+    while (!TryConsume('}')) {
+      if (!first) GRAPHLOG_RETURN_NOT_OK(Expect(','));
+      first = false;
+      GRAPHLOG_ASSIGN_OR_RETURN(std::string key, ParseString());
+      GRAPHLOG_RETURN_NOT_OK(Expect(':'));
+      if (key == "spans") {
+        GRAPHLOG_RETURN_NOT_OK(Expect('['));
+        while (!TryConsume(']')) {
+          if (!report.spans.empty()) GRAPHLOG_RETURN_NOT_OK(Expect(','));
+          GRAPHLOG_ASSIGN_OR_RETURN(Span s, ParseSpan());
+          report.spans.push_back(std::move(s));
+        }
+      } else if (key == "metrics") {
+        GRAPHLOG_RETURN_NOT_OK(ParseMetrics(&report.metrics));
+      } else {
+        return Err("unknown report key '" + key + "'");
+      }
+    }
+    return report;
+  }
+
+ private:
+  Status Err(std::string msg) const {
+    return Status::ParseError("trace JSON: " + std::move(msg) + " at offset " +
+                              std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool TryConsume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!TryConsume(c)) {
+      return Err(std::string("expected '") + c + "'");
+    }
+    return Status::OK();
+  }
+
+  Result<std::string> ParseString() {
+    GRAPHLOG_RETURN_NOT_OK(Expect('"'));
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Err("dangling escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"':
+        case '\\':
+        case '/':
+          out.push_back(e);
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Err("bad \\u escape");
+          int code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += h - '0';
+            } else if (h >= 'a' && h <= 'f') {
+              code += h - 'a' + 10;
+            } else if (h >= 'A' && h <= 'F') {
+              code += h - 'A' + 10;
+            } else {
+              return Err("bad \\u escape");
+            }
+          }
+          if (code > 0x7f) return Err("non-ASCII \\u escape unsupported");
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          return Err("unknown escape");
+      }
+    }
+    GRAPHLOG_RETURN_NOT_OK(Expect('"'));
+    return out;
+  }
+
+  Result<int64_t> ParseInt() {
+    SkipWs();
+    bool neg = TryConsume('-');
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+      return Err("expected integer");
+    }
+    int64_t v = 0;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      v = v * 10 + (text_[pos_++] - '0');
+    }
+    return neg ? -v : v;
+  }
+
+  /// Parses `[["key", value], ...]` with integer values.
+  Status ParseIntPairs(std::vector<std::pair<std::string, int64_t>>* out) {
+    GRAPHLOG_RETURN_NOT_OK(Expect('['));
+    while (!TryConsume(']')) {
+      if (!out->empty()) GRAPHLOG_RETURN_NOT_OK(Expect(','));
+      GRAPHLOG_RETURN_NOT_OK(Expect('['));
+      GRAPHLOG_ASSIGN_OR_RETURN(std::string key, ParseString());
+      GRAPHLOG_RETURN_NOT_OK(Expect(','));
+      GRAPHLOG_ASSIGN_OR_RETURN(int64_t value, ParseInt());
+      GRAPHLOG_RETURN_NOT_OK(Expect(']'));
+      out->emplace_back(std::move(key), value);
+    }
+    return Status::OK();
+  }
+
+  Result<Span> ParseSpan() {
+    Span span;
+    GRAPHLOG_RETURN_NOT_OK(Expect('{'));
+    bool first = true;
+    while (!TryConsume('}')) {
+      if (!first) GRAPHLOG_RETURN_NOT_OK(Expect(','));
+      first = false;
+      GRAPHLOG_ASSIGN_OR_RETURN(std::string key, ParseString());
+      GRAPHLOG_RETURN_NOT_OK(Expect(':'));
+      if (key == "name") {
+        GRAPHLOG_ASSIGN_OR_RETURN(span.name, ParseString());
+      } else if (key == "duration_ns") {
+        GRAPHLOG_ASSIGN_OR_RETURN(int64_t d, ParseInt());
+        span.start_ns = 0;
+        span.end_ns = static_cast<uint64_t>(d);
+      } else if (key == "attrs") {
+        GRAPHLOG_RETURN_NOT_OK(ParseIntPairs(&span.attrs));
+      } else if (key == "timings") {
+        GRAPHLOG_RETURN_NOT_OK(ParseIntPairs(&span.timings));
+      } else if (key == "notes") {
+        GRAPHLOG_RETURN_NOT_OK(Expect('['));
+        while (!TryConsume(']')) {
+          if (!span.notes.empty()) GRAPHLOG_RETURN_NOT_OK(Expect(','));
+          GRAPHLOG_RETURN_NOT_OK(Expect('['));
+          GRAPHLOG_ASSIGN_OR_RETURN(std::string k, ParseString());
+          GRAPHLOG_RETURN_NOT_OK(Expect(','));
+          GRAPHLOG_ASSIGN_OR_RETURN(std::string v, ParseString());
+          GRAPHLOG_RETURN_NOT_OK(Expect(']'));
+          span.notes.emplace_back(std::move(k), std::move(v));
+        }
+      } else if (key == "children") {
+        GRAPHLOG_RETURN_NOT_OK(Expect('['));
+        while (!TryConsume(']')) {
+          if (!span.children.empty()) GRAPHLOG_RETURN_NOT_OK(Expect(','));
+          GRAPHLOG_ASSIGN_OR_RETURN(Span child, ParseSpan());
+          span.children.push_back(std::move(child));
+        }
+      } else {
+        return Err("unknown span key '" + key + "'");
+      }
+    }
+    return span;
+  }
+
+  Status ParseMetrics(Metrics* metrics) {
+    GRAPHLOG_RETURN_NOT_OK(Expect('{'));
+    bool first = true;
+    while (!TryConsume('}')) {
+      if (!first) GRAPHLOG_RETURN_NOT_OK(Expect(','));
+      first = false;
+      GRAPHLOG_ASSIGN_OR_RETURN(std::string key, ParseString());
+      GRAPHLOG_RETURN_NOT_OK(Expect(':'));
+      GRAPHLOG_RETURN_NOT_OK(Expect('{'));
+      bool efirst = true;
+      while (!TryConsume('}')) {
+        if (!efirst) GRAPHLOG_RETURN_NOT_OK(Expect(','));
+        efirst = false;
+        GRAPHLOG_ASSIGN_OR_RETURN(std::string name, ParseString());
+        GRAPHLOG_RETURN_NOT_OK(Expect(':'));
+        if (key == "counters") {
+          GRAPHLOG_ASSIGN_OR_RETURN(int64_t v, ParseInt());
+          metrics->Count(name, static_cast<uint64_t>(v));
+        } else if (key == "histograms") {
+          GRAPHLOG_RETURN_NOT_OK(ParseHistogram(name, metrics));
+        } else {
+          return Err("unknown metrics key '" + key + "'");
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ParseHistogram(const std::string& name, Metrics* metrics) {
+    // Reconstruct the histogram field by field: Observe() cannot replay
+    // the original values, so write the aggregate directly.
+    Histogram h;
+    GRAPHLOG_RETURN_NOT_OK(Expect('{'));
+    bool first = true;
+    while (!TryConsume('}')) {
+      if (!first) GRAPHLOG_RETURN_NOT_OK(Expect(','));
+      first = false;
+      GRAPHLOG_ASSIGN_OR_RETURN(std::string field, ParseString());
+      GRAPHLOG_RETURN_NOT_OK(Expect(':'));
+      if (field == "count") {
+        GRAPHLOG_ASSIGN_OR_RETURN(int64_t v, ParseInt());
+        h.count = static_cast<uint64_t>(v);
+      } else if (field == "sum") {
+        GRAPHLOG_ASSIGN_OR_RETURN(h.sum, ParseInt());
+      } else if (field == "min") {
+        GRAPHLOG_ASSIGN_OR_RETURN(h.min, ParseInt());
+      } else if (field == "max") {
+        GRAPHLOG_ASSIGN_OR_RETURN(h.max, ParseInt());
+      } else if (field == "buckets") {
+        GRAPHLOG_RETURN_NOT_OK(Expect('['));
+        while (!TryConsume(']')) {
+          if (!h.buckets.empty()) GRAPHLOG_RETURN_NOT_OK(Expect(','));
+          GRAPHLOG_RETURN_NOT_OK(Expect('['));
+          GRAPHLOG_ASSIGN_OR_RETURN(int64_t width, ParseInt());
+          GRAPHLOG_RETURN_NOT_OK(Expect(','));
+          GRAPHLOG_ASSIGN_OR_RETURN(int64_t n, ParseInt());
+          GRAPHLOG_RETURN_NOT_OK(Expect(']'));
+          h.buckets[static_cast<int>(width)] = static_cast<uint64_t>(n);
+        }
+      } else {
+        return Err("unknown histogram key '" + field + "'");
+      }
+    }
+    metrics->SetHistogram(name, std::move(h));
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<TraceReport> TraceReport::FromJson(std::string_view json) {
+  JsonParser parser(json);
+  return parser.ParseReport();
+}
+
+// ---------------------------------------------------------------------------
+// Text report
+
+namespace {
+
+void AppendDuration(std::string* out, uint64_t ns) {
+  char buf[32];
+  if (ns >= 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", static_cast<double>(ns) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f us", static_cast<double>(ns) / 1e3);
+  }
+  *out += buf;
+}
+
+void AppendSpanText(std::string* out, const Span& span, int depth) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += span.name;
+  if (span.end_ns != 0) {
+    *out += "  [";
+    AppendDuration(out, span.duration_ns());
+    *out += "]";
+  }
+  for (const auto& [k, v] : span.attrs) {
+    *out += "  " + k + "=" + std::to_string(v);
+  }
+  out->push_back('\n');
+  for (const auto& [k, v] : span.notes) {
+    out->append(static_cast<size_t>(depth) * 2 + 2, ' ');
+    *out += "# " + k + ": " + v + "\n";
+  }
+  for (const Span& child : span.children) {
+    AppendSpanText(out, child, depth + 1);
+  }
+}
+
+}  // namespace
+
+std::string TraceReport::ToText() const {
+  std::string out;
+  for (const Span& span : spans) AppendSpanText(&out, span, 0);
+  if (!metrics.counters().empty()) {
+    out += "counters:\n";
+    for (const auto& [name, value] : metrics.counters()) {
+      out += "  " + name + " = " + std::to_string(value) + "\n";
+    }
+  }
+  if (!metrics.histograms().empty()) {
+    out += "histograms:\n";
+    for (const auto& [name, h] : metrics.histograms()) {
+      out += "  " + name + ": count=" + std::to_string(h.count) +
+             " sum=" + std::to_string(h.sum) + " min=" + std::to_string(h.min) +
+             " max=" + std::to_string(h.max) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace graphlog::obs

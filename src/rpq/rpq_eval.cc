@@ -76,29 +76,61 @@ void SearchFrom(const DataGraph& g, const Nfa& nfa, NodeId source,
   }
 }
 
+/// Annotates the "rpq" span with automaton shape, endpoint restrictions,
+/// and search effort once the product search has finished.
+void FinishRpqSpan(obs::SpanGuard& span, std::string_view automaton,
+                   size_t automaton_states, const RpqOptions& options,
+                   const RpqStats& stats, const Relation& out) {
+  if (!span.enabled()) return;
+  span.AddNote("automaton", automaton);
+  span.AddAttr("automaton_states", static_cast<int64_t>(automaton_states));
+  span.AddAttr("source_fixed", options.source.has_value() ? 1 : 0);
+  span.AddAttr("target_fixed", options.target.has_value() ? 1 : 0);
+  span.AddAttr("product_states_visited",
+               static_cast<int64_t>(stats.product_states_visited));
+  span.AddAttr("edge_traversals",
+               static_cast<int64_t>(stats.edge_traversals));
+  span.AddAttr("pairs", static_cast<int64_t>(out.size()));
+}
+
 }  // namespace
 
 Result<Relation> EvalRpq(const DataGraph& g, const gl::PathExpr& expr,
                          const RpqOptions& options, RpqStats* stats) {
   GRAPHLOG_ASSIGN_OR_RETURN(Nfa nfa, Nfa::Compile(expr));
+  obs::SpanGuard span(options.tracer, "rpq");
+  // Effort counters feed the span even when the caller passed no stats.
+  RpqStats local;
+  if (stats == nullptr && span.enabled()) stats = &local;
 
   Relation out(2);
+  auto finish = [&]() {
+    if (stats != nullptr) {
+      FinishRpqSpan(span, "nfa", nfa.num_states(), options, *stats, out);
+    }
+  };
   std::optional<NodeId> target;
   if (options.target.has_value()) {
     NodeId t;
-    if (!g.FindNode(*options.target, &t)) return out;  // unknown node
+    if (!g.FindNode(*options.target, &t)) {  // unknown node
+      finish();
+      return out;
+    }
     target = t;
   }
 
   if (options.source.has_value()) {
     NodeId s;
-    if (!g.FindNode(*options.source, &s)) return out;
-    SearchFrom(g, nfa, s, target, &out, stats);
+    if (g.FindNode(*options.source, &s)) {
+      SearchFrom(g, nfa, s, target, &out, stats);
+    }
+    finish();
     return out;
   }
   for (NodeId s = 0; s < g.num_nodes(); ++s) {
     SearchFrom(g, nfa, s, target, &out, stats);
   }
+  finish();
   return out;
 }
 
@@ -253,23 +285,37 @@ Result<Relation> EvalRpqDfa(const DataGraph& g, const gl::PathExpr& expr,
   GRAPHLOG_ASSIGN_OR_RETURN(Nfa nfa, Nfa::Compile(expr));
   GRAPHLOG_ASSIGN_OR_RETURN(Dfa det, Dfa::Determinize(nfa));
   Dfa dfa = det.Minimize();
+  obs::SpanGuard span(options.tracer, "rpq");
+  RpqStats local;
+  if (stats == nullptr && span.enabled()) stats = &local;
 
   Relation out(2);
+  auto finish = [&]() {
+    if (stats != nullptr) {
+      FinishRpqSpan(span, "dfa", dfa.num_states(), options, *stats, out);
+    }
+  };
   std::optional<NodeId> target;
   if (options.target.has_value()) {
     NodeId t;
-    if (!g.FindNode(*options.target, &t)) return out;
+    if (!g.FindNode(*options.target, &t)) {
+      finish();
+      return out;
+    }
     target = t;
   }
   if (options.source.has_value()) {
     NodeId s;
-    if (!g.FindNode(*options.source, &s)) return out;
-    SearchFromDfa(g, dfa, s, target, &out, stats);
+    if (g.FindNode(*options.source, &s)) {
+      SearchFromDfa(g, dfa, s, target, &out, stats);
+    }
+    finish();
     return out;
   }
   for (NodeId s = 0; s < g.num_nodes(); ++s) {
     SearchFromDfa(g, dfa, s, target, &out, stats);
   }
+  finish();
   return out;
 }
 

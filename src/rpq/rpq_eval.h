@@ -15,6 +15,7 @@
 #include "common/result.h"
 #include "graph/data_graph.h"
 #include "graphlog/pre.h"
+#include "obs/trace.h"
 #include "rpq/nfa.h"
 #include "storage/relation.h"
 
@@ -26,6 +27,10 @@ struct RpqOptions {
   std::optional<Value> source;
   /// When set, only pairs ending at this node are reported.
   std::optional<Value> target;
+  /// When set, the evaluator records an "rpq" span (automaton size,
+  /// endpoint restrictions, product-search effort); null costs one
+  /// pointer test. See obs/trace.h.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// \brief Search-effort counters.

@@ -140,23 +140,60 @@ Relation BfsTc(const Relation& edges, TcStats* stats) {
 
 }  // namespace
 
+namespace {
+
+std::string_view AlgorithmName(TcAlgorithm algorithm) {
+  switch (algorithm) {
+    case TcAlgorithm::kNaive:
+      return "naive";
+    case TcAlgorithm::kSemiNaive:
+      return "semi-naive";
+    case TcAlgorithm::kSquaring:
+      return "squaring";
+    case TcAlgorithm::kBfs:
+      return "bfs";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
 Result<Relation> TransitiveClosure(const Relation& edges,
-                                   TcAlgorithm algorithm, TcStats* stats) {
+                                   TcAlgorithm algorithm, TcStats* stats,
+                                   obs::Tracer* tracer) {
   if (edges.arity() != 2) {
     return Status::InvalidArgument(
         "transitive closure requires a binary relation");
   }
+  obs::SpanGuard span(tracer, "tc");
+  // Effort counters feed the span even when the caller passed no stats.
+  TcStats local;
+  if (stats == nullptr && span.enabled()) stats = &local;
+  Relation closure(2);
   switch (algorithm) {
     case TcAlgorithm::kNaive:
-      return NaiveTc(edges, stats);
+      closure = NaiveTc(edges, stats);
+      break;
     case TcAlgorithm::kSemiNaive:
-      return SemiNaiveTc(edges, stats);
+      closure = SemiNaiveTc(edges, stats);
+      break;
     case TcAlgorithm::kSquaring:
-      return SquaringTc(edges, stats);
+      closure = SquaringTc(edges, stats);
+      break;
     case TcAlgorithm::kBfs:
-      return BfsTc(edges, stats);
+      closure = BfsTc(edges, stats);
+      break;
+    default:
+      return Status::InvalidArgument("unknown TC algorithm");
   }
-  return Status::InvalidArgument("unknown TC algorithm");
+  if (span.enabled()) {
+    span.AddNote("algorithm", AlgorithmName(algorithm));
+    span.AddAttr("edges", static_cast<int64_t>(edges.size()));
+    span.AddAttr("pairs", static_cast<int64_t>(closure.size()));
+    span.AddAttr("rounds", static_cast<int64_t>(stats->rounds));
+    span.AddAttr("pair_visits", static_cast<int64_t>(stats->pair_visits));
+  }
+  return closure;
 }
 
 Result<Relation> ReachableFrom(const Relation& edges, const Value& source) {

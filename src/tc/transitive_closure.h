@@ -23,6 +23,7 @@
 #include <cstdint>
 
 #include "common/result.h"
+#include "obs/trace.h"
 #include "storage/relation.h"
 
 namespace graphlog::tc {
@@ -43,9 +44,13 @@ struct TcStats {
 
 /// \brief Computes the positive transitive closure of binary relation
 /// `edges`. Fails with kInvalidArgument when arity != 2.
+///
+/// When `tracer` is set a "tc" span is recorded (algorithm, input/output
+/// sizes, rounds, candidate pairs); null costs one pointer test.
 Result<storage::Relation> TransitiveClosure(const storage::Relation& edges,
                                             TcAlgorithm algorithm,
-                                            TcStats* stats = nullptr);
+                                            TcStats* stats = nullptr,
+                                            obs::Tracer* tracer = nullptr);
 
 /// \brief Closure of a single source: all y with source ->+ y. Linear-time
 /// BFS; the right tool when one endpoint is fixed (the Figure 12 query).

@@ -14,6 +14,8 @@
 #include "eval/engine.h"
 #include "eval/provenance.h"
 #include "exec/thread_pool.h"
+#include "graphlog/api.h"
+#include "obs/trace.h"
 #include "storage/database.h"
 #include "tests/test_util.h"
 #include "workload/generators.h"
@@ -246,6 +248,64 @@ TEST(ParallelEvalTest, HardwareConcurrencySettingWorks) {
   RunResult serial = RunProgram(prog, 1, setup);
   RunResult hw = RunProgram(prog, 0, setup);
   ExpectIdentical(serial, hw, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Trace determinism: the structural projection of a trace (span tree,
+// attrs, notes, metrics — ToJson(include_timings=false)) must be
+// byte-identical across thread counts, like every other observable.
+
+/// The figure-regression Figure 4 query over the Figure 1 flights.
+constexpr char kFigure4Query[] =
+    "query feasible {\n"
+    "  edge F1 -> A1 : arrival;\n"
+    "  edge F2 -> D2 : departure;\n"
+    "  edge A1 -> D2 : <;\n"
+    "  edge F1 -> C : to;\n"
+    "  edge F2 -> C : from;\n"
+    "  distinguished F1 -> F2 : feasible;\n"
+    "}\n"
+    "query stop-connected {\n"
+    "  edge C1 -> C2 : (-from) feasible+ to;\n"
+    "  distinguished C1 -> C2 : stop-connected;\n"
+    "}\n";
+
+std::string TracedRunJson(const QueryRequest& base, unsigned num_threads,
+                          const std::function<void(Database*)>& setup) {
+  Database db;
+  setup(&db);
+  QueryRequest req = base;
+  req.options.eval.num_threads = num_threads;
+  req.options.observability.tracing = true;
+  auto r = Run(req, &db);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  if (!r.ok()) return "";
+  EXPECT_FALSE(r->trace.empty());
+  return r->trace.ToJson(/*include_timings=*/false);
+}
+
+TEST(ParallelEvalTest, Figure4TraceIdenticalAcrossThreadCounts) {
+  auto setup = [](Database* db) { ASSERT_OK(workload::Figure1Flights(db)); };
+  const QueryRequest base = QueryRequest::GraphLog(kFigure4Query);
+  const std::string serial = TracedRunJson(base, 1, setup);
+  ASSERT_FALSE(serial.empty());
+  for (unsigned threads : {4u}) {
+    EXPECT_EQ(serial, TracedRunJson(base, threads, setup))
+        << "structural trace differs at " << threads << " lanes";
+  }
+}
+
+TEST(ParallelEvalTest, DatalogTraceIdenticalAcrossThreadCounts) {
+  auto setup = [](Database* db) { SeedRandomGraph(db, 200, 800, 11); };
+  const QueryRequest base = QueryRequest::Datalog(
+      "tc(X, Y) :- edge(X, Y).\n"
+      "tc(X, Y) :- tc(X, Z), tc(Z, Y).\n");
+  const std::string serial = TracedRunJson(base, 1, setup);
+  ASSERT_FALSE(serial.empty());
+  for (unsigned threads : {2u, 4u}) {
+    EXPECT_EQ(serial, TracedRunJson(base, threads, setup))
+        << "structural trace differs at " << threads << " lanes";
+  }
 }
 
 TEST(ParallelEvalTest, IncrementalIndexCountersPopulated) {
