@@ -1,17 +1,18 @@
-// Tracing-overhead ablation for the observability layer.
+// Tracing- and metrics-overhead ablation for the observability layer.
 //
 // The same queries evaluated through graphlog::Run with tracing off (the
-// default: every instrumentation site is one null-pointer test) and on
-// (span tree + metrics recorded). The disabled delta is the acceptance
-// gate — it must stay under a few percent; the enabled cost shows what a
-// trace actually buys and costs.
+// default: every instrumentation site is one null-pointer test), tracing
+// on (span tree + metrics recorded), and the metrics registry attached
+// (process-wide counters folded at the same sites). The disabled delta is
+// the acceptance gate — it must stay under a few percent; the enabled
+// costs show what a trace or a registry actually buys and costs.
 //
-//  * BM_GraphLogQuery/{off,on}: the Figure 4 two-graph query over the
-//    Figure 1 flights — the figure-regression workload.
-//  * BM_DatalogLinearTc/{off,on}: linear TC on a random digraph, many
-//    fixpoint rounds -> many round spans when tracing.
-//  * BM_DatalogNonlinearTc/{off,on}: nonlinear TC — heavier rounds, so
-//    per-round span overhead is better amortized.
+//  * BM_GraphLogQuery/{tracing,metrics}: the Figure 4 two-graph query
+//    over the Figure 1 flights — the figure-regression workload.
+//  * BM_DatalogLinearTc/{tracing,metrics}: linear TC on a random digraph,
+//    many fixpoint rounds -> many round spans / histogram samples.
+//  * BM_DatalogNonlinearTc/{tracing,metrics}: nonlinear TC — heavier
+//    rounds, so per-round overhead is better amortized.
 //  * BM_ExplainOnly: parse + translate + stratify + plan, no execution.
 
 #include <benchmark/benchmark.h>
@@ -50,15 +51,19 @@ constexpr char kNonlinearTc[] =
     "tc(X, Y) :- edge(X, Y).\n"
     "tc(X, Y) :- tc(X, Z), tc(Z, Y).\n";
 
-/// state.range(0) == 1 turns tracing on.
+/// state.range(0) == 1 turns tracing on; state.range(1) == 1 attaches a
+/// process-wide metrics registry.
 void BM_GraphLogQuery(benchmark::State& state) {
   const bool tracing = state.range(0) != 0;
+  const bool metrics = state.range(1) != 0;
+  obs::MetricsRegistry registry;
   for (auto _ : state) {
     state.PauseTiming();
     storage::Database db;
     CheckOk(workload::Figure1Flights(&db), "figure 1 flights");
     QueryRequest req = QueryRequest::GraphLog(kFigure4Query);
     req.options.observability.tracing = tracing;
+    if (metrics) req.options.observability.metrics = &registry;
     state.ResumeTiming();
     auto r = Run(req, &db);
     CheckOk(r.status(), "figure 4 query");
@@ -66,20 +71,24 @@ void BM_GraphLogQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GraphLogQuery)
-    ->Arg(0)
-    ->Arg(1)
-    ->ArgNames({"tracing"})
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({0, 1})
+    ->ArgNames({"tracing", "metrics"})
     ->Unit(benchmark::kMicrosecond);
 
 void RunDatalogTc(benchmark::State& state, const char* program, int n,
                   int m) {
   const bool tracing = state.range(0) != 0;
+  const bool metrics = state.range(1) != 0;
+  obs::MetricsRegistry registry;
   for (auto _ : state) {
     state.PauseTiming();
     storage::Database db;
     CheckOk(workload::RandomDigraph(n, m, 42, &db), "random digraph");
     QueryRequest req = QueryRequest::Datalog(program);
     req.options.observability.tracing = tracing;
+    if (metrics) req.options.observability.metrics = &registry;
     state.ResumeTiming();
     auto r = Run(req, &db);
     CheckOk(r.status(), "datalog tc");
@@ -91,18 +100,20 @@ void BM_DatalogLinearTc(benchmark::State& state) {
   RunDatalogTc(state, kLinearTc, 300, 1200);
 }
 BENCHMARK(BM_DatalogLinearTc)
-    ->Arg(0)
-    ->Arg(1)
-    ->ArgNames({"tracing"})
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({0, 1})
+    ->ArgNames({"tracing", "metrics"})
     ->Unit(benchmark::kMillisecond);
 
 void BM_DatalogNonlinearTc(benchmark::State& state) {
   RunDatalogTc(state, kNonlinearTc, 150, 600);
 }
 BENCHMARK(BM_DatalogNonlinearTc)
-    ->Arg(0)
-    ->Arg(1)
-    ->ArgNames({"tracing"})
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({0, 1})
+    ->ArgNames({"tracing", "metrics"})
     ->Unit(benchmark::kMillisecond);
 
 void BM_ExplainOnly(benchmark::State& state) {
@@ -128,16 +139,24 @@ void Report() {
   // Sanity: the traced run records the expected artifacts.
   storage::Database db;
   CheckOk(workload::Figure1Flights(&db), "figure 1 flights");
+  obs::MetricsRegistry registry;
   QueryRequest req = QueryRequest::GraphLog(kFigure4Query);
   req.options.observability.tracing = true;
   req.options.observability.explain = true;
+  req.options.observability.metrics = &registry;
   auto r = Run(req, &db);
   CheckOk(r.status(), "traced figure 4 query");
+  obs::MetricsSnapshot snap = registry.Snapshot();
   std::printf("traced run: %zu root spans, %zu counters, explain %zu "
               "bytes, deterministic export %zu bytes\n",
               r->trace.spans.size(),
               r->trace.metrics.counters().size(), r->explain.size(),
               r->trace.ToJson(/*include_timings=*/false).size());
+  std::printf("registry: %zu counters, %zu gauges, %zu histograms, "
+              "deterministic export %zu bytes\n",
+              snap.counters.size(), snap.gauges.size(),
+              snap.histograms.size(),
+              snap.ToJson(/*include_timings=*/false).size());
 }
 
 }  // namespace

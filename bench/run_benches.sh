@@ -1,46 +1,85 @@
 #!/usr/bin/env bash
-# Runs the parallel-evaluation benchmark suite and leaves machine-readable
-# results next to the build tree:
+# Runs the benchmark suite and leaves machine-readable results next to the
+# build tree: one BENCH_<name>.json per bench binary, each wrapped in a
+# shared schema header so runs are comparable across machines and commits:
 #
-#   BENCH_parallel_eval.json  thread ablation (1/2/4/8 lanes) for linear and
-#                             nonlinear transitive closure, plus the
-#                             incremental-vs-rebuild index maintenance ablation
-#   BENCH_parallel_tc.json    per-source-parallel TC kernel ablation
-#   BENCH_observability.json  tracing-overhead ablation (tracing off vs on,
-#                             plus explain-only planning cost)
+#   {
+#     "schema_version": 1,
+#     "bench": "<name>",            # binary name without the bench_ prefix
+#     "git_rev": "<sha or unknown>",
+#     "threads": <hardware concurrency>,
+#     "timestamp": "<UTC ISO-8601>",
+#     "benchmark": { ... }          # the raw google-benchmark JSON report
+#   }
 #
-# Usage: bench/run_benches.sh [BUILD_DIR] [OUT_DIR]
-# Defaults: BUILD_DIR = ./build, OUT_DIR = BUILD_DIR.
+# Compare two output directories with scripts/check_bench_regression.py.
+#
+# Usage: bench/run_benches.sh [BUILD_DIR] [OUT_DIR] [FILTER]
+# Defaults: BUILD_DIR = ./build, OUT_DIR = BUILD_DIR; FILTER is a shell
+# glob over binary names (e.g. 'bench_parallel*'), default all.
 
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-${BUILD_DIR}}"
+FILTER="${3:-bench_*}"
 
-if [[ ! -x "${BUILD_DIR}/bench/bench_parallel_eval" ]]; then
-  echo "error: ${BUILD_DIR}/bench/bench_parallel_eval not built" >&2
+if ! compgen -G "${BUILD_DIR}/bench/bench_*" >/dev/null; then
+  echo "error: no bench binaries under ${BUILD_DIR}/bench" >&2
   echo "  (cmake -S . -B ${BUILD_DIR} && cmake --build ${BUILD_DIR})" >&2
   exit 1
 fi
 
 mkdir -p "${OUT_DIR}"
 
-run() {
-  local bin="$1" out="$2"
-  echo "== ${bin} -> ${out}"
+GIT_REV="$(git -C "$(dirname "$0")/.." rev-parse --short HEAD \
+           2>/dev/null || echo unknown)"
+
+wrap() {
+  # wrap RAW_JSON OUT_JSON NAME — prepend the schema header.
+  python3 - "$1" "$2" "$3" "${GIT_REV}" <<'EOF'
+import json, os, sys
+from datetime import datetime, timezone
+raw, out, name, rev = sys.argv[1:5]
+with open(raw) as f:
+    report = json.load(f)
+doc = {
+    "schema_version": 1,
+    "bench": name,
+    "git_rev": rev,
+    "threads": os.cpu_count(),
+    "timestamp": datetime.now(timezone.utc).isoformat(),
+    "benchmark": report,
+}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=1)
+    f.write("\n")
+EOF
+}
+
+ran=0
+for bin in "${BUILD_DIR}"/bench/${FILTER}; do
+  [[ -x "${bin}" ]] || continue
+  base="$(basename "${bin}")"
+  name="${base#bench_}"
+  out="${OUT_DIR}/BENCH_${name}.json"
+  raw="${out}.raw"
+  echo "== ${base} -> ${out}"
   # The report banner goes to stdout before google-benchmark starts; the
   # JSON goes to its own file so it stays parseable.
-  "${BUILD_DIR}/bench/${bin}" \
-    --benchmark_out="${OUT_DIR}/${out}" \
+  "${bin}" \
+    --benchmark_out="${raw}" \
     --benchmark_out_format=json \
     --benchmark_repetitions=3 \
     --benchmark_report_aggregates_only=true
-}
+  wrap "${raw}" "${out}" "${name}"
+  rm -f "${raw}"
+  echo "wrote ${out}"
+  ran=$((ran + 1))
+done
 
-run bench_parallel_eval BENCH_parallel_eval.json
-run bench_parallel_tc BENCH_parallel_tc.json
-run bench_observability BENCH_observability.json
-
-echo "wrote ${OUT_DIR}/BENCH_parallel_eval.json"
-echo "wrote ${OUT_DIR}/BENCH_parallel_tc.json"
-echo "wrote ${OUT_DIR}/BENCH_observability.json"
+if [[ "${ran}" -eq 0 ]]; then
+  echo "error: no bench binary matched '${FILTER}'" >&2
+  exit 1
+fi
+echo "${ran} benchmark reports in ${OUT_DIR}"

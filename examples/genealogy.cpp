@@ -10,7 +10,7 @@
 
 #include <cstdio>
 
-#include "graphlog/engine.h"
+#include "graphlog/api.h"
 #include "graphlog/parser.h"
 #include "graphlog/pre.h"
 #include "graphlog/translate.h"
@@ -73,9 +73,9 @@ int main() {
 
   gl::GraphicalQuery q;
   q.graphs.push_back(fig2);
-  auto stats = gl::EvaluateGraphicalQuery(q, &db);
-  if (!stats.ok()) {
-    std::fprintf(stderr, "eval: %s\n", stats.status().ToString().c_str());
+  auto resp = graphlog::Run(QueryRequest::Graphical(q), &db);
+  if (!resp.ok()) {
+    std::fprintf(stderr, "eval: %s\n", resp.status().ToString().c_str());
     return 1;
   }
   const storage::Relation* res = db.Find("not-desc-of");
@@ -95,7 +95,7 @@ int main() {
       "  distinguished P -> F : local-friend;\n"
       "}\n";
   std::printf("\n=== Figure 5 query ===\n%s", fig5);
-  auto s5 = gl::EvaluateGraphLogText(fig5, &db);
+  auto s5 = graphlog::Run(QueryRequest::GraphLog(fig5), &db);
   if (!s5.ok()) {
     std::fprintf(stderr, "eval: %s\n", s5.status().ToString().c_str());
     return 1;

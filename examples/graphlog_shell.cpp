@@ -22,15 +22,20 @@
 //   .rpq [SRC [DST]] EXPR      automaton-product RPQ over the data graph
 //   .explain NAME { ... }      show translation + plans without evaluating
 //   .trace [on|off|json]       toggle tracing / print the last trace
+//   .metrics [json|prom]       process-wide metrics registry snapshot
+//   .slowlog [n|json|...]      inspect / configure the slow-query log
+//   .resource                  per-relation row/byte accounting
 //   .help | .quit
 //
 // Reads from stdin, so it is scriptable: `graphlog_shell < script.glog`.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/strings.h"
 #include "eval/provenance.h"
@@ -38,6 +43,8 @@
 #include "graphlog/api.h"
 #include "graphlog/dot.h"
 #include "graphlog/parser.h"
+#include "obs/metrics.h"
+#include "obs/slow_query_log.h"
 #include "obs/trace.h"
 #include "rpq/rpq_eval.h"
 #include "storage/database.h"
@@ -65,6 +72,14 @@ void PrintHelp() {
       "  .trace on|off            enable/disable tracing of evaluations\n"
       "  .trace                   print the last evaluation's trace tree\n"
       "  .trace json              print the last trace as JSON\n"
+      "  .metrics [json|prom]     snapshot of the process-wide metrics\n"
+      "                           registry (text, JSON, or Prometheus)\n"
+      "  .slowlog [N]             last N slow-query records (default all)\n"
+      "  .slowlog json            the slow-query log as one JSON document\n"
+      "  .slowlog threshold [MS]  show or set the slow-query threshold in\n"
+      "                           milliseconds (0 disables capture)\n"
+      "  .slowlog clear           drop all retained records\n"
+      "  .resource                per-relation row/byte accounting\n"
       "  .why FACT                derivation tree of a fact from the most\n"
       "                           recent query/.datalog evaluation\n"
       "  .threads [N]             show or set evaluation worker lanes\n"
@@ -88,6 +103,14 @@ bool BlockComplete(const std::string& text) {
 
 class Shell {
  public:
+  Shell() {
+    opts_.observability.metrics = &metrics_;
+    opts_.observability.slow_query_log = &slowlog_;
+    // Queries slower than 100 ms land in .slowlog by default;
+    // `.slowlog threshold MS` tunes it, 0 disables.
+    opts_.observability.slow_query_threshold_ns = 100'000'000;
+  }
+
   int Run() {
     std::string line;
     Prompt();
@@ -194,6 +217,20 @@ class Shell {
     }
     if (line == ".trace" || StartsWith(line, ".trace ")) {
       HandleTrace(line == ".trace" ? "" : std::string(Trim(line.substr(7))));
+      return;
+    }
+    if (line == ".metrics" || StartsWith(line, ".metrics ")) {
+      HandleMetrics(line == ".metrics" ? ""
+                                       : std::string(Trim(line.substr(9))));
+      return;
+    }
+    if (line == ".slowlog" || StartsWith(line, ".slowlog ")) {
+      HandleSlowlog(line == ".slowlog" ? ""
+                                       : std::string(Trim(line.substr(9))));
+      return;
+    }
+    if (line == ".resource") {
+      HandleResource();
       return;
     }
     if (StartsWith(line, ".explain ")) {
@@ -319,6 +356,100 @@ class Shell {
     }
   }
 
+  void HandleMetrics(const std::string& arg) {
+    obs::MetricsSnapshot snap = metrics_.Snapshot();
+    if (arg == "json") {
+      std::printf("%s\n", snap.ToJson().c_str());
+    } else if (arg == "prom") {
+      std::printf("%s", snap.ToPrometheus().c_str());
+    } else if (arg.empty()) {
+      if (snap.empty()) {
+        std::printf("no metrics recorded yet; run a query first\n");
+      } else {
+        std::printf("%s", snap.ToText().c_str());
+      }
+    } else {
+      std::printf("usage: .metrics [json|prom]\n");
+    }
+  }
+
+  void HandleSlowlog(const std::string& arg) {
+    if (arg == "json") {
+      std::printf("%s\n", slowlog_.ToJson().c_str());
+      return;
+    }
+    if (arg == "clear") {
+      slowlog_.Clear();
+      std::printf("slow-query log cleared\n");
+      return;
+    }
+    if (arg == "threshold" || StartsWith(arg, "threshold ")) {
+      std::string ms(arg == "threshold" ? "" : Trim(arg.substr(10)));
+      if (!ms.empty()) {
+        bool numeric = ms.size() <= 9;
+        for (char c : ms) numeric = numeric && c >= '0' && c <= '9';
+        if (!numeric) {
+          std::printf("usage: .slowlog threshold [MS]\n");
+          return;
+        }
+        opts_.observability.slow_query_threshold_ns =
+            std::strtoull(ms.c_str(), nullptr, 10) * 1000000ull;
+      }
+      std::printf("slow-query threshold = %llu ms\n",
+                  static_cast<unsigned long long>(
+                      opts_.observability.slow_query_threshold_ns / 1000000));
+      return;
+    }
+    size_t limit = slowlog_.capacity();
+    if (!arg.empty()) {
+      bool numeric = arg.size() <= 4;
+      for (char c : arg) numeric = numeric && c >= '0' && c <= '9';
+      if (!numeric) {
+        std::printf(
+            "usage: .slowlog [N | json | clear | threshold [MS]]\n");
+        return;
+      }
+      limit = std::strtoul(arg.c_str(), nullptr, 10);
+    }
+    std::vector<obs::SlowQueryRecord> entries = slowlog_.Entries();
+    if (entries.empty()) {
+      std::printf("slow-query log empty (threshold %llu ms, %llu total "
+                  "recorded)\n",
+                  static_cast<unsigned long long>(
+                      opts_.observability.slow_query_threshold_ns / 1000000),
+                  static_cast<unsigned long long>(slowlog_.total_recorded()));
+      return;
+    }
+    size_t start = entries.size() > limit ? entries.size() - limit : 0;
+    for (size_t i = start; i < entries.size(); ++i) {
+      const obs::SlowQueryRecord& r = entries[i];
+      std::string text = r.text;
+      std::replace(text.begin(), text.end(), '\n', ' ');
+      if (text.size() > 60) text = text.substr(0, 57) + "...";
+      std::printf("  #%llu [%s] %.3f ms%s: %s\n",
+                  static_cast<unsigned long long>(r.sequence),
+                  r.language.c_str(),
+                  static_cast<double>(r.duration_ns) / 1e6,
+                  r.error.empty() ? "" : " (failed)", text.c_str());
+    }
+    std::printf("%zu of %llu recorded shown; .slowlog json for detail\n",
+                entries.size() - start,
+                static_cast<unsigned long long>(slowlog_.total_recorded()));
+  }
+
+  void HandleResource() {
+    db_.ExportResourceMetrics(&metrics_);
+    size_t total_rows = 0;
+    for (const auto& [name, rel] : db_.relations()) {
+      std::printf("  %s/%zu: %zu rows, %zu bytes\n",
+                  db_.symbols().name(name).c_str(), rel.arity(), rel.size(),
+                  rel.MemoryBytes());
+      total_rows += rel.size();
+    }
+    std::printf("total: %zu relations, %zu rows, %zu bytes\n",
+                db_.relations().size(), total_rows, db_.TotalBytes());
+  }
+
   void DotQuery(const std::string& text) {
     auto q = gl::ParseGraphicalQuery(text, &db_.symbols());
     if (!q.ok()) {
@@ -365,6 +496,7 @@ class Shell {
     graph::DataGraph g = graph::DataGraph::FromDatabase(db_);
     obs::Tracer tracer;
     if (opts_.observability.tracing) opts.tracer = &tracer;
+    opts.metrics = &metrics_;
     auto r = rpq::EvalRpqText(g, expr, &db_.symbols(), opts);
     if (opts_.observability.tracing) last_trace_ = tracer.TakeReport();
     if (!r.ok()) {
@@ -396,6 +528,10 @@ class Shell {
   QueryOptions opts_;
   // Trace of the most recent traced evaluation (.trace / .trace json).
   obs::TraceReport last_trace_;
+  // Session-wide metrics registry (.metrics) and slow-query ring
+  // (.slowlog); opts_ points at both for every evaluation.
+  obs::MetricsRegistry metrics_;
+  obs::SlowQueryLog slowlog_;
   // Provenance of the most recent query/.datalog evaluation (.why).
   eval::ProvenanceStore last_store_;
   datalog::Program last_program_;

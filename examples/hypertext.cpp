@@ -13,7 +13,7 @@
 #include <cstdlib>
 
 #include "graph/data_graph.h"
-#include "graphlog/engine.h"
+#include "graphlog/api.h"
 #include "ham/ham.h"
 #include "rpq/rpq_eval.h"
 #include "storage/database.h"
@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
       "  distinguished P1 -> P2 : authored-link(A);\n"
       "}\n";
   std::printf("\n=== graphical query ===\n%s\n", query);
-  auto stats = gl::EvaluateGraphLogText(query, &db);
+  auto stats = graphlog::Run(QueryRequest::GraphLog(query), &db);
   if (!stats.ok()) {
     std::fprintf(stderr, "eval failed: %s\n",
                  stats.status().ToString().c_str());
@@ -119,8 +119,8 @@ int main(int argc, char** argv) {
   ck(store.Export(&then_db, ham::Version{1}));
   const char* reach_q =
       "query reach { edge X -> Y : link+; distinguished X -> Y : reach; }";
-  ck(gl::EvaluateGraphLogText(reach_q, &now_db).status());
-  ck(gl::EvaluateGraphLogText(reach_q, &then_db).status());
+  ck(graphlog::Run(QueryRequest::GraphLog(reach_q), &now_db).status());
+  ck(graphlog::Run(QueryRequest::GraphLog(reach_q), &then_db).status());
   std::printf(
       "\nHAM-backed store: reach pairs now=%zu, at version 1=%zu "
       "(the retired api page is only reachable in history)\n",

@@ -13,7 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "graphlog/engine.h"
+#include "graphlog/api.h"
 #include "storage/database.h"
 #include "workload/generators.h"
 
@@ -56,12 +56,13 @@ int main(int argc, char** argv) {
       "}\n";
   std::printf("=== Figure 11 graphical query ===\n%s\n", query);
 
-  auto stats = gl::EvaluateGraphLogText(query, &db);
-  if (!stats.ok()) {
+  auto resp = graphlog::Run(QueryRequest::GraphLog(query), &db);
+  if (!resp.ok()) {
     std::fprintf(stderr, "eval failed: %s\n",
-                 stats.status().ToString().c_str());
+                 resp.status().ToString().c_str());
     return 1;
   }
+  const gl::QueryStats& stats = resp->stats;
 
   std::printf("earlier-start (critical-path distances), sample:\n");
   int shown = 0;
@@ -75,7 +76,7 @@ int main(int argc, char** argv) {
   std::printf("\ndelayed-start (task, new start, delayed task):\n%s",
               db.RelationToString(db.Intern("delayed-start")).c_str());
   std::printf("\n(%llu graphs translated, %llu summarized)\n",
-              static_cast<unsigned long long>(stats->graphs_translated),
-              static_cast<unsigned long long>(stats->graphs_summarized));
+              static_cast<unsigned long long>(stats.graphs_translated),
+              static_cast<unsigned long long>(stats.graphs_summarized));
   return 0;
 }

@@ -9,7 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "graphlog/engine.h"
+#include "graphlog/api.h"
 #include "storage/database.h"
 #include "workload/generators.h"
 
@@ -46,19 +46,20 @@ int main(int argc, char** argv) {
       "}\n";
   std::printf("\n=== Figure 6 graphical query ===\n%s\n", query);
 
-  auto stats = gl::EvaluateGraphLogText(query, &db);
-  if (!stats.ok()) {
+  auto resp = graphlog::Run(QueryRequest::GraphLog(query), &db);
+  if (!resp.ok()) {
     std::fprintf(stderr, "eval failed: %s\n",
-                 stats.status().ToString().c_str());
+                 resp.status().ToString().c_str());
     return 1;
   }
+  const gl::QueryStats& stats = resp->stats;
 
   std::printf("module-calls (module-level call edges):\n%s",
               db.RelationToString(db.Intern("module-calls")).c_str());
   std::printf("\nself-used modules (circular + using lib0):\n%s",
               db.RelationToString(db.Intern("self-used")).c_str());
   std::printf("\n(%llu tuples derived in %llu fixpoint rounds)\n",
-              static_cast<unsigned long long>(stats->datalog.tuples_derived),
-              static_cast<unsigned long long>(stats->datalog.iterations));
+              static_cast<unsigned long long>(stats.datalog.tuples_derived),
+              static_cast<unsigned long long>(stats.datalog.iterations));
   return 0;
 }

@@ -12,6 +12,7 @@
 #include "eval/compiled_rule.h"
 #include "eval/provenance.h"
 #include "exec/thread_pool.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "storage/tuple.h"
 
@@ -125,7 +126,13 @@ class Engine {
       span.AddAttr("index", static_cast<int64_t>(gi));
       span.AddAttr("rules",
                    static_cast<int64_t>(strat.rule_groups[gi].size()));
+      const uint64_t rounds_before = stats_.iterations;
       GRAPHLOG_RETURN_NOT_OK(RunStratum(strat.rule_groups[gi]));
+      if (options_.metrics != nullptr) {
+        options_.metrics->histogram("eval.stratum_rounds")
+            ->Observe(static_cast<int64_t>(stats_.iterations -
+                                           rounds_before));
+      }
     }
 
     for (const auto& [_, rel] : db_->relations()) {
@@ -142,6 +149,18 @@ class Engine {
       m.Count("eval.strata", stats_.strata);
       m.Count("eval.index_builds", stats_.index_builds);
       m.Count("eval.index_appends", stats_.index_appends);
+    }
+    if (options_.metrics != nullptr) {
+      // One registration + one add per counter per run; the cumulative
+      // twins of the per-run tracer metrics above.
+      obs::MetricsRegistry& m = *options_.metrics;
+      m.counter("eval.runs")->Increment();
+      m.counter("eval.iterations")->Add(stats_.iterations);
+      m.counter("eval.rule_firings")->Add(stats_.rule_firings);
+      m.counter("eval.tuples_derived")->Add(stats_.tuples_derived);
+      m.counter("eval.strata")->Add(stats_.strata);
+      m.counter("eval.index_builds")->Add(stats_.index_builds);
+      m.counter("eval.index_appends")->Add(stats_.index_appends);
     }
     return stats_;
   }
@@ -275,6 +294,23 @@ class Engine {
                        static_cast<int64_t>(d.size()));
           options_.tracer->metrics().Observe(
               "eval.delta_rows", static_cast<int64_t>(d.size()));
+        }
+      }
+      // Peak transient working set: the largest combined delta at any
+      // round start. Always tracked — it feeds EvalStats, not just the
+      // observability sinks — and costs O(local IDBs) per round.
+      {
+        uint64_t rows = 0;
+        uint64_t bytes = 0;
+        for (const auto& [p, d] : delta) {
+          rows += d.size();
+          bytes += d.MemoryBytes();
+        }
+        if (rows > stats_.peak_delta_rows) stats_.peak_delta_rows = rows;
+        if (bytes > stats_.peak_delta_bytes) stats_.peak_delta_bytes = bytes;
+        if (options_.metrics != nullptr) {
+          options_.metrics->histogram("eval.delta_rows")
+              ->Observe(static_cast<int64_t>(rows));
         }
       }
       const uint64_t firings_before = stats_.rule_firings;

@@ -18,7 +18,8 @@
 #include "storage/database.h"
 
 namespace graphlog::obs {
-class Tracer;  // obs/trace.h
+class Tracer;           // obs/trace.h
+class MetricsRegistry;  // obs/metrics.h
 }
 
 namespace graphlog::eval {
@@ -57,6 +58,13 @@ struct EvalOptions {
   /// default) is the zero-overhead path: every instrumentation site is a
   /// single pointer test. See obs/trace.h.
   obs::Tracer* tracer = nullptr;
+  /// When set, the engine folds its cumulative counters (`eval.runs`,
+  /// `eval.rule_firings`, `eval.tuples_derived`, index maintenance) and
+  /// per-stratum/per-round distributions (`eval.stratum_rounds`,
+  /// `eval.delta_rows`) into this process-wide registry at the same sites
+  /// the tracer instruments. Null (the default) costs one pointer test;
+  /// updates are per-round/per-run, never per-tuple. See obs/metrics.h.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// \brief Counters reported by an evaluation.
@@ -67,8 +75,15 @@ struct EvalStats {
   uint64_t strata = 0;
   uint64_t index_builds = 0;    ///< full hash-index builds across relations
   uint64_t index_appends = 0;   ///< incremental index row appends
+  /// Peak transient working set of the semi-naive loop: the largest total
+  /// delta-relation row count (resp. estimated bytes, see
+  /// Relation::MemoryBytes) observed at any round start. Deterministic
+  /// across num_threads like every other field.
+  uint64_t peak_delta_rows = 0;
+  uint64_t peak_delta_bytes = 0;
 
-  /// \brief Adds every counter of `other` into this one. The single
+  /// \brief Adds every counter of `other` into this one (peaks take the
+  /// max — the merged value is the peak over the combined run). The single
   /// audited accumulation point for drivers that sum stats over multiple
   /// engine runs (e.g. one per query graph) — field-by-field addition at
   /// call sites silently dropped counters when new fields were added.
@@ -79,6 +94,12 @@ struct EvalStats {
     strata += other.strata;
     index_builds += other.index_builds;
     index_appends += other.index_appends;
+    if (other.peak_delta_rows > peak_delta_rows) {
+      peak_delta_rows = other.peak_delta_rows;
+    }
+    if (other.peak_delta_bytes > peak_delta_bytes) {
+      peak_delta_bytes = other.peak_delta_bytes;
+    }
   }
 };
 

@@ -1,6 +1,7 @@
 #include "graphlog/api.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <set>
 
@@ -355,13 +356,64 @@ Result<QueryResponse> Run(const QueryRequest& req, Database* db) {
   }
   obs::Tracer* tracer = options.eval.tracer;
 
+  obs::MetricsRegistry* metrics = options.observability.metrics;
+  if (metrics != nullptr && options.eval.metrics == nullptr) {
+    options.eval.metrics = metrics;
+  }
+
+  obs::SlowQueryLog* slow_log = options.observability.slow_query_log;
+  const bool slow_log_armed =
+      slow_log != nullptr && options.observability.slow_query_threshold_ns > 0;
+  const bool caller_explain = options.observability.explain;
+  // The plan is only renderable while the query runs, so an armed slow log
+  // forces EXPLAIN on; the response's rendering is stripped below when the
+  // caller did not ask for it.
+  if (slow_log_armed) options.observability.explain = true;
+
+  const auto started = std::chrono::steady_clock::now();
   Status st = req.language == QueryRequest::Language::kDatalog
                   ? RunDatalog(req, options, tracer, db, &resp)
                   : RunGraphLog(req, options, tracer, db, &resp);
+  const uint64_t duration_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - started)
+          .count());
   // Harvest the trace even on failure: a span tree that ends at the
   // failing stage is exactly what one wants when debugging — but an error
   // Status is all the Result can carry, so only success returns it.
   if (tracer == &local_tracer) resp.trace = local_tracer.TakeReport();
+
+  if (metrics != nullptr) {
+    metrics->counter("query.runs")->Increment();
+    if (!st.ok()) metrics->counter("query.errors")->Increment();
+    metrics->counter("query.result_tuples")->Add(resp.stats.result_tuples);
+    metrics->histogram("query.duration_ns")
+        ->Observe(static_cast<int64_t>(duration_ns));
+    db->ExportResourceMetrics(metrics);
+  }
+
+  if (slow_log_armed &&
+      duration_ns >= options.observability.slow_query_threshold_ns) {
+    obs::SlowQueryRecord rec;
+    rec.language = req.language == QueryRequest::Language::kDatalog
+                       ? "datalog"
+                       : "graphlog";
+    rec.text = req.graphical != nullptr ? "<graphical>" : req.text;
+    rec.duration_ns = duration_ns;
+    rec.threshold_ns = options.observability.slow_query_threshold_ns;
+    if (!st.ok()) rec.error = st.ToString();
+    rec.explain = resp.explain;
+    if (options.observability.tracing) rec.trace_json = resp.trace.ToJson();
+    rec.tuples_derived = resp.stats.datalog.tuples_derived;
+    rec.rule_firings = resp.stats.datalog.rule_firings;
+    rec.iterations = resp.stats.datalog.iterations;
+    rec.result_tuples = resp.stats.result_tuples;
+    rec.peak_delta_rows = resp.stats.datalog.peak_delta_rows;
+    rec.peak_delta_bytes = resp.stats.datalog.peak_delta_bytes;
+    slow_log->Record(std::move(rec));
+  }
+  if (slow_log_armed && !caller_explain) resp.explain.clear();
+
   GRAPHLOG_RETURN_NOT_OK(st);
   return resp;
 }

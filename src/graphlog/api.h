@@ -28,6 +28,8 @@
 #include "common/result.h"
 #include "eval/engine.h"
 #include "graphlog/query_graph.h"
+#include "obs/metrics.h"
+#include "obs/slow_query_log.h"
 #include "obs/trace.h"
 #include "storage/database.h"
 
@@ -80,6 +82,23 @@ struct QueryOptions {
     /// With `explain`: stop after planning — parse, validate, translate,
     /// and plan, but do not execute. The response carries no stats.
     bool explain_only = false;
+    /// When set, Run() folds cumulative process-wide metrics into this
+    /// registry: `query.runs` / `query.errors` / `query.result_tuples`
+    /// counters, the `query.duration_ns` wall-clock histogram (a timing
+    /// metric — excluded from the deterministic snapshot projection), the
+    /// engine/kernel counters (threaded through eval.metrics), and the
+    /// post-run `db.*` resource gauges. Null (the default) is the
+    /// zero-overhead path. See obs/metrics.h.
+    obs::MetricsRegistry* metrics = nullptr;
+    /// When `slow_query_log` is set and a query's wall-clock time reaches
+    /// `slow_query_threshold_ns`, Run() captures the request text, the
+    /// EXPLAIN rendering (forced on internally; the response's `explain`
+    /// stays empty unless the caller asked for it), the stats, and — when
+    /// tracing is on — the trace JSON into the log's bounded ring.
+    /// Failed queries past the threshold are captured too, with the error.
+    /// A zero threshold logs nothing. See obs/slow_query_log.h.
+    uint64_t slow_query_threshold_ns = 0;
+    obs::SlowQueryLog* slow_query_log = nullptr;
   } observability;
 };
 

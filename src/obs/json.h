@@ -1,0 +1,175 @@
+// Internal JSON helpers shared by the observability exporters.
+//
+// The trace (obs/trace.h) and metrics (obs/metrics.h) formats both emit a
+// small JSON dialect — objects, arrays, ASCII strings with conservative
+// escapes, and 64-bit integers — and both promise an exact round-trip
+// (FromJson(x.ToJson())->ToJson() == x.ToJson()). This header carries the
+// writer primitives and a recursive-descent Reader covering exactly that
+// dialect so the two parsers cannot drift apart. Not a general JSON
+// library; callers outside src/obs should treat the exports as opaque.
+
+#ifndef GRAPHLOG_OBS_JSON_H_
+#define GRAPHLOG_OBS_JSON_H_
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace graphlog::obs::json {
+
+/// \brief Appends `s` as a quoted JSON string (ASCII escapes only).
+inline void AppendString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+/// \brief Appends `v` in decimal.
+inline void AppendInt(std::string* out, int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  *out += buf;
+}
+
+/// \brief Recursive-descent reader for the dialect AppendString/AppendInt
+/// produce. Callers drive the grammar themselves (Expect/TryConsume) and
+/// use ParseString/ParseInt for terminals; Err() renders a ParseError with
+/// the current offset.
+class Reader {
+ public:
+  explicit Reader(std::string_view text) : text_(text) {}
+
+  Status Err(std::string msg) const {
+    return Status::ParseError(std::move(msg) + " at offset " +
+                              std::to_string(pos_));
+  }
+
+  bool TryConsume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!TryConsume(c)) {
+      return Err(std::string("expected '") + c + "'");
+    }
+    return Status::OK();
+  }
+
+  Result<std::string> ParseString() {
+    GRAPHLOG_RETURN_NOT_OK(Expect('"'));
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Err("dangling escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"':
+        case '\\':
+        case '/':
+          out.push_back(e);
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Err("bad \\u escape");
+          int code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += h - '0';
+            } else if (h >= 'a' && h <= 'f') {
+              code += h - 'a' + 10;
+            } else if (h >= 'A' && h <= 'F') {
+              code += h - 'A' + 10;
+            } else {
+              return Err("bad \\u escape");
+            }
+          }
+          if (code > 0x7f) return Err("non-ASCII \\u escape unsupported");
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          return Err("unknown escape");
+      }
+    }
+    GRAPHLOG_RETURN_NOT_OK(Expect('"'));
+    return out;
+  }
+
+  Result<int64_t> ParseInt() {
+    SkipWs();
+    bool neg = TryConsume('-');
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+      return Err("expected integer");
+    }
+    int64_t v = 0;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      v = v * 10 + (text_[pos_++] - '0');
+    }
+    return neg ? -v : v;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+            text_[pos_] == '\t' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace graphlog::obs::json
+
+#endif  // GRAPHLOG_OBS_JSON_H_

@@ -1,0 +1,91 @@
+#include "obs/slow_query_log.h"
+
+#include "obs/json.h"
+
+namespace graphlog::obs {
+
+std::string SlowQueryRecord::ToJson() const {
+  std::string out = "{\"sequence\":";
+  json::AppendInt(&out, static_cast<int64_t>(sequence));
+  out += ",\"language\":";
+  json::AppendString(&out, language);
+  out += ",\"text\":";
+  json::AppendString(&out, text);
+  out += ",\"duration_ns\":";
+  json::AppendInt(&out, static_cast<int64_t>(duration_ns));
+  out += ",\"threshold_ns\":";
+  json::AppendInt(&out, static_cast<int64_t>(threshold_ns));
+  if (!error.empty()) {
+    out += ",\"error\":";
+    json::AppendString(&out, error);
+  }
+  out += ",\"stats\":{\"tuples_derived\":";
+  json::AppendInt(&out, static_cast<int64_t>(tuples_derived));
+  out += ",\"rule_firings\":";
+  json::AppendInt(&out, static_cast<int64_t>(rule_firings));
+  out += ",\"iterations\":";
+  json::AppendInt(&out, static_cast<int64_t>(iterations));
+  out += ",\"result_tuples\":";
+  json::AppendInt(&out, static_cast<int64_t>(result_tuples));
+  out += ",\"peak_delta_rows\":";
+  json::AppendInt(&out, static_cast<int64_t>(peak_delta_rows));
+  out += ",\"peak_delta_bytes\":";
+  json::AppendInt(&out, static_cast<int64_t>(peak_delta_bytes));
+  out += "}";
+  if (!explain.empty()) {
+    out += ",\"explain\":";
+    json::AppendString(&out, explain);
+  }
+  if (!trace_json.empty()) {
+    // Already JSON — embed verbatim rather than re-escaping.
+    out += ",\"trace\":" + trace_json;
+  }
+  out += "}";
+  return out;
+}
+
+void SlowQueryLog::Record(SlowQueryRecord rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rec.sequence = ++total_;
+  ring_.push_back(std::move(rec));
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::vector<SlowQueryRecord> SlowQueryLog::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+size_t SlowQueryLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+uint64_t SlowQueryLog::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+void SlowQueryLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+}
+
+std::string SlowQueryLog::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"capacity\":";
+  json::AppendInt(&out, static_cast<int64_t>(capacity_));
+  out += ",\"total_recorded\":";
+  json::AppendInt(&out, static_cast<int64_t>(total_));
+  out += ",\"entries\":[";
+  bool first = true;
+  for (const SlowQueryRecord& rec : ring_) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += rec.ToJson();
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace graphlog::obs

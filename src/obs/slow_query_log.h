@@ -1,0 +1,79 @@
+// Slow-query log: a bounded in-memory ring of outlier queries.
+//
+// When graphlog::Run() finishes a query whose wall-clock time exceeds
+// QueryOptions::observability.slow_query_threshold_ns, it captures the
+// request text, the EXPLAIN rendering (forced on for armed queries so the
+// plan that was slow is the plan on record), the headline statistics, and
+// — when tracing was on — the full trace JSON into the configured
+// SlowQueryLog. The ring holds the most recent `capacity` records;
+// recording is mutex-serialized (a slow query is by definition not a hot
+// path) and the whole log dumps as one JSON document.
+
+#ifndef GRAPHLOG_OBS_SLOW_QUERY_LOG_H_
+#define GRAPHLOG_OBS_SLOW_QUERY_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace graphlog::obs {
+
+/// \brief One captured slow query.
+struct SlowQueryRecord {
+  uint64_t sequence = 0;      ///< 1-based across the log's lifetime
+  std::string language;       ///< "graphlog" | "datalog"
+  std::string text;           ///< request text ("<graphical>" for pre-parsed)
+  uint64_t duration_ns = 0;
+  uint64_t threshold_ns = 0;  ///< the threshold that tripped
+  std::string error;          ///< non-empty when the query failed
+  std::string explain;        ///< EXPLAIN rendering at execution time
+  std::string trace_json;     ///< full trace (only if tracing was on)
+  // Headline stats (gl::QueryStats projection).
+  uint64_t tuples_derived = 0;
+  uint64_t rule_firings = 0;
+  uint64_t iterations = 0;
+  uint64_t result_tuples = 0;
+  uint64_t peak_delta_rows = 0;
+  uint64_t peak_delta_bytes = 0;
+
+  std::string ToJson() const;
+};
+
+/// \brief Thread-safe bounded ring of SlowQueryRecords.
+class SlowQueryLog {
+ public:
+  explicit SlowQueryLog(size_t capacity = 32)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  /// \brief Appends `rec` (assigning its sequence number), evicting the
+  /// oldest record when full.
+  void Record(SlowQueryRecord rec);
+
+  /// \brief Oldest-to-newest copy of the retained records.
+  std::vector<SlowQueryRecord> Entries() const;
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  /// \brief Total records ever recorded, including evicted ones.
+  uint64_t total_recorded() const;
+
+  void Clear();
+
+  /// \brief The whole log as one JSON document:
+  /// {"capacity":N,"total_recorded":N,"entries":[...oldest first...]}.
+  std::string ToJson() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<SlowQueryRecord> ring_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace graphlog::obs
+
+#endif  // GRAPHLOG_OBS_SLOW_QUERY_LOG_H_

@@ -1,8 +1,9 @@
 #include "obs/trace.h"
 
 #include <chrono>
-#include <cinttypes>
 #include <cstdio>
+
+#include "obs/json.h"
 
 namespace graphlog::obs {
 
@@ -105,43 +106,8 @@ TraceReport Tracer::TakeReport() {
 
 namespace {
 
-void AppendJsonString(std::string* out, std::string_view s) {
-  out->push_back('"');
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        *out += "\\\"";
-        break;
-      case '\\':
-        *out += "\\\\";
-        break;
-      case '\n':
-        *out += "\\n";
-        break;
-      case '\t':
-        *out += "\\t";
-        break;
-      case '\r':
-        *out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          *out += buf;
-        } else {
-          out->push_back(c);
-        }
-    }
-  }
-  out->push_back('"');
-}
-
-void AppendInt(std::string* out, int64_t v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
-  *out += buf;
-}
+using json::AppendInt;
+using json::AppendString;
 
 template <typename V, typename AppendValue>
 void AppendPairArray(std::string* out, const char* key,
@@ -154,7 +120,7 @@ void AppendPairArray(std::string* out, const char* key,
   for (size_t i = 0; i < pairs.size(); ++i) {
     if (i > 0) out->push_back(',');
     out->push_back('[');
-    AppendJsonString(out, pairs[i].first);
+    AppendString(out, pairs[i].first);
     out->push_back(',');
     append_value(out, pairs[i].second);
     out->push_back(']');
@@ -164,7 +130,7 @@ void AppendPairArray(std::string* out, const char* key,
 
 void AppendSpan(std::string* out, const Span& span, bool include_timings) {
   *out += "{\"name\":";
-  AppendJsonString(out, span.name);
+  AppendString(out, span.name);
   if (include_timings) {
     *out += ",\"duration_ns\":";
     AppendInt(out, static_cast<int64_t>(span.duration_ns()));
@@ -172,7 +138,7 @@ void AppendSpan(std::string* out, const Span& span, bool include_timings) {
   AppendPairArray(out, "attrs", span.attrs, AppendInt);
   AppendPairArray(out, "notes", span.notes,
                   [](std::string* o, const std::string& v) {
-                    AppendJsonString(o, v);
+                    AppendString(o, v);
                   });
   if (include_timings) {
     AppendPairArray(out, "timings", span.timings, AppendInt);
@@ -201,7 +167,7 @@ std::string TraceReport::ToJson(bool include_timings) const {
   for (const auto& [name, value] : metrics.counters()) {
     if (!first) out.push_back(',');
     first = false;
-    AppendJsonString(&out, name);
+    AppendString(&out, name);
     out.push_back(':');
     AppendInt(&out, static_cast<int64_t>(value));
   }
@@ -210,7 +176,7 @@ std::string TraceReport::ToJson(bool include_timings) const {
   for (const auto& [name, h] : metrics.histograms()) {
     if (!first) out.push_back(',');
     first = false;
-    AppendJsonString(&out, name);
+    AppendString(&out, name);
     out += ":{\"count\":";
     AppendInt(&out, static_cast<int64_t>(h.count));
     out += ",\"sum\":";
@@ -239,14 +205,14 @@ std::string TraceReport::ToJson(bool include_timings) const {
 // ---------------------------------------------------------------------------
 // JSON import (round-trip support)
 //
-// A minimal recursive-descent parser covering exactly the subset ToJson
-// emits: objects, arrays, strings with the escapes above, and integers.
+// The grammar lives here; the shared json::Reader (obs/json.h) supplies
+// the terminals (strings, integers, punctuation).
 
 namespace {
 
 class JsonParser {
  public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
+  explicit JsonParser(std::string_view text) : r_(text) {}
 
   Result<TraceReport> ParseReport() {
     TraceReport report;
@@ -275,100 +241,12 @@ class JsonParser {
 
  private:
   Status Err(std::string msg) const {
-    return Status::ParseError("trace JSON: " + std::move(msg) + " at offset " +
-                              std::to_string(pos_));
+    return r_.Err("trace JSON: " + std::move(msg));
   }
-
-  void SkipWs() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
-            text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  bool TryConsume(char c) {
-    SkipWs();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  Status Expect(char c) {
-    if (!TryConsume(c)) {
-      return Err(std::string("expected '") + c + "'");
-    }
-    return Status::OK();
-  }
-
-  Result<std::string> ParseString() {
-    GRAPHLOG_RETURN_NOT_OK(Expect('"'));
-    std::string out;
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c != '\\') {
-        out.push_back(c);
-        continue;
-      }
-      if (pos_ >= text_.size()) return Err("dangling escape");
-      char e = text_[pos_++];
-      switch (e) {
-        case '"':
-        case '\\':
-        case '/':
-          out.push_back(e);
-          break;
-        case 'n':
-          out.push_back('\n');
-          break;
-        case 't':
-          out.push_back('\t');
-          break;
-        case 'r':
-          out.push_back('\r');
-          break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) return Err("bad \\u escape");
-          int code = 0;
-          for (int i = 0; i < 4; ++i) {
-            char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') {
-              code += h - '0';
-            } else if (h >= 'a' && h <= 'f') {
-              code += h - 'a' + 10;
-            } else if (h >= 'A' && h <= 'F') {
-              code += h - 'A' + 10;
-            } else {
-              return Err("bad \\u escape");
-            }
-          }
-          if (code > 0x7f) return Err("non-ASCII \\u escape unsupported");
-          out.push_back(static_cast<char>(code));
-          break;
-        }
-        default:
-          return Err("unknown escape");
-      }
-    }
-    GRAPHLOG_RETURN_NOT_OK(Expect('"'));
-    return out;
-  }
-
-  Result<int64_t> ParseInt() {
-    SkipWs();
-    bool neg = TryConsume('-');
-    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
-      return Err("expected integer");
-    }
-    int64_t v = 0;
-    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
-      v = v * 10 + (text_[pos_++] - '0');
-    }
-    return neg ? -v : v;
-  }
+  bool TryConsume(char c) { return r_.TryConsume(c); }
+  Status Expect(char c) { return r_.Expect(c); }
+  Result<std::string> ParseString() { return r_.ParseString(); }
+  Result<int64_t> ParseInt() { return r_.ParseInt(); }
 
   /// Parses `[["key", value], ...]` with integer values.
   Status ParseIntPairs(std::vector<std::pair<std::string, int64_t>>* out) {
@@ -496,8 +374,7 @@ class JsonParser {
     return Status::OK();
   }
 
-  std::string_view text_;
-  size_t pos_ = 0;
+  json::Reader r_;
 };
 
 }  // namespace

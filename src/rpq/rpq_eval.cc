@@ -77,20 +77,31 @@ void SearchFrom(const DataGraph& g, const Nfa& nfa, NodeId source,
 }
 
 /// Annotates the "rpq" span with automaton shape, endpoint restrictions,
-/// and search effort once the product search has finished.
+/// and search effort, and folds the kernel counters into the metrics
+/// registry, once the product search has finished.
 void FinishRpqSpan(obs::SpanGuard& span, std::string_view automaton,
                    size_t automaton_states, const RpqOptions& options,
                    const RpqStats& stats, const Relation& out) {
-  if (!span.enabled()) return;
-  span.AddNote("automaton", automaton);
-  span.AddAttr("automaton_states", static_cast<int64_t>(automaton_states));
-  span.AddAttr("source_fixed", options.source.has_value() ? 1 : 0);
-  span.AddAttr("target_fixed", options.target.has_value() ? 1 : 0);
-  span.AddAttr("product_states_visited",
-               static_cast<int64_t>(stats.product_states_visited));
-  span.AddAttr("edge_traversals",
-               static_cast<int64_t>(stats.edge_traversals));
-  span.AddAttr("pairs", static_cast<int64_t>(out.size()));
+  if (span.enabled()) {
+    span.AddNote("automaton", automaton);
+    span.AddAttr("automaton_states", static_cast<int64_t>(automaton_states));
+    span.AddAttr("source_fixed", options.source.has_value() ? 1 : 0);
+    span.AddAttr("target_fixed", options.target.has_value() ? 1 : 0);
+    span.AddAttr("product_states_visited",
+                 static_cast<int64_t>(stats.product_states_visited));
+    span.AddAttr("edge_traversals",
+                 static_cast<int64_t>(stats.edge_traversals));
+    span.AddAttr("pairs", static_cast<int64_t>(out.size()));
+  }
+  if (options.metrics != nullptr) {
+    obs::MetricsRegistry& m = *options.metrics;
+    m.counter("rpq.invocations")->Increment();
+    m.counter("rpq.product_states_visited")
+        ->Add(stats.product_states_visited);
+    m.counter("rpq.edge_traversals")->Add(stats.edge_traversals);
+    m.histogram("rpq.result_pairs")
+        ->Observe(static_cast<int64_t>(out.size()));
+  }
 }
 
 }  // namespace
@@ -99,9 +110,12 @@ Result<Relation> EvalRpq(const DataGraph& g, const gl::PathExpr& expr,
                          const RpqOptions& options, RpqStats* stats) {
   GRAPHLOG_ASSIGN_OR_RETURN(Nfa nfa, Nfa::Compile(expr));
   obs::SpanGuard span(options.tracer, "rpq");
-  // Effort counters feed the span even when the caller passed no stats.
+  // Effort counters feed the span/registry even when the caller passed no
+  // stats.
   RpqStats local;
-  if (stats == nullptr && span.enabled()) stats = &local;
+  if (stats == nullptr && (span.enabled() || options.metrics != nullptr)) {
+    stats = &local;
+  }
 
   Relation out(2);
   auto finish = [&]() {
@@ -287,7 +301,9 @@ Result<Relation> EvalRpqDfa(const DataGraph& g, const gl::PathExpr& expr,
   Dfa dfa = det.Minimize();
   obs::SpanGuard span(options.tracer, "rpq");
   RpqStats local;
-  if (stats == nullptr && span.enabled()) stats = &local;
+  if (stats == nullptr && (span.enabled() || options.metrics != nullptr)) {
+    stats = &local;
+  }
 
   Relation out(2);
   auto finish = [&]() {

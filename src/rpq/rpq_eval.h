@@ -15,6 +15,7 @@
 #include "common/result.h"
 #include "graph/data_graph.h"
 #include "graphlog/pre.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rpq/nfa.h"
 #include "storage/relation.h"
@@ -31,6 +32,11 @@ struct RpqOptions {
   /// endpoint restrictions, product-search effort); null costs one
   /// pointer test. See obs/trace.h.
   obs::Tracer* tracer = nullptr;
+  /// When set, the evaluator folds `rpq.invocations`,
+  /// `rpq.product_states_visited`, and `rpq.edge_traversals` counters plus
+  /// the `rpq.result_pairs` distribution into this registry at the same
+  /// site the tracer's "rpq" span closes; null costs one pointer test.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// \brief Search-effort counters.

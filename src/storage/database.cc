@@ -4,6 +4,7 @@
 #include <cctype>
 
 #include "common/strings.h"
+#include "obs/metrics.h"
 
 namespace graphlog::storage {
 
@@ -48,6 +49,24 @@ std::string Database::RelationToString(Symbol name) const {
   std::string out;
   for (const std::string& l : lines) out += l;
   return out;
+}
+
+void Database::ExportResourceMetrics(obs::MetricsRegistry* registry) const {
+  if (registry == nullptr) return;
+  size_t total_rows = 0;
+  size_t total_bytes = 0;
+  for (const auto& [sym, rel] : relations_) {
+    const std::string base = "db.relation." + syms_.name(sym);
+    const size_t bytes = rel.MemoryBytes();
+    registry->gauge(base + ".rows")->Set(static_cast<int64_t>(rel.size()));
+    registry->gauge(base + ".bytes")->Set(static_cast<int64_t>(bytes));
+    total_rows += rel.size();
+    total_bytes += bytes;
+  }
+  registry->gauge("db.relations")
+      ->Set(static_cast<int64_t>(relations_.size()));
+  registry->gauge("db.rows")->Set(static_cast<int64_t>(total_rows));
+  registry->gauge("db.bytes")->Set(static_cast<int64_t>(total_bytes));
 }
 
 }  // namespace graphlog::storage

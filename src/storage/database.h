@@ -13,6 +13,10 @@
 #include "common/symbol_table.h"
 #include "storage/relation.h"
 
+namespace graphlog::obs {
+class MetricsRegistry;  // obs/metrics.h
+}
+
 namespace graphlog::storage {
 
 /// \brief An extensional database: named relations over interned symbols.
@@ -100,6 +104,21 @@ class Database {
     for (const auto& [_, rel] : relations_) n += rel.size();
     return n;
   }
+
+  /// \brief Estimated resident bytes across all relations (see
+  /// Relation::MemoryBytes for the determinism contract).
+  size_t TotalBytes() const {
+    size_t n = 0;
+    for (const auto& [_, rel] : relations_) n += rel.MemoryBytes();
+    return n;
+  }
+
+  /// \brief Publishes per-relation row/byte gauges
+  /// (`db.relation.<name>.{rows,bytes}`) plus catalog totals
+  /// (`db.relations`, `db.rows`, `db.bytes`) into `registry`; no-op when
+  /// null. Gauges for dropped relations are not retracted — a service
+  /// snapshotting between queries sees the last published level.
+  void ExportResourceMetrics(obs::MetricsRegistry* registry) const;
 
   /// \brief Drops every relation whose name is not in `keep`; used to
   /// strip IDB results between runs.

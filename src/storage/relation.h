@@ -192,6 +192,32 @@ class Relation {
   /// \brief Number of incremental row appends into already-built indexes.
   uint64_t index_appends() const { return index_appends_; }
 
+  /// \brief Estimated resident bytes of this relation: row store, dedup
+  /// set, and built indexes.
+  ///
+  /// A *structural* estimate, deliberately computed from deterministic
+  /// quantities only (row count, arity, built-index key counts) rather
+  /// than allocator capacities, so resource gauges derived from it are
+  /// byte-identical across num_threads settings — the same contract as
+  /// EvalStats and the deterministic trace projection.
+  size_t MemoryBytes() const {
+    // Row store: one Tuple header + arity values per row.
+    size_t bytes = rows_.size() * (sizeof(Tuple) + arity_ * sizeof(Value));
+    // Dedup set: per entry, a copy of the tuple plus ~2 words of
+    // hash-table overhead (bucket slot + node link).
+    bytes += rows_.size() *
+             (sizeof(Tuple) + arity_ * sizeof(Value) + 2 * sizeof(void*));
+    for (const auto& [cols, index] : indexes_) {
+      // Per distinct key: the key tuple and a posting-list header.
+      bytes += index.size() * (sizeof(Tuple) + cols.size() * sizeof(Value) +
+                               sizeof(std::vector<uint32_t>) +
+                               2 * sizeof(void*));
+      // Every row appears in exactly one posting list of each index.
+      bytes += rows_.size() * sizeof(uint32_t);
+    }
+    return bytes;
+  }
+
  private:
   using Index = std::unordered_map<Tuple, std::vector<uint32_t>, TupleHash>;
 

@@ -11,7 +11,8 @@ using storage::Relation;
 using storage::Tuple;
 
 Result<Relation> ParallelTransitiveClosure(const Relation& edges,
-                                           unsigned num_threads) {
+                                           unsigned num_threads,
+                                           obs::MetricsRegistry* metrics) {
   if (edges.arity() != 2) {
     return Status::InvalidArgument(
         "transitive closure requires a binary relation");
@@ -81,6 +82,12 @@ Result<Relation> ParallelTransitiveClosure(const Relation& edges,
     for (uint32_t v : reach[s]) {
       tc.Insert(Tuple{values[s], values[v]});
     }
+  }
+  if (metrics != nullptr) {
+    metrics->counter("tc.invocations")->Increment();
+    metrics->counter("tc.pair_visits")->Add(total);
+    metrics->histogram("tc.output_pairs")
+        ->Observe(static_cast<int64_t>(tc.size()));
   }
   return tc;
 }

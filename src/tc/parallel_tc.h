@@ -11,6 +11,7 @@
 #define GRAPHLOG_TC_PARALLEL_TC_H_
 
 #include "common/result.h"
+#include "obs/metrics.h"
 #include "storage/relation.h"
 
 namespace graphlog::tc {
@@ -20,8 +21,13 @@ namespace graphlog::tc {
 /// exec::ThreadPool. Per-source results are merged in source order, so
 /// the output relation — contents *and* insertion order — is identical
 /// for every thread count; only wall-clock differs.
+///
+/// When `metrics` is set the kernel folds `tc.invocations` and the
+/// `tc.output_pairs` distribution into the registry (same names as the
+/// sequential kernels — a closure is a closure); null costs one test.
 Result<storage::Relation> ParallelTransitiveClosure(
-    const storage::Relation& edges, unsigned num_threads = 0);
+    const storage::Relation& edges, unsigned num_threads = 0,
+    obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace graphlog::tc
 

@@ -160,15 +160,19 @@ std::string_view AlgorithmName(TcAlgorithm algorithm) {
 
 Result<Relation> TransitiveClosure(const Relation& edges,
                                    TcAlgorithm algorithm, TcStats* stats,
-                                   obs::Tracer* tracer) {
+                                   obs::Tracer* tracer,
+                                   obs::MetricsRegistry* metrics) {
   if (edges.arity() != 2) {
     return Status::InvalidArgument(
         "transitive closure requires a binary relation");
   }
   obs::SpanGuard span(tracer, "tc");
-  // Effort counters feed the span even when the caller passed no stats.
+  // Effort counters feed the span/registry even when the caller passed no
+  // stats.
   TcStats local;
-  if (stats == nullptr && span.enabled()) stats = &local;
+  if (stats == nullptr && (span.enabled() || metrics != nullptr)) {
+    stats = &local;
+  }
   Relation closure(2);
   switch (algorithm) {
     case TcAlgorithm::kNaive:
@@ -192,6 +196,13 @@ Result<Relation> TransitiveClosure(const Relation& edges,
     span.AddAttr("pairs", static_cast<int64_t>(closure.size()));
     span.AddAttr("rounds", static_cast<int64_t>(stats->rounds));
     span.AddAttr("pair_visits", static_cast<int64_t>(stats->pair_visits));
+  }
+  if (metrics != nullptr) {
+    metrics->counter("tc.invocations")->Increment();
+    metrics->counter("tc.rounds")->Add(stats->rounds);
+    metrics->counter("tc.pair_visits")->Add(stats->pair_visits);
+    metrics->histogram("tc.output_pairs")
+        ->Observe(static_cast<int64_t>(closure.size()));
   }
   return closure;
 }

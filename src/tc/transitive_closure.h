@@ -23,6 +23,7 @@
 #include <cstdint>
 
 #include "common/result.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "storage/relation.h"
 
@@ -46,11 +47,14 @@ struct TcStats {
 /// `edges`. Fails with kInvalidArgument when arity != 2.
 ///
 /// When `tracer` is set a "tc" span is recorded (algorithm, input/output
-/// sizes, rounds, candidate pairs); null costs one pointer test.
-Result<storage::Relation> TransitiveClosure(const storage::Relation& edges,
-                                            TcAlgorithm algorithm,
-                                            TcStats* stats = nullptr,
-                                            obs::Tracer* tracer = nullptr);
+/// sizes, rounds, candidate pairs); when `metrics` is set the cumulative
+/// kernel counters (`tc.invocations`, `tc.rounds`, `tc.pair_visits`) and
+/// the `tc.output_pairs` distribution are folded into the registry. Null
+/// for either costs one pointer test.
+Result<storage::Relation> TransitiveClosure(
+    const storage::Relation& edges, TcAlgorithm algorithm,
+    TcStats* stats = nullptr, obs::Tracer* tracer = nullptr,
+    obs::MetricsRegistry* metrics = nullptr);
 
 /// \brief Closure of a single source: all y with source ->+ y. Linear-time
 /// BFS; the right tool when one endpoint is fixed (the Figure 12 query).
