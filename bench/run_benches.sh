@@ -14,11 +14,23 @@
 #
 # Compare two output directories with scripts/check_bench_regression.py.
 #
-# Usage: bench/run_benches.sh [BUILD_DIR] [OUT_DIR] [FILTER]
+# Usage: bench/run_benches.sh [--check BASELINE_DIR] [BUILD_DIR] [OUT_DIR]
+#                             [FILTER]
 # Defaults: BUILD_DIR = ./build, OUT_DIR = BUILD_DIR; FILTER is a shell
 # glob over binary names (e.g. 'bench_parallel*'), default all.
+#
+# With --check BASELINE_DIR, the fresh OUT_DIR is compared against a
+# previous run's reports via scripts/check_bench_regression.py after the
+# suite finishes, and the script exits nonzero on a regression.
 
 set -euo pipefail
+
+CHECK_BASELINE=""
+if [[ "${1:-}" == "--check" ]]; then
+  [[ $# -ge 2 ]] || { echo "error: --check needs BASELINE_DIR" >&2; exit 2; }
+  CHECK_BASELINE="$2"
+  shift 2
+fi
 
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-${BUILD_DIR}}"
@@ -83,3 +95,9 @@ if [[ "${ran}" -eq 0 ]]; then
   exit 1
 fi
 echo "${ran} benchmark reports in ${OUT_DIR}"
+
+if [[ -n "${CHECK_BASELINE}" ]]; then
+  echo "== regression check against ${CHECK_BASELINE}"
+  python3 "$(dirname "$0")/../scripts/check_bench_regression.py" \
+    "${CHECK_BASELINE}" "${OUT_DIR}"
+fi

@@ -30,6 +30,8 @@
 // Reads from stdin, so it is scriptable: `graphlog_shell < script.glog`.
 
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -37,8 +39,15 @@
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define GRAPHLOG_SHELL_SIGINT 1
+#endif
+
 #include "common/strings.h"
 #include "eval/provenance.h"
+#include "gov/fault_injection.h"
+#include "gov/governor.h"
 #include "graph/data_graph.h"
 #include "graphlog/api.h"
 #include "graphlog/dot.h"
@@ -53,6 +62,48 @@
 using namespace graphlog;
 
 namespace {
+
+// SIGINT plumbing. The first Ctrl-C cancels the in-flight governed query
+// (the engine polls the token cooperatively and unwinds with kCancelled);
+// the second exits the process. Both state cells are async-signal-safe:
+// the counter is a relaxed atomic and CancellationToken::Cancel is one
+// relaxed atomic store — no locks, no allocation.
+std::atomic<int> g_sigint_count{0};
+gov::CancellationToken* g_shell_token = nullptr;
+
+#ifdef GRAPHLOG_SHELL_SIGINT
+extern "C" void ShellSigintHandler(int) {
+  int n = g_sigint_count.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (n >= 2) std::_Exit(130);
+  if (g_shell_token != nullptr) g_shell_token->Cancel();
+  constexpr char kMsg[] = "\n[cancel requested; Ctrl-C again to exit]\n";
+  // write(2) is on the async-signal-safe list; printf is not.
+  ssize_t ignored = write(STDERR_FILENO, kMsg, sizeof(kMsg) - 1);
+  (void)ignored;
+}
+
+void InstallSigintHandler() {
+  struct sigaction sa = {};
+  sa.sa_handler = ShellSigintHandler;
+  sigemptyset(&sa.sa_mask);
+  // SA_RESTART: the blocking getline on stdin resumes instead of failing
+  // with EINTR, so the prompt survives a cancel.
+  sa.sa_flags = SA_RESTART;
+  sigaction(SIGINT, &sa, nullptr);
+}
+#else
+void InstallSigintHandler() {}
+#endif
+
+/// Digits-only uint64 parse; rejects signs, spaces, and overflow-bait.
+bool ParseU64(const std::string& s, uint64_t* out) {
+  if (s.empty() || s.size() > 18) return false;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+  }
+  *out = std::strtoull(s.c_str(), nullptr, 10);
+  return true;
+}
 
 void PrintHelp() {
   std::printf(
@@ -84,6 +135,20 @@ void PrintHelp() {
       "                           recent query/.datalog evaluation\n"
       "  .threads [N]             show or set evaluation worker lanes\n"
       "                           (1 = serial, 0 = hardware concurrency)\n"
+      "  .limit                   show the session's query limits\n"
+      "  .limit rows|delta|rounds|bytes N\n"
+      "                           cap result rows / per-round delta rows /\n"
+      "                           fixpoint rounds / estimated bytes (0 off)\n"
+      "  .limit deadline MS       wall-clock deadline per query (0 off)\n"
+      "  .limit partial on|off    budget trips truncate instead of failing\n"
+      "  .limit clear             drop every limit\n"
+      "  .fault [list]            armed fault-injection points\n"
+      "  .fault SITE fail [N]     inject a failure at SITE's Nth hit\n"
+      "  .fault SITE stall MS [N] stall SITE's Nth hit for MS milliseconds\n"
+      "                           (sites: eval.round pool.task tc.expand\n"
+      "                           rpq.step io.load)\n"
+      "  .fault clear             disarm everything\n"
+      "  Ctrl-C                   cancel the running query (twice: exit)\n"
       "  .help / .quit\n");
 }
 
@@ -109,6 +174,10 @@ class Shell {
     // Queries slower than 100 ms land in .slowlog by default;
     // `.slowlog threshold MS` tunes it, 0 disables.
     opts_.observability.slow_query_threshold_ns = 100'000'000;
+    // First Ctrl-C cancels the in-flight query via this token; the
+    // Shell outlives every query, so the handler's pointer stays valid.
+    g_shell_token = &cancel_;
+    InstallSigintHandler();
   }
 
   int Run() {
@@ -170,8 +239,9 @@ class Shell {
       return;
     }
     if (StartsWith(line, ".load ")) {
+      gov::GovernorContext governor = MakeGovernor();
       auto r = storage::LoadFactsFile(std::string(Trim(line.substr(6))),
-                                      &db_);
+                                      &db_, &governor);
       Report(r.status(), r.ok() ? *r : 0, "facts loaded");
       return;
     }
@@ -233,6 +303,14 @@ class Shell {
       HandleResource();
       return;
     }
+    if (line == ".limit" || StartsWith(line, ".limit ")) {
+      HandleLimit(line == ".limit" ? "" : std::string(Trim(line.substr(7))));
+      return;
+    }
+    if (line == ".fault" || StartsWith(line, ".fault ")) {
+      HandleFault(line == ".fault" ? "" : std::string(Trim(line.substr(7))));
+      return;
+    }
     if (StartsWith(line, ".explain ")) {
       std::string text = line.substr(9);
       if (!BlockComplete(text)) {
@@ -245,13 +323,18 @@ class Shell {
     }
     if (StartsWith(line, ".datalog ")) {
       last_store_ = eval::ProvenanceStore();
+      gov::GovernorContext governor = MakeGovernor();
       QueryRequest req = QueryRequest::Datalog(line.substr(9));
       req.options = opts_;
       req.options.eval.provenance = &last_store_;
+      req.options.eval.governor = &governor;
       auto r = graphlog::Run(req, &db_);
       if (r.ok()) {
         last_program_ = r->stats.programs;
         last_trace_ = std::move(r->trace);
+        if (r->truncated) {
+          std::printf("truncated: %s\n", r->truncated_by.c_str());
+        }
       }
       Report(r.status(), r.ok() ? r->stats.datalog.tuples_derived : 0,
              "tuples derived");
@@ -299,9 +382,11 @@ class Shell {
       return;
     }
     last_store_ = eval::ProvenanceStore();
+    gov::GovernorContext governor = MakeGovernor();
     QueryRequest req = QueryRequest::GraphLog(text);
     req.options = opts_;
     req.options.eval.provenance = &last_store_;
+    req.options.eval.governor = &governor;
     auto r = graphlog::Run(req, &db_);
     if (!r.ok()) {
       std::printf("error: %s\n", r.status().ToString().c_str());
@@ -309,6 +394,9 @@ class Shell {
     }
     last_program_ = r->stats.programs;
     last_trace_ = std::move(r->trace);
+    if (r->truncated) {
+      std::printf("truncated: %s\n", r->truncated_by.c_str());
+    }
     const gl::QueryStats& stats = r->stats;
     std::printf("%llu tuples derived (%llu graphs translated, %llu "
                 "summarized)\n",
@@ -437,6 +525,131 @@ class Shell {
                 static_cast<unsigned long long>(slowlog_.total_recorded()));
   }
 
+  /// Materializes the session limits into a per-query governor. The
+  /// deadline countdown starts now (query start), the Ctrl-C token and
+  /// count are re-armed, and the session fault injector rides along.
+  gov::GovernorContext MakeGovernor() {
+    g_sigint_count.store(0, std::memory_order_relaxed);
+    cancel_.Reset();
+    gov::GovernorContext g;
+    g.token = cancel_;
+    if (deadline_ms_ != 0) g.deadline = gov::Deadline::AfterMillis(deadline_ms_);
+    g.budget = budget_;
+    g.faults = &faults_;
+    return g;
+  }
+
+  void HandleLimit(const std::string& arg) {
+    if (arg.empty()) {
+      std::printf(
+          "  rows     = %llu\n  delta    = %llu\n  rounds   = %llu\n"
+          "  bytes    = %llu\n  deadline = %llu ms\n  partial  = %s\n"
+          "(0 = unlimited)\n",
+          static_cast<unsigned long long>(budget_.max_result_rows),
+          static_cast<unsigned long long>(budget_.max_delta_rows),
+          static_cast<unsigned long long>(budget_.max_rounds),
+          static_cast<unsigned long long>(budget_.max_bytes),
+          static_cast<unsigned long long>(deadline_ms_),
+          budget_.return_partial ? "on" : "off");
+      return;
+    }
+    if (arg == "clear") {
+      budget_ = gov::ResourceBudget();
+      deadline_ms_ = 0;
+      std::printf("limits cleared\n");
+      return;
+    }
+    std::istringstream in(arg);
+    std::string what, value;
+    in >> what >> value;
+    if (what == "partial") {
+      if (value == "on" || value == "off") {
+        budget_.return_partial = value == "on";
+        std::printf("partial = %s\n", value.c_str());
+        return;
+      }
+    } else {
+      uint64_t n = 0;
+      if (ParseU64(value, &n)) {
+        if (what == "rows") {
+          budget_.max_result_rows = n;
+        } else if (what == "delta") {
+          budget_.max_delta_rows = n;
+        } else if (what == "rounds") {
+          budget_.max_rounds = n;
+        } else if (what == "bytes") {
+          budget_.max_bytes = n;
+        } else if (what == "deadline") {
+          deadline_ms_ = n;
+        } else {
+          what.clear();
+        }
+        if (!what.empty()) {
+          std::printf("%s = %llu\n", what.c_str(),
+                      static_cast<unsigned long long>(n));
+          return;
+        }
+      }
+    }
+    std::printf(
+        "usage: .limit [rows|delta|rounds|bytes N | deadline MS |"
+        " partial on|off | clear]\n");
+  }
+
+  void HandleFault(const std::string& arg) {
+    if (arg.empty() || arg == "list") {
+      auto armed = faults_.Armed();
+      if (armed.empty()) {
+        std::printf("no faults armed\n");
+        return;
+      }
+      for (const auto& [site, spec] : armed) {
+        if (spec.action == gov::FaultAction::kFail) {
+          std::printf("  %s: fail at hit %llu%s (%llu hits so far)\n",
+                      site.c_str(),
+                      static_cast<unsigned long long>(spec.trigger_hit),
+                      spec.repeat ? "+" : "",
+                      static_cast<unsigned long long>(faults_.hits(site)));
+        } else {
+          std::printf("  %s: stall %llu ms at hit %llu%s (%llu hits so "
+                      "far)\n",
+                      site.c_str(),
+                      static_cast<unsigned long long>(spec.stall_ms),
+                      static_cast<unsigned long long>(spec.trigger_hit),
+                      spec.repeat ? "+" : "",
+                      static_cast<unsigned long long>(faults_.hits(site)));
+        }
+      }
+      return;
+    }
+    if (arg == "clear") {
+      faults_.Reset();
+      std::printf("faults cleared\n");
+      return;
+    }
+    std::istringstream in(arg);
+    std::string site, action, extra1, extra2;
+    in >> site >> action >> extra1 >> extra2;
+    gov::FaultSpec spec;
+    bool ok = false;
+    if (action == "fail") {
+      spec.action = gov::FaultAction::kFail;
+      ok = extra1.empty() || ParseU64(extra1, &spec.trigger_hit);
+      ok = ok && extra2.empty();
+    } else if (action == "stall") {
+      spec.action = gov::FaultAction::kStall;
+      ok = ParseU64(extra1, &spec.stall_ms);
+      ok = ok && (extra2.empty() || ParseU64(extra2, &spec.trigger_hit));
+    }
+    if (!ok || spec.trigger_hit == 0) {
+      std::printf("usage: .fault [list | clear | SITE fail [N] |"
+                  " SITE stall MS [N]]\n");
+      return;
+    }
+    faults_.Arm(site, spec);
+    std::printf("armed %s\n", site.c_str());
+  }
+
   void HandleResource() {
     db_.ExportResourceMetrics(&metrics_);
     size_t total_rows = 0;
@@ -497,12 +710,16 @@ class Shell {
     obs::Tracer tracer;
     if (opts_.observability.tracing) opts.tracer = &tracer;
     opts.metrics = &metrics_;
-    auto r = rpq::EvalRpqText(g, expr, &db_.symbols(), opts);
+    gov::GovernorContext governor = MakeGovernor();
+    opts.governor = &governor;
+    rpq::RpqStats rpq_stats;
+    auto r = rpq::EvalRpqText(g, expr, &db_.symbols(), opts, &rpq_stats);
     if (opts_.observability.tracing) last_trace_ = tracer.TakeReport();
     if (!r.ok()) {
       std::printf("error: %s\n", r.status().ToString().c_str());
       return;
     }
+    if (rpq_stats.truncated) std::printf("truncated: resource budget\n");
     for (const auto& t : r->rows()) {
       std::printf("  (%s, %s)\n", t[0].ToString(db_.symbols()).c_str(),
                   t[1].ToString(db_.symbols()).c_str());
@@ -535,6 +752,14 @@ class Shell {
   // Provenance of the most recent query/.datalog evaluation (.why).
   eval::ProvenanceStore last_store_;
   datalog::Program last_program_;
+  // Governor state: the Ctrl-C cancellation token (shared with the
+  // SIGINT handler), session-wide limits (.limit) applied to every
+  // query via a fresh per-query GovernorContext, and the fault
+  // injector (.fault).
+  gov::CancellationToken cancel_;
+  gov::ResourceBudget budget_;
+  uint64_t deadline_ms_ = 0;
+  gov::FaultInjector faults_;
 };
 
 }  // namespace

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Builds the suite under ThreadSanitizer and AddressSanitizer (separate
+# build trees — the two instrumentations cannot share one) and runs the
+# robustness test label in each. The governor's error paths are exactly
+# the ones data races and use-after-free hide in: cross-thread
+# cancellation, lane-error propagation out of the pool, rollback after a
+# mid-round abort, stalled lanes woken by a cancel.
+#
+# Usage: scripts/run_sanitizer_lanes.sh [LABEL] [BUILD_ROOT]
+# Defaults: LABEL = robustness, BUILD_ROOT = build-san (creates
+# ${BUILD_ROOT}-thread and ${BUILD_ROOT}-address).
+
+set -euo pipefail
+
+LABEL="${1:-robustness}"
+BUILD_ROOT="${2:-build-san}"
+SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+for san in thread address; do
+  dir="${BUILD_ROOT}-${san}"
+  echo "== ${san} sanitizer lane (${dir}, label '${LABEL}')"
+  cmake -S "${SRC_DIR}" -B "${dir}" -DGRAPHLOG_SANITIZE="${san}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build "${dir}" -j"${JOBS}" >/dev/null
+  (cd "${dir}" && ctest -L "${LABEL}" --output-on-failure)
+  echo "== ${san} lane clean"
+done
+echo "both sanitizer lanes clean on label '${LABEL}'"

@@ -34,6 +34,12 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kCycleInPath:
       return "CycleInPath";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kBudgetExceeded:
+      return "BudgetExceeded";
   }
   return "Unknown";
 }

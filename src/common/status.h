@@ -32,6 +32,9 @@ enum class StatusCode : int {
   kUnsupported = 12,      ///< feature intentionally out of scope
   kInternal = 13,         ///< invariant violation inside the library
   kCycleInPath = 14,      ///< path summarization hit an unbounded cycle
+  kCancelled = 15,        ///< cooperative cancellation (gov/governor.h)
+  kDeadlineExceeded = 16, ///< wall-clock deadline tripped mid-query
+  kBudgetExceeded = 17,   ///< resource budget (rows/rounds/bytes) tripped
 };
 
 /// \brief Human-readable name of a StatusCode.
@@ -95,6 +98,15 @@ class Status {
   }
   static Status CycleInPath(std::string msg) {
     return Status(StatusCode::kCycleInPath, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status BudgetExceeded(std::string msg) {
+    return Status(StatusCode::kBudgetExceeded, std::move(msg));
   }
 
   bool ok() const { return state_ == nullptr; }

@@ -1,9 +1,12 @@
 #include "eval/engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -12,6 +15,8 @@
 #include "eval/compiled_rule.h"
 #include "eval/provenance.h"
 #include "exec/thread_pool.h"
+#include "gov/fault_injection.h"
+#include "gov/governor.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "storage/tuple.h"
@@ -113,6 +118,19 @@ class Engine {
       base_appends += rel.index_appends();
     }
 
+    // Rollback baseline: the pre-run size of every head relation (or
+    // "created by this run"), captured before the Declare loop below. A
+    // governed abort — cancellation, deadline, strict budget trip, or an
+    // injected lane failure — restores exactly this state, so no
+    // partially-computed stratum leaks into the Database.
+    for (const Rule& r : prog_.rules) {
+      const Symbol head = r.head.predicate;
+      if (baseline_.count(head) > 0) continue;
+      const Relation* existing = db_->Find(head);
+      baseline_.emplace(head,
+                        existing == nullptr ? kCreatedByRun : existing->size());
+    }
+
     // Check IDB arity against any pre-existing relations and declare them.
     for (const Rule& r : prog_.rules) {
       GRAPHLOG_ASSIGN_OR_RETURN(Relation * rel,
@@ -122,18 +140,32 @@ class Engine {
     }
 
     for (size_t gi = 0; gi < strat.rule_groups.size(); ++gi) {
+      if (truncated_) break;  // budget tripped with return_partial
       obs::SpanGuard span(options_.tracer, "stratum");
       span.AddAttr("index", static_cast<int64_t>(gi));
       span.AddAttr("rules",
                    static_cast<int64_t>(strat.rule_groups[gi].size()));
       const uint64_t rounds_before = stats_.iterations;
-      GRAPHLOG_RETURN_NOT_OK(RunStratum(strat.rule_groups[gi]));
+      stratum_ = static_cast<int64_t>(gi);
+      Status st = RunStratum(strat.rule_groups[gi]);
+      if (st.ok() && !truncated_) {
+        // Derivations of a stratum's final productive round are only seen
+        // by the *next* round's boundary check; settle the run-wide
+        // budgets here so the last round cannot slip past them.
+        st = CheckRunBudgets("eval.round");
+      }
+      if (!st.ok()) {
+        Rollback();
+        return st;
+      }
       if (options_.metrics != nullptr) {
         options_.metrics->histogram("eval.stratum_rounds")
             ->Observe(static_cast<int64_t>(stats_.iterations -
                                            rounds_before));
       }
     }
+    stats_.truncated = truncated_;
+    stats_.truncated_by = truncated_by_;
 
     for (const auto& [_, rel] : db_->relations()) {
       stats_.index_builds += rel.index_builds();
@@ -238,7 +270,7 @@ class Engine {
     for (int i : base_rules) {
       base_tasks.push_back({i, kNoSymbol, -1});
     }
-    RunTasksBatched(base_tasks, nullptr, nullptr);
+    GRAPHLOG_RETURN_NOT_OK(RunTasksBatched(base_tasks, nullptr, nullptr));
     if (rec_rules.empty()) return Status::OK();
 
     if (options_.strategy == Strategy::kNaive) {
@@ -250,16 +282,24 @@ class Engine {
   Status NaiveFixpoint(const std::vector<int>& rec_rules) {
     bool changed = true;
     int64_t round = 0;
+    uint64_t last_round_added = 0;
     while (changed) {
+      // The naive strategy has no materialized deltas; the previous
+      // round's novel tuples play that role for the boundary check.
+      GRAPHLOG_RETURN_NOT_OK(CheckRoundBoundary(last_round_added, 0));
+      if (truncated_) break;
       obs::SpanGuard span(options_.tracer, "round");
       span.AddAttr("round", round++);
       const uint64_t firings_before = stats_.rule_firings;
       const uint64_t derived_before = stats_.tuples_derived;
       GRAPHLOG_RETURN_NOT_OK(TickIteration());
       changed = false;
+      last_round_added = 0;
       for (int i : rec_rules) {
-        size_t added = RunRuleOnce(i, kNoSymbol, -1, nullptr, nullptr);
+        GRAPHLOG_ASSIGN_OR_RETURN(
+            size_t added, RunRuleOnce(i, kNoSymbol, -1, nullptr, nullptr));
         if (added > 0) changed = true;
+        last_round_added += added;
       }
       span.AddAttr("firings",
                    static_cast<int64_t>(stats_.rule_firings - firings_before));
@@ -286,6 +326,17 @@ class Engine {
     bool any_delta = true;
     int64_t round = 0;
     while (any_delta) {
+      // Combined delta at the round start: feeds the governed
+      // round-boundary check (delta-rows/bytes budgets) and the
+      // peak-working-set stats. O(local IDBs) per round.
+      uint64_t delta_rows = 0;
+      uint64_t delta_bytes = 0;
+      for (const auto& [p, d] : delta) {
+        delta_rows += d.size();
+        delta_bytes += d.MemoryBytes();
+      }
+      GRAPHLOG_RETURN_NOT_OK(CheckRoundBoundary(delta_rows, delta_bytes));
+      if (truncated_) break;
       obs::SpanGuard span(options_.tracer, "round");
       if (span.enabled()) {
         span.AddAttr("round", round++);
@@ -296,22 +347,15 @@ class Engine {
               "eval.delta_rows", static_cast<int64_t>(d.size()));
         }
       }
-      // Peak transient working set: the largest combined delta at any
-      // round start. Always tracked — it feeds EvalStats, not just the
-      // observability sinks — and costs O(local IDBs) per round.
-      {
-        uint64_t rows = 0;
-        uint64_t bytes = 0;
-        for (const auto& [p, d] : delta) {
-          rows += d.size();
-          bytes += d.MemoryBytes();
-        }
-        if (rows > stats_.peak_delta_rows) stats_.peak_delta_rows = rows;
-        if (bytes > stats_.peak_delta_bytes) stats_.peak_delta_bytes = bytes;
-        if (options_.metrics != nullptr) {
-          options_.metrics->histogram("eval.delta_rows")
-              ->Observe(static_cast<int64_t>(rows));
-        }
+      if (delta_rows > stats_.peak_delta_rows) {
+        stats_.peak_delta_rows = delta_rows;
+      }
+      if (delta_bytes > stats_.peak_delta_bytes) {
+        stats_.peak_delta_bytes = delta_bytes;
+      }
+      if (options_.metrics != nullptr) {
+        options_.metrics->histogram("eval.delta_rows")
+            ->Observe(static_cast<int64_t>(delta_rows));
       }
       const uint64_t firings_before = stats_.rule_firings;
       const uint64_t derived_before = stats_.tuples_derived;
@@ -332,7 +376,7 @@ class Engine {
           }
         }
       }
-      RunTasksBatched(round, &delta, &next);
+      GRAPHLOG_RETURN_NOT_OK(RunTasksBatched(round, &delta, &next));
       any_delta = false;
       for (auto& [p, d] : next) {
         if (!d.empty()) any_delta = true;
@@ -367,9 +411,9 @@ class Engine {
   /// have made those writes visible. Delta-substituted occurrences read
   /// the (frozen) previous-round delta, not the head relation, so they do
   /// not count as reads of it.
-  void RunTasksBatched(const std::vector<RuleTask>& tasks,
-                       std::map<Symbol, Relation>* delta,
-                       std::map<Symbol, Relation>* next) {
+  Status RunTasksBatched(const std::vector<RuleTask>& tasks,
+                         std::map<Symbol, Relation>* delta,
+                         std::map<Symbol, Relation>* next) {
     size_t b = 0;
     while (b < tasks.size()) {
       size_t e = b;
@@ -396,9 +440,13 @@ class Engine {
         batch_heads.insert(c.head_predicate());
         ++e;
       }
-      RunTaskBatch({tasks.begin() + b, tasks.begin() + e}, delta, next);
+      GRAPHLOG_ASSIGN_OR_RETURN(
+          size_t added,
+          RunTaskBatch({tasks.begin() + b, tasks.begin() + e}, delta, next));
+      (void)added;
       b = e;
     }
+    return Status::OK();
   }
 
   /// Executes one batch of mutually independent tasks: a read-only join
@@ -408,9 +456,19 @@ class Engine {
   /// derivation order, so relation contents, insertion order, provenance,
   /// and stats are bit-identical to num_threads == 1. Returns the number
   /// of novel tuples.
-  size_t RunTaskBatch(const std::vector<RuleTask>& tasks,
-                      std::map<Symbol, Relation>* delta,
-                      std::map<Symbol, Relation>* next) {
+  ///
+  /// When the run is governed, every lane re-checks the cancellation
+  /// token, deadline, and the `pool.task` injection point before each
+  /// item it claims, so cancellation latency is bounded by one work item
+  /// rather than one batch. A governed abort raises a stop flag the pool
+  /// observes before each claim, the join still happens, and the batch
+  /// returns *before* the merge phase — no partially-merged batch is ever
+  /// visible in the Database (the caller then rolls back whole strata).
+  /// The first error in item order wins, so the surfaced Status is
+  /// independent of lane scheduling.
+  Result<size_t> RunTaskBatch(const std::vector<RuleTask>& tasks,
+                              std::map<Symbol, Relation>* delta,
+                              std::map<Symbol, Relation>* next) {
     struct Item {
       size_t task;
       size_t part;
@@ -491,22 +549,46 @@ class Engine {
       run_item(items[k]);
       lane_busy_ns[worker] += static_cast<int64_t>(obs::NowNs() - t0);
     };
-    if (pool_ != nullptr && items.size() > 1) {
-      if (timed) {
-        pool_->ParallelFor(items.size(), run_timed);
-      } else {
-        pool_->ParallelFor(items.size(),
-                           [&](unsigned, size_t k) { run_item(items[k]); });
+    // Governed abort machinery: the first failing item (in item order)
+    // records its Status and raises the stop flag; later lanes drain
+    // without claiming more work.
+    const gov::GovernorContext* gvn = options_.governor;
+    std::atomic<bool> stop{false};
+    std::mutex err_mu;
+    Status lane_error = Status::OK();
+    size_t err_item = items.size();
+    auto record_error = [&](size_t k, Status st) {
+      std::lock_guard<std::mutex> lock(err_mu);
+      if (k < err_item) {
+        err_item = k;
+        lane_error = std::move(st);
       }
-    } else {
-      for (size_t k = 0; k < items.size(); ++k) {
-        if (timed) {
-          run_timed(0, k);
-        } else {
-          run_item(items[k]);
+      stop.store(true, std::memory_order_relaxed);
+    };
+    auto exec_item = [&](unsigned worker, size_t k) {
+      if (gvn != nullptr) {
+        if (stop.load(std::memory_order_relaxed)) return;
+        Status st = gvn->Check("pool.task");
+        if (!st.ok()) {
+          record_error(k, std::move(st));
+          return;
         }
       }
+      if (timed) {
+        run_timed(worker, k);
+      } else {
+        run_item(items[k]);
+      }
+    };
+    if (pool_ != nullptr && items.size() > 1) {
+      pool_->ParallelFor(items.size(), exec_item,
+                         gvn != nullptr ? &stop : nullptr);
+    } else {
+      for (size_t k = 0; k < items.size(); ++k) exec_item(0, k);
     }
+    // The pool has joined: err_item/lane_error are stable. Abort before
+    // the merge so a failed batch leaves the head relations untouched.
+    if (err_item < items.size()) return lane_error;
     if (timed) {
       for (size_t lane = 0; lane < lane_busy_ns.size(); ++lane) {
         if (lane_busy_ns[lane] != 0) {
@@ -553,9 +635,9 @@ class Engine {
   }
 
   /// Single-task convenience wrapper around RunTaskBatch.
-  size_t RunRuleOnce(int i, Symbol delta_pred, int delta_occurrence,
-                     std::map<Symbol, Relation>* delta,
-                     std::map<Symbol, Relation>* next) {
+  Result<size_t> RunRuleOnce(int i, Symbol delta_pred, int delta_occurrence,
+                             std::map<Symbol, Relation>* delta,
+                             std::map<Symbol, Relation>* next) {
     return RunTaskBatch({{i, delta_pred, delta_occurrence}}, delta, next);
   }
 
@@ -662,6 +744,88 @@ class Engine {
     return Status::OK();
   }
 
+  /// Restores every head relation to its pre-run state: relations this
+  /// run created are removed, pre-existing ones truncated back to their
+  /// baseline size (insertion order makes TruncateTo an exact undo). Only
+  /// head relations can have been touched — EDB inputs are read-only to
+  /// the engine.
+  void Rollback() {
+    for (const auto& [pred, base] : baseline_) {
+      if (base == kCreatedByRun) {
+        db_->Remove(pred);
+      } else if (Relation* rel = db_->FindMutable(pred)) {
+        rel->TruncateTo(base);
+      }
+    }
+  }
+
+  /// A tripped budget either marks the run truncated (return_partial:
+  /// callers stop at the boundary and keep the partial fixpoint) or
+  /// returns the strict kBudgetExceeded (Run() then rolls back).
+  Status TripBudget(std::string_view budget, std::string_view site,
+                    uint64_t observed, uint64_t limit) {
+    if (options_.governor->budget.return_partial) {
+      truncated_ = true;
+      truncated_by_ = std::string(budget) + " at " + std::string(site) +
+                      " (stratum " + std::to_string(stratum_) + ")";
+      return Status::OK();
+    }
+    return gov::BudgetExceededError(budget, site, observed, limit);
+  }
+
+  /// Run-wide budgets computable from cumulative stats and the database:
+  /// total derived rows and estimated resident bytes. Both quantities are
+  /// deterministic across num_threads (the merge order fixes
+  /// tuples_derived; MemoryBytes is structural).
+  Status CheckRunBudgets(std::string_view site) {
+    const gov::GovernorContext* g = options_.governor;
+    if (g == nullptr || !g->budget.any()) return Status::OK();
+    const gov::ResourceBudget& b = g->budget;
+    if (b.max_result_rows != 0 && stats_.tuples_derived > b.max_result_rows) {
+      return TripBudget("max_result_rows", site, stats_.tuples_derived,
+                        b.max_result_rows);
+    }
+    if (b.max_bytes != 0) {
+      const uint64_t bytes = db_->TotalBytes();
+      if (bytes > b.max_bytes) {
+        return TripBudget("max_bytes", site, bytes, b.max_bytes);
+      }
+    }
+    return Status::OK();
+  }
+
+  /// The deterministic round boundary: interrupts (cancellation,
+  /// deadline, armed eval.round faults) first, then every budget against
+  /// this round's delta. Called at the top of each fixpoint round; on a
+  /// return_partial trip it sets truncated_ and the caller breaks out
+  /// with the previous round's (complete) fixpoint prefix.
+  Status CheckRoundBoundary(uint64_t delta_rows, uint64_t delta_bytes) {
+    const gov::GovernorContext* g = options_.governor;
+    if (g == nullptr) return Status::OK();
+    GRAPHLOG_RETURN_NOT_OK(g->Check("eval.round"));
+    const gov::ResourceBudget& b = g->budget;
+    if (!b.any()) return Status::OK();
+    if (b.max_rounds != 0 && stats_.iterations >= b.max_rounds) {
+      return TripBudget("max_rounds", "eval.round", stats_.iterations + 1,
+                        b.max_rounds);
+    }
+    if (b.max_delta_rows != 0 && delta_rows > b.max_delta_rows) {
+      return TripBudget("max_delta_rows", "eval.round", delta_rows,
+                        b.max_delta_rows);
+    }
+    if (b.max_result_rows != 0 && stats_.tuples_derived > b.max_result_rows) {
+      return TripBudget("max_result_rows", "eval.round",
+                        stats_.tuples_derived, b.max_result_rows);
+    }
+    if (b.max_bytes != 0) {
+      const uint64_t bytes = db_->TotalBytes() + delta_bytes;
+      if (bytes > b.max_bytes) {
+        return TripBudget("max_bytes", "eval.round", bytes, b.max_bytes);
+      }
+    }
+    return Status::OK();
+  }
+
   const Program& prog_;
   Database* db_;
   EvalOptions options_;
@@ -669,6 +833,15 @@ class Engine {
   std::map<int, CompiledRule> compiled_;
   // Worker lanes shared by every batch of this run; null on the serial path.
   std::unique_ptr<exec::ThreadPool> pool_;
+
+  /// Pre-run size of every head relation, or kCreatedByRun for relations
+  /// this run declares; the Rollback() baseline.
+  static constexpr size_t kCreatedByRun = static_cast<size_t>(-1);
+  std::map<Symbol, size_t> baseline_;
+  // Governed-run truncation state (ResourceBudget::return_partial).
+  bool truncated_ = false;
+  std::string truncated_by_;
+  int64_t stratum_ = 0;  // current stratum index, for trip messages
 };
 
 }  // namespace

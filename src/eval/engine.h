@@ -12,6 +12,7 @@
 #define GRAPHLOG_EVAL_ENGINE_H_
 
 #include <cstdint>
+#include <string>
 
 #include "common/result.h"
 #include "datalog/ast.h"
@@ -20,6 +21,10 @@
 namespace graphlog::obs {
 class Tracer;           // obs/trace.h
 class MetricsRegistry;  // obs/metrics.h
+}
+
+namespace graphlog::gov {
+struct GovernorContext;  // gov/governor.h
 }
 
 namespace graphlog::eval {
@@ -65,6 +70,19 @@ struct EvalOptions {
   /// the tracer instruments. Null (the default) costs one pointer test;
   /// updates are per-round/per-run, never per-tuple. See obs/metrics.h.
   obs::MetricsRegistry* metrics = nullptr;
+  /// When set, the engine is governed: cancellation and the deadline are
+  /// polled per pool work item and at every fixpoint-round boundary,
+  /// resource budgets are checked at round boundaries (deterministic
+  /// across num_threads), and armed fault-injection points fire. On a
+  /// kCancelled / kDeadlineExceeded / kBudgetExceeded abort the engine
+  /// rolls the Database back to its pre-run state (created relations
+  /// removed, pre-existing ones truncated to their pre-run size) — no
+  /// partially-merged rounds leak. With budget.return_partial, a
+  /// rows/rounds/delta/bytes trip instead stops at the round boundary
+  /// and returns the partial fixpoint with EvalStats::truncated set.
+  /// Null (the default) costs one pointer test per site. See
+  /// gov/governor.h.
+  const gov::GovernorContext* governor = nullptr;
 };
 
 /// \brief Counters reported by an evaluation.
@@ -81,6 +99,16 @@ struct EvalStats {
   /// across num_threads like every other field.
   uint64_t peak_delta_rows = 0;
   uint64_t peak_delta_bytes = 0;
+  /// True when a governed run stopped early at a round boundary because a
+  /// resource budget tripped with ResourceBudget::return_partial set. The
+  /// materialized IDB relations then hold the partial fixpoint computed
+  /// so far — deterministic (bit-identical rows and insertion order
+  /// across num_threads) because rows/rounds/bytes budgets are checked
+  /// against deterministic quantities at deterministic points.
+  bool truncated = false;
+  /// Which budget tripped, e.g. "max_rounds at eval.round (stratum 1,
+  /// round 10)"; empty unless truncated.
+  std::string truncated_by;
 
   /// \brief Adds every counter of `other` into this one (peaks take the
   /// max — the merged value is the peak over the combined run). The single
@@ -100,6 +128,8 @@ struct EvalStats {
     if (other.peak_delta_bytes > peak_delta_bytes) {
       peak_delta_bytes = other.peak_delta_bytes;
     }
+    truncated |= other.truncated;
+    if (truncated_by.empty()) truncated_by = other.truncated_by;
   }
 };
 

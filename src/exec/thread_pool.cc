@@ -30,7 +30,9 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::RunBatch(unsigned worker) {
   const size_t n = batch_n_;
   const auto* fn = batch_fn_;
+  const std::atomic<bool>* stop = batch_stop_;
   while (true) {
+    if (stop != nullptr && stop->load(std::memory_order_relaxed)) break;
     size_t i = batch_next_.fetch_add(1, std::memory_order_relaxed);
     if (i >= n) break;
     (*fn)(worker, i);
@@ -55,17 +57,22 @@ void ThreadPool::WorkerLoop(unsigned worker) {
   }
 }
 
-void ThreadPool::ParallelFor(
-    size_t n, const std::function<void(unsigned, size_t)>& fn) {
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(unsigned, size_t)>& fn,
+                             const std::atomic<bool>* stop) {
   if (n == 0) return;
   if (parallelism_ == 1 || n == 1) {
-    for (size_t i = 0; i < n; ++i) fn(0, i);
+    for (size_t i = 0; i < n; ++i) {
+      if (stop != nullptr && stop->load(std::memory_order_relaxed)) return;
+      fn(0, i);
+    }
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
     batch_fn_ = &fn;
     batch_n_ = n;
+    batch_stop_ = stop;
     batch_next_.store(0, std::memory_order_relaxed);
     workers_busy_ = parallelism_ - 1;
     ++batch_epoch_;
@@ -75,6 +82,7 @@ void ThreadPool::ParallelFor(
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [&] { return workers_busy_ == 0; });
   batch_fn_ = nullptr;
+  batch_stop_ = nullptr;
 }
 
 }  // namespace graphlog::exec

@@ -48,8 +48,18 @@ class ThreadPool {
   /// across all lanes (`worker` < parallelism()); returns once every
   /// index has completed. Indices are claimed dynamically, so callers
   /// must not rely on which lane runs which index.
+  ///
+  /// When `stop` is non-null, every lane re-reads it (relaxed) before
+  /// claiming each index and stops claiming once it is true — the
+  /// cooperative-cancellation hook of the query governor: latency from a
+  /// cancel to the pool going quiet is bounded by one in-flight work
+  /// item, not by the batch. Already-claimed items still complete, and
+  /// ParallelFor still joins every lane before returning, so the caller
+  /// may inspect per-item buffers safely afterwards. Indices skipped by a
+  /// stop are simply never run.
   void ParallelFor(size_t n,
-                   const std::function<void(unsigned worker, size_t index)>& fn);
+                   const std::function<void(unsigned worker, size_t index)>& fn,
+                   const std::atomic<bool>* stop = nullptr);
 
   /// \brief Maps an options knob to a lane count: 0 means hardware
   /// concurrency, any other value is used as-is.
@@ -73,6 +83,7 @@ class ThreadPool {
   // workers wake, so reads after the epoch check are race-free.
   const std::function<void(unsigned, size_t)>* batch_fn_ = nullptr;
   size_t batch_n_ = 0;
+  const std::atomic<bool>* batch_stop_ = nullptr;
   std::atomic<size_t> batch_next_{0};
 };
 

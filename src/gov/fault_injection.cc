@@ -1,0 +1,73 @@
+#include "gov/fault_injection.h"
+
+#include <chrono>
+#include <thread>
+
+namespace graphlog::gov {
+
+void FaultInjector::Arm(std::string_view site, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Site& s = sites_[std::string(site)];
+  s.spec = std::move(spec);
+  s.armed = true;
+  s.hit_count = 0;
+}
+
+void FaultInjector::Disarm(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it != sites_.end()) it->second.armed = false;
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+}
+
+uint64_t FaultInjector::hits(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hit_count;
+}
+
+std::vector<std::pair<std::string, FaultSpec>> FaultInjector::Armed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, FaultSpec>> out;
+  for (const auto& [name, site] : sites_) {
+    if (site.armed) out.emplace_back(name, site.spec);
+  }
+  return out;
+}
+
+Status FaultInjector::Hit(std::string_view site,
+                          const CancellationToken* token) {
+  FaultSpec spec;
+  uint64_t hit = 0;
+  bool triggered = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Site& s = sites_[std::string(site)];
+    hit = ++s.hit_count;
+    if (s.armed && (hit == s.spec.trigger_hit ||
+                    (s.spec.repeat && hit >= s.spec.trigger_hit))) {
+      triggered = true;
+      spec = s.spec;
+    }
+  }
+  if (!triggered) return Status::OK();
+  if (spec.action == FaultAction::kFail) {
+    return Status(spec.code, spec.message + " (site " + std::string(site) +
+                                 ", hit " + std::to_string(hit) + ")");
+  }
+  // kStall: sleep outside the lock in short slices so a cancellation —
+  // the very scenario stalls exist to exercise — wakes the lane early.
+  const auto until = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(spec.stall_ms);
+  while (std::chrono::steady_clock::now() < until) {
+    if (token != nullptr && token->cancelled()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return Status::OK();
+}
+
+}  // namespace graphlog::gov

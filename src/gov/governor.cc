@@ -1,0 +1,37 @@
+#include "gov/governor.h"
+
+#include "gov/fault_injection.h"
+
+namespace graphlog::gov {
+
+Status GovernorContext::CheckInterrupts(std::string_view site) const {
+  if (token.cancelled()) {
+    return Status::Cancelled("query cancelled at " + std::string(site));
+  }
+  if (deadline.expired()) {
+    return Status::DeadlineExceeded("deadline exceeded at " +
+                                    std::string(site));
+  }
+  return Status::OK();
+}
+
+Status GovernorContext::Check(std::string_view site) const {
+  GRAPHLOG_RETURN_NOT_OK(CheckInterrupts(site));
+  if (faults != nullptr) {
+    GRAPHLOG_RETURN_NOT_OK(faults->Hit(site, &token));
+    // A stall may have outlasted the deadline or absorbed a cancel; the
+    // point must not report OK past either.
+    GRAPHLOG_RETURN_NOT_OK(CheckInterrupts(site));
+  }
+  return Status::OK();
+}
+
+Status BudgetExceededError(std::string_view budget, std::string_view site,
+                           uint64_t observed, uint64_t limit) {
+  return Status::BudgetExceeded(std::string(budget) +
+                                " budget exceeded at " + std::string(site) +
+                                ": " + std::to_string(observed) + " > " +
+                                std::to_string(limit));
+}
+
+}  // namespace graphlog::gov

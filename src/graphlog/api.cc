@@ -10,6 +10,7 @@
 #include "datalog/parser.h"
 #include "eval/compiled_rule.h"
 #include "eval/provenance.h"
+#include "gov/governor.h"
 #include "graphlog/parser.h"
 #include "graphlog/translate.h"
 #include "translate/magic_tc.h"
@@ -239,6 +240,13 @@ Status RunGraphLog(const QueryRequest& req, const QueryOptions& options,
   QueryStats& stats = resp->stats;
   size_t rule_offset = 0;  // position in the query's rule universe
   for (int i : order) {
+    // Between graphs: a cheap cancellation/deadline check so a
+    // multi-graph query cannot outlive its governor in the gaps the
+    // engine does not cover (translation, planning, summarization).
+    if (execute && options.eval.governor != nullptr) {
+      GRAPHLOG_RETURN_NOT_OK(
+          options.eval.governor->CheckInterrupts("query.graph"));
+    }
     const QueryGraph& g = q->graphs[i];
     const std::string head = db->symbols().name(g.distinguished.predicate);
     if (g.summary.has_value()) {
@@ -292,6 +300,10 @@ Status RunGraphLog(const QueryRequest& req, const QueryOptions& options,
     stats.programs.Append(t.program);
     stats.datalog.Merge(es);
     ++stats.graphs_translated;
+    // A budget trip with return_partial ends the whole query at this
+    // graph: downstream graphs would read the truncated fixpoint and
+    // silently compound the gap.
+    if (stats.datalog.truncated) break;
   }
   if (!execute) return Status::OK();
   for (Symbol p : q->IdbPredicates()) {
@@ -365,10 +377,11 @@ Result<QueryResponse> Run(const QueryRequest& req, Database* db) {
   const bool slow_log_armed =
       slow_log != nullptr && options.observability.slow_query_threshold_ns > 0;
   const bool caller_explain = options.observability.explain;
-  // The plan is only renderable while the query runs, so an armed slow log
-  // forces EXPLAIN on; the response's rendering is stripped below when the
+  // The plan is only renderable while the query runs, so a slow log
+  // forces EXPLAIN on (even below-threshold, a governed abort must be
+  // capturable); the response's rendering is stripped below when the
   // caller did not ask for it.
-  if (slow_log_armed) options.observability.explain = true;
+  if (slow_log != nullptr) options.observability.explain = true;
 
   const auto started = std::chrono::steady_clock::now();
   Status st = req.language == QueryRequest::Language::kDatalog
@@ -383,17 +396,41 @@ Result<QueryResponse> Run(const QueryRequest& req, Database* db) {
   // Status is all the Result can carry, so only success returns it.
   if (tracer == &local_tracer) resp.trace = local_tracer.TakeReport();
 
+  resp.truncated = resp.stats.datalog.truncated;
+  resp.truncated_by = resp.stats.datalog.truncated_by;
+
+  // Governed aborts get their own taxonomy counters and are always
+  // captured by the slow-query log: a query someone had to kill — or that
+  // ran into its budget — is interesting at any duration.
+  const bool governed_abort = st.code() == StatusCode::kCancelled ||
+                              st.code() == StatusCode::kDeadlineExceeded ||
+                              st.code() == StatusCode::kBudgetExceeded;
   if (metrics != nullptr) {
     metrics->counter("query.runs")->Increment();
     if (!st.ok()) metrics->counter("query.errors")->Increment();
+    switch (st.code()) {
+      case StatusCode::kCancelled:
+        metrics->counter("query.cancelled")->Increment();
+        break;
+      case StatusCode::kDeadlineExceeded:
+        metrics->counter("query.deadline_exceeded")->Increment();
+        break;
+      case StatusCode::kBudgetExceeded:
+        metrics->counter("query.budget_exceeded")->Increment();
+        break;
+      default:
+        break;
+    }
+    if (resp.truncated) metrics->counter("query.truncated")->Increment();
     metrics->counter("query.result_tuples")->Add(resp.stats.result_tuples);
     metrics->histogram("query.duration_ns")
         ->Observe(static_cast<int64_t>(duration_ns));
     db->ExportResourceMetrics(metrics);
   }
 
-  if (slow_log_armed &&
-      duration_ns >= options.observability.slow_query_threshold_ns) {
+  if ((slow_log_armed &&
+       duration_ns >= options.observability.slow_query_threshold_ns) ||
+      (slow_log != nullptr && governed_abort)) {
     obs::SlowQueryRecord rec;
     rec.language = req.language == QueryRequest::Language::kDatalog
                        ? "datalog"
@@ -412,7 +449,7 @@ Result<QueryResponse> Run(const QueryRequest& req, Database* db) {
     rec.peak_delta_bytes = resp.stats.datalog.peak_delta_bytes;
     slow_log->Record(std::move(rec));
   }
-  if (slow_log_armed && !caller_explain) resp.explain.clear();
+  if (slow_log != nullptr && !caller_explain) resp.explain.clear();
 
   GRAPHLOG_RETURN_NOT_OK(st);
   return resp;

@@ -58,7 +58,12 @@ struct QueryStats {
 /// observability layer under `observability`.
 struct QueryOptions {
   /// Datalog engine knobs (eval/engine.h); `eval.tracer` is managed by
-  /// Run() when `observability.tracing` is set.
+  /// Run() when `observability.tracing` is set. `eval.governor` is the
+  /// query governor (gov/governor.h): set it to bound the query by a
+  /// cancellation token, a deadline, and resource budgets — Run() threads
+  /// it into every fixpoint loop and checks it between query graphs, and
+  /// governed aborts surface as kCancelled / kDeadlineExceeded /
+  /// kBudgetExceeded with the Database rolled back per engine run.
   eval::EvalOptions eval;
 
   struct Translation {
@@ -96,7 +101,10 @@ struct QueryOptions {
     /// stays empty unless the caller asked for it), the stats, and — when
     /// tracing is on — the trace JSON into the log's bounded ring.
     /// Failed queries past the threshold are captured too, with the error.
-    /// A zero threshold logs nothing. See obs/slow_query_log.h.
+    /// Governed aborts (kCancelled / kDeadlineExceeded / kBudgetExceeded)
+    /// are always captured when a log is set, regardless of the
+    /// threshold; with a zero threshold they are the only entries.
+    /// See obs/slow_query_log.h.
     uint64_t slow_query_threshold_ns = 0;
     obs::SlowQueryLog* slow_query_log = nullptr;
   } observability;
@@ -143,6 +151,13 @@ struct QueryResponse {
   obs::TraceReport trace;
   /// EXPLAIN rendering; empty unless options.observability.explain.
   std::string explain;
+  /// True when a governed query stopped early on a resource-budget trip
+  /// with ResourceBudget::return_partial set: the materialized relations
+  /// hold a deterministic partial fixpoint (bit-identical across
+  /// num_threads), and query graphs after the tripping one were not run.
+  bool truncated = false;
+  /// Which budget tripped and where; empty unless `truncated`.
+  std::string truncated_by;
 };
 
 /// \brief Evaluates `req` against `db`, materializing each IDB predicate

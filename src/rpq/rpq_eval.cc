@@ -4,6 +4,7 @@
 #include <deque>
 #include <set>
 
+#include "gov/governor.h"
 #include "rpq/dfa.h"
 
 namespace graphlog::rpq {
@@ -28,10 +29,49 @@ bool EdgeMatches(const Edge& e, const NfaTransition& t) {
   return true;
 }
 
+/// Governed-search state shared by every per-source product search of
+/// one evaluation: a step counter so the periodic full check fires at a
+/// bounded interval even across many small sources, plus the truncation
+/// flag a return_partial budget trip raises.
+struct GovState {
+  const gov::GovernorContext* ctx = nullptr;
+  uint64_t steps = 0;
+  bool truncated = false;
+
+  /// Per-pop poll: the cancellation token every step (one relaxed load),
+  /// the full check — deadline, armed rpq.step faults, row/byte budgets
+  /// against the result relation — every 256 steps. On a return_partial
+  /// trip sets `truncated` and returns OK; the searches then stop and
+  /// keep the pairs found so far.
+  Status Poll(const Relation& out) {
+    if (ctx == nullptr) return Status::OK();
+    if (ctx->token.cancelled()) {
+      return Status::Cancelled("query cancelled at rpq.step");
+    }
+    if ((++steps & 255u) != 0) return Status::OK();
+    GRAPHLOG_RETURN_NOT_OK(ctx->Check("rpq.step"));
+    const gov::ResourceBudget& b = ctx->budget;
+    if (b.max_result_rows != 0 && out.size() > b.max_result_rows) {
+      if (!b.return_partial) {
+        return gov::BudgetExceededError("max_result_rows", "rpq.step",
+                                        out.size(), b.max_result_rows);
+      }
+      truncated = true;
+    } else if (b.max_bytes != 0 && out.MemoryBytes() > b.max_bytes) {
+      if (!b.return_partial) {
+        return gov::BudgetExceededError("max_bytes", "rpq.step",
+                                        out.MemoryBytes(), b.max_bytes);
+      }
+      truncated = true;
+    }
+    return Status::OK();
+  }
+};
+
 /// BFS over the (node, nfa-state) product from one source node.
-void SearchFrom(const DataGraph& g, const Nfa& nfa, NodeId source,
-                const std::optional<NodeId>& target, Relation* out,
-                RpqStats* stats) {
+Status SearchFrom(const DataGraph& g, const Nfa& nfa, NodeId source,
+                  const std::optional<NodeId>& target, Relation* out,
+                  RpqStats* stats, GovState* gstate) {
   const size_t ns = nfa.num_states();
   // visited[node * ns + state]
   std::vector<bool> visited(g.num_nodes() * ns, false);
@@ -53,6 +93,10 @@ void SearchFrom(const DataGraph& g, const Nfa& nfa, NodeId source,
 
   enqueue(source, nfa.start());
   while (!queue.empty()) {
+    if (gstate != nullptr) {
+      GRAPHLOG_RETURN_NOT_OK(gstate->Poll(*out));
+      if (gstate->truncated) return Status::OK();
+    }
     auto [n, state] = queue.front();
     queue.pop_front();
     if (stats != nullptr) ++stats->product_states_visited;
@@ -74,6 +118,7 @@ void SearchFrom(const DataGraph& g, const Nfa& nfa, NodeId source,
       }
     }
   }
+  return Status::OK();
 }
 
 /// Annotates the "rpq" span with automaton shape, endpoint restrictions,
@@ -111,15 +156,21 @@ Result<Relation> EvalRpq(const DataGraph& g, const gl::PathExpr& expr,
   GRAPHLOG_ASSIGN_OR_RETURN(Nfa nfa, Nfa::Compile(expr));
   obs::SpanGuard span(options.tracer, "rpq");
   // Effort counters feed the span/registry even when the caller passed no
-  // stats.
+  // stats; a governed run always tracks them so truncation is reportable.
   RpqStats local;
-  if (stats == nullptr && (span.enabled() || options.metrics != nullptr)) {
+  if (stats == nullptr && (span.enabled() || options.metrics != nullptr ||
+                           options.governor != nullptr)) {
     stats = &local;
   }
+  GovState gstate{options.governor};
+  // Up-front check so a pre-cancelled token, expired deadline, or armed
+  // first-hit fault trips even when the search itself has no work.
+  GRAPHLOG_RETURN_NOT_OK(gov::CheckPoint(options.governor, "rpq.step"));
 
   Relation out(2);
   auto finish = [&]() {
     if (stats != nullptr) {
+      stats->truncated = gstate.truncated;
       FinishRpqSpan(span, "nfa", nfa.num_states(), options, *stats, out);
     }
   };
@@ -136,13 +187,16 @@ Result<Relation> EvalRpq(const DataGraph& g, const gl::PathExpr& expr,
   if (options.source.has_value()) {
     NodeId s;
     if (g.FindNode(*options.source, &s)) {
-      SearchFrom(g, nfa, s, target, &out, stats);
+      GRAPHLOG_RETURN_NOT_OK(
+          SearchFrom(g, nfa, s, target, &out, stats, &gstate));
     }
     finish();
     return out;
   }
   for (NodeId s = 0; s < g.num_nodes(); ++s) {
-    SearchFrom(g, nfa, s, target, &out, stats);
+    GRAPHLOG_RETURN_NOT_OK(SearchFrom(g, nfa, s, target, &out, stats,
+                                      &gstate));
+    if (gstate.truncated) break;
   }
   finish();
   return out;
@@ -159,9 +213,9 @@ Result<Relation> EvalRpqText(const DataGraph& g, std::string_view expr_text,
 namespace {
 
 /// BFS over the (node, dfa-state) product from one source node.
-void SearchFromDfa(const DataGraph& g, const Dfa& dfa, NodeId source,
-                   const std::optional<NodeId>& target, Relation* out,
-                   RpqStats* stats) {
+Status SearchFromDfa(const DataGraph& g, const Dfa& dfa, NodeId source,
+                     const std::optional<NodeId>& target, Relation* out,
+                     RpqStats* stats, GovState* gstate) {
   const size_t ns = dfa.num_states();
   std::vector<bool> visited(g.num_nodes() * ns, false);
   std::deque<std::pair<NodeId, uint32_t>> queue;
@@ -174,6 +228,10 @@ void SearchFromDfa(const DataGraph& g, const Dfa& dfa, NodeId source,
   };
   enqueue(source, dfa.start());
   while (!queue.empty()) {
+    if (gstate != nullptr) {
+      GRAPHLOG_RETURN_NOT_OK(gstate->Poll(*out));
+      if (gstate->truncated) return Status::OK();
+    }
     auto [n, state] = queue.front();
     queue.pop_front();
     if (stats != nullptr) ++stats->product_states_visited;
@@ -195,6 +253,7 @@ void SearchFromDfa(const DataGraph& g, const Dfa& dfa, NodeId source,
       }
     }
   }
+  return Status::OK();
 }
 
 }  // namespace
@@ -301,13 +360,17 @@ Result<Relation> EvalRpqDfa(const DataGraph& g, const gl::PathExpr& expr,
   Dfa dfa = det.Minimize();
   obs::SpanGuard span(options.tracer, "rpq");
   RpqStats local;
-  if (stats == nullptr && (span.enabled() || options.metrics != nullptr)) {
+  if (stats == nullptr && (span.enabled() || options.metrics != nullptr ||
+                           options.governor != nullptr)) {
     stats = &local;
   }
+  GovState gstate{options.governor};
+  GRAPHLOG_RETURN_NOT_OK(gov::CheckPoint(options.governor, "rpq.step"));
 
   Relation out(2);
   auto finish = [&]() {
     if (stats != nullptr) {
+      stats->truncated = gstate.truncated;
       FinishRpqSpan(span, "dfa", dfa.num_states(), options, *stats, out);
     }
   };
@@ -323,13 +386,16 @@ Result<Relation> EvalRpqDfa(const DataGraph& g, const gl::PathExpr& expr,
   if (options.source.has_value()) {
     NodeId s;
     if (g.FindNode(*options.source, &s)) {
-      SearchFromDfa(g, dfa, s, target, &out, stats);
+      GRAPHLOG_RETURN_NOT_OK(
+          SearchFromDfa(g, dfa, s, target, &out, stats, &gstate));
     }
     finish();
     return out;
   }
   for (NodeId s = 0; s < g.num_nodes(); ++s) {
-    SearchFromDfa(g, dfa, s, target, &out, stats);
+    GRAPHLOG_RETURN_NOT_OK(SearchFromDfa(g, dfa, s, target, &out, stats,
+                                         &gstate));
+    if (gstate.truncated) break;
   }
   finish();
   return out;

@@ -20,6 +20,10 @@
 #include "rpq/nfa.h"
 #include "storage/relation.h"
 
+namespace graphlog::gov {
+struct GovernorContext;  // gov/governor.h
+}
+
 namespace graphlog::rpq {
 
 /// \brief Endpoint restrictions for EvalRpq.
@@ -37,12 +41,25 @@ struct RpqOptions {
   /// the `rpq.result_pairs` distribution into this registry at the same
   /// site the tracer's "rpq" span closes; null costs one pointer test.
   obs::MetricsRegistry* metrics = nullptr;
+  /// When set, the product search is governed: the cancellation token is
+  /// polled every product-state pop, and every ~256 pops the deadline,
+  /// any armed `rpq.step` fault, and the max_result_rows / max_bytes
+  /// budgets (against the result relation) are checked. A budget trip
+  /// fails with kBudgetExceeded, or with return_partial stops the search
+  /// and returns the pairs found so far with RpqStats::truncated set.
+  /// The search is single-threaded and its order deterministic, so
+  /// partial results are reproducible. Null costs one pointer test.
+  /// (EvalRpqWitnesses is not governed — bound it via EvalRpq first.)
+  const gov::GovernorContext* governor = nullptr;
 };
 
 /// \brief Search-effort counters.
 struct RpqStats {
   uint64_t product_states_visited = 0;
   uint64_t edge_traversals = 0;
+  /// True when a governed search stopped early on a return_partial
+  /// budget trip; the returned relation holds the pairs found so far.
+  bool truncated = false;
 };
 
 /// \brief Evaluates `expr` over `g`, returning the binary relation of

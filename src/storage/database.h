@@ -120,6 +120,11 @@ class Database {
   /// snapshotting between queries sees the last published level.
   void ExportResourceMetrics(obs::MetricsRegistry* registry) const;
 
+  /// \brief Drops the named relation entirely; returns true when it
+  /// existed. Used by governed-abort rollback to remove relations a
+  /// failed run created.
+  bool Remove(Symbol name) { return relations_.erase(name) > 0; }
+
   /// \brief Drops every relation whose name is not in `keep`; used to
   /// strip IDB results between runs.
   void RetainOnly(const std::set<Symbol>& keep) {

@@ -2,46 +2,128 @@
 
 #include <fstream>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "datalog/ast.h"
 #include "datalog/parser.h"
+#include "gov/governor.h"
 
 namespace graphlog::storage {
 
-Result<size_t> LoadFacts(std::string_view text, Database* db) {
+namespace {
+
+/// Longest token a well-formed fact file can plausibly contain. Anything
+/// beyond this is a corrupt or binary file; rejecting it up front (with
+/// a line number) beats feeding megabytes into the lexer.
+constexpr size_t kMaxTokenBytes = 64 * 1024;
+
+/// Scans for runs of non-delimiter bytes longer than kMaxTokenBytes.
+/// Returns 0 when none, else the 1-based line of the first offender.
+size_t FindOversizedToken(std::string_view text) {
+  size_t line = 1;
+  size_t run = 0;
+  for (char c : text) {
+    if (c == '\n') {
+      ++line;
+      run = 0;
+    } else if (c == ' ' || c == '\t' || c == '\r' || c == '(' || c == ')' ||
+               c == ',' || c == '.') {
+      run = 0;
+    } else if (++run > kMaxTokenBytes) {
+      return line;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+Result<size_t> LoadFacts(std::string_view text, Database* db,
+                         const gov::GovernorContext* governor) {
+  if (size_t line = FindOversizedToken(text); line != 0) {
+    return Status::ParseError("oversized token (> " +
+                              std::to_string(kMaxTokenBytes) +
+                              " bytes) at line " + std::to_string(line));
+  }
   GRAPHLOG_ASSIGN_OR_RETURN(
       datalog::Program prog, datalog::ParseProgram(text, &db->symbols()));
-  size_t added = 0;
-  for (const datalog::Rule& r : prog.rules) {
+
+  // Phase 1: validate every rule and stage the batch. Nothing touches
+  // the database until the whole input is known good, so a bad line
+  // never leaves a partially-applied file behind.
+  std::vector<std::pair<Symbol, Tuple>> batch;
+  batch.reserve(prog.rules.size());
+  std::map<Symbol, size_t> arities;
+  for (size_t i = 0; i < prog.rules.size(); ++i) {
+    const datalog::Rule& r = prog.rules[i];
     if (!r.is_fact() || r.head.has_aggregates()) {
-      return Status::InvalidArgument(
-          "fact file contains a non-fact rule: " +
-          r.ToString(db->symbols()));
+      return Status::ParseError("fact " + std::to_string(i + 1) +
+                                " is not a ground fact: " +
+                                r.ToString(db->symbols()));
     }
     Tuple t;
     t.reserve(r.head.arity());
     for (const datalog::HeadTerm& h : r.head.args) {
       if (!h.term.is_constant()) {
-        return Status::InvalidArgument(
-            "fact with a non-constant argument: " +
-            r.ToString(db->symbols()));
+        return Status::ParseError("fact " + std::to_string(i + 1) +
+                                  " has a non-constant argument: " +
+                                  r.ToString(db->symbols()));
       }
       t.push_back(h.term.value());
     }
-    GRAPHLOG_RETURN_NOT_OK(db->AddFact(r.head.predicate, std::move(t)));
-    ++added;
+    // Arity must agree with any existing relation and with every earlier
+    // fact of the batch.
+    const Symbol pred = r.head.predicate;
+    size_t expected = 0;
+    if (auto it = arities.find(pred); it != arities.end()) {
+      expected = it->second;
+    } else if (const Relation* rel = db->Find(pred); rel != nullptr) {
+      expected = rel->arity();
+      arities.emplace(pred, expected);
+    } else {
+      arities.emplace(pred, t.size());
+      expected = t.size();
+    }
+    if (t.size() != expected) {
+      return Status::ArityMismatch(
+          "fact " + std::to_string(i + 1) + " declares '" +
+          db->symbols().name(pred) + "' with arity " +
+          std::to_string(t.size()) + " but it has arity " +
+          std::to_string(expected));
+    }
+    batch.emplace_back(pred, std::move(t));
   }
-  return added;
+
+  // Phase 2: the batch is valid; one governed checkpoint, then apply.
+  GRAPHLOG_RETURN_NOT_OK(gov::CheckPoint(governor, "io.load"));
+  for (auto& [pred, t] : batch) {
+    GRAPHLOG_RETURN_NOT_OK(db->AddFact(pred, std::move(t)));
+  }
+  return batch.size();
 }
 
-Result<size_t> LoadFactsFile(const std::string& path, Database* db) {
-  std::ifstream in(path);
+Result<size_t> LoadFactsFile(const std::string& path, Database* db,
+                             const gov::GovernorContext* governor) {
+  std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::NotFound("cannot open fact file '" + path + "'");
   }
   std::ostringstream buf;
   buf << in.rdbuf();
-  return LoadFacts(buf.str(), db);
+  // Note: inserting an empty rdbuf sets failbit by itself ("no characters
+  // inserted"); an empty fact file is fine, a half-read one is not.
+  if (in.bad() || (buf.fail() && !buf.str().empty())) {
+    return Status::Internal("read of fact file '" + path +
+                            "' failed mid-stream (truncated load rejected)");
+  }
+  Result<size_t> loaded = LoadFacts(buf.str(), db, governor);
+  if (!loaded.ok()) {
+    // Prefix the file; parse-level messages already carry the line.
+    return Status(loaded.status().code(),
+                  path + ": " + loaded.status().message());
+  }
+  return loaded;
 }
 
 std::string DumpFacts(const Database& db) {

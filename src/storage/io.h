@@ -6,6 +6,13 @@
 //   departure(106, 1305).
 //
 // which makes database dumps valid Datalog programs and vice versa.
+//
+// Loading is strict and transactional: malformed lines, oversized
+// tokens, non-fact rules, non-constant arguments, arity conflicts, and
+// truncated reads all fail with a Status that names the file (and, for
+// parse-level errors, the line) — and a failed load applies NOTHING.
+// Every fact of the input is validated before the first one is inserted,
+// so a Database never observes a partially-applied fact file.
 
 #ifndef GRAPHLOG_STORAGE_IO_H_
 #define GRAPHLOG_STORAGE_IO_H_
@@ -16,14 +23,32 @@
 #include "common/result.h"
 #include "storage/database.h"
 
+namespace graphlog::gov {
+struct GovernorContext;  // gov/governor.h
+}
+
 namespace graphlog::storage {
 
 /// \brief Parses `text` as a list of ground facts and inserts them into
 /// `db`, declaring relations on first use. Non-ground rules are rejected.
-Result<size_t> LoadFacts(std::string_view text, Database* db);
+///
+/// All-or-nothing: the whole text is parsed and every fact validated
+/// (ground, constant arguments, arity consistent with the database and
+/// within the batch) before any insert happens; on any error the
+/// database is unchanged. When `governor` is set, the `io.load`
+/// injection point and the cancellation token/deadline are checked
+/// before the validated batch is applied.
+Result<size_t> LoadFacts(std::string_view text, Database* db,
+                         const gov::GovernorContext* governor = nullptr);
 
-/// \brief Reads a fact file from disk into `db`.
-Result<size_t> LoadFactsFile(const std::string& path, Database* db);
+/// \brief Reads a fact file from disk into `db`. Same transactional
+/// contract as LoadFacts; error messages are prefixed with the file path
+/// (parse errors already carry the line), oversized tokens (> 64 KiB,
+/// a corrupt or binary file in practice) are rejected with their line
+/// number before parsing, and a read that fails mid-file is an error,
+/// not a silently-truncated load.
+Result<size_t> LoadFactsFile(const std::string& path, Database* db,
+                             const gov::GovernorContext* governor = nullptr);
 
 /// \brief Renders every relation of `db` (sorted by name, facts sorted
 /// lexicographically) as a fact program.

@@ -142,6 +142,20 @@ class Relation {
     ++generation_;
   }
 
+  /// \brief Removes every row past the first `n` (insertion order),
+  /// erasing them from the dedup set and discarding built indexes (the
+  /// next Probe rebuilds). The rollback primitive for governed aborts:
+  /// truncating to a pre-run size restores the relation's exact pre-run
+  /// contents and iteration order. No-op when n >= size(). Invalidates
+  /// outstanding ProbeResults.
+  void TruncateTo(size_t n) {
+    if (n >= rows_.size()) return;
+    for (size_t i = n; i < rows_.size(); ++i) set_.erase(rows_[i]);
+    rows_.resize(n);
+    indexes_.clear();
+    ++generation_;
+  }
+
   /// \brief Discards every built index (releases memory; the next Probe
   /// over a column set rebuilds from scratch). Invalidates outstanding
   /// ProbeResults.

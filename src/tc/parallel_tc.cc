@@ -1,9 +1,12 @@
 #include "tc/parallel_tc.h"
 
+#include <atomic>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "exec/thread_pool.h"
+#include "gov/governor.h"
 
 namespace graphlog::tc {
 
@@ -12,7 +15,9 @@ using storage::Tuple;
 
 Result<Relation> ParallelTransitiveClosure(const Relation& edges,
                                            unsigned num_threads,
-                                           obs::MetricsRegistry* metrics) {
+                                           obs::MetricsRegistry* metrics,
+                                           const gov::GovernorContext* governor,
+                                           TcStats* stats) {
   if (edges.arity() != 2) {
     return Status::InvalidArgument(
         "transitive closure requires a binary relation");
@@ -41,38 +46,78 @@ Result<Relation> ParallelTransitiveClosure(const Relation& edges,
   // One DFS per source, fanned across the pool. Results are keyed by
   // source, so the merge below runs in source order and the output
   // relation's insertion order is identical for every thread count.
+  //
+  // Governed abort machinery: the first failing source (in source order)
+  // records its Status and raises the stop flag the pool observes before
+  // each claim; inside a DFS the cancellation token is polled every ~1k
+  // pops so one huge source cannot hold the query hostage.
+  std::atomic<bool> stop{false};
+  std::mutex err_mu;
+  Status lane_error = Status::OK();
+  size_t err_src = n;
+  auto record_error = [&](size_t s, Status st) {
+    std::lock_guard<std::mutex> lock(err_mu);
+    if (s < err_src) {
+      err_src = s;
+      lane_error = std::move(st);
+    }
+    stop.store(true, std::memory_order_relaxed);
+  };
+  const std::atomic<bool>* cancel =
+      governor != nullptr ? governor->token.flag() : nullptr;
   std::vector<std::vector<uint32_t>> reach(n);
   {
     exec::ThreadPool pool(lanes);
     std::vector<std::vector<bool>> seen(pool.parallelism(),
                                         std::vector<bool>(n));
     std::vector<std::vector<uint32_t>> stacks(pool.parallelism());
-    pool.ParallelFor(n, [&](unsigned wid, size_t s) {
-      std::vector<bool>& sn = seen[wid];
-      std::vector<uint32_t>& stack = stacks[wid];
-      std::fill(sn.begin(), sn.end(), false);
-      stack.clear();
-      std::vector<uint32_t>& local = reach[s];
-      for (uint32_t v : out[s]) {
-        if (!sn[v]) {
-          sn[v] = true;
-          stack.push_back(v);
-          local.push_back(v);
-        }
-      }
-      while (!stack.empty()) {
-        uint32_t u = stack.back();
-        stack.pop_back();
-        for (uint32_t v : out[u]) {
-          if (!sn[v]) {
-            sn[v] = true;
-            stack.push_back(v);
-            local.push_back(v);
+    pool.ParallelFor(
+        n,
+        [&](unsigned wid, size_t s) {
+          if (governor != nullptr) {
+            if (stop.load(std::memory_order_relaxed)) return;
+            Status st = governor->Check("tc.expand");
+            if (!st.ok()) {
+              record_error(s, std::move(st));
+              return;
+            }
           }
-        }
-      }
-    });
+          std::vector<bool>& sn = seen[wid];
+          std::vector<uint32_t>& stack = stacks[wid];
+          std::fill(sn.begin(), sn.end(), false);
+          stack.clear();
+          std::vector<uint32_t>& local = reach[s];
+          for (uint32_t v : out[s]) {
+            if (!sn[v]) {
+              sn[v] = true;
+              stack.push_back(v);
+              local.push_back(v);
+            }
+          }
+          size_t pops = 0;
+          while (!stack.empty()) {
+            if (cancel != nullptr && (++pops & 1023u) == 0 &&
+                cancel->load(std::memory_order_relaxed)) {
+              record_error(s,
+                           Status::Cancelled("query cancelled at tc.expand"));
+              return;
+            }
+            uint32_t u = stack.back();
+            stack.pop_back();
+            for (uint32_t v : out[u]) {
+              if (!sn[v]) {
+                sn[v] = true;
+                stack.push_back(v);
+                local.push_back(v);
+              }
+            }
+          }
+        },
+        governor != nullptr ? &stop : nullptr);
   }
+  // The pool has joined. Abort before the merge so a cancelled or failed
+  // fan-out never materializes a partial closure.
+  if (err_src < n) return lane_error;
 
   size_t total = 0;
   for (const auto& local : reach) total += local.size();
@@ -81,6 +126,39 @@ Result<Relation> ParallelTransitiveClosure(const Relation& edges,
   for (uint32_t s = 0; s < n; ++s) {
     for (uint32_t v : reach[s]) {
       tc.Insert(Tuple{values[s], values[v]});
+    }
+  }
+  if (stats != nullptr) {
+    stats->rounds = n;
+    stats->pair_visits = total;
+  }
+  // Budgets are enforced on the merged closure — the only point of this
+  // kernel where row count and byte estimate are deterministic.
+  if (governor != nullptr) {
+    GRAPHLOG_RETURN_NOT_OK(governor->CheckInterrupts("tc.expand"));
+    const gov::ResourceBudget& b = governor->budget;
+    uint64_t row_cap = 0;  // 0 = no trip
+    if (b.max_result_rows != 0 && tc.size() > b.max_result_rows) {
+      if (!b.return_partial) {
+        return gov::BudgetExceededError("max_result_rows", "tc.expand",
+                                        tc.size(), b.max_result_rows);
+      }
+      row_cap = b.max_result_rows;
+    }
+    if (b.max_bytes != 0 && tc.MemoryBytes() > b.max_bytes) {
+      if (!b.return_partial) {
+        return gov::BudgetExceededError("max_bytes", "tc.expand",
+                                        tc.MemoryBytes(), b.max_bytes);
+      }
+      // Rows admissible under the byte budget, by the deterministic
+      // per-row estimate.
+      uint64_t per_row = tc.MemoryBytes() / tc.size();
+      uint64_t by_bytes = per_row == 0 ? tc.size() : b.max_bytes / per_row;
+      if (row_cap == 0 || by_bytes < row_cap) row_cap = by_bytes;
+    }
+    if (row_cap != 0 && row_cap < tc.size()) {
+      tc.TruncateTo(row_cap);
+      if (stats != nullptr) stats->truncated = true;
     }
   }
   if (metrics != nullptr) {

@@ -13,6 +13,11 @@
 #include "common/result.h"
 #include "obs/metrics.h"
 #include "storage/relation.h"
+#include "tc/transitive_closure.h"
+
+namespace graphlog::gov {
+struct GovernorContext;  // gov/governor.h
+}
 
 namespace graphlog::tc {
 
@@ -25,9 +30,23 @@ namespace graphlog::tc {
 /// When `metrics` is set the kernel folds `tc.invocations` and the
 /// `tc.output_pairs` distribution into the registry (same names as the
 /// sequential kernels — a closure is a closure); null costs one test.
+///
+/// When `governor` is set, every lane re-checks the cancellation token,
+/// deadline, and the `tc.expand` injection point before each source it
+/// claims, and additionally polls the token every ~1k stack pops inside
+/// a source's DFS — cancellation latency is bounded by a slice of one
+/// source's expansion, not the whole fan-out. A governed abort stops the
+/// remaining lanes and returns before the merge, so no partial closure
+/// escapes. Budgets are enforced on the merged result (the only
+/// deterministic boundary of this kernel): a max_result_rows /
+/// max_bytes trip fails with kBudgetExceeded, or with return_partial
+/// truncates the (deterministically ordered) closure and sets
+/// `stats->truncated`.
 Result<storage::Relation> ParallelTransitiveClosure(
     const storage::Relation& edges, unsigned num_threads = 0,
-    obs::MetricsRegistry* metrics = nullptr);
+    obs::MetricsRegistry* metrics = nullptr,
+    const gov::GovernorContext* governor = nullptr,
+    TcStats* stats = nullptr);
 
 }  // namespace graphlog::tc
 

@@ -3,6 +3,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "gov/governor.h"
+
 namespace graphlog::tc {
 
 using storage::Relation;
@@ -36,12 +38,51 @@ struct Adjacency {
   }
 };
 
-Relation NaiveTc(const Relation& edges, TcStats* stats) {
+/// The kernels' shared round boundary: interrupts (cancellation,
+/// deadline, armed tc.expand faults), then budgets against the closure
+/// built so far. Sets *truncated and returns OK when the budget allows
+/// partial results; the kernel then stops at the boundary.
+Status TcRoundCheck(const gov::GovernorContext* governor, uint64_t rounds,
+                    const Relation& tc, bool* truncated) {
+  if (governor == nullptr) return Status::OK();
+  GRAPHLOG_RETURN_NOT_OK(governor->Check("tc.expand"));
+  const gov::ResourceBudget& b = governor->budget;
+  if (!b.any()) return Status::OK();
+  const char* tripped = nullptr;
+  uint64_t observed = 0, limit = 0;
+  if (b.max_rounds != 0 && rounds >= b.max_rounds) {
+    tripped = "max_rounds";
+    observed = rounds + 1;
+    limit = b.max_rounds;
+  } else if (b.max_result_rows != 0 && tc.size() > b.max_result_rows) {
+    tripped = "max_result_rows";
+    observed = tc.size();
+    limit = b.max_result_rows;
+  } else if (b.max_bytes != 0 && tc.MemoryBytes() > b.max_bytes) {
+    tripped = "max_bytes";
+    observed = tc.MemoryBytes();
+    limit = b.max_bytes;
+  }
+  if (tripped == nullptr) return Status::OK();
+  if (b.return_partial) {
+    *truncated = true;
+    return Status::OK();
+  }
+  return gov::BudgetExceededError(tripped, "tc.expand", observed, limit);
+}
+
+Result<Relation> NaiveTc(const Relation& edges, TcStats* stats,
+                         const gov::GovernorContext* governor) {
   Relation tc(2);
   tc.InsertAll(edges);
   bool changed = true;
+  bool truncated = false;
+  uint64_t rounds = 0;
   const std::vector<uint32_t> cols = {0};
   while (changed) {
+    GRAPHLOG_RETURN_NOT_OK(TcRoundCheck(governor, rounds, tc, &truncated));
+    if (truncated) break;
+    ++rounds;
     if (stats != nullptr) ++stats->rounds;
     changed = false;
     // Recompute T(x,y) :- T(x,z), E(z,y) over the FULL current closure.
@@ -57,16 +98,23 @@ Relation NaiveTc(const Relation& edges, TcStats* stats) {
       if (tc.Insert(std::move(t))) changed = true;
     }
   }
+  if (stats != nullptr) stats->truncated = truncated;
   return tc;
 }
 
-Relation SemiNaiveTc(const Relation& edges, TcStats* stats) {
+Result<Relation> SemiNaiveTc(const Relation& edges, TcStats* stats,
+                             const gov::GovernorContext* governor) {
   Relation tc(2);
   Relation delta(2);
   tc.InsertAll(edges);
   delta.InsertAll(edges);
+  bool truncated = false;
+  uint64_t rounds = 0;
   const std::vector<uint32_t> cols = {0};
   while (!delta.empty()) {
+    GRAPHLOG_RETURN_NOT_OK(TcRoundCheck(governor, rounds, tc, &truncated));
+    if (truncated) break;
+    ++rounds;
     if (stats != nullptr) ++stats->rounds;
     Relation next(2);
     for (const Tuple& t : delta.rows()) {
@@ -79,15 +127,22 @@ Relation SemiNaiveTc(const Relation& edges, TcStats* stats) {
     tc.InsertAll(next);
     delta = std::move(next);
   }
+  if (stats != nullptr) stats->truncated = truncated;
   return tc;
 }
 
-Relation SquaringTc(const Relation& edges, TcStats* stats) {
+Result<Relation> SquaringTc(const Relation& edges, TcStats* stats,
+                            const gov::GovernorContext* governor) {
   Relation tc(2);
   tc.InsertAll(edges);
   const std::vector<uint32_t> cols = {0};
   bool changed = true;
+  bool truncated = false;
+  uint64_t rounds = 0;
   while (changed) {
+    GRAPHLOG_RETURN_NOT_OK(TcRoundCheck(governor, rounds, tc, &truncated));
+    if (truncated) break;
+    ++rounds;
     if (stats != nullptr) ++stats->rounds;
     changed = false;
     // T := T ∪ T∘T — doubles the reachable path length each round.
@@ -103,16 +158,23 @@ Relation SquaringTc(const Relation& edges, TcStats* stats) {
       if (tc.Insert(std::move(t))) changed = true;
     }
   }
+  if (stats != nullptr) stats->truncated = truncated;
   return tc;
 }
 
-Relation BfsTc(const Relation& edges, TcStats* stats) {
+Result<Relation> BfsTc(const Relation& edges, TcStats* stats,
+                       const gov::GovernorContext* governor) {
   Adjacency adj = Adjacency::Build(edges);
   Relation tc(2);
   size_t n = adj.values.size();
   std::vector<uint32_t> stack;
   std::vector<bool> seen(n);
+  bool truncated = false;
   for (uint32_t s = 0; s < n; ++s) {
+    // One "round" per source: the boundary where the per-source DFS
+    // below becomes visible in the closure.
+    GRAPHLOG_RETURN_NOT_OK(TcRoundCheck(governor, s, tc, &truncated));
+    if (truncated) break;
     if (stats != nullptr) ++stats->rounds;
     std::fill(seen.begin(), seen.end(), false);
     stack.clear();
@@ -135,6 +197,7 @@ Relation BfsTc(const Relation& edges, TcStats* stats) {
       }
     }
   }
+  if (stats != nullptr) stats->truncated = truncated;
   return tc;
 }
 
@@ -161,32 +224,38 @@ std::string_view AlgorithmName(TcAlgorithm algorithm) {
 Result<Relation> TransitiveClosure(const Relation& edges,
                                    TcAlgorithm algorithm, TcStats* stats,
                                    obs::Tracer* tracer,
-                                   obs::MetricsRegistry* metrics) {
+                                   obs::MetricsRegistry* metrics,
+                                   const gov::GovernorContext* governor) {
   if (edges.arity() != 2) {
     return Status::InvalidArgument(
         "transitive closure requires a binary relation");
   }
   obs::SpanGuard span(tracer, "tc");
   // Effort counters feed the span/registry even when the caller passed no
-  // stats.
+  // stats; a governed run always tracks them so truncation is reportable.
   TcStats local;
-  if (stats == nullptr && (span.enabled() || metrics != nullptr)) {
+  if (stats == nullptr &&
+      (span.enabled() || metrics != nullptr || governor != nullptr)) {
     stats = &local;
   }
   Relation closure(2);
   switch (algorithm) {
-    case TcAlgorithm::kNaive:
-      closure = NaiveTc(edges, stats);
+    case TcAlgorithm::kNaive: {
+      GRAPHLOG_ASSIGN_OR_RETURN(closure, NaiveTc(edges, stats, governor));
       break;
-    case TcAlgorithm::kSemiNaive:
-      closure = SemiNaiveTc(edges, stats);
+    }
+    case TcAlgorithm::kSemiNaive: {
+      GRAPHLOG_ASSIGN_OR_RETURN(closure, SemiNaiveTc(edges, stats, governor));
       break;
-    case TcAlgorithm::kSquaring:
-      closure = SquaringTc(edges, stats);
+    }
+    case TcAlgorithm::kSquaring: {
+      GRAPHLOG_ASSIGN_OR_RETURN(closure, SquaringTc(edges, stats, governor));
       break;
-    case TcAlgorithm::kBfs:
-      closure = BfsTc(edges, stats);
+    }
+    case TcAlgorithm::kBfs: {
+      GRAPHLOG_ASSIGN_OR_RETURN(closure, BfsTc(edges, stats, governor));
       break;
+    }
     default:
       return Status::InvalidArgument("unknown TC algorithm");
   }

@@ -27,6 +27,10 @@
 #include "obs/trace.h"
 #include "storage/relation.h"
 
+namespace graphlog::gov {
+struct GovernorContext;  // gov/governor.h
+}
+
 namespace graphlog::tc {
 
 /// \brief Algorithm selector for TransitiveClosure().
@@ -41,6 +45,11 @@ enum class TcAlgorithm : uint8_t {
 struct TcStats {
   uint64_t rounds = 0;        ///< fixpoint rounds (BFS: source count)
   uint64_t pair_visits = 0;   ///< candidate pairs generated (incl. dups)
+  /// True when a governed run stopped early at a round boundary because
+  /// a resource budget tripped with ResourceBudget::return_partial set;
+  /// the returned relation then holds the (deterministic) partial
+  /// closure built so far.
+  bool truncated = false;
 };
 
 /// \brief Computes the positive transitive closure of binary relation
@@ -51,10 +60,20 @@ struct TcStats {
 /// kernel counters (`tc.invocations`, `tc.rounds`, `tc.pair_visits`) and
 /// the `tc.output_pairs` distribution are folded into the registry. Null
 /// for either costs one pointer test.
+///
+/// When `governor` is set the kernels poll cancellation/deadline and any
+/// armed `tc.expand` fault at every round boundary (BFS: per source) and
+/// enforce the resource budgets (max_rounds against fixpoint rounds,
+/// max_result_rows against closure pairs, max_bytes against the
+/// closure's estimated bytes). Budget trips either fail with
+/// kBudgetExceeded or — with return_partial — stop at the boundary and
+/// return the partial closure with TcStats::truncated set. All checks
+/// compare deterministic quantities at deterministic points.
 Result<storage::Relation> TransitiveClosure(
     const storage::Relation& edges, TcAlgorithm algorithm,
     TcStats* stats = nullptr, obs::Tracer* tracer = nullptr,
-    obs::MetricsRegistry* metrics = nullptr);
+    obs::MetricsRegistry* metrics = nullptr,
+    const gov::GovernorContext* governor = nullptr);
 
 /// \brief Closure of a single source: all y with source ->+ y. Linear-time
 /// BFS; the right tool when one endpoint is fixed (the Figure 12 query).

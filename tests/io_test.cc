@@ -31,7 +31,7 @@ TEST(IoTest, LoadFactsRejectsRules) {
   Database db;
   auto r = LoadFacts("p(X) :- q(X).", &db);
   ASSERT_FALSE(r.ok());
-  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
 }
 
 TEST(IoTest, LoadFactsRejectsVariables) {
