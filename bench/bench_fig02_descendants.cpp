@@ -9,7 +9,7 @@
 
 #include "bench/bench_util.h"
 #include "eval/engine.h"
-#include "graphlog/engine.h"
+#include "graphlog/api.h"
 #include "graphlog/parser.h"
 #include "graphlog/translate.h"
 #include "storage/database.h"
@@ -63,7 +63,7 @@ void Report() {
   // separate copies, then diff.
   storage::Database db1 = MakeFamily(5);
   storage::Database db2 = MakeFamily(5);
-  CheckOk(gl::EvaluateGraphLogText(kFig2Query, &db1).status(), "graphlog");
+  CheckOk(bench::EvalGraphLogText(kFig2Query, &db1).status(), "graphlog");
   CheckOk(eval::EvaluateText(kFig3Program, &db2).status(), "figure 3");
   std::string a = db1.RelationToString(db1.Intern("not-desc-of"));
   std::string b = db2.RelationToString(db2.Intern("not-desc-of"));
@@ -79,7 +79,7 @@ void BM_GraphLogFig2(benchmark::State& state) {
     state.PauseTiming();
     storage::Database db = MakeFamily(generations);
     state.ResumeTiming();
-    auto stats = CheckOk(gl::EvaluateGraphLogText(kFig2Query, &db), "eval");
+    auto stats = CheckOk(bench::EvalGraphLogText(kFig2Query, &db), "eval");
     benchmark::DoNotOptimize(stats.result_tuples);
   }
 }

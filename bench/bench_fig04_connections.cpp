@@ -8,7 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
-#include "graphlog/engine.h"
+#include "graphlog/api.h"
 #include "storage/database.h"
 #include "workload/generators.h"
 
@@ -46,7 +46,7 @@ void Report() {
                 "compute connection reachability");
   for (int flights : {50, 100, 200}) {
     storage::Database db = MakeFlights(flights);
-    auto stats = CheckOk(gl::EvaluateGraphLogText(kQuery, &db), "eval");
+    auto stats = CheckOk(bench::EvalGraphLogText(kQuery, &db), "eval");
     std::printf(
         "flights=%4d  feasible=%6zu  stop-connected=%5zu  "
         "(rounds=%llu firings=%llu)\n",
@@ -64,7 +64,7 @@ void BM_Figure4(benchmark::State& state) {
     state.PauseTiming();
     storage::Database db = MakeFlights(flights);
     state.ResumeTiming();
-    auto stats = CheckOk(gl::EvaluateGraphLogText(kQuery, &db), "eval");
+    auto stats = CheckOk(bench::EvalGraphLogText(kQuery, &db), "eval");
     benchmark::DoNotOptimize(stats.result_tuples);
   }
   state.SetComplexityN(flights);

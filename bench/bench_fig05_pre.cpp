@@ -10,7 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
-#include "graphlog/engine.h"
+#include "graphlog/api.h"
 #include "storage/database.h"
 #include "workload/generators.h"
 
@@ -60,8 +60,8 @@ void Report() {
                 "changing the semantics");
   storage::Database db1 = MakeFamily(5);
   storage::Database db2 = MakeFamily(5);
-  CheckOk(gl::EvaluateGraphLogText(kPre, &db1).status(), "p.r.e. version");
-  CheckOk(gl::EvaluateGraphLogText(kExpanded, &db2).status(),
+  CheckOk(bench::EvalGraphLogText(kPre, &db1).status(), "p.r.e. version");
+  CheckOk(bench::EvalGraphLogText(kExpanded, &db2).status(),
           "expanded version");
   std::string a = db1.RelationToString(db1.Intern("local-friend"));
   std::string b = db2.RelationToString(db2.Intern("local-friend2"));
@@ -83,7 +83,7 @@ void BM_PreFormulation(benchmark::State& state) {
     state.PauseTiming();
     storage::Database db = MakeFamily(static_cast<int>(state.range(0)));
     state.ResumeTiming();
-    auto s = CheckOk(gl::EvaluateGraphLogText(kPre, &db), "eval");
+    auto s = CheckOk(bench::EvalGraphLogText(kPre, &db), "eval");
     benchmark::DoNotOptimize(s.result_tuples);
   }
 }
@@ -94,7 +94,7 @@ void BM_ExpandedFormulation(benchmark::State& state) {
     state.PauseTiming();
     storage::Database db = MakeFamily(static_cast<int>(state.range(0)));
     state.ResumeTiming();
-    auto s = CheckOk(gl::EvaluateGraphLogText(kExpanded, &db), "eval");
+    auto s = CheckOk(bench::EvalGraphLogText(kExpanded, &db), "eval");
     benchmark::DoNotOptimize(s.result_tuples);
   }
 }

@@ -7,7 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
-#include "graphlog/engine.h"
+#include "graphlog/api.h"
 #include "storage/database.h"
 #include "workload/generators.h"
 
@@ -46,7 +46,7 @@ void Report() {
                 "compose into a module-level dependency closure");
   for (int modules : {6, 12, 24}) {
     storage::Database db = MakeModules(modules);
-    auto stats = CheckOk(gl::EvaluateGraphLogText(kQuery, &db), "eval");
+    auto stats = CheckOk(bench::EvalGraphLogText(kQuery, &db), "eval");
     std::printf("modules=%3d  module-calls=%4zu  self-used=%3zu  "
                 "(firings=%llu)\n",
                 modules, db.Find("module-calls")->size(),
@@ -62,7 +62,7 @@ void BM_Figure6(benchmark::State& state) {
     state.PauseTiming();
     storage::Database db = MakeModules(modules);
     state.ResumeTiming();
-    auto s = CheckOk(gl::EvaluateGraphLogText(kQuery, &db), "eval");
+    auto s = CheckOk(bench::EvalGraphLogText(kQuery, &db), "eval");
     benchmark::DoNotOptimize(s.result_tuples);
   }
   state.SetComplexityN(modules);

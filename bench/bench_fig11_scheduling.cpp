@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "graphlog/engine.h"
+#include "graphlog/api.h"
 #include "storage/database.h"
 #include "workload/generators.h"
 
@@ -104,7 +104,7 @@ void Report() {
                 "earlier-start(T1,T2,E): E is the longest sum of durations "
                 "over all affects-paths; matches an independent DAG oracle");
   storage::Database db = MakeTasks(14);
-  auto stats = CheckOk(gl::EvaluateGraphLogText(kQuery, &db), "eval");
+  auto stats = CheckOk(bench::EvalGraphLogText(kQuery, &db), "eval");
   auto oracle = LongestPathOracle(db);
 
   const storage::Relation* es = db.Find("earlier-start");
@@ -132,7 +132,7 @@ void BM_Figure11(benchmark::State& state) {
     state.PauseTiming();
     storage::Database db = MakeTasks(n);
     state.ResumeTiming();
-    auto s = CheckOk(gl::EvaluateGraphLogText(kQuery, &db), "eval");
+    auto s = CheckOk(bench::EvalGraphLogText(kQuery, &db), "eval");
     benchmark::DoNotOptimize(s.result_tuples);
   }
   state.SetComplexityN(n);

@@ -20,7 +20,7 @@
 
 #include "bench/bench_util.h"
 #include "graph/data_graph.h"
-#include "graphlog/engine.h"
+#include "graphlog/api.h"
 #include "graphlog/parser.h"
 #include "rpq/rpq_eval.h"
 #include "storage/database.h"
@@ -52,9 +52,9 @@ std::set<std::string> ScalesViaDatalog(storage::Database* db,
                                        bool magic = false) {
   auto q = CheckOk(
       gl::ParseGraphicalQuery(kGraphLogQuery, &db->symbols()), "parse");
-  gl::GraphLogOptions opts;
-  opts.specialize_bound_closures = magic;
-  CheckOk(gl::EvaluateGraphicalQuery(q, db, opts).status(), "graphlog");
+  QueryRequest req = QueryRequest::Graphical(q);
+  req.options.translation.specialize_bound_closures = magic;
+  CheckOk(Run(req, db).status(), "graphlog");
   std::set<std::string> out;
   const storage::Relation* rel = db->Find("rt-scale");
   if (rel == nullptr) return out;

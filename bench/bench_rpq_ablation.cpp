@@ -14,7 +14,7 @@
 
 #include "bench/bench_util.h"
 #include "graph/data_graph.h"
-#include "graphlog/engine.h"
+#include "graphlog/api.h"
 #include "rpq/dfa.h"
 #include "rpq/rpq_eval.h"
 #include "storage/database.h"
@@ -93,7 +93,7 @@ void BM_Rpq(benchmark::State& state) {
         state.PauseTiming();
         storage::Database fresh = MakeGraph(n, 4);
         state.ResumeTiming();
-        auto r = CheckOk(gl::EvaluateGraphLogText(query, &fresh), "datalog");
+        auto r = CheckOk(bench::EvalGraphLogText(query, &fresh), "datalog");
         benchmark::DoNotOptimize(r.result_tuples);
         break;
       }

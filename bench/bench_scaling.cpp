@@ -14,7 +14,7 @@
 
 #include "bench/bench_util.h"
 #include "eval/engine.h"
-#include "graphlog/engine.h"
+#include "graphlog/api.h"
 #include "storage/database.h"
 #include "workload/generators.h"
 
@@ -72,7 +72,7 @@ void BM_GraphLogClosureScaling(benchmark::State& state) {
     storage::Database db = MakeRandom(n);
     state.ResumeTiming();
     auto s = CheckOk(
-        gl::EvaluateGraphLogText(
+        bench::EvalGraphLogText(
             "query t { edge X -> Y : edge+; distinguished X -> Y : t; }",
             &db),
         "eval");

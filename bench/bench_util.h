@@ -13,11 +13,24 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <utility>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "graphlog/api.h"
+#include "storage/database.h"
 
 namespace graphlog::bench {
+
+/// \brief Evaluates GraphLog text through the unified Run() API and hands
+/// back the stats, mirroring the retired gl::EvaluateGraphLogText wrapper.
+inline Result<gl::QueryStats> EvalGraphLogText(std::string text,
+                                               storage::Database* db) {
+  GRAPHLOG_ASSIGN_OR_RETURN(
+      QueryResponse resp, Run(QueryRequest::GraphLog(std::move(text)), db));
+  return std::move(resp.stats);
+}
 
 /// \brief Aborts the bench with a message when a Status is not OK —
 /// benches must fail loudly, not silently time garbage.

@@ -25,6 +25,8 @@
 //   .metrics [json|prom]       process-wide metrics registry snapshot
 //   .slowlog [n|json|...]      inspect / configure the slow-query log
 //   .resource                  per-relation row/byte accounting
+//   .cache [on|off|...]        query result cache (generation-invalidated)
+//   .view define NAME { ... }  materialized views, incrementally maintained
 //   .help | .quit
 //
 // Reads from stdin, so it is scriptable: `graphlog_shell < script.glog`.
@@ -44,6 +46,8 @@
 #define GRAPHLOG_SHELL_SIGINT 1
 #endif
 
+#include "cache/result_cache.h"
+#include "cache/view_catalog.h"
 #include "common/strings.h"
 #include "eval/provenance.h"
 #include "gov/fault_injection.h"
@@ -148,8 +152,19 @@ void PrintHelp() {
       "                           (sites: eval.round pool.task tc.expand\n"
       "                           rpq.step io.load)\n"
       "  .fault clear             disarm everything\n"
+      "  .cache on|off            toggle the query result cache (off by\n"
+      "                           default; while on, .why provenance is\n"
+      "                           not collected)\n"
+      "  .cache [stats]           hit/miss/eviction counters and bytes\n"
+      "  .cache clear             drop every cached entry\n"
+      "  .view define NAME QUERY  materialize a graphical query as view\n"
+      "                           NAME, kept fresh incrementally as facts\n"
+      "                           arrive; matching queries answer from it\n"
+      "  .view [list]             views with sizes and refresh counters\n"
+      "  .view refresh [NAME]     force a refresh (all views without NAME)\n"
+      "  .view drop NAME          forget a view (its relations remain)\n"
       "  Ctrl-C                   cancel the running query (twice: exit)\n"
-      "  .help / .quit\n");
+      "  .help / .quit / .exit\n");
 }
 
 /// Balances braces to decide whether a query block is complete.
@@ -171,6 +186,7 @@ class Shell {
   Shell() {
     opts_.observability.metrics = &metrics_;
     opts_.observability.slow_query_log = &slowlog_;
+    opts_.cache.views = &views_;
     // Queries slower than 100 ms land in .slowlog by default;
     // `.slowlog threshold MS` tunes it, 0 disables.
     opts_.observability.slow_query_threshold_ns = 100'000'000;
@@ -243,6 +259,7 @@ class Shell {
       auto r = storage::LoadFactsFile(std::string(Trim(line.substr(6))),
                                       &db_, &governor);
       Report(r.status(), r.ok() ? *r : 0, "facts loaded");
+      if (r.ok()) RefreshViews();
       return;
     }
     if (StartsWith(line, ".save ")) {
@@ -311,6 +328,35 @@ class Shell {
       HandleFault(line == ".fault" ? "" : std::string(Trim(line.substr(7))));
       return;
     }
+    if (line == ".cache" || StartsWith(line, ".cache ")) {
+      HandleCache(line == ".cache" ? "" : std::string(Trim(line.substr(7))));
+      return;
+    }
+    if (line == ".view" || StartsWith(line, ".view ")) {
+      std::string arg(line == ".view" ? "" : Trim(line.substr(6)));
+      if (StartsWith(arg, "define ")) {
+        std::istringstream in(arg.substr(7));
+        std::string name;
+        in >> name;
+        std::string text;
+        std::getline(in, text);
+        if (name.empty()) {
+          std::printf("usage: .view define NAME QUERY\n");
+          return;
+        }
+        if (!BlockComplete(text)) {
+          pending_view_name_ = name;
+          // Keep the continuation pump alive even when the query starts
+          // on the next line (pending_ must be non-empty).
+          pending_ = text.empty() ? " " : text;
+          return;
+        }
+        DefineView(name, text);
+        return;
+      }
+      HandleView(arg);
+      return;
+    }
     if (StartsWith(line, ".explain ")) {
       std::string text = line.substr(9);
       if (!BlockComplete(text)) {
@@ -326,7 +372,12 @@ class Shell {
       gov::GovernorContext governor = MakeGovernor();
       QueryRequest req = QueryRequest::Datalog(line.substr(9));
       req.options = opts_;
-      req.options.eval.provenance = &last_store_;
+      // Provenance forces a cache/view bypass (a served answer cannot
+      // populate the store), so .why is only collected while the cache
+      // is off and no views are defined.
+      if (opts_.cache.result_cache == nullptr && views_.size() == 0) {
+        req.options.eval.provenance = &last_store_;
+      }
       req.options.eval.governor = &governor;
       auto r = graphlog::Run(req, &db_);
       if (r.ok()) {
@@ -335,6 +386,7 @@ class Shell {
         if (r->truncated) {
           std::printf("truncated: %s\n", r->truncated_by.c_str());
         }
+        if (r->cache_hit) std::printf("(result cache hit)\n");
       }
       Report(r.status(), r.ok() ? r->stats.datalog.tuples_derived : 0,
              "tuples derived");
@@ -345,6 +397,11 @@ class Shell {
                                  line.substr(5));
       if (!r.ok()) {
         std::printf("error: %s\n", r.status().ToString().c_str());
+        if (opts_.cache.result_cache != nullptr || views_.size() > 0) {
+          std::printf("(provenance is not collected while the result "
+                      "cache is on or views are defined; .cache off / "
+                      ".view drop first)\n");
+        }
       } else {
         std::printf("%s", r->c_str());
       }
@@ -365,6 +422,7 @@ class Shell {
     if (!line.empty() && line.back() == '.') {
       auto r = storage::LoadFacts(line, &db_);
       Report(r.status(), r.ok() ? *r : 0, "facts added");
+      if (r.ok()) RefreshViews();
       return;
     }
     std::printf("unrecognized input; try .help\n");
@@ -381,11 +439,21 @@ class Shell {
       Explain(text);
       return;
     }
+    if (!pending_view_name_.empty()) {
+      std::string name = pending_view_name_;
+      pending_view_name_.clear();
+      DefineView(name, text);
+      return;
+    }
     last_store_ = eval::ProvenanceStore();
     gov::GovernorContext governor = MakeGovernor();
     QueryRequest req = QueryRequest::GraphLog(text);
     req.options = opts_;
-    req.options.eval.provenance = &last_store_;
+    // Provenance forces a cache/view bypass, so .why is only collected
+    // while the cache is off and no views are defined.
+    if (opts_.cache.result_cache == nullptr && views_.size() == 0) {
+      req.options.eval.provenance = &last_store_;
+    }
     req.options.eval.governor = &governor;
     auto r = graphlog::Run(req, &db_);
     if (!r.ok()) {
@@ -396,6 +464,10 @@ class Shell {
     last_trace_ = std::move(r->trace);
     if (r->truncated) {
       std::printf("truncated: %s\n", r->truncated_by.c_str());
+    }
+    if (r->cache_hit) std::printf("(result cache hit)\n");
+    if (r->served_from_view) {
+      std::printf("(served from materialized view)\n");
     }
     const gl::QueryStats& stats = r->stats;
     std::printf("%llu tuples derived (%llu graphs translated, %llu "
@@ -650,6 +722,113 @@ class Shell {
     std::printf("armed %s\n", site.c_str());
   }
 
+  void HandleCache(const std::string& arg) {
+    if (arg == "on") {
+      opts_.cache.result_cache = &cache_;
+      std::printf("result cache on (%zu MiB budget)\n",
+                  cache_.max_bytes() >> 20);
+      return;
+    }
+    if (arg == "off") {
+      opts_.cache.result_cache = nullptr;
+      std::printf("result cache off\n");
+      return;
+    }
+    if (arg == "clear") {
+      cache_.Clear();
+      std::printf("result cache cleared\n");
+      return;
+    }
+    if (arg.empty() || arg == "stats") {
+      cache::ResultCacheStats s = cache_.Stats();
+      std::printf(
+          "result cache %s: %llu hits (%llu replayed), %llu misses, "
+          "%llu inserts, %llu evictions\n"
+          "  %llu entries, %llu bytes resident (budget %zu)\n",
+          opts_.cache.result_cache != nullptr ? "on" : "off",
+          static_cast<unsigned long long>(s.hits),
+          static_cast<unsigned long long>(s.replays),
+          static_cast<unsigned long long>(s.misses),
+          static_cast<unsigned long long>(s.inserts),
+          static_cast<unsigned long long>(s.evictions),
+          static_cast<unsigned long long>(s.entries),
+          static_cast<unsigned long long>(s.bytes), cache_.max_bytes());
+      return;
+    }
+    std::printf("usage: .cache [on|off|stats|clear]\n");
+  }
+
+  void DefineView(const std::string& name, const std::string& text) {
+    auto def = MakeViewDefinition(name, text, &db_, opts_);
+    if (!def.ok()) {
+      std::printf("error: %s\n", def.status().ToString().c_str());
+      return;
+    }
+    Status st = views_.Define(std::move(*def), &db_, &metrics_);
+    if (!st.ok()) {
+      std::printf("error: %s\n", st.ToString().c_str());
+      return;
+    }
+    cache::ViewStats vs = views_.StatsOf(name, &db_);
+    std::printf("view %s materialized (%llu rows)\n", name.c_str(),
+                static_cast<unsigned long long>(vs.result_rows));
+  }
+
+  void HandleView(const std::string& arg) {
+    if (arg.empty() || arg == "list") {
+      if (views_.size() == 0) {
+        std::printf("no views defined; .view define NAME QUERY\n");
+        return;
+      }
+      for (const std::string& name : views_.Names()) {
+        cache::ViewStats vs = views_.StatsOf(name, &db_);
+        std::printf(
+            "  %s: %llu rows (%s), %llu full + %llu incremental "
+            "refreshes, served %llu\n",
+            name.c_str(), static_cast<unsigned long long>(vs.result_rows),
+            vs.fresh ? "fresh" : "stale",
+            static_cast<unsigned long long>(vs.full_refreshes),
+            static_cast<unsigned long long>(vs.incremental_refreshes),
+            static_cast<unsigned long long>(vs.served));
+      }
+      return;
+    }
+    if (StartsWith(arg, "drop ")) {
+      std::string name(Trim(arg.substr(5)));
+      if (views_.Drop(name)) {
+        std::printf("view %s dropped\n", name.c_str());
+      } else {
+        std::printf("no view '%s'\n", name.c_str());
+      }
+      return;
+    }
+    if (arg == "refresh" || StartsWith(arg, "refresh ")) {
+      std::string name(arg == "refresh" ? "" : Trim(arg.substr(8)));
+      Status st = name.empty() ? views_.RefreshAll(&db_, &metrics_)
+                               : views_.Refresh(name, &db_, &metrics_);
+      if (!st.ok()) {
+        std::printf("error: %s\n", st.ToString().c_str());
+      } else {
+        std::printf("refreshed\n");
+      }
+      return;
+    }
+    std::printf(
+        "usage: .view [list | define NAME QUERY | refresh [NAME] |"
+        " drop NAME]\n");
+  }
+
+  /// Keeps every defined view fresh after base-fact changes; a refresh
+  /// failure (e.g. a fact made a view's program unsafe) is reported but
+  /// does not undo the insertion.
+  void RefreshViews() {
+    if (views_.size() == 0) return;
+    Status st = views_.RefreshAll(&db_, &metrics_);
+    if (!st.ok()) {
+      std::printf("view refresh error: %s\n", st.ToString().c_str());
+    }
+  }
+
   void HandleResource() {
     db_.ExportResourceMetrics(&metrics_);
     size_t total_rows = 0;
@@ -739,6 +918,8 @@ class Shell {
   std::string pending_;
   bool pending_dotquery_ = false;
   bool pending_explain_ = false;
+  // Non-empty while a multiline `.view define NAME` block accumulates.
+  std::string pending_view_name_;
   bool done_ = false;
   // Session-wide options for query/.datalog evaluation: worker lanes
   // (.threads) and tracing (.trace on|off) both live here.
@@ -760,6 +941,10 @@ class Shell {
   gov::ResourceBudget budget_;
   uint64_t deadline_ms_ = 0;
   gov::FaultInjector faults_;
+  // Result cache (.cache on arms it into opts_) and materialized views
+  // (.view; always consulted — serving is fingerprint-gated anyway).
+  cache::ResultCache cache_;
+  cache::ViewCatalog views_;
 };
 
 }  // namespace

@@ -6,13 +6,17 @@
 # cancellation, lane-error propagation out of the pool, rollback after a
 # mid-round abort, stalled lanes woken by a cancel.
 #
+# The cache label rides along by default: the result cache's sharded LRU
+# and the view catalog's refresh-on-serve are exactly the structures
+# concurrent queries hammer.
+#
 # Usage: scripts/run_sanitizer_lanes.sh [LABEL] [BUILD_ROOT]
-# Defaults: LABEL = robustness, BUILD_ROOT = build-san (creates
-# ${BUILD_ROOT}-thread and ${BUILD_ROOT}-address).
+# Defaults: LABEL = 'robustness|cache' (a ctest -L regex), BUILD_ROOT =
+# build-san (creates ${BUILD_ROOT}-thread and ${BUILD_ROOT}-address).
 
 set -euo pipefail
 
-LABEL="${1:-robustness}"
+LABEL="${1:-robustness|cache}"
 BUILD_ROOT="${2:-build-san}"
 SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 4)"

@@ -1,0 +1,180 @@
+// ViewCatalog: named materialized views over GraphLog queries, kept
+// consistent with the base facts by incremental maintenance.
+//
+// A view is a lambda-translated GraphLog query whose IDB predicates
+// (distinguished + translation auxiliaries) are materialized in the
+// Database and whose base-relation states are tracked with the same
+// (uid, data_generation, size) quadruples the result cache uses. When
+// base facts change, Refresh() picks the cheapest sound maintenance
+// path:
+//
+//   * incremental — when every changed base relation only *grew*
+//     (detected by data_generation delta == size delta, so the new rows
+//     are exactly the insertion-order suffix) and no affected stratum
+//     contains negation or aggregation: the affected strata re-run
+//     semi-naively seeded from the delta rows. Under set semantics a
+//     delta-substituted occurrence joined against current (old ∪ new)
+//     state over-enumerates but never under-enumerates, and relation
+//     dedup absorbs the overlap, so the maintained view is set-equal to
+//     a from-scratch evaluation.
+//   * full — otherwise (shrunk/replaced base, tampered view output, or
+//     deletion-sensitive operators in an affected stratum): the view's
+//     IDB relations are cleared and the program re-evaluated.
+//
+// The negation/aggregation fallback is decided *before* any mutation by
+// a static pass over the stratification: starting from the changed base
+// predicates, strata whose rules read a (transitively) changed predicate
+// are potentially affected; if any of their rules negates a subgoal or
+// aggregates in the head, insertion deltas can retract derived tuples
+// and only full recomputation is sound.
+//
+// Serving: graphlog::Run() matches a request's canonical fingerprint
+// (cache/fingerprint.h) against the catalog, refreshes the view if
+// stale, and answers from the materialized distinguished relation.
+//
+// A catalog is bound to one Database (symbols and uids are meaningless
+// across databases); Define() records the database uid and every other
+// operation checks it.
+
+#ifndef GRAPHLOG_CACHE_VIEW_CATALOG_H_
+#define GRAPHLOG_CACHE_VIEW_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cache/result_cache.h"
+#include "datalog/ast.h"
+#include "eval/engine.h"
+#include "graphlog/api.h"
+#include "obs/metrics.h"
+#include "storage/database.h"
+
+namespace graphlog::cache {
+
+/// \brief A view's static definition; build with graphlog::
+/// MakeViewDefinition (the parse/validate/translate half lives in the
+/// front-door library so this one depends only on datalog + eval).
+struct ViewDefinition {
+  std::string name;
+  std::string source_text;    ///< the defining GraphLog query text
+  /// Canonical fingerprint (CanonicalQueryKey) under which Run() serves
+  /// this view; captures the translation/eval options baked into
+  /// `program` and `eval`.
+  std::string canonical_key;
+  /// The combined translated program, query graphs in topological order.
+  datalog::Program program;
+  Symbol distinguished = kNoSymbol;     ///< the view's output predicate
+  std::vector<Symbol> idb_predicates;   ///< all head preds (incl. aux)
+  std::vector<Symbol> edb_predicates;   ///< base preds the program reads
+  /// Distinguished predicates of every query graph — what Run() counts
+  /// as result_tuples (matches RunGraphLog's IdbPredicates sum).
+  std::vector<Symbol> result_predicates;
+  uint64_t graphs = 0;                  ///< query graphs translated
+  /// Engine options used for (re)materialization. Observability members
+  /// (tracer/metrics/governor) are not retained by the catalog.
+  eval::EvalOptions eval;
+};
+
+/// \brief Per-view maintenance counters and freshness.
+struct ViewStats {
+  uint64_t full_refreshes = 0;         ///< incl. the Define() one
+  uint64_t incremental_refreshes = 0;
+  uint64_t served = 0;                 ///< queries answered by this view
+  uint64_t last_refresh_rows = 0;      ///< novel tuples of the last refresh
+  uint64_t last_refresh_ns = 0;
+  uint64_t result_rows = 0;            ///< distinguished relation size
+  bool fresh = false;                  ///< deps unchanged since last refresh
+};
+
+class ViewCatalog {
+ public:
+  ViewCatalog() = default;
+  ViewCatalog(const ViewCatalog&) = delete;
+  ViewCatalog& operator=(const ViewCatalog&) = delete;
+
+  /// \brief Installs `def` and fully materializes it against `db`.
+  /// Replaces an existing view of the same name; fails when another view
+  /// already owns one of the definition's IDB predicates (two views may
+  /// not write the same relations). `metrics`, when set, receives the
+  /// view.* instruments.
+  Status Define(ViewDefinition def, storage::Database* db,
+                obs::MetricsRegistry* metrics = nullptr);
+
+  /// \brief Forgets the view (its materialized relations stay in the
+  /// database; they are ordinary relations). Returns false when unknown.
+  bool Drop(std::string_view name);
+
+  /// \brief Refreshes one view: no-op when fresh, incremental when the
+  /// base delta is grow-only and maintenance-safe, full otherwise (or
+  /// when `force_full`).
+  Status Refresh(std::string_view name, storage::Database* db,
+                 obs::MetricsRegistry* metrics = nullptr,
+                 bool force_full = false);
+
+  /// \brief Refreshes every stale view (definition order).
+  Status RefreshAll(storage::Database* db,
+                    obs::MetricsRegistry* metrics = nullptr);
+
+  /// \brief Serves a request whose canonical fingerprint is
+  /// `canonical_key`: refreshes the matching view if stale, then fills
+  /// `*resp` (served_from_view, accumulated materialization stats,
+  /// result_tuples = view size). Returns false when no view matches.
+  bool TryServe(const std::string& canonical_key, storage::Database* db,
+                obs::MetricsRegistry* metrics, QueryResponse* resp);
+
+  /// \brief View names in definition order.
+  std::vector<std::string> Names() const;
+  const ViewDefinition* Find(std::string_view name) const;
+  /// \brief Stats of `name` (freshness recomputed against `db` when
+  /// given); nullopt-like default when unknown.
+  ViewStats StatsOf(std::string_view name,
+                    const storage::Database* db = nullptr) const;
+  size_t size() const { return views_.size(); }
+
+ private:
+  struct View {
+    ViewDefinition def;
+    /// Base-relation states at last refresh, keyed by predicate.
+    std::map<Symbol, RelationState> edb_state;
+    /// View-output states at last refresh; a mismatch (someone else wrote
+    /// into our relations) forces a full refresh.
+    std::map<Symbol, RelationState> idb_state;
+    /// Stats of the Define() materialization merged with every refresh —
+    /// the cumulative cost of keeping the view, reported on serves.
+    eval::EvalStats accumulated;
+    ViewStats stats;
+    bool materialized = false;
+  };
+
+  /// Classifies the work a refresh needs.
+  enum class RefreshKind { kFresh, kIncremental, kFull };
+  /// Decides the refresh kind and, for kIncremental, the per-predicate
+  /// delta row ranges [old_size, current_size) of changed base relations.
+  RefreshKind Classify(const View& v, const storage::Database& db,
+                       std::map<Symbol, size_t>* delta_from) const;
+
+  Status FullRefresh(View* v, storage::Database* db,
+                     obs::MetricsRegistry* metrics);
+  Status IncrementalRefresh(View* v, storage::Database* db,
+                            const std::map<Symbol, size_t>& delta_from,
+                            obs::MetricsRegistry* metrics);
+  /// True when the insertion-only delta of `changed` preds can be
+  /// maintained without full recomputation (no negation/aggregation in
+  /// any transitively affected stratum).
+  bool IncrementalSafe(const View& v, const storage::Database& db,
+                       const std::set<Symbol>& changed) const;
+  void RecordStates(View* v, const storage::Database& db);
+  Status RefreshView(View* v, storage::Database* db,
+                     obs::MetricsRegistry* metrics, bool force_full);
+
+  std::vector<View> views_;  // definition order
+  uint64_t db_uid_ = 0;      // bound database; 0 = not bound yet
+};
+
+}  // namespace graphlog::cache
+
+#endif  // GRAPHLOG_CACHE_VIEW_CATALOG_H_

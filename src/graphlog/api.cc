@@ -6,6 +6,9 @@
 #include <set>
 
 #include "aggr/path_summary.h"
+#include "cache/fingerprint.h"
+#include "cache/result_cache.h"
+#include "cache/view_catalog.h"
 #include "datalog/analysis.h"
 #include "datalog/parser.h"
 #include "eval/compiled_rule.h"
@@ -214,8 +217,22 @@ std::string RenderProgramExplain(const datalog::Program& prog,
   return out;
 }
 
+/// The result-affecting option subset of a request — what the cache and
+/// view fingerprints are built from (cache/fingerprint.h).
+cache::QueryKeyOptions KeyOptionsFor(QueryRequest::Language language,
+                                     const QueryOptions& options) {
+  cache::QueryKeyOptions ko;
+  ko.language = language == QueryRequest::Language::kDatalog ? 1 : 0;
+  ko.strategy = options.eval.strategy;
+  ko.cardinality_join_ordering = options.eval.cardinality_join_ordering;
+  ko.max_iterations = options.eval.max_iterations;
+  ko.specialize_bound_closures = options.translation.specialize_bound_closures;
+  return ko;
+}
+
 Status RunGraphLog(const QueryRequest& req, const QueryOptions& options,
-                   obs::Tracer* tracer, Database* db, QueryResponse* resp) {
+                   obs::Tracer* tracer, Database* db, QueryResponse* resp,
+                   std::set<Symbol>* touched) {
   obs::SpanGuard query_span(tracer, "query");
   query_span.AddNote("language", "graphlog");
 
@@ -250,6 +267,10 @@ Status RunGraphLog(const QueryRequest& req, const QueryOptions& options,
     const QueryGraph& g = q->graphs[i];
     const std::string head = db->symbols().name(g.distinguished.predicate);
     if (g.summary.has_value()) {
+      if (touched != nullptr) {
+        touched->insert(g.summary->base.predicate);
+        touched->insert(g.distinguished.predicate);
+      }
       if (explain) {
         resp->explain +=
             "graph " + head + ": path summarization (Section 4 operator)\n";
@@ -278,6 +299,9 @@ Status RunGraphLog(const QueryRequest& req, const QueryOptions& options,
           translate::SpecializeBoundClosures(t.program, &db->symbols(),
                                              {g.distinguished.predicate}));
       span.AddAttr("rules", static_cast<int64_t>(t.program.size()));
+    }
+    if (touched != nullptr) {
+      for (Symbol p : t.program.AllPredicates()) touched->insert(p);
     }
     if (explain) {
       resp->explain += "graph " + head + ":\n" +
@@ -320,7 +344,8 @@ Status RunGraphLog(const QueryRequest& req, const QueryOptions& options,
 }
 
 Status RunDatalog(const QueryRequest& req, const QueryOptions& options,
-                  obs::Tracer* tracer, Database* db, QueryResponse* resp) {
+                  obs::Tracer* tracer, Database* db, QueryResponse* resp,
+                  std::set<Symbol>* touched) {
   obs::SpanGuard query_span(tracer, "query");
   query_span.AddNote("language", "datalog");
 
@@ -330,6 +355,9 @@ Status RunDatalog(const QueryRequest& req, const QueryOptions& options,
     GRAPHLOG_ASSIGN_OR_RETURN(
         prog, datalog::ParseProgram(req.text, &db->symbols()));
     span.AddAttr("rules", static_cast<int64_t>(prog.size()));
+  }
+  if (touched != nullptr) {
+    for (Symbol p : prog.AllPredicates()) touched->insert(p);
   }
   const bool explain = options.observability.explain ||
                        options.observability.explain_only;
@@ -377,27 +405,78 @@ Result<QueryResponse> Run(const QueryRequest& req, Database* db) {
   const bool slow_log_armed =
       slow_log != nullptr && options.observability.slow_query_threshold_ns > 0;
   const bool caller_explain = options.observability.explain;
+
+  // Caching eligibility. Pre-parsed graphical requests have no canonical
+  // text to fingerprint; explain_only runs compute nothing servable; a
+  // provenance-armed run must execute (a served hit cannot populate a
+  // ProvenanceStore).
+  cache::ResultCache* rcache = options.cache.result_cache;
+  cache::ViewCatalog* views = options.cache.views;
+  const bool cache_eligible =
+      (rcache != nullptr || views != nullptr) && req.graphical == nullptr &&
+      !options.observability.explain_only &&
+      options.eval.provenance == nullptr;
+  std::string canonical_key;  // db-agnostic; the view catalog is db-bound
+  std::string cache_key;      // canonical key scoped by Database::uid
+  if (cache_eligible) {
+    canonical_key =
+        cache::CanonicalQueryKey(req.text, KeyOptionsFor(req.language, options));
+    cache_key = canonical_key + ";db=" + std::to_string(db->uid());
+  }
+  const bool record_armed = cache_eligible && rcache != nullptr;
   // The plan is only renderable while the query runs, so a slow log
   // forces EXPLAIN on (even below-threshold, a governed abort must be
-  // capturable); the response's rendering is stripped below when the
-  // caller did not ask for it.
-  if (slow_log != nullptr) options.observability.explain = true;
+  // capturable) — and so does an armed result cache, so a recorded entry
+  // can satisfy a later explain-requesting hit. The response's rendering
+  // is stripped below when the caller did not ask for it.
+  if (slow_log != nullptr || record_armed) options.observability.explain = true;
 
   const auto started = std::chrono::steady_clock::now();
-  Status st = req.language == QueryRequest::Language::kDatalog
-                  ? RunDatalog(req, options, tracer, db, &resp)
-                  : RunGraphLog(req, options, tracer, db, &resp);
+  Status st = Status::OK();
+  // Cache/view lookups honor cancellation and the deadline but charge no
+  // resource budget: serving is O(result), not a recomputation.
+  if (cache_eligible && options.eval.governor != nullptr) {
+    st = options.eval.governor->CheckInterrupts("cache.lookup");
+  }
+  if (st.ok() && cache_eligible && views != nullptr) {
+    views->TryServe(canonical_key, db, metrics, &resp);
+  }
+  if (st.ok() && !resp.served_from_view && cache_eligible &&
+      rcache != nullptr) {
+    rcache->TryServe(cache_key, db, &resp);
+  }
+  const bool served = resp.served_from_view || resp.cache_hit;
+  const bool will_record = st.ok() && !served && record_armed;
+  cache::DbSnapshot pre_snapshot;
+  std::set<Symbol> touched;
+  if (will_record) pre_snapshot = cache::SnapshotDatabase(*db);
+  if (st.ok() && !served) {
+    std::set<Symbol>* tp = will_record ? &touched : nullptr;
+    st = req.language == QueryRequest::Language::kDatalog
+             ? RunDatalog(req, options, tracer, db, &resp, tp)
+             : RunGraphLog(req, options, tracer, db, &resp, tp);
+  }
   const uint64_t duration_ns = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - started)
           .count());
   // Harvest the trace even on failure: a span tree that ends at the
   // failing stage is exactly what one wants when debugging — but an error
-  // Status is all the Result can carry, so only success returns it.
-  if (tracer == &local_tracer) resp.trace = local_tracer.TakeReport();
+  // Status is all the Result can carry, so only success returns it. A
+  // served response keeps the stored trace of the run that recorded it.
+  if (tracer == &local_tracer && !served) {
+    resp.trace = local_tracer.TakeReport();
+  }
 
   resp.truncated = resp.stats.datalog.truncated;
   resp.truncated_by = resp.stats.datalog.truncated_by;
+
+  // Record the finished miss-run (before the explain strip, so stored
+  // entries always carry the rendering). Record() itself refuses
+  // truncated responses and non-grow-only runs.
+  if (will_record && st.ok() && !resp.truncated) {
+    rcache->Record(cache_key, *db, pre_snapshot, touched, resp);
+  }
 
   // Governed aborts get their own taxonomy counters and are always
   // captured by the slow-query log: a query someone had to kill — or that
@@ -426,6 +505,7 @@ Result<QueryResponse> Run(const QueryRequest& req, Database* db) {
     metrics->histogram("query.duration_ns")
         ->Observe(static_cast<int64_t>(duration_ns));
     db->ExportResourceMetrics(metrics);
+    if (rcache != nullptr) rcache->ExportMetrics(metrics);
   }
 
   if ((slow_log_armed &&
@@ -439,6 +519,8 @@ Result<QueryResponse> Run(const QueryRequest& req, Database* db) {
     rec.duration_ns = duration_ns;
     rec.threshold_ns = options.observability.slow_query_threshold_ns;
     if (!st.ok()) rec.error = st.ToString();
+    rec.cache_hit = resp.cache_hit;
+    rec.served_from_view = resp.served_from_view;
     rec.explain = resp.explain;
     if (options.observability.tracing) rec.trace_json = resp.trace.ToJson();
     rec.tuples_derived = resp.stats.datalog.tuples_derived;
@@ -449,10 +531,62 @@ Result<QueryResponse> Run(const QueryRequest& req, Database* db) {
     rec.peak_delta_bytes = resp.stats.datalog.peak_delta_bytes;
     slow_log->Record(std::move(rec));
   }
-  if (slow_log != nullptr && !caller_explain) resp.explain.clear();
+  if (!caller_explain &&
+      (slow_log != nullptr || record_armed || served)) {
+    resp.explain.clear();
+  }
 
   GRAPHLOG_RETURN_NOT_OK(st);
   return resp;
+}
+
+Result<cache::ViewDefinition> MakeViewDefinition(std::string name,
+                                                 std::string text,
+                                                 Database* db,
+                                                 const QueryOptions& options) {
+  if (name.empty()) {
+    return Status::InvalidArgument("view name must not be empty");
+  }
+  cache::ViewDefinition def;
+  def.name = std::move(name);
+  def.source_text = text;
+
+  GRAPHLOG_ASSIGN_OR_RETURN(GraphicalQuery q,
+                            gl::ParseGraphicalQuery(text, &db->symbols()));
+  GRAPHLOG_RETURN_NOT_OK(gl::ValidateGraphicalQuery(q, db->symbols()));
+  GRAPHLOG_ASSIGN_OR_RETURN(std::vector<int> order, TopoOrderGraphs(q));
+  for (int i : order) {
+    const QueryGraph& g = q.graphs[i];
+    if (g.summary.has_value()) {
+      return Status::Unsupported(
+          "a materialized view cannot contain a summarization graph (the "
+          "Section 4 operator has no incremental maintenance)");
+    }
+    GRAPHLOG_ASSIGN_OR_RETURN(Translation t,
+                              gl::TranslateQueryGraph(g, &db->symbols()));
+    if (options.translation.specialize_bound_closures) {
+      GRAPHLOG_ASSIGN_OR_RETURN(
+          t.program,
+          translate::SpecializeBoundClosures(t.program, &db->symbols(),
+                                             {g.distinguished.predicate}));
+    }
+    def.program.Append(t.program);
+    ++def.graphs;
+  }
+  def.distinguished = q.graphs.back().distinguished.predicate;
+  def.idb_predicates = def.program.HeadPredicates();
+  def.edb_predicates = def.program.EdbPredicates();
+  def.result_predicates = q.IdbPredicates();
+  def.eval = options.eval;
+  // The catalog owns refresh scheduling; per-request observability and
+  // governance do not belong in a persistent definition.
+  def.eval.tracer = nullptr;
+  def.eval.metrics = nullptr;
+  def.eval.governor = nullptr;
+  def.eval.provenance = nullptr;
+  def.canonical_key = cache::CanonicalQueryKey(
+      text, KeyOptionsFor(QueryRequest::Language::kGraphLog, options));
+  return def;
 }
 
 }  // namespace graphlog

@@ -35,6 +35,12 @@
 
 namespace graphlog {
 
+namespace cache {
+class ResultCache;       // cache/result_cache.h
+class ViewCatalog;       // cache/view_catalog.h
+struct ViewDefinition;   // cache/view_catalog.h
+}  // namespace cache
+
 namespace gl {
 
 /// \brief Statistics for one query evaluation.
@@ -108,6 +114,25 @@ struct QueryOptions {
     uint64_t slow_query_threshold_ns = 0;
     obs::SlowQueryLog* slow_query_log = nullptr;
   } observability;
+
+  struct Cache {
+    /// When set, Run() first looks the request up in this cache and, on a
+    /// hit, returns the recorded response (bit-identical to recomputation
+    /// at any num_threads) without evaluating; on a miss the finished
+    /// response is recorded, keyed by the canonical query fingerprint and
+    /// invalidated by per-relation generation counters. Bypassed when
+    /// `eval.provenance` is set (a served hit cannot populate a
+    /// ProvenanceStore) and for explain_only requests. Truncated
+    /// (return_partial) responses are never recorded or served, and cache
+    /// lookups charge no governor budget. See cache/result_cache.h.
+    cache::ResultCache* result_cache = nullptr;
+    /// When set, a GraphLog request whose canonical fingerprint matches a
+    /// defined materialized view is answered from the view's relations
+    /// (refreshing it first when base facts changed — incrementally when
+    /// possible). Same bypass rules as `result_cache`. See
+    /// cache/view_catalog.h.
+    cache::ViewCatalog* views = nullptr;
+  } cache;
 };
 
 /// \brief One query to run: the text (or pre-parsed graph) plus options.
@@ -158,6 +183,14 @@ struct QueryResponse {
   bool truncated = false;
   /// Which budget tripped and where; empty unless `truncated`.
   std::string truncated_by;
+  /// True when the response was served by QueryOptions::cache.result_cache
+  /// instead of evaluation. Stats/explain/trace are those recorded by the
+  /// run that populated the entry.
+  bool cache_hit = false;
+  /// True when the response was answered from a materialized view
+  /// (QueryOptions::cache.views). Stats are the view's accumulated
+  /// materialization stats; result_tuples reflects the current view size.
+  bool served_from_view = false;
 };
 
 /// \brief Evaluates `req` against `db`, materializing each IDB predicate
@@ -166,6 +199,19 @@ struct QueryResponse {
 /// per graph, lambda-translate (Definition 2.4) and run the stratified
 /// engine or the path-summarization operator (Section 4).
 Result<QueryResponse> Run(const QueryRequest& req, storage::Database* db);
+
+/// \brief Builds a materialized-view definition named `name` from a
+/// GraphLog query: parses and validates `text`, orders and
+/// lambda-translates every query graph into one combined program, and
+/// records the canonical fingerprint under which Run() will serve the
+/// view. The view's output is the last graph's distinguished predicate.
+/// Summarization graphs are rejected (the Section 4 operator has no
+/// incremental maintenance story). Install the result with
+/// cache::ViewCatalog::Define. `translation` applies the same rewrites
+/// Run() would (so the fingerprint matches equally-configured requests).
+Result<cache::ViewDefinition> MakeViewDefinition(
+    std::string name, std::string text, storage::Database* db,
+    const QueryOptions& options = {});
 
 }  // namespace graphlog
 

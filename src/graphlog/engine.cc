@@ -16,6 +16,11 @@ Result<QueryStats> RunAndTakeStats(QueryRequest req, Database* db) {
 
 }  // namespace
 
+// The definitions below implement the deprecated surface; suppress the
+// self-referential warnings.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 Result<QueryStats> EvaluateGraphicalQuery(const GraphicalQuery& q,
                                           Database* db,
                                           const eval::EvalOptions& options) {
@@ -40,5 +45,7 @@ Result<QueryStats> EvaluateGraphLogText(std::string_view text, Database* db,
   req.options.eval = options;
   return RunAndTakeStats(std::move(req), db);
 }
+
+#pragma GCC diagnostic pop
 
 }  // namespace graphlog::gl

@@ -23,7 +23,8 @@ namespace graphlog::gl {
 /// \deprecated Merged into graphlog::QueryOptions (api.h), whose nested
 /// `eval` / `translation` sections carry these fields; kept only so old
 /// call sites compile.
-struct GraphLogOptions {
+struct [[deprecated(
+    "use graphlog::QueryOptions (graphlog/api.h)")]] GraphLogOptions {
   eval::EvalOptions eval;
   /// See QueryOptions::Translation::specialize_bound_closures.
   bool specialize_bound_closures = false;
@@ -33,6 +34,7 @@ struct GraphLogOptions {
 /// IDB predicate (including translation auxiliaries) as a relation.
 ///
 /// \deprecated Wrapper over graphlog::Run(); use QueryRequest::Graphical.
+[[deprecated("use graphlog::Run with QueryRequest::Graphical")]]
 Result<QueryStats> EvaluateGraphicalQuery(
     const GraphicalQuery& q, storage::Database* db,
     const eval::EvalOptions& options = {});
@@ -40,13 +42,18 @@ Result<QueryStats> EvaluateGraphicalQuery(
 /// \brief Overload with the full option set.
 ///
 /// \deprecated Wrapper over graphlog::Run(); use QueryRequest::Graphical.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+[[deprecated("use graphlog::Run with QueryRequest::Graphical")]]
 Result<QueryStats> EvaluateGraphicalQuery(const GraphicalQuery& q,
                                           storage::Database* db,
                                           const GraphLogOptions& options);
+#pragma GCC diagnostic pop
 
 /// \brief Parses the GraphLog surface syntax and evaluates it.
 ///
 /// \deprecated Wrapper over graphlog::Run(); use QueryRequest::GraphLog.
+[[deprecated("use graphlog::Run with QueryRequest::GraphLog")]]
 Result<QueryStats> EvaluateGraphLogText(std::string_view text,
                                         storage::Database* db,
                                         const eval::EvalOptions& options = {});

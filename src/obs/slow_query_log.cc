@@ -19,6 +19,8 @@ std::string SlowQueryRecord::ToJson() const {
     out += ",\"error\":";
     json::AppendString(&out, error);
   }
+  if (cache_hit) out += ",\"cache_hit\":true";
+  if (served_from_view) out += ",\"served_from_view\":true";
   out += ",\"stats\":{\"tuples_derived\":";
   json::AppendInt(&out, static_cast<int64_t>(tuples_derived));
   out += ",\"rule_firings\":";

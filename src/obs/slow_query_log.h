@@ -28,6 +28,8 @@ struct SlowQueryRecord {
   uint64_t duration_ns = 0;
   uint64_t threshold_ns = 0;  ///< the threshold that tripped
   std::string error;          ///< non-empty when the query failed
+  bool cache_hit = false;        ///< served from the result cache
+  bool served_from_view = false; ///< answered from a materialized view
   std::string explain;        ///< EXPLAIN rendering at execution time
   std::string trace_json;     ///< full trace (only if tracing was on)
   // Headline stats (gl::QueryStats projection).

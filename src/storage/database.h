@@ -3,6 +3,8 @@
 #ifndef GRAPHLOG_STORAGE_DATABASE_H_
 #define GRAPHLOG_STORAGE_DATABASE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <initializer_list>
 #include <map>
 #include <set>
@@ -35,6 +37,11 @@ class Database {
   SymbolTable& symbols() { return syms_; }
   const SymbolTable& symbols() const { return syms_; }
 
+  /// \brief Process-unique id of this Database instance. Relation uids
+  /// are only unique *within* a Database, so code keying state across
+  /// databases (the result cache) scopes its keys by this id.
+  uint64_t uid() const { return uid_; }
+
   /// \brief Interns a string (convenience passthrough).
   Symbol Intern(std::string_view s) { return syms_.Intern(s); }
 
@@ -54,7 +61,9 @@ class Database {
       }
       return &it->second;
     }
-    return &relations_.emplace(name, Relation(arity)).first->second;
+    Relation* rel = &relations_.emplace(name, Relation(arity)).first->second;
+    rel->set_uid(++next_relation_uid_);
+    return rel;
   }
 
   /// \brief The relation for `name`, or nullptr.
@@ -143,6 +152,12 @@ class Database {
  private:
   SymbolTable syms_;
   std::map<Symbol, Relation> relations_;
+  // Source of Relation::uid values. Never decremented, so a relation
+  // dropped and re-declared under the same name gets a fresh uid and the
+  // cache layer cannot confuse it with its predecessor.
+  uint64_t next_relation_uid_ = 0;
+  static inline std::atomic<uint64_t> next_db_uid_{0};
+  uint64_t uid_ = ++next_db_uid_;
 };
 
 }  // namespace graphlog::storage

@@ -103,6 +103,7 @@ class Relation {
     rows_.push_back(std::move(t));
     AppendToIndexes(rows_.back(), row_id);
     ++generation_;
+    ++data_generation_;
     return true;
   }
 
@@ -140,6 +141,7 @@ class Relation {
     set_.clear();
     indexes_.clear();
     ++generation_;
+    ++data_generation_;
   }
 
   /// \brief Removes every row past the first `n` (insertion order),
@@ -154,6 +156,7 @@ class Relation {
     rows_.resize(n);
     indexes_.clear();
     ++generation_;
+    ++data_generation_;
   }
 
   /// \brief Discards every built index (releases memory; the next Probe
@@ -199,6 +202,20 @@ class Relation {
   /// \brief Monotonic counter bumped by every structural change (insert,
   /// clear, index drop); backs ProbeResult::valid().
   uint64_t generation() const { return generation_; }
+
+  /// \brief Monotonic counter bumped only by *data* changes — successful
+  /// Insert, Clear, TruncateTo — never by index maintenance (DropIndexes
+  /// bumps generation() but not this). The cache layer's invalidation key:
+  /// equal (uid, data_generation, size) implies equal contents whenever
+  /// the relation has only grown since the last observation.
+  uint64_t data_generation() const { return data_generation_; }
+
+  /// \brief Process-unique id assigned by Database::Declare; never reused,
+  /// so a Remove + re-Declare under the same name is distinguishable from
+  /// the original relation even when counters coincide. 0 = unassigned
+  /// (relation not owned by a Database).
+  uint64_t uid() const { return uid_; }
+  void set_uid(uint64_t uid) { uid_ = uid; }
 
   /// \brief Number of full from-scratch index builds (first Probe over a
   /// column set).
@@ -267,6 +284,8 @@ class Relation {
   // Keyed by the column subset.
   mutable std::map<std::vector<uint32_t>, Index> indexes_;
   mutable uint64_t generation_ = 0;
+  uint64_t data_generation_ = 0;
+  uint64_t uid_ = 0;
   mutable uint64_t index_builds_ = 0;
   uint64_t index_appends_ = 0;
 };

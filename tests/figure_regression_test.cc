@@ -4,7 +4,7 @@
 
 #include <gtest/gtest.h>
 
-#include "graphlog/engine.h"
+#include "graphlog/api.h"
 #include "graphlog/parser.h"
 #include "storage/database.h"
 #include "tests/test_util.h"
@@ -19,19 +19,19 @@ using testutil::RelationSet;
 TEST(Figure1RegressionTest, Figure4AnswersOnThePapersDatabase) {
   Database db;
   ASSERT_OK(workload::Figure1Flights(&db));
-  ASSERT_OK(EvaluateGraphLogText(
-                "query feasible {\n"
-                "  edge F1 -> A1 : arrival;\n"
-                "  edge F2 -> D2 : departure;\n"
-                "  edge A1 -> D2 : <;\n"
-                "  edge F1 -> C : to;\n"
-                "  edge F2 -> C : from;\n"
-                "  distinguished F1 -> F2 : feasible;\n"
-                "}\n"
-                "query stop-connected {\n"
-                "  edge C1 -> C2 : (-from) feasible+ to;\n"
-                "  distinguished C1 -> C2 : stop-connected;\n"
-                "}\n",
+  ASSERT_OK(graphlog::Run(QueryRequest::GraphLog(
+                    "query feasible {\n"
+                    "  edge F1 -> A1 : arrival;\n"
+                    "  edge F2 -> D2 : departure;\n"
+                    "  edge A1 -> D2 : <;\n"
+                    "  edge F1 -> C : to;\n"
+                    "  edge F2 -> C : from;\n"
+                    "  distinguished F1 -> F2 : feasible;\n"
+                    "}\n"
+                    "query stop-connected {\n"
+                    "  edge C1 -> C2 : (-from) feasible+ to;\n"
+                    "  distinguished C1 -> C2 : stop-connected;\n"
+                    "}\n"),
                 &db)
                 .status());
   // Hand-checked against the Figure 1 times:
@@ -51,12 +51,12 @@ TEST(Figure1RegressionTest, CapitalIsANodePredicate) {
   Database db;
   ASSERT_OK(workload::Figure1Flights(&db));
   // Flights into the national capital, using the unary predicate.
-  ASSERT_OK(EvaluateGraphLogText("query to-capital {\n"
-                                 "  node C [capital];\n"
-                                 "  edge F -> C : to;\n"
-                                 "  distinguished F -> C : to-capital;\n"
-                                 "}\n",
-                                 &db)
+  ASSERT_OK(graphlog::Run(QueryRequest::GraphLog("query to-capital {\n"
+                                       "  node C [capital];\n"
+                                       "  edge F -> C : to;\n"
+                                       "  distinguished F -> C : to-capital;\n"
+                                       "}\n"),
+                &db)
                 .status());
   EXPECT_EQ(RelationSet(db, "to-capital"),
             (std::set<std::string>{"106,ottawa", "158,ottawa"}));

@@ -7,9 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <random>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "cache/result_cache.h"
+#include "cache/view_catalog.h"
 #include "gov/governor.h"
 #include "graphlog/api.h"
 #include "storage/database.h"
@@ -122,6 +127,114 @@ TEST(FuzzRobustnessTest, MutatedFactFilesNeverCrashOrPartiallyApply) {
       EXPECT_FALSE(r.status().message().empty());
       // Transactional: a failed load applies nothing.
       EXPECT_TRUE(db.relations().empty()) << mutant;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cache/view coherence under random interleavings. This is robustness of
+// the caching subsystem rather than the parsers: any schedule of fact
+// insertions, view refreshes, and cached query evaluations must leave
+// query answers identical to cold recomputation over the same facts, and
+// a result-cache hit must not mutate the database at all.
+
+/// Every relation's rows in insertion order — order-sensitive, unlike
+/// testutil::RelationSet, so it detects any write a pure serve performs.
+std::map<std::string, std::vector<std::string>> ExactContents(
+    const Database& db) {
+  std::map<std::string, std::vector<std::string>> out;
+  for (const auto& [name, rel] : db.relations()) {
+    std::vector<std::string>& rows = out[db.symbols().name(name)];
+    for (const auto& row : rel.rows()) {
+      std::string s;
+      for (size_t i = 0; i < row.size(); ++i) {
+        if (i > 0) s += ",";
+        s += row[i].ToString(db.symbols());
+      }
+      rows.push_back(s);
+    }
+  }
+  return out;
+}
+
+TEST(FuzzRobustnessTest, InterleavedCacheViewOpsMatchColdRecomputation) {
+  const std::string kViewText =
+      "query vtc { edge X -> Y : edge+; distinguished X -> Y : vtc; }";
+  const std::string kHopText =
+      "query hop { edge X -> Z : edge edge; distinguished X -> Z : hop; }";
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    std::mt19937_64 rng(seed * 0x9e3779b97f4a7c15ULL);
+
+    Database hot;
+    cache::ResultCache rcache;
+    cache::ViewCatalog views;
+    QueryOptions copts;
+    copts.cache.result_cache = &rcache;
+    copts.cache.views = &views;
+
+    // Everything ever inserted, in order, so a cold mirror can be replayed.
+    std::vector<std::pair<std::string, std::string>> fact_log;
+    auto insert_random_edge = [&]() {
+      std::string a = "n" + std::to_string(rng() % 8);
+      std::string b = "n" + std::to_string(rng() % 8);
+      EXPECT_OK(hot.AddFact(
+          "edge", {Value::Sym(hot.Intern(a)), Value::Sym(hot.Intern(b))}));
+      fact_log.emplace_back(a, b);
+    };
+    auto cold_answer = [&](const std::string& text, const char* pred) {
+      Database cold;
+      for (const auto& [a, b] : fact_log) {
+        EXPECT_OK(cold.AddFact("edge", {Value::Sym(cold.Intern(a)),
+                                        Value::Sym(cold.Intern(b))}));
+      }
+      EXPECT_OK(graphlog::Run(QueryRequest::GraphLog(text), &cold).status());
+      return testutil::RelationSet(cold, pred);
+    };
+    auto run_cached = [&](const std::string& text) {
+      QueryRequest req = QueryRequest::GraphLog(text);
+      req.options = copts;
+      auto r = graphlog::Run(req, &hot);
+      EXPECT_OK(r.status());
+      return std::move(r).ValueOrDie();
+    };
+
+    for (int i = 0; i < 3; ++i) insert_random_edge();
+    ASSERT_OK_AND_ASSIGN(cache::ViewDefinition def,
+                         MakeViewDefinition("vtc", kViewText, &hot, copts));
+    ASSERT_OK(views.Define(std::move(def), &hot));
+
+    for (int op = 0; op < 24; ++op) {
+      SCOPED_TRACE("op " + std::to_string(op));
+      switch (rng() % 4) {
+        case 0:
+          insert_random_edge();
+          break;
+        case 1:
+          ASSERT_OK(views.RefreshAll(&hot));
+          break;
+        case 2: {
+          // The view's own query: always answered from the catalog,
+          // refreshed on demand, and equal to cold recomputation (as a
+          // set — incremental maintenance may order rows differently).
+          QueryResponse r = run_cached(kViewText);
+          EXPECT_TRUE(r.served_from_view);
+          EXPECT_EQ(testutil::RelationSet(hot, "vtc"),
+                    cold_answer(kViewText, "vtc"));
+          break;
+        }
+        default: {
+          // A non-view query exercises the result cache. Hits must be
+          // pure serves: bit-identical database before and after.
+          auto before = ExactContents(hot);
+          QueryResponse r = run_cached(kHopText);
+          EXPECT_FALSE(r.served_from_view);
+          if (r.cache_hit) EXPECT_EQ(ExactContents(hot), before);
+          EXPECT_EQ(testutil::RelationSet(hot, "hop"),
+                    cold_answer(kHopText, "hop"));
+          break;
+        }
+      }
     }
   }
 }

@@ -6,7 +6,7 @@
 
 #include "datalog/analysis.h"
 #include "eval/provenance.h"
-#include "graphlog/engine.h"
+#include "graphlog/api.h"
 #include "graphlog/parser.h"
 #include "graphlog/translate.h"
 #include "storage/database.h"
@@ -20,6 +20,16 @@ using storage::Database;
 using testutil::RelationSet;
 using testutil::RelationSize;
 
+/// Evaluates GraphLog text through the unified Run() API, handing back the
+/// stats like the retired gl::EvaluateGraphLogText wrapper did.
+Result<QueryStats> EvalText(std::string text, Database* db,
+                            const eval::EvalOptions& eval = {}) {
+  QueryRequest req = QueryRequest::GraphLog(std::move(text));
+  req.options.eval = eval;
+  GRAPHLOG_ASSIGN_OR_RETURN(QueryResponse resp, Run(req, db));
+  return std::move(resp.stats);
+}
+
 TEST(MultiVarNodesTest, PlainEdgesBetweenTupleNodes) {
   // The paper's Section 2: "a tuple P(a.., b.., c..) can be represented by
   // an edge between nodes (a..) and (b..) labelled P(c..)". Here flights
@@ -32,7 +42,7 @@ TEST(MultiVarNodesTest, PlainEdgesBetweenTupleNodes) {
       "flight", {sym("yyz"), sym("yul"), Value::Int(700), Value::Int(800)}));
   ASSERT_OK(db.AddFact(
       "flight", {sym("yul"), sym("cdg"), Value::Int(900), Value::Int(1400)}));
-  ASSERT_OK(EvaluateGraphLogText(
+  ASSERT_OK(EvalText(
                 "query two-leg {\n"
                 "  edge (A, B) -> (D1, A1) : leg;\n"
                 "  edge (B, C) -> (D2, A2) : leg;\n"
@@ -60,7 +70,7 @@ TEST(MultiVarNodesTest, ClosureBetweenTupleNodes) {
   auto sym = [&](const char* s) { return Value::Sym(db.Intern(s)); };
   ASSERT_OK(db.AddFact("step", {sym("a"), sym("b"), sym("b"), sym("c")}));
   ASSERT_OK(db.AddFact("step", {sym("b"), sym("c"), sym("c"), sym("d")}));
-  ASSERT_OK(EvaluateGraphLogText(
+  ASSERT_OK(EvalText(
                 "query reach2 {\n"
                 "  edge (X1, X2) -> (Y1, Y2) : step+;\n"
                 "  distinguished (X1, X2) -> (Y1, Y2) : reach2;\n"
@@ -79,7 +89,7 @@ TEST(MultiVarNodesTest, MixedArityPlainLiteralAllowed) {
   Database db;
   auto sym = [&](const char* s) { return Value::Sym(db.Intern(s)); };
   ASSERT_OK(db.AddFact("locates", {sym("x"), sym("u"), sym("v")}));
-  ASSERT_OK(EvaluateGraphLogText(
+  ASSERT_OK(EvalText(
                 "query at {\n"
                 "  edge X -> (U, V) : locates;\n"
                 "  distinguished X -> (U, V) : at;\n"
@@ -91,7 +101,7 @@ TEST(MultiVarNodesTest, MixedArityPlainLiteralAllowed) {
 
 TEST(MultiVarNodesTest, ClosureAcrossDifferentAritiesRejected) {
   Database db;
-  auto r = EvaluateGraphLogText(
+  auto r = EvalText(
       "query bad {\n"
       "  edge X -> (U, V) : locates+;\n"
       "  distinguished X -> (U, V) : bad;\n"
@@ -107,7 +117,7 @@ TEST(HypertextIntegrationTest, Cm89StyleQueries) {
   opts.num_pages = 25;
   opts.link_prob = 0.1;
   ASSERT_OK(workload::Hypertext(opts, &db));
-  ASSERT_OK(EvaluateGraphLogText(
+  ASSERT_OK(EvalText(
                 "query reachable {\n"
                 "  edge P1 -> P2 : link+;\n"
                 "  distinguished P1 -> P2 : reachable;\n"
@@ -147,10 +157,10 @@ TEST(EngineOptionsTest, MagicSpecializationPreservesResults) {
                        ParseGraphicalQuery(query, &db1.symbols()));
   ASSERT_OK_AND_ASSIGN(GraphicalQuery q2,
                        ParseGraphicalQuery(query, &db2.symbols()));
-  ASSERT_OK(EvaluateGraphicalQuery(q1, &db1).status());
-  GraphLogOptions magic;
-  magic.specialize_bound_closures = true;
-  ASSERT_OK(EvaluateGraphicalQuery(q2, &db2, magic).status());
+  ASSERT_OK(graphlog::Run(QueryRequest::Graphical(q1), &db1).status());
+  QueryRequest magic = QueryRequest::Graphical(q2);
+  magic.options.translation.specialize_bound_closures = true;
+  ASSERT_OK(graphlog::Run(magic, &db2).status());
   EXPECT_EQ(RelationSet(db1, "from-n0"), RelationSet(db2, "from-n0"));
 }
 
@@ -160,7 +170,7 @@ TEST(EngineOptionsTest, NaiveStrategyThroughGraphLog) {
   ASSERT_OK(db.AddSymFact("e", {"b", "c"}));
   eval::EvalOptions naive;
   naive.strategy = eval::Strategy::kNaive;
-  ASSERT_OK(EvaluateGraphLogText(
+  ASSERT_OK(EvalText(
                 "query t { edge X -> Y : e+; distinguished X -> Y : t; }",
                 &db, naive)
                 .status());
@@ -177,13 +187,13 @@ TEST(EngineOptionsTest, ProvenanceThroughGraphLog) {
           "query t { edge X -> Y : e+; distinguished X -> Y : t; }",
           &db.symbols()));
   eval::ProvenanceStore store;
-  GraphLogOptions opts;
-  opts.eval.provenance = &store;
-  ASSERT_OK_AND_ASSIGN(auto stats, EvaluateGraphicalQuery(q, &db, opts));
-  EXPECT_GT(stats.programs.size(), 0u);
+  QueryRequest req = QueryRequest::Graphical(q);
+  req.options.eval.provenance = &store;
+  ASSERT_OK_AND_ASSIGN(QueryResponse resp, graphlog::Run(req, &db));
+  EXPECT_GT(resp.stats.programs.size(), 0u);
   ASSERT_OK_AND_ASSIGN(
       std::string tree,
-      eval::ExplainFact(store, stats.programs, db.symbols(), "t(a, c)"));
+      eval::ExplainFact(store, resp.stats.programs, db.symbols(), "t(a, c)"));
   EXPECT_NE(tree.find("by rule:"), std::string::npos);
   EXPECT_NE(tree.find("[edb]"), std::string::npos);
 }

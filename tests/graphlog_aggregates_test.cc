@@ -4,7 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "graphlog/dot.h"
-#include "graphlog/engine.h"
+#include "graphlog/api.h"
 #include "graphlog/parser.h"
 #include "storage/database.h"
 #include "tests/test_util.h"
@@ -15,6 +15,14 @@ namespace {
 using storage::Database;
 using testutil::RelationSet;
 
+/// Evaluates GraphLog text through the unified Run() API, handing back the
+/// stats like the retired gl::EvaluateGraphLogText wrapper did.
+Result<QueryStats> EvalText(std::string text, Database* db) {
+  GRAPHLOG_ASSIGN_OR_RETURN(
+      QueryResponse resp, Run(QueryRequest::GraphLog(std::move(text)), db));
+  return std::move(resp.stats);
+}
+
 TEST(GraphLogAggregatesTest, SumOnDistinguishedEdge) {
   Database db;
   auto sym = [&](const char* s) { return Value::Sym(db.Intern(s)); };
@@ -24,7 +32,7 @@ TEST(GraphLogAggregatesTest, SumOnDistinguishedEdge) {
   EXPECT_OK(db.AddSymFact("in-region", {"c1", "north"}));
   EXPECT_OK(db.AddSymFact("in-region", {"c2", "north"}));
   EXPECT_OK(db.AddSymFact("in-region", {"c3", "south"}));
-  ASSERT_OK(EvaluateGraphLogText(
+  ASSERT_OK(EvalText(
                 "query region-total {\n"
                 "  edge R -> C : sale(V);\n"
                 "  edge C -> G : in-region;\n"
@@ -41,7 +49,7 @@ TEST(GraphLogAggregatesTest, CountReachable) {
   EXPECT_OK(db.AddSymFact("edge", {"a", "b"}));
   EXPECT_OK(db.AddSymFact("edge", {"b", "c"}));
   EXPECT_OK(db.AddSymFact("edge", {"a", "d"}));
-  ASSERT_OK(EvaluateGraphLogText(
+  ASSERT_OK(EvalText(
                 "query reach {\n"
                 "  edge X -> Y : edge+;\n"
                 "  distinguished X -> Y : reach;\n"
@@ -62,7 +70,7 @@ TEST(GraphLogAggregatesTest, MinMaxAvg) {
   EXPECT_OK(db.AddFact("temp", {sym("yyz"), Value::Int(10)}));
   EXPECT_OK(db.AddFact("temp", {sym("yyz"), Value::Int(20)}));
   EXPECT_OK(db.AddFact("temp", {sym("yul"), Value::Int(4)}));
-  ASSERT_OK(EvaluateGraphLogText(
+  ASSERT_OK(EvalText(
                 "query stats {\n"
                 "  edge S -> T : temp;\n"
                 "  distinguished S -> S : stats(min<T>, max<T>, avg<T>);\n"
@@ -76,7 +84,7 @@ TEST(GraphLogAggregatesTest, MinMaxAvg) {
 TEST(GraphLogAggregatesTest, AggregateWithIdentityEdgeRejected) {
   Database db;
   EXPECT_OK(db.AddSymFact("e", {"a", "b"}));
-  auto r = EvaluateGraphLogText(
+  auto r = EvalText(
       "query bad {\n"
       "  edge X -> Y : e*;\n"
       "  distinguished X -> X : bad(count<Y>);\n"
@@ -93,7 +101,7 @@ TEST(GraphLogAggregatesTest, AggregationOverClosure) {
   EXPECT_OK(db.AddSymFact("parent", {"a", "b"}));
   EXPECT_OK(db.AddSymFact("parent", {"b", "c"}));
   EXPECT_OK(db.AddSymFact("parent", {"a", "d"}));
-  ASSERT_OK(EvaluateGraphLogText(
+  ASSERT_OK(EvalText(
                 "query descendants {\n"
                 "  edge X -> Y : parent+;\n"
                 "  distinguished X -> X : descendants(count<Y>);\n"

@@ -3,7 +3,7 @@
 
 #include <gtest/gtest.h>
 
-#include "graphlog/engine.h"
+#include "graphlog/api.h"
 #include "graphlog/parser.h"
 #include "graphlog/translate.h"
 #include "storage/database.h"
@@ -15,6 +15,14 @@ namespace {
 using storage::Database;
 using testutil::RelationSet;
 using testutil::RelationSize;
+
+/// Evaluates GraphLog text through the unified Run() API, handing back the
+/// stats like the retired gl::EvaluateGraphLogText wrapper did.
+Result<QueryStats> EvalText(std::string text, Database* db) {
+  GRAPHLOG_ASSIGN_OR_RETURN(
+      QueryResponse resp, Run(QueryRequest::GraphLog(std::move(text)), db));
+  return std::move(resp.stats);
+}
 
 /// A small family: grandparents ann&art -> parents bob,bea -> kids cid,cora.
 /// descendant(ancestor, descendant).
@@ -35,7 +43,7 @@ TEST(GraphLogEngineTest, Figure2DescendantsQuery) {
   Database db = FamilyDb();
   ASSERT_OK_AND_ASSIGN(
       QueryStats stats,
-      EvaluateGraphLogText("query not-desc-of {\n"
+      EvalText("query not-desc-of {\n"
                            "  node P2 [person];\n"
                            "  edge P1 -> P3 : descendant+;\n"
                            "  edge P2 -> P3 : !descendant+;\n"
@@ -94,7 +102,7 @@ TEST(GraphLogEngineTest, Figure4FeasibleConnections) {
   mkflight("f2", "montreal", "paris", 700, 1100);
   mkflight("f3", "montreal", "paris", 550, 1000);  // departs before f1 lands
   ASSERT_OK(
-      EvaluateGraphLogText(
+      EvalText(
           "query feasible {\n"
           "  edge F1 -> A1 : arrival;\n"
           "  edge F2 -> D2 : departure;\n"
@@ -131,7 +139,7 @@ TEST(GraphLogEngineTest, Figure5LocalFamilyFriends) {
   // Ancestors of `me` are found by *inverted* father/mother edges
   // (father(P1,P2): P1 is the father of P2), so the paper's edge reads
   // from the person to their ancestors: (-(father|mother(_)))* friend.
-  ASSERT_OK(EvaluateGraphLogText(
+  ASSERT_OK(EvalText(
                 "query local-friend {\n"
                 "  edge P -> F : (-(father | mother(_)))* friend;\n"
                 "  edge F -> \"toronto\" : residence;\n"
@@ -164,7 +172,7 @@ TEST(GraphLogEngineTest, Figure6CircularModules) {
   // module-calls(M1, M2): some function of M1 calls (possibly via local
   // calls) an external function belonging to M2.
   ASSERT_OK(
-      EvaluateGraphLogText(
+      EvalText(
           "query module-calls {\n"
           "  edge M1 -> M2 : -(in-module) (calls-local)* calls-extn "
           "in-module;\n"
@@ -198,7 +206,7 @@ TEST(GraphLogEngineTest, KleeneStarIncludesZeroLengthPaths) {
   EXPECT_OK(db.AddSymFact("n", {"a"}));
   EXPECT_OK(db.AddSymFact("n", {"b"}));
   EXPECT_OK(db.AddSymFact("n", {"c"}));
-  ASSERT_OK(EvaluateGraphLogText("query r {\n"
+  ASSERT_OK(EvalText("query r {\n"
                                  "  node X [n];\n"
                                  "  node Y [n];\n"
                                  "  edge X -> Y : e*;\n"
@@ -222,7 +230,7 @@ TEST(GraphLogEngineTest, ClosureWithParameterThreadsValue) {
   EXPECT_OK(db.AddFact("p", {sym("a"), sym("b"), Value::Int(1)}));
   EXPECT_OK(db.AddFact("p", {sym("b"), sym("c"), Value::Int(1)}));
   EXPECT_OK(db.AddFact("p", {sym("b"), sym("d"), Value::Int(2)}));
-  ASSERT_OK(EvaluateGraphLogText("query same-val {\n"
+  ASSERT_OK(EvalText("query same-val {\n"
                                  "  edge X -> Y : p(D)+;\n"
                                  "  distinguished X -> Y : same-val(D);\n"
                                  "}\n",
@@ -241,7 +249,7 @@ TEST(GraphLogEngineTest, UnderscoreProjectsClosureParameter) {
   auto sym = [&](const char* s) { return Value::Sym(db.Intern(s)); };
   EXPECT_OK(db.AddFact("p", {sym("a"), sym("b"), Value::Int(1)}));
   EXPECT_OK(db.AddFact("p", {sym("b"), sym("c"), Value::Int(2)}));
-  ASSERT_OK(EvaluateGraphLogText("query reach {\n"
+  ASSERT_OK(EvalText("query reach {\n"
                                  "  edge X -> Y : p(_)+;\n"
                                  "  distinguished X -> Y : reach;\n"
                                  "}\n",
@@ -256,7 +264,7 @@ TEST(GraphLogEngineTest, GhostVariableEscapeIsRejected) {
   EXPECT_OK(db.AddSymFact("q", {"a", "b", "x"}));
   // H occurs in only one branch of the alternation but also in the
   // distinguished edge: ghost escape.
-  auto r = EvaluateGraphLogText("query bad {\n"
+  auto r = EvalText("query bad {\n"
                                 "  edge X -> Y : p | q(H);\n"
                                 "  distinguished X -> Y : bad(H);\n"
                                 "}\n",
@@ -268,7 +276,7 @@ TEST(GraphLogEngineTest, GhostVariableEscapeIsRejected) {
 TEST(GraphLogEngineTest, NestedNegationIsRejected) {
   Database db;
   EXPECT_OK(db.AddSymFact("p", {"a", "b"}));
-  auto r = EvaluateGraphLogText("query bad {\n"
+  auto r = EvalText("query bad {\n"
                                 "  edge X -> Y : p (!p);\n"
                                 "  distinguished X -> Y : bad;\n"
                                 "}\n",
@@ -280,7 +288,7 @@ TEST(GraphLogEngineTest, NestedNegationIsRejected) {
 TEST(GraphLogEngineTest, CyclicDependenceIsRejected) {
   Database db;
   EXPECT_OK(db.AddSymFact("e", {"a", "b"}));
-  auto r = EvaluateGraphLogText("query p {\n"
+  auto r = EvalText("query p {\n"
                                 "  edge X -> Y : q;\n"
                                 "  distinguished X -> Y : p;\n"
                                 "}\n"
@@ -295,7 +303,7 @@ TEST(GraphLogEngineTest, CyclicDependenceIsRejected) {
 
 TEST(GraphLogEngineTest, SelfReferenceIsRejected) {
   Database db;
-  auto r = EvaluateGraphLogText("query p {\n"
+  auto r = EvalText("query p {\n"
                                 "  edge X -> Y : p;\n"
                                 "  distinguished X -> Y : p;\n"
                                 "}\n",
@@ -308,7 +316,7 @@ TEST(GraphLogEngineTest, MultipleGraphsSamePredicateUnion) {
   Database db;
   EXPECT_OK(db.AddSymFact("a", {"x", "y"}));
   EXPECT_OK(db.AddSymFact("b", {"y", "z"}));
-  ASSERT_OK(EvaluateGraphLogText("query c {\n"
+  ASSERT_OK(EvalText("query c {\n"
                                  "  edge X -> Y : a;\n"
                                  "  distinguished X -> Y : c;\n"
                                  "}\n"
@@ -336,7 +344,7 @@ TEST(GraphLogEngineTest, ConstantEndpointsFigure12Style) {
   EXPECT_OK(db.AddSymFact("cp", {"bombay", "tokyo"}));
   EXPECT_OK(db.AddSymFact("cp", {"rome", "paris"}));   // dead end
   EXPECT_OK(db.AddSymFact("aa", {"paris", "tokyo"}));  // wrong airline
-  ASSERT_OK(EvaluateGraphLogText(
+  ASSERT_OK(EvalText(
                 "query rt-scale {\n"
                 "  edge \"rome\" -> C : cp+;\n"
                 "  edge C -> \"tokyo\" : cp+;\n"
@@ -352,7 +360,7 @@ TEST(GraphLogEngineTest, WhereClauseArithmetic) {
   Database db;
   EXPECT_OK(db.AddFact("val", {Value::Sym(db.Intern("a")), Value::Int(10)}));
   EXPECT_OK(db.AddFact("val", {Value::Sym(db.Intern("b")), Value::Int(3)}));
-  ASSERT_OK(EvaluateGraphLogText("query doubled {\n"
+  ASSERT_OK(EvalText("query doubled {\n"
                                  "  edge X -> V : val;\n"
                                  "  where D := V * 2, V > 5;\n"
                                  "  distinguished X -> V : doubled(D);\n"
@@ -373,7 +381,7 @@ TEST(GraphLogEngineTest, SummarizationCriticalPath) {
   EXPECT_OK(db.AddFact("affects-d", {sym("t3"), sym("t4"), Value::Int(6)}));
   ASSERT_OK_AND_ASSIGN(
       QueryStats stats,
-      EvaluateGraphLogText(
+      EvalText(
           "query earlier-start {\n"
           "  summarize E = max<sum<D>> over affects-d(D);\n"
           "  distinguished T1 -> T2 : earlier-start(E);\n"
@@ -393,7 +401,7 @@ TEST(GraphLogEngineTest, SummarizationCycleIsRejected) {
   auto sym = [&](const char* s) { return Value::Sym(db.Intern(s)); };
   EXPECT_OK(db.AddFact("w", {sym("a"), sym("b"), Value::Int(1)}));
   EXPECT_OK(db.AddFact("w", {sym("b"), sym("a"), Value::Int(1)}));
-  auto r = EvaluateGraphLogText("query longest {\n"
+  auto r = EvalText("query longest {\n"
                                 "  summarize E = max<sum<D>> over w(D);\n"
                                 "  distinguished X -> Y : longest(E);\n"
                                 "}\n",

@@ -3,7 +3,7 @@
 
 #include <gtest/gtest.h>
 
-#include "graphlog/engine.h"
+#include "graphlog/api.h"
 #include "ham/ham.h"
 #include "storage/database.h"
 #include "tests/test_util.h"
@@ -149,11 +149,10 @@ TEST(HamTest, ExportAndQueryWithGraphLog) {
   EXPECT_EQ(RelationSize(db, "link"), 2u);
   EXPECT_EQ(RelationSize(db, "node-attr"), 1u);
 
-  ASSERT_OK(gl::EvaluateGraphLogText(
-                "query reach {\n"
-                "  edge X -> Y : link+;\n"
-                "  distinguished X -> Y : reach;\n"
-                "}\n",
+  ASSERT_OK(graphlog::Run(QueryRequest::GraphLog("query reach {\n"
+                                       "  edge X -> Y : link+;\n"
+                                       "  distinguished X -> Y : reach;\n"
+                                       "}\n"),
                 &db)
                 .status());
   EXPECT_EQ(RelationSet(db, "reach"),

@@ -5,7 +5,7 @@
 #include "datalog/analysis.h"
 #include "datalog/parser.h"
 #include "eval/engine.h"
-#include "graphlog/engine.h"
+#include "graphlog/api.h"
 #include "graphlog/parser.h"
 #include "storage/database.h"
 #include "testing/equivalence.h"
@@ -174,23 +174,23 @@ TEST(MagicTcTest, EndToEndThroughGraphLogEngine) {
   ASSERT_OK_AND_ASSIGN(
       gl::GraphicalQuery q1,
       gl::ParseGraphicalQuery(query, &plain_db.symbols()));
-  ASSERT_OK_AND_ASSIGN(auto plain_stats,
-                       gl::EvaluateGraphicalQuery(q1, &plain_db));
+  ASSERT_OK_AND_ASSIGN(QueryResponse plain_resp,
+                       graphlog::Run(QueryRequest::Graphical(q1), &plain_db));
 
   Database magic_db;
   build(&magic_db);
   ASSERT_OK_AND_ASSIGN(
       gl::GraphicalQuery q2,
       gl::ParseGraphicalQuery(query, &magic_db.symbols()));
-  gl::GraphLogOptions opts;
-  opts.specialize_bound_closures = true;
-  ASSERT_OK_AND_ASSIGN(auto magic_stats,
-                       gl::EvaluateGraphicalQuery(q2, &magic_db, opts));
+  QueryRequest magic_req = QueryRequest::Graphical(q2);
+  magic_req.options.translation.specialize_bound_closures = true;
+  ASSERT_OK_AND_ASSIGN(QueryResponse magic_resp,
+                       graphlog::Run(magic_req, &magic_db));
 
   EXPECT_EQ(RelationSet(plain_db, "rt-scale"),
             RelationSet(magic_db, "rt-scale"));
-  EXPECT_LT(magic_stats.datalog.tuples_derived,
-            plain_stats.datalog.tuples_derived);
+  EXPECT_LT(magic_resp.stats.datalog.tuples_derived,
+            plain_resp.stats.datalog.tuples_derived);
 }
 
 }  // namespace

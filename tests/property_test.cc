@@ -15,7 +15,7 @@
 #include "datalog/parser.h"
 #include "eval/engine.h"
 #include "graph/data_graph.h"
-#include "graphlog/engine.h"
+#include "graphlog/api.h"
 #include "graphlog/query_graph.h"
 #include "rpq/rpq_eval.h"
 #include "storage/database.h"
@@ -129,7 +129,7 @@ TEST_P(RandomPreTest, ThreeRpqStrategiesAgree) {
   // Datalog strategy via the surface syntax.
   std::string text = "query rq { edge X -> Y : " + expr_text +
                      "; distinguished X -> Y : rq; }";
-  ASSERT_OK(gl::EvaluateGraphLogText(text, &db).status());
+  ASSERT_OK(graphlog::Run(QueryRequest::GraphLog(text), &db).status());
   std::set<std::string> datalog_set = testutil::RelationSet(db, "rq");
   std::set<std::string> nfa_set;
   for (const auto& t : via_nfa.rows()) {

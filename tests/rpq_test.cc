@@ -7,7 +7,7 @@
 
 #include "eval/engine.h"
 #include "graph/data_graph.h"
-#include "graphlog/engine.h"
+#include "graphlog/api.h"
 #include "rpq/nfa.h"
 #include "rpq/rpq_eval.h"
 #include "storage/database.h"
@@ -183,7 +183,7 @@ TEST_P(RpqVsDatalogTest, AgreesOnRandomGraphs) {
     // Datalog side: translate `query r { edge X -> Y : <expr>; ... }`.
     std::string text = std::string("query rq { edge X -> Y : ") + expr +
                        "; distinguished X -> Y : rq; }";
-    ASSERT_OK(gl::EvaluateGraphLogText(text, &db).status());
+    ASSERT_OK(graphlog::Run(QueryRequest::GraphLog(text), &db).status());
 
     std::set<std::string> datalog_set = RelationSet(db, "rq");
     std::set<std::string> rpq_set = ResultSet(rpq_result, db.symbols());

@@ -1,0 +1,88 @@
+// Audit of the interactive shell's `.help` text: every dot-command the
+// dispatch loop recognizes must be documented. The shell is a standalone
+// binary, so the test scrapes its source (path injected by CMake) rather
+// than linking it — a command added to Handle() without a help entry
+// fails here.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace {
+
+std::string ReadShellSource() {
+  std::ifstream in(SHELL_SOURCE_PATH);
+  EXPECT_TRUE(in.good()) << "cannot open " << SHELL_SOURCE_PATH;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Extracts the body of PrintHelp(): from its definition to the first
+/// line consisting of a lone closing brace.
+std::string HelpBody(const std::string& source) {
+  size_t begin = source.find("void PrintHelp()");
+  EXPECT_NE(begin, std::string::npos);
+  size_t end = source.find("\n}", begin);
+  EXPECT_NE(end, std::string::npos);
+  return source.substr(begin, end - begin);
+}
+
+/// Every `.command` token compared against the input line in the dispatch
+/// loop. Matches both exact comparisons (`line == ".quit"`) and prefix
+/// dispatch (`StartsWith(line, ".load ")`).
+std::set<std::string> DispatchedCommands(const std::string& source) {
+  std::set<std::string> out;
+  std::regex exact("line == \"(\\.[a-z]+)\"");
+  std::regex prefix("StartsWith\\(line, \"(\\.[a-z]+) ?\"\\)");
+  for (const std::regex& re : {exact, prefix}) {
+    for (auto it = std::sregex_iterator(source.begin(), source.end(), re);
+         it != std::sregex_iterator(); ++it) {
+      out.insert((*it)[1].str());
+    }
+  }
+  return out;
+}
+
+TEST(ShellHelpAuditTest, DispatchRecognizesACommandCorpus) {
+  // The scraper itself must keep working as the shell evolves: if the
+  // dispatch idiom changes and the regexes go blind, this pin fails
+  // before the audit silently passes on an empty set.
+  std::set<std::string> cmds = DispatchedCommands(ReadShellSource());
+  EXPECT_GE(cmds.size(), 20u);
+  for (const char* expected :
+       {".help", ".quit", ".load", ".show", ".cache", ".view", ".trace",
+        ".metrics", ".slowlog", ".limit", ".fault", ".datalog", ".rpq"}) {
+    EXPECT_TRUE(cmds.count(expected)) << expected << " not dispatched";
+  }
+}
+
+TEST(ShellHelpAuditTest, EveryDispatchedCommandIsDocumented) {
+  std::string source = ReadShellSource();
+  std::string help = HelpBody(source);
+  for (const std::string& cmd : DispatchedCommands(source)) {
+    EXPECT_NE(help.find(cmd), std::string::npos)
+        << "command '" << cmd << "' is dispatched but missing from .help";
+  }
+}
+
+TEST(ShellHelpAuditTest, EveryDocumentedCommandIsDispatched) {
+  // The reverse direction: help must not advertise commands the loop no
+  // longer understands.
+  std::string source = ReadShellSource();
+  std::string help = HelpBody(source);
+  std::set<std::string> cmds = DispatchedCommands(source);
+  std::regex doc("\"  (\\.[a-z]+)[ /\\\\]");
+  for (auto it = std::sregex_iterator(help.begin(), help.end(), doc);
+       it != std::sregex_iterator(); ++it) {
+    std::string cmd = (*it)[1].str();
+    EXPECT_TRUE(cmds.count(cmd))
+        << "command '" << cmd << "' is documented but not dispatched";
+  }
+}
+
+}  // namespace
