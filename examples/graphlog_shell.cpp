@@ -26,6 +26,7 @@
 //   .slowlog [n|json|...]      inspect / configure the slow-query log
 //   .resource                  per-relation row/byte accounting
 //   .cache [on|off|...]        query result cache (generation-invalidated)
+//   .columnar [on|off]         CSR/bitset evaluation path (bit-identical)
 //   .view define NAME { ... }  materialized views, incrementally maintained
 //   .help | .quit
 //
@@ -48,6 +49,7 @@
 
 #include "cache/result_cache.h"
 #include "cache/view_catalog.h"
+#include "columnar/csr_cache.h"
 #include "common/strings.h"
 #include "eval/provenance.h"
 #include "gov/fault_injection.h"
@@ -150,13 +152,17 @@ void PrintHelp() {
       "  .fault SITE fail [N]     inject a failure at SITE's Nth hit\n"
       "  .fault SITE stall MS [N] stall SITE's Nth hit for MS milliseconds\n"
       "                           (sites: eval.round pool.task tc.expand\n"
-      "                           rpq.step io.load)\n"
+      "                           rpq.step io.load csr.build)\n"
       "  .fault clear             disarm everything\n"
       "  .cache on|off            toggle the query result cache (off by\n"
       "                           default; while on, .why provenance is\n"
       "                           not collected)\n"
       "  .cache [stats]           hit/miss/eviction counters and bytes\n"
       "  .cache clear             drop every cached entry\n"
+      "  .columnar on|off         evaluate through the CSR/bitset columnar\n"
+      "                           path (off by default; answers are\n"
+      "                           bit-identical to the row engine)\n"
+      "  .columnar [stats]        CSR snapshot builds/reuses/invalidations\n"
       "  .view define NAME QUERY  materialize a graphical query as view\n"
       "                           NAME, kept fresh incrementally as facts\n"
       "                           arrive; matching queries answer from it\n"
@@ -330,6 +336,12 @@ class Shell {
     }
     if (line == ".cache" || StartsWith(line, ".cache ")) {
       HandleCache(line == ".cache" ? "" : std::string(Trim(line.substr(7))));
+      return;
+    }
+    if (line == ".columnar" || StartsWith(line, ".columnar ")) {
+      HandleColumnar(line == ".columnar"
+                         ? ""
+                         : std::string(Trim(line.substr(10))));
       return;
     }
     if (line == ".view" || StartsWith(line, ".view ")) {
@@ -758,6 +770,33 @@ class Shell {
     std::printf("usage: .cache [on|off|stats|clear]\n");
   }
 
+  void HandleColumnar(const std::string& arg) {
+    if (arg == "on") {
+      opts_.eval.columnar = true;
+      opts_.eval.csr_cache = &csr_cache_;
+      std::printf("columnar path on\n");
+      return;
+    }
+    if (arg == "off") {
+      opts_.eval.columnar = false;
+      std::printf("columnar path off\n");
+      return;
+    }
+    if (arg.empty() || arg == "stats") {
+      columnar::CsrCache::Stats s = csr_cache_.stats();
+      std::printf(
+          "columnar path %s: %llu CSR builds, %llu reuses, "
+          "%llu invalidations, %zu snapshots resident\n",
+          opts_.eval.columnar ? "on" : "off",
+          static_cast<unsigned long long>(s.builds),
+          static_cast<unsigned long long>(s.reuses),
+          static_cast<unsigned long long>(s.invalidations),
+          csr_cache_.size());
+      return;
+    }
+    std::printf("usage: .columnar [on|off|stats]\n");
+  }
+
   void DefineView(const std::string& name, const std::string& text) {
     auto def = MakeViewDefinition(name, text, &db_, opts_);
     if (!def.ok()) {
@@ -945,6 +984,9 @@ class Shell {
   // (.view; always consulted — serving is fingerprint-gated anyway).
   cache::ResultCache cache_;
   cache::ViewCatalog views_;
+  // CSR snapshots for `.columnar on`; generation-invalidated, so the
+  // cache safely outlives fact insertions and toggles.
+  columnar::CsrCache csr_cache_;
 };
 
 }  // namespace

@@ -1,0 +1,101 @@
+// Flat bitsets over uint64_t words: the frontier/visited representation
+// of the columnar kernels (per-source BFS transitive closure, RPQ
+// product-automaton search). Word-at-a-time operations — or-assign,
+// population count, ascending scan of set bits via countr_zero — are the
+// whole point; anything per-bit lives behind Set/Test.
+
+#ifndef GRAPHLOG_COLUMNAR_BITSET_H_
+#define GRAPHLOG_COLUMNAR_BITSET_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace graphlog::columnar {
+
+/// \brief A fixed-capacity bitset backed by a vector of 64-bit words.
+class Bitset {
+ public:
+  Bitset() = default;
+  explicit Bitset(size_t bits)
+      : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  size_t bits() const { return bits_; }
+  bool empty() const { return words_.empty(); }
+
+  void Set(uint32_t i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
+  bool Test(uint32_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+  /// \brief Sets bit `i`; returns true when it was previously clear.
+  bool TestAndSet(uint32_t i) {
+    uint64_t& w = words_[i >> 6];
+    const uint64_t mask = uint64_t{1} << (i & 63);
+    if (w & mask) return false;
+    w |= mask;
+    return true;
+  }
+
+  /// \brief Clears every bit, keeping the capacity.
+  void Reset() { words_.assign(words_.size(), 0); }
+
+  /// \brief Resizes to `bits` and clears everything.
+  void ResetTo(size_t bits) {
+    bits_ = bits;
+    words_.assign((bits + 63) / 64, 0);
+  }
+
+  size_t Count() const {
+    size_t n = 0;
+    for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
+    return n;
+  }
+
+  bool Any() const {
+    for (uint64_t w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+
+  /// \brief this |= other (capacities must match).
+  void OrWith(const Bitset& other) {
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  }
+
+  /// \brief this &= ~other (capacities must match); returns true when
+  /// any bit survives. The word-at-a-time "which frontier candidates are
+  /// genuinely new" step of the BFS kernels.
+  bool AndNot(const Bitset& other) {
+    uint64_t any = 0;
+    for (size_t i = 0; i < words_.size(); ++i) {
+      words_[i] &= ~other.words_[i];
+      any |= words_[i];
+    }
+    return any != 0;
+  }
+
+  /// \brief Calls `fn(i)` for every set bit, in ascending order.
+  template <typename Fn>
+  void ForEachSet(Fn&& fn) const {
+    for (size_t wi = 0; wi < words_.size(); ++wi) {
+      uint64_t w = words_[wi];
+      while (w != 0) {
+        const int b = std::countr_zero(w);
+        fn(static_cast<uint32_t>(wi * 64 + static_cast<size_t>(b)));
+        w &= w - 1;  // clear lowest set bit
+      }
+    }
+  }
+
+  const std::vector<uint64_t>& words() const { return words_; }
+
+ private:
+  size_t bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace graphlog::columnar
+
+#endif  // GRAPHLOG_COLUMNAR_BITSET_H_

@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "columnar/csr.h"
 #include "eval/arith.h"
 
 namespace graphlog::eval {
@@ -345,25 +346,86 @@ void CompiledRule::Execute(const RelationResolver& resolver,
 
 void CompiledRule::ExecutePartition(const RelationResolver& resolver,
                                     const BindingSink& sink, size_t part,
-                                    size_t num_parts) const {
+                                    size_t num_parts,
+                                    const CsrBindings* csrs) const {
   // A plan without a positive atom has nothing to partition over; its
   // (at most one) satisfying assignment belongs to partition 0.
   if (driver_step_ < 0 && part > 0) return;
   std::vector<Value> slots(num_slots_);
-  ExecuteStep(0, &slots, resolver, sink, part, num_parts);
+  ExecuteStep(0, &slots, resolver, sink, part, num_parts, csrs);
 }
 
 void CompiledRule::ExecuteStep(size_t idx, std::vector<Value>* slots,
                                const RelationResolver& resolver,
                                const BindingSink& sink, size_t part,
-                               size_t num_parts) const {
+                               size_t num_parts,
+                               const CsrBindings* csrs) const {
   if (idx == steps_.size()) {
     sink(*slots);
     return;
   }
   const Step& s = steps_[idx];
+  const columnar::Csr* csr =
+      csrs != nullptr && idx < csrs->size() ? (*csrs)[idx] : nullptr;
   switch (s.kind) {
     case Step::Kind::kScanProbe: {
+      // Columnar path: serve a probe over a binary relation from its CSR
+      // snapshot. Adjacency spans are laid out in row insertion order —
+      // the posting-list order of the hash-index path — so the recursion
+      // sequence (and with it derived rows, insertion order, provenance,
+      // and stats) is bit-identical to the row path below.
+      if (csr != nullptr && !s.probe_cols.empty()) {
+        const bool is_drv = static_cast<int>(idx) == driver_step_;
+        auto chunk = [&](size_t m, size_t* lo, size_t* hi) {
+          *lo = 0;
+          *hi = m;
+          if (is_drv && num_parts > 1) {
+            *lo = part * m / num_parts;
+            *hi = (part + 1) * m / num_parts;
+          }
+        };
+        auto try_pair = [&](const Value& v0, const Value& v1) {
+          for (const auto& [a, b] : s.eq_cols) {
+            if (!((a == 0 ? v0 : v1) == (b == 0 ? v0 : v1))) return;
+          }
+          for (const auto& [col, slot] : s.out_cols) {
+            (*slots)[slot] = col == 0 ? v0 : v1;
+          }
+          ExecuteStep(idx + 1, slots, resolver, sink, part, num_parts, csrs);
+        };
+        if (s.probe_cols.size() == 2) {
+          // Fully-bound probe: at most one matching row (relations are
+          // sets); existence by binary search in the sorted span.
+          const int64_t u = csr->IdOf(s.probe_sources[0].Get(*slots));
+          const int64_t t =
+              u < 0 ? -1 : csr->IdOf(s.probe_sources[1].Get(*slots));
+          const bool hit = t >= 0 && csr->HasEdge(static_cast<uint32_t>(u),
+                                                  static_cast<uint32_t>(t));
+          size_t lo, hi;
+          chunk(hit ? 1 : 0, &lo, &hi);
+          if (hit && lo < hi) {
+            try_pair(csr->values[static_cast<size_t>(u)],
+                     csr->values[static_cast<size_t>(t)]);
+          }
+        } else if (s.probe_cols[0] == 0) {
+          const int64_t u = csr->IdOf(s.probe_sources[0].Get(*slots));
+          if (u < 0) return;
+          const auto span = csr->Fwd(static_cast<uint32_t>(u));
+          size_t lo, hi;
+          chunk(span.size(), &lo, &hi);
+          const Value& v0 = csr->values[static_cast<size_t>(u)];
+          for (size_t k = lo; k < hi; ++k) try_pair(v0, csr->values[span[k]]);
+        } else {  // probe_cols == {1}
+          const int64_t t = csr->IdOf(s.probe_sources[0].Get(*slots));
+          if (t < 0) return;
+          const auto span = csr->Rev(static_cast<uint32_t>(t));
+          size_t lo, hi;
+          chunk(span.size(), &lo, &hi);
+          const Value& v1 = csr->values[static_cast<size_t>(t)];
+          for (size_t k = lo; k < hi; ++k) try_pair(csr->values[span[k]], v1);
+        }
+        return;
+      }
       const Relation* rel = resolver(s.pred, s.occurrence);
       if (rel == nullptr || rel->empty()) return;
       auto try_row = [&](const Tuple& row) {
@@ -373,7 +435,7 @@ void CompiledRule::ExecuteStep(size_t idx, std::vector<Value>* slots,
         for (const auto& [col, slot] : s.out_cols) {
           (*slots)[slot] = row[col];
         }
-        ExecuteStep(idx + 1, slots, resolver, sink, part, num_parts);
+        ExecuteStep(idx + 1, slots, resolver, sink, part, num_parts, csrs);
       };
       // The driver step enumerates only its contiguous chunk of the row
       // range; partition boundaries use the standard p*m/P split so the
@@ -405,6 +467,29 @@ void CompiledRule::ExecuteStep(size_t idx, std::vector<Value>* slots,
       return;
     }
     case Step::Kind::kNegCheck: {
+      // Columnar anti-join: existence against the CSR snapshot. A probed
+      // negation over a binary relation never carries eq_cols (a repeated
+      // unbound variable forces the scan path), so presence of any match
+      // is exactly "negation fails".
+      if (csr != nullptr && !s.probe_cols.empty() && s.eq_cols.empty()) {
+        bool found = false;
+        if (s.probe_cols.size() == 2) {
+          const int64_t u = csr->IdOf(s.probe_sources[0].Get(*slots));
+          const int64_t t =
+              u < 0 ? -1 : csr->IdOf(s.probe_sources[1].Get(*slots));
+          found = t >= 0 && csr->HasEdge(static_cast<uint32_t>(u),
+                                         static_cast<uint32_t>(t));
+        } else if (s.probe_cols[0] == 0) {
+          const int64_t u = csr->IdOf(s.probe_sources[0].Get(*slots));
+          found = u >= 0 && !csr->Fwd(static_cast<uint32_t>(u)).empty();
+        } else {
+          const int64_t t = csr->IdOf(s.probe_sources[0].Get(*slots));
+          found = t >= 0 && !csr->Rev(static_cast<uint32_t>(t)).empty();
+        }
+        if (found) return;  // negation fails
+        ExecuteStep(idx + 1, slots, resolver, sink, part, num_parts, csrs);
+        return;
+      }
       const Relation* rel = resolver(s.pred, s.occurrence);
       if (rel != nullptr && !rel->empty()) {
         bool found = false;
@@ -432,18 +517,18 @@ void CompiledRule::ExecuteStep(size_t idx, std::vector<Value>* slots,
         }
         if (found) return;  // negation fails
       }
-      ExecuteStep(idx + 1, slots, resolver, sink, part, num_parts);
+      ExecuteStep(idx + 1, slots, resolver, sink, part, num_parts, csrs);
       return;
     }
     case Step::Kind::kCompare: {
       if (EvalCmp(s.cmp, s.lhs.Get(*slots), s.rhs.Get(*slots))) {
-        ExecuteStep(idx + 1, slots, resolver, sink, part, num_parts);
+        ExecuteStep(idx + 1, slots, resolver, sink, part, num_parts, csrs);
       }
       return;
     }
     case Step::Kind::kEqBind: {
       (*slots)[s.bind_slot] = s.bind_source.Get(*slots);
-      ExecuteStep(idx + 1, slots, resolver, sink, part, num_parts);
+      ExecuteStep(idx + 1, slots, resolver, sink, part, num_parts, csrs);
       return;
     }
     case Step::Kind::kAssign: {
@@ -454,7 +539,7 @@ void CompiledRule::ExecuteStep(size_t idx, std::vector<Value>* slots,
       } else {
         (*slots)[s.target_slot] = v;
       }
-      ExecuteStep(idx + 1, slots, resolver, sink, part, num_parts);
+      ExecuteStep(idx + 1, slots, resolver, sink, part, num_parts, csrs);
       return;
     }
   }

@@ -29,6 +29,10 @@
 #include "datalog/ast.h"
 #include "storage/relation.h"
 
+namespace graphlog::columnar {
+struct Csr;  // columnar/csr.h
+}
+
 namespace graphlog::eval {
 
 /// \brief Where an argument value comes from at runtime.
@@ -119,6 +123,14 @@ using RelationResolver =
 /// \brief Receives each satisfying assignment (the full slot vector).
 using BindingSink = std::function<void(const std::vector<Value>& slots)>;
 
+/// \brief Per-step CSR bindings for the columnar join path: entry i is
+/// the CSR snapshot serving steps()[i], or nullptr to use the row path
+/// for that step. The engine binds CSRs only to kScanProbe/kNegCheck
+/// steps over arity-2 relations; a bound CSR must be a snapshot of
+/// exactly the relation the step's resolver returns. An empty vector
+/// (or null pointer) disables the columnar path entirely.
+using CsrBindings = std::vector<const columnar::Csr*>;
+
 /// \brief Relation-size oracle used by the join-order heuristic; returns
 /// the current cardinality of a predicate (0 when unknown/empty).
 using CardinalityFn = std::function<size_t(Symbol)>;
@@ -149,9 +161,17 @@ class CompiledRule {
   /// Execute() sequence, which is what lets the parallel engine merge
   /// per-partition derivation buffers back into the serial insertion
   /// order. Plans with no positive atom run entirely in partition 0.
+  ///
+  /// `csrs` (nullable) selects the columnar path per step — see
+  /// CsrBindings. A CSR-served probe enumerates matches in the exact
+  /// posting-list order of the hash-index path (CSR spans are built in
+  /// row insertion order), so the sink sequence — and therefore derived
+  /// rows, insertion order, provenance, and stats — is bit-identical to
+  /// the row path.
   void ExecutePartition(const RelationResolver& resolver,
                         const BindingSink& sink, size_t part,
-                        size_t num_parts) const;
+                        size_t num_parts,
+                        const CsrBindings* csrs = nullptr) const;
 
   /// \brief Builds the head tuple for a satisfying assignment; only valid
   /// when !has_aggregates().
@@ -204,7 +224,8 @@ class CompiledRule {
 
   void ExecuteStep(size_t idx, std::vector<Value>* slots,
                    const RelationResolver& resolver, const BindingSink& sink,
-                   size_t part, size_t num_parts) const;
+                   size_t part, size_t num_parts,
+                   const CsrBindings* csrs) const;
 };
 
 }  // namespace graphlog::eval

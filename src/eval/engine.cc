@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "columnar/csr_cache.h"
 #include "datalog/analysis.h"
 #include "datalog/parser.h"
 #include "eval/compiled_rule.h"
@@ -90,7 +91,11 @@ constexpr size_t kMinRowsPerPartition = 128;
 class Engine {
  public:
   Engine(const Program& prog, Database* db, const EvalOptions& options)
-      : prog_(prog), db_(db), options_(options) {}
+      : prog_(prog),
+        db_(db),
+        options_(options),
+        csr_cache_(options.csr_cache != nullptr ? options.csr_cache
+                                                : &local_csr_cache_) {}
 
   Result<EvalStats> Run() {
     const SymbolTable& syms = db_->symbols();
@@ -481,6 +486,10 @@ class Engine {
       std::vector<std::vector<Tuple>> derived;
       std::vector<std::vector<Justification>> just;
       std::vector<uint64_t> firings;
+      // Columnar path: per-step CSR bindings (empty on the row path) and
+      // the shared_ptrs keeping those snapshots alive for the batch.
+      CsrBindings csrs;
+      std::vector<std::shared_ptr<const columnar::Csr>> csr_owned;
     };
     const bool track = options_.provenance != nullptr;
     const size_t lanes = pool_ != nullptr ? pool_->parallelism() : 1;
@@ -495,8 +504,18 @@ class Engine {
       st.resolver = MakeResolver(task, delta);
       // Pre-build every index the plan probes so the fan-out below only
       // reads relation state. Unconditional (also on the serial path) so
-      // index_builds is identical across thread counts.
-      size_t driver_rows = PrepareIndexes(*st.rule, st.resolver);
+      // index_builds is identical across thread counts. The columnar
+      // path instead binds CSR snapshots to every probed binary step
+      // (skipping those hash indexes entirely — that is its win) and
+      // may fail on a csr.build fault, aborting the batch pre-merge.
+      size_t driver_rows;
+      if (options_.columnar) {
+        GRAPHLOG_ASSIGN_OR_RETURN(
+            driver_rows,
+            PrepareColumnar(*st.rule, st.resolver, &st.csrs, &st.csr_owned));
+      } else {
+        driver_rows = PrepareIndexes(*st.rule, st.resolver);
+      }
       st.parts =
           lanes <= 1
               ? 1
@@ -536,7 +555,7 @@ class Engine {
               just.push_back(std::move(j));
             }
           },
-          item.part, st.parts);
+          item.part, st.parts, st.csrs.empty() ? nullptr : &st.csrs);
     };
     // Per-lane busy time: each worker accumulates into its own slot (no
     // synchronization needed), folded into the open span after the join.
@@ -679,6 +698,44 @@ class Engine {
   void AbsorbIndexStats(const Relation& r) {
     stats_.index_builds += r.index_builds();
     stats_.index_appends += r.index_appends();
+  }
+
+  /// Columnar twin of PrepareIndexes: binds a CSR snapshot to every
+  /// probed arity-2 step (their hash indexes are never built — the
+  /// whole point of the path) and falls back to hash indexes for the
+  /// steps CSR cannot serve. Snapshots come from the run's CsrCache
+  /// (generation-validated reuse) except for uid-0 relations — the
+  /// per-round deltas — which are built fresh, matching the row path's
+  /// per-round delta index builds in cost. Returns driver rows; fails
+  /// only on a csr.build governor fault.
+  Result<size_t> PrepareColumnar(
+      const CompiledRule& c, const RelationResolver& resolver,
+      CsrBindings* csrs,
+      std::vector<std::shared_ptr<const columnar::Csr>>* owned) {
+    csrs->assign(c.steps().size(), nullptr);
+    for (size_t k = 0; k < c.steps().size(); ++k) {
+      const Step& s = c.steps()[k];
+      if (s.kind != Step::Kind::kScanProbe &&
+          s.kind != Step::Kind::kNegCheck) {
+        continue;
+      }
+      if (s.probe_cols.empty()) continue;
+      const Relation* rel = resolver(s.pred, s.occurrence);
+      if (rel == nullptr || rel->empty()) continue;
+      if (rel->arity() == 2) {
+        GRAPHLOG_ASSIGN_OR_RETURN(
+            std::shared_ptr<const columnar::Csr> csr,
+            csr_cache_->Get(*rel, options_.metrics, options_.governor));
+        (*csrs)[k] = csr.get();
+        owned->push_back(std::move(csr));
+      } else {
+        rel->BuildIndex(s.probe_cols);
+      }
+    }
+    const Step* d = c.driver();
+    if (d == nullptr) return size_t{0};
+    const Relation* rel = resolver(d->pred, d->occurrence);
+    return rel == nullptr ? size_t{0} : rel->size();
   }
 
   Status RunAggregateRule(int i) {
@@ -833,6 +890,11 @@ class Engine {
   std::map<int, CompiledRule> compiled_;
   // Worker lanes shared by every batch of this run; null on the serial path.
   std::unique_ptr<exec::ThreadPool> pool_;
+  // CSR snapshots for the columnar join path: the caller's cross-run
+  // cache when provided, else this run-local one. Unused unless
+  // options_.columnar.
+  columnar::CsrCache local_csr_cache_;
+  columnar::CsrCache* csr_cache_;
 
   /// Pre-run size of every head relation, or kCreatedByRun for relations
   /// this run declares; the Rollback() baseline.

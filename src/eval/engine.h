@@ -27,6 +27,10 @@ namespace graphlog::gov {
 struct GovernorContext;  // gov/governor.h
 }
 
+namespace graphlog::columnar {
+class CsrCache;  // columnar/csr_cache.h
+}
+
 namespace graphlog::eval {
 
 /// \brief Evaluation strategy for recursive strata.
@@ -83,6 +87,20 @@ struct EvalOptions {
   /// Null (the default) costs one pointer test per site. See
   /// gov/governor.h.
   const gov::GovernorContext* governor = nullptr;
+  /// Columnar join path: serve probes over binary (arity-2) relations
+  /// from CSR adjacency snapshots (columnar/csr.h) instead of hash
+  /// indexes, and skip building those hash indexes. CSR spans preserve
+  /// posting-list (row insertion) order, so derived rows, insertion
+  /// order, provenance, and all logical stats are bit-identical to the
+  /// row path; only index_builds/index_appends differ (the physical
+  /// index work the columnar path exists to avoid). Steps the CSR layout
+  /// cannot serve (scans, wider relations) transparently stay on the
+  /// row path.
+  bool columnar = false;
+  /// Cache of CSR snapshots reused across runs (invalidation by
+  /// data_generation; see columnar/csr_cache.h). Null with columnar set
+  /// means a fresh per-run cache — correct, but rebuilds CSRs every run.
+  columnar::CsrCache* csr_cache = nullptr;
 };
 
 /// \brief Counters reported by an evaluation.

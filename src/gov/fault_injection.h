@@ -17,6 +17,8 @@
 //   tc.expand    — per fixpoint round / per source of the TC kernels
 //   rpq.step     — periodically inside the product-automaton search
 //   io.load      — before a fact file's parsed tuples are applied
+//   csr.build    — before a CSR snapshot is built from a relation
+//                  (columnar/csr.cc; engine batches and the columnar TC)
 //
 // Hit counts are tracked per site whether or not a fault is armed, so
 // tests can assert coverage ("the loader consulted io.load exactly

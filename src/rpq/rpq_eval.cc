@@ -4,6 +4,7 @@
 #include <deque>
 #include <set>
 
+#include "columnar/bitset.h"
 #include "gov/governor.h"
 #include "rpq/dfa.h"
 
@@ -395,6 +396,194 @@ Result<Relation> EvalRpqDfa(const DataGraph& g, const gl::PathExpr& expr,
   for (NodeId s = 0; s < g.num_nodes(); ++s) {
     GRAPHLOG_RETURN_NOT_OK(SearchFromDfa(g, dfa, s, target, &out, stats,
                                          &gstate));
+    if (gstate.truncated) break;
+  }
+  finish();
+  return out;
+}
+
+namespace {
+
+using columnar::Bitset;
+
+/// Per-label successor arrays: adj[li].targets[offsets[n]..offsets[n+1])
+/// are the nodes one (alphabet[li])-edge away from n, direction already
+/// folded in. Built once per evaluation; every per-source search then
+/// only touches label-matched entries.
+struct LabelAdj {
+  std::vector<uint32_t> offsets;  // num_nodes + 1
+  std::vector<uint32_t> targets;
+};
+
+std::vector<LabelAdj> BuildLabelAdjacency(const DataGraph& g,
+                                          const Dfa& dfa) {
+  const size_t n = g.num_nodes();
+  std::vector<LabelAdj> adj(dfa.alphabet().size());
+  for (size_t li = 0; li < dfa.alphabet().size(); ++li) {
+    const DfaLabel& label = dfa.alphabet()[li];
+    LabelAdj& a = adj[li];
+    a.offsets.assign(n + 1, 0);
+    for (const Edge& e : g.edges()) {
+      if (e.predicate != label.predicate) continue;
+      ++a.offsets[(label.inverted ? e.to : e.from) + 1];
+    }
+    for (size_t i = 0; i < n; ++i) a.offsets[i + 1] += a.offsets[i];
+    a.targets.resize(a.offsets[n]);
+    std::vector<uint32_t> cur(a.offsets.begin(), a.offsets.end() - 1);
+    for (const Edge& e : g.edges()) {
+      if (e.predicate != label.predicate) continue;
+      const NodeId from = label.inverted ? e.to : e.from;
+      const NodeId to = label.inverted ? e.from : e.to;
+      a.targets[cur[from]++] = to;
+    }
+  }
+  return adj;
+}
+
+/// One node-bitset per DFA state, three generations (reached, current
+/// frontier, next wave), plus the per-source emitted set; all reused
+/// across sources.
+struct BitsetScratch {
+  std::vector<Bitset> reached, frontier, next;
+  Bitset emitted;
+};
+
+/// Bitset-frontier product search from one source node: each round, for
+/// every (state q, label li) with a transition q -> q2, or the adjacency
+/// spans of q's frontier nodes into q2's next wave; then the wave minus
+/// reached becomes the new frontier. Newly reached nodes in accepting
+/// states are emitted as they surface, so governed budget trips keep the
+/// pairs found so far.
+Status SearchFromBitset(const DataGraph& g, const Dfa& dfa,
+                        const std::vector<LabelAdj>& adj, NodeId source,
+                        const std::optional<NodeId>& target, Relation* out,
+                        RpqStats* stats, GovState* gstate,
+                        BitsetScratch* sc) {
+  const size_t ns = dfa.num_states();
+  for (size_t q = 0; q < ns; ++q) {
+    sc->reached[q].Reset();
+    sc->frontier[q].Reset();
+  }
+  sc->emitted.Reset();
+  sc->reached[dfa.start()].Set(source);
+  sc->frontier[dfa.start()].Set(source);
+  if (stats != nullptr) ++stats->product_states_visited;
+  // Result pairs bypass the hash-dedup Insert path: `emitted` makes a
+  // node's first acceptance the only one per source, and sources differ
+  // across calls, so every appended pair is provably new.
+  auto emit = [&](NodeId n) {
+    if (!sc->emitted.TestAndSet(n)) return;
+    if (!target.has_value() || n == *target) {
+      out->AppendUnique(Tuple{g.node_value(source), g.node_value(n)});
+    }
+  };
+  if (dfa.IsAccepting(dfa.start())) emit(source);
+
+  bool any = true;
+  while (any) {
+    for (size_t q = 0; q < ns; ++q) sc->next[q].Reset();
+    Status poll_error = Status::OK();
+    bool stop = false;
+    for (size_t q = 0; q < ns && !stop; ++q) {
+      if (!sc->frontier[q].Any()) continue;
+      for (size_t li = 0; li < adj.size() && !stop; ++li) {
+        const uint32_t q2 = dfa.Next(static_cast<uint32_t>(q), li);
+        if (q2 == Dfa::kNoTransition) continue;
+        const LabelAdj& a = adj[li];
+        Bitset& dst = sc->next[q2];
+        sc->frontier[q].ForEachSet([&](uint32_t u) {
+          if (stop) return;
+          if (gstate != nullptr) {
+            Status st = gstate->Poll(*out);
+            if (!st.ok() || gstate->truncated) {
+              poll_error = std::move(st);
+              stop = true;
+              return;
+            }
+          }
+          const uint32_t lo = a.offsets[u], hi = a.offsets[u + 1];
+          if (stats != nullptr) stats->edge_traversals += hi - lo;
+          for (uint32_t k = lo; k < hi; ++k) dst.Set(a.targets[k]);
+        });
+      }
+    }
+    if (!poll_error.ok()) return poll_error;
+    if (stop) return Status::OK();  // truncated: keep pairs found so far
+    any = false;
+    for (size_t q = 0; q < ns; ++q) {
+      if (sc->next[q].AndNot(sc->reached[q])) {
+        sc->reached[q].OrWith(sc->next[q]);
+        any = true;
+        if (stats != nullptr) {
+          stats->product_states_visited += sc->next[q].Count();
+        }
+        if (dfa.IsAccepting(static_cast<uint32_t>(q))) {
+          sc->next[q].ForEachSet([&](uint32_t v) { emit(v); });
+        }
+      }
+      std::swap(sc->frontier[q], sc->next[q]);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Relation> EvalRpqBitset(const DataGraph& g, const gl::PathExpr& expr,
+                               const RpqOptions& options, RpqStats* stats) {
+  GRAPHLOG_ASSIGN_OR_RETURN(Nfa nfa, Nfa::Compile(expr));
+  GRAPHLOG_ASSIGN_OR_RETURN(Dfa det, Dfa::Determinize(nfa));
+  Dfa dfa = det.Minimize();
+  obs::SpanGuard span(options.tracer, "rpq");
+  RpqStats local;
+  if (stats == nullptr && (span.enabled() || options.metrics != nullptr ||
+                           options.governor != nullptr)) {
+    stats = &local;
+  }
+  GovState gstate{options.governor};
+  GRAPHLOG_RETURN_NOT_OK(gov::CheckPoint(options.governor, "rpq.step"));
+
+  const std::vector<LabelAdj> adj = BuildLabelAdjacency(g, dfa);
+  BitsetScratch sc;
+  sc.reached.resize(dfa.num_states());
+  sc.frontier.resize(dfa.num_states());
+  sc.next.resize(dfa.num_states());
+  for (size_t q = 0; q < dfa.num_states(); ++q) {
+    sc.reached[q].ResetTo(g.num_nodes());
+    sc.frontier[q].ResetTo(g.num_nodes());
+    sc.next[q].ResetTo(g.num_nodes());
+  }
+  sc.emitted.ResetTo(g.num_nodes());
+
+  Relation out(2);
+  auto finish = [&]() {
+    if (stats != nullptr) {
+      stats->truncated = gstate.truncated;
+      FinishRpqSpan(span, "dfa-bitset", dfa.num_states(), options, *stats,
+                    out);
+    }
+  };
+  std::optional<NodeId> target;
+  if (options.target.has_value()) {
+    NodeId t;
+    if (!g.FindNode(*options.target, &t)) {
+      finish();
+      return out;
+    }
+    target = t;
+  }
+  if (options.source.has_value()) {
+    NodeId s;
+    if (g.FindNode(*options.source, &s)) {
+      GRAPHLOG_RETURN_NOT_OK(SearchFromBitset(g, dfa, adj, s, target, &out,
+                                              stats, &gstate, &sc));
+    }
+    finish();
+    return out;
+  }
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    GRAPHLOG_RETURN_NOT_OK(SearchFromBitset(g, dfa, adj, s, target, &out,
+                                            stats, &gstate, &sc));
     if (gstate.truncated) break;
   }
   finish();

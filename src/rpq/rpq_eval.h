@@ -87,6 +87,25 @@ Result<storage::Relation> EvalRpqDfa(const graph::DataGraph& g,
                                      const RpqOptions& options = {},
                                      RpqStats* stats = nullptr);
 
+/// \brief Columnar product search: per-DFA-label adjacency arrays built
+/// once per evaluation, then per-source expansion of one node-bitset
+/// frontier per DFA state (columnar/bitset.h) — each round ors whole
+/// adjacency spans into the successor state's frontier instead of
+/// enqueuing (node, state) pairs one at a time. Same result set as
+/// EvalRpqDfa (same fragment restrictions: plain labels only); row
+/// insertion order differs (pairs surface in BFS-round, then ascending
+/// dense-node order). Effort counters reflect this kernel's own work:
+/// product_states_visited counts newly reached (node, state) bits and
+/// edge_traversals counts label-matched adjacency entries only, so both
+/// are typically far below the NFA/DFA walkers' — that gap is the
+/// ablation bench_columnar measures. Governance matches EvalRpqDfa
+/// (rpq.step polls inside frontier expansion; budgets against the result
+/// relation, truncation stops the search keeping pairs found so far).
+Result<storage::Relation> EvalRpqBitset(const graph::DataGraph& g,
+                                        const gl::PathExpr& expr,
+                                        const RpqOptions& options = {},
+                                        RpqStats* stats = nullptr);
+
 /// \brief One answer with a qualifying path: the data-graph edge indices
 /// of a shortest matching path from `source` to `target`.
 struct RpqWitness {

@@ -98,13 +98,33 @@ class Relation {
   /// new row to every built index; invalidates outstanding ProbeResults.
   /// The tuple's size must equal arity().
   bool Insert(Tuple t) {
+    SyncSet();
     if (!set_.insert(t).second) return false;
     const uint32_t row_id = static_cast<uint32_t>(rows_.size());
     rows_.push_back(std::move(t));
     AppendToIndexes(rows_.back(), row_id);
     ++generation_;
     ++data_generation_;
+    memory_dirty_ = true;
     return true;
+  }
+
+  /// \brief Appends `t` without consulting the dedup set: the bulk-load
+  /// path for kernels whose output is provably duplicate-free (the
+  /// columnar TC/RPQ kernels emit each pair exactly once). Skips the
+  /// per-row hash insert and tuple copy that dominate materialization;
+  /// the set is rebuilt lazily by the next operation that needs it
+  /// (Insert / Contains / TruncateTo / SetEquals) — until that happens,
+  /// those calls are not safe to run concurrently. Feeding a duplicate
+  /// is a caller bug (asserted at the next sync in debug builds).
+  void AppendUnique(Tuple t) {
+    const uint32_t row_id = static_cast<uint32_t>(rows_.size());
+    rows_.push_back(std::move(t));
+    AppendToIndexes(rows_.back(), row_id);
+    set_stale_ = true;
+    ++generation_;
+    ++data_generation_;
+    memory_dirty_ = true;
   }
 
   /// \brief Inserts every tuple of `other`; returns the number actually new.
@@ -123,7 +143,10 @@ class Relation {
     set_.reserve(n);
   }
 
-  bool Contains(const Tuple& t) const { return set_.count(t) > 0; }
+  bool Contains(const Tuple& t) const {
+    SyncSet();
+    return set_.count(t) > 0;
+  }
 
   /// \brief Insertion-ordered rows.
   const std::vector<Tuple>& rows() const { return rows_; }
@@ -139,9 +162,11 @@ class Relation {
   void Clear() {
     rows_.clear();
     set_.clear();
+    set_stale_ = false;
     indexes_.clear();
     ++generation_;
     ++data_generation_;
+    memory_dirty_ = true;
   }
 
   /// \brief Removes every row past the first `n` (insertion order),
@@ -152,11 +177,13 @@ class Relation {
   /// outstanding ProbeResults.
   void TruncateTo(size_t n) {
     if (n >= rows_.size()) return;
+    SyncSet();
     for (size_t i = n; i < rows_.size(); ++i) set_.erase(rows_[i]);
     rows_.resize(n);
     indexes_.clear();
     ++generation_;
     ++data_generation_;
+    memory_dirty_ = true;
   }
 
   /// \brief Discards every built index (releases memory; the next Probe
@@ -165,6 +192,7 @@ class Relation {
   void DropIndexes() const {
     indexes_.clear();
     ++generation_;
+    memory_dirty_ = true;
   }
 
   /// \brief Row indices whose values at `cols` equal `key` (parallel
@@ -231,7 +259,13 @@ class Relation {
   /// than allocator capacities, so resource gauges derived from it are
   /// byte-identical across num_threads settings — the same contract as
   /// EvalStats and the deterministic trace projection.
+  ///
+  /// Cached: mutations (insert, clear, truncate, index build/drop) mark
+  /// the estimate dirty and the next call recomputes, so per-round
+  /// resource gauges and metrics exports stop paying a full recompute
+  /// over every unchanged relation.
   size_t MemoryBytes() const {
+    if (!memory_dirty_) return memory_bytes_;
     // Row store: one Tuple header + arity values per row.
     size_t bytes = rows_.size() * (sizeof(Tuple) + arity_ * sizeof(Value));
     // Dedup set: per entry, a copy of the tuple plus ~2 words of
@@ -246,16 +280,31 @@ class Relation {
       // Every row appears in exactly one posting list of each index.
       bytes += rows_.size() * sizeof(uint32_t);
     }
+    memory_bytes_ = bytes;
+    memory_dirty_ = false;
     return bytes;
   }
 
  private:
   using Index = std::unordered_map<Tuple, std::vector<uint32_t>, TupleHash>;
 
+  /// \brief Rebuilds the lazily-deferred tail of the dedup set after a
+  /// run of AppendUnique() calls. The loop starts at the current set
+  /// size: rows below it were inserted through the tracked path.
+  void SyncSet() const {
+    if (!set_stale_) return;
+    set_.reserve(rows_.size());
+    for (size_t i = set_.size(); i < rows_.size(); ++i) set_.insert(rows_[i]);
+    assert(set_.size() == rows_.size() &&
+           "AppendUnique was fed a duplicate row");
+    set_stale_ = false;
+  }
+
   const Index& EnsureIndex(const std::vector<uint32_t>& cols) const {
     auto it = indexes_.find(cols);
     if (it != indexes_.end()) return it->second;
     ++index_builds_;
+    memory_dirty_ = true;
     Index index;
     index.reserve(rows_.size());
     for (uint32_t i = 0; i < rows_.size(); ++i) {
@@ -279,7 +328,9 @@ class Relation {
 
   size_t arity_;
   std::vector<Tuple> rows_;
-  std::unordered_set<Tuple, TupleHash> set_;
+  mutable std::unordered_set<Tuple, TupleHash> set_;
+  /// True while rows appended by AppendUnique() are missing from set_.
+  mutable bool set_stale_ = false;
   // Built lazily on first probe, then maintained incrementally on insert.
   // Keyed by the column subset.
   mutable std::map<std::vector<uint32_t>, Index> indexes_;
@@ -288,6 +339,10 @@ class Relation {
   uint64_t uid_ = 0;
   mutable uint64_t index_builds_ = 0;
   uint64_t index_appends_ = 0;
+  /// MemoryBytes() cache; dirtied by every mutation that changes the
+  /// estimate (data changes and index builds/drops).
+  mutable size_t memory_bytes_ = 0;
+  mutable bool memory_dirty_ = true;
 };
 
 inline bool ProbeResult::valid() const {

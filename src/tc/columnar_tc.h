@@ -1,0 +1,52 @@
+// Columnar transitive closure: per-source BFS over CSR adjacency with
+// bitset frontiers (columnar/bitset.h), the closure kernel of the
+// columnar path. Same fan-out/merge discipline as ParallelTransitiveClosure
+// (parallel_tc.h) — per-source results merged in source order, so output
+// contents and insertion order are identical for every thread count —
+// but the expansion is word-at-a-time (frontier &~ visited, or-scan of
+// sorted spans) and the merge bulk-loads via Relation::AppendUnique,
+// skipping the per-row dedup hashing: each (source, reached) pair is
+// emitted exactly once by construction.
+
+#ifndef GRAPHLOG_TC_COLUMNAR_TC_H_
+#define GRAPHLOG_TC_COLUMNAR_TC_H_
+
+#include "common/result.h"
+#include "obs/metrics.h"
+#include "storage/relation.h"
+#include "tc/transitive_closure.h"
+
+namespace graphlog::gov {
+struct GovernorContext;  // gov/governor.h
+}
+
+namespace graphlog::columnar {
+class CsrCache;  // columnar/csr_cache.h
+}
+
+namespace graphlog::tc {
+
+/// \brief Transitive closure of binary `edges` via per-source bitset
+/// BFS over a CSR snapshot, fanned across `num_threads` workers (0 =
+/// hardware concurrency). Result set equals every other TC kernel;
+/// insertion order is (source in first-appearance order, reached in
+/// ascending dense id) and identical across thread counts.
+///
+/// Governance matches ParallelTransitiveClosure: the `csr.build` point
+/// gates the CSR construction, every lane checks `tc.expand` per source
+/// claimed, the cancellation token is polled every ~1k edge expansions
+/// inside a source's BFS, and max_result_rows/max_bytes budgets are
+/// enforced on the merged closure (strict fail, or deterministic
+/// truncation + `stats->truncated` with return_partial).
+///
+/// `cache` (nullable) reuses/stores the CSR snapshot across calls,
+/// invalidated by the relation's data_generation.
+Result<storage::Relation> ColumnarTransitiveClosure(
+    const storage::Relation& edges, unsigned num_threads = 0,
+    obs::MetricsRegistry* metrics = nullptr,
+    const gov::GovernorContext* governor = nullptr, TcStats* stats = nullptr,
+    columnar::CsrCache* cache = nullptr);
+
+}  // namespace graphlog::tc
+
+#endif  // GRAPHLOG_TC_COLUMNAR_TC_H_

@@ -24,6 +24,7 @@
 #include "rpq/rpq_eval.h"
 #include "storage/database.h"
 #include "storage/io.h"
+#include "tc/columnar_tc.h"
 #include "tc/parallel_tc.h"
 #include "tc/transitive_closure.h"
 #include "tests/test_util.h"
@@ -401,6 +402,196 @@ TEST(TcGovernorTest, ParallelCancelLandsWellUnderStall) {
                               .count();
   EXPECT_EQ(result.code(), StatusCode::kCancelled) << result.ToString();
   EXPECT_LT(elapsed_ms, 2500);  // one stall is 5000 ms; N sources stall
+}
+
+// ---------------------------------------------------------------------------
+// Columnar kernels and the columnar engine path.
+
+TEST(ColumnarGovernorTest, StrictRowBudgetFails) {
+  Database db;
+  LoadChain(&db, 50);
+  const Relation& edges = *db.Find("edge");
+  gov::GovernorContext g;
+  g.budget.max_result_rows = 10;
+  auto r = tc::ColumnarTransitiveClosure(edges, 0, nullptr, &g);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kBudgetExceeded);
+}
+
+TEST(ColumnarGovernorTest, PartialRowCapDeterministicAcrossThreads) {
+  // Same contract as the row-path parallel kernel: a return_partial row
+  // cap yields bit-identical rows at every thread count.
+  Database db;
+  ASSERT_OK(workload::RandomDigraph(40, 120, 7, &db));
+  const Relation& edges = *db.Find("edge");
+  Relation results[2] = {Relation(2), Relation(2)};
+  const unsigned threads[2] = {1, 4};
+  for (int i = 0; i < 2; ++i) {
+    gov::GovernorContext g;
+    g.budget.max_result_rows = 100;
+    g.budget.return_partial = true;
+    tc::TcStats stats;
+    ASSERT_OK_AND_ASSIGN(
+        results[i],
+        tc::ColumnarTransitiveClosure(edges, threads[i], nullptr, &g,
+                                      &stats));
+    EXPECT_TRUE(stats.truncated);
+    EXPECT_EQ(results[i].size(), 100u);
+  }
+  EXPECT_EQ(results[0].rows(), results[1].rows());
+}
+
+TEST(ColumnarGovernorTest, PartialByteBudgetTruncates) {
+  Database db;
+  ASSERT_OK(workload::RandomDigraph(40, 120, 9, &db));
+  const Relation& edges = *db.Find("edge");
+  ASSERT_OK_AND_ASSIGN(Relation full, tc::ColumnarTransitiveClosure(edges));
+  gov::GovernorContext g;
+  g.budget.max_bytes = full.MemoryBytes() / 4;
+  g.budget.return_partial = true;
+  tc::TcStats stats;
+  ASSERT_OK_AND_ASSIGN(
+      Relation capped,
+      tc::ColumnarTransitiveClosure(edges, 0, nullptr, &g, &stats));
+  EXPECT_TRUE(stats.truncated);
+  EXPECT_LT(capped.size(), full.size());
+  EXPECT_GT(capped.size(), 0u);
+  // The truncation is a prefix of the unbudgeted run's insertion order.
+  for (size_t i = 0; i < capped.size(); ++i) {
+    EXPECT_EQ(capped.rows()[i], full.rows()[i]) << "row " << i;
+  }
+}
+
+TEST(ColumnarGovernorTest, CancelLandsWellUnderStall) {
+  // Mirror of the row kernel's Ctrl-C latency bound: a 5-second stall on
+  // every tc.expand hit must not hold a cancelled columnar BFS hostage.
+  Database db;
+  ASSERT_OK(workload::RandomDigraph(200, 800, 11, &db));
+  const Relation& edges = *db.Find("edge");
+  gov::FaultInjector fi;
+  gov::FaultSpec spec;
+  spec.action = gov::FaultAction::kStall;
+  spec.stall_ms = 5000;
+  spec.repeat = true;
+  fi.Arm("tc.expand", spec);
+  gov::GovernorContext g;
+  g.faults = &fi;
+  gov::CancellationToken token = g.token;
+
+  Status result = Status::OK();
+  const auto start = std::chrono::steady_clock::now();
+  std::thread worker([&] {
+    auto r = tc::ColumnarTransitiveClosure(edges, 4, nullptr, &g);
+    result = r.status();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  token.Cancel();
+  worker.join();
+  const auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+  EXPECT_EQ(result.code(), StatusCode::kCancelled) << result.ToString();
+  EXPECT_LT(elapsed_ms, 2500);
+}
+
+TEST(ColumnarGovernorTest, CsrBuildFaultFailsKernel) {
+  Database db;
+  LoadChain(&db, 10);
+  const Relation& edges = *db.Find("edge");
+  gov::FaultInjector fi;
+  gov::FaultSpec spec;
+  spec.code = StatusCode::kInternal;
+  spec.message = "csr boom";
+  fi.Arm("csr.build", spec);
+  gov::GovernorContext g;
+  g.faults = &fi;
+  auto r = tc::ColumnarTransitiveClosure(edges, 0, nullptr, &g);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+  EXPECT_NE(r.status().message().find("csr boom"), std::string::npos);
+  EXPECT_EQ(fi.hits("csr.build"), 1u);
+}
+
+TEST(ColumnarGovernorTest, CsrBuildFaultRollsBackEngineRun) {
+  // The fault fires at batch setup, before any lane runs: the engine
+  // must abort pre-merge and roll the database back untouched.
+  Database db;
+  LoadChain(&db, 10);
+  gov::FaultInjector fi;
+  gov::FaultSpec spec;
+  spec.code = StatusCode::kInternal;
+  spec.message = "csr boom";
+  fi.Arm("csr.build", spec);
+  gov::GovernorContext g;
+  g.faults = &fi;
+  eval::EvalOptions opts;
+  opts.governor = &g;
+  opts.columnar = true;
+  auto r = eval::EvaluateText(kTcProgram, &db, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(db.Find("t"), nullptr);
+  EXPECT_EQ(RelationSize(db, "edge"), 10u);
+  EXPECT_GE(fi.hits("csr.build"), 1u);
+}
+
+TEST(ColumnarGovernorTest, EnginePartialBudgetMatchesRowPath) {
+  // A return_partial budget trip must land on the identical prefix in
+  // both engine paths, at both thread counts.
+  std::set<std::string> rows[4];
+  int i = 0;
+  for (bool columnar : {false, true}) {
+    for (unsigned threads : {1u, 4u}) {
+      Database db;
+      LoadChain(&db, 30);
+      gov::GovernorContext g;
+      g.budget.max_result_rows = 50;
+      g.budget.return_partial = true;
+      eval::EvalOptions opts;
+      opts.governor = &g;
+      opts.columnar = columnar;
+      opts.num_threads = threads;
+      ASSERT_OK_AND_ASSIGN(eval::EvalStats stats,
+                           eval::EvaluateText(kTcProgram, &db, opts));
+      EXPECT_TRUE(stats.truncated);
+      rows[i++] = RelationSet(db, "t");
+    }
+  }
+  for (int j = 1; j < 4; ++j) EXPECT_EQ(rows[0], rows[j]) << "variant " << j;
+}
+
+TEST(ColumnarGovernorTest, BitsetRpqBudgetAndCancel) {
+  Database db;
+  ASSERT_OK(workload::RandomDigraph(100, 500, 3, &db));
+  graph::DataGraph dg = graph::DataGraph::FromDatabase(db);
+  ASSERT_OK_AND_ASSIGN(gl::PathExpr expr,
+                       gl::ParsePathExpr("edge+", &db.symbols()));
+
+  gov::GovernorContext cancelled;
+  cancelled.token.Cancel();
+  rpq::RpqOptions opts;
+  opts.governor = &cancelled;
+  auto r = rpq::EvalRpqBitset(dg, expr, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+
+  gov::GovernorContext strict;
+  strict.budget.max_result_rows = 5;
+  opts.governor = &strict;
+  r = rpq::EvalRpqBitset(dg, expr, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kBudgetExceeded);
+
+  gov::GovernorContext partial;
+  partial.budget.max_result_rows = 5;
+  partial.budget.return_partial = true;
+  opts.governor = &partial;
+  rpq::RpqStats stats;
+  ASSERT_OK_AND_ASSIGN(Relation rel, rpq::EvalRpqBitset(dg, expr, opts,
+                                                        &stats));
+  EXPECT_TRUE(stats.truncated);
+  EXPECT_GE(rel.size(), 5u);
+  EXPECT_LT(rel.size(), 5000u);
 }
 
 // ---------------------------------------------------------------------------
