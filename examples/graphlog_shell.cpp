@@ -28,6 +28,7 @@
 //   .cache [on|off|...]        query result cache (generation-invalidated)
 //   .columnar [on|off]         CSR/bitset evaluation path (bit-identical)
 //   .view define NAME { ... }  materialized views, incrementally maintained
+//   .session open|list|switch  multiplex epoch-snapshot server sessions
 //   .help | .quit
 //
 // Reads from stdin, so it is scriptable: `graphlog_shell < script.glog`.
@@ -38,6 +39,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -163,6 +166,13 @@ void PrintHelp() {
       "                           path (off by default; answers are\n"
       "                           bit-identical to the row engine)\n"
       "  .columnar [stats]        CSR snapshot builds/reuses/invalidations\n"
+      "  .session                 sessions with epochs; * marks active\n"
+      "  .session open [NAME]     open a session pinned to the current\n"
+      "                           head snapshot and make it active\n"
+      "  .session switch NAME     switch the active session; each one is\n"
+      "                           an isolated epoch snapshot\n"
+      "  .session refresh         fast-forward the active session to the\n"
+      "                           server's head epoch\n"
       "  .view define NAME QUERY  materialize a graphical query as view\n"
       "                           NAME, kept fresh incrementally as facts\n"
       "                           arrive; matching queries answer from it\n"
@@ -200,6 +210,16 @@ class Shell {
     // Shell outlives every query, so the handler's pointer stays valid.
     g_shell_token = &cancel_;
     InstallSigintHandler();
+    // Every shell runs against an in-process Server; "main" is the
+    // default session (an epoch-0 snapshot of the empty database).
+    auto main_session = server_.OpenSession({.name = "main"});
+    if (!main_session.ok()) {
+      std::fprintf(stderr, "fatal: %s\n",
+                   main_session.status().ToString().c_str());
+      std::exit(1);
+    }
+    sessions_["main"] = std::move(*main_session);
+    active_ = "main";
   }
 
   int Run() {
@@ -214,6 +234,14 @@ class Shell {
   }
 
  private:
+  /// The active session; `.session switch` retargets it.
+  Session& active() { return *sessions_.at(active_); }
+
+  /// The active session's private database — what every read-side
+  /// command (.show, .dot, .rpq, queries) sees: the pinned snapshot plus
+  /// any session-local derivations.
+  storage::Database& db() { return active().database(); }
+
   void Prompt() {
     if (pending_.empty()) {
       std::printf("graphlog> ");
@@ -243,40 +271,41 @@ class Shell {
       return;
     }
     if (line == ".relations") {
-      for (const auto& [name, rel] : db_.relations()) {
+      for (const auto& [name, rel] : db().relations()) {
         std::printf("  %s/%zu: %zu tuples\n",
-                    db_.symbols().name(name).c_str(), rel.arity(),
+                    db().symbols().name(name).c_str(), rel.arity(),
                     rel.size());
       }
       return;
     }
     if (StartsWith(line, ".show ")) {
       std::string name(Trim(line.substr(6)));
-      Symbol s = db_.symbols().Lookup(name);
-      if (s == kNoSymbol || db_.Find(s) == nullptr) {
+      Symbol s = db().symbols().Lookup(name);
+      if (s == kNoSymbol || db().Find(s) == nullptr) {
         std::printf("no relation '%s'\n", name.c_str());
       } else {
-        std::printf("%s", db_.RelationToString(s).c_str());
+        std::printf("%s", db().RelationToString(s).c_str());
       }
       return;
     }
     if (StartsWith(line, ".load ")) {
       gov::GovernorContext governor = MakeGovernor();
-      auto r = storage::LoadFactsFile(std::string(Trim(line.substr(6))),
-                                      &db_, &governor);
+      auto r = active().Apply(
+          WriteBatch().LoadFile(std::string(Trim(line.substr(6)))),
+          &governor);
       Report(r.status(), r.ok() ? *r : 0, "facts loaded");
       if (r.ok()) RefreshViews();
       return;
     }
     if (StartsWith(line, ".save ")) {
       Status s =
-          storage::SaveFactsFile(std::string(Trim(line.substr(6))), db_);
+          storage::SaveFactsFile(std::string(Trim(line.substr(6))), db());
       if (!s.ok()) std::printf("error: %s\n", s.ToString().c_str());
       return;
     }
     if (line == ".dot") {
-      graph::DataGraph g = graph::DataGraph::FromDatabase(db_);
-      std::printf("%s", ToDot(g, db_.symbols()).c_str());
+      graph::DataGraph g = graph::DataGraph::FromDatabase(db());
+      std::printf("%s", ToDot(g, db().symbols()).c_str());
       return;
     }
     if (StartsWith(line, ".dotquery ")) {
@@ -344,6 +373,11 @@ class Shell {
                          : std::string(Trim(line.substr(10))));
       return;
     }
+    if (line == ".session" || StartsWith(line, ".session ")) {
+      HandleSession(line == ".session" ? ""
+                                       : std::string(Trim(line.substr(9))));
+      return;
+    }
     if (line == ".view" || StartsWith(line, ".view ")) {
       std::string arg(line == ".view" ? "" : Trim(line.substr(6)));
       if (StartsWith(arg, "define ")) {
@@ -391,7 +425,7 @@ class Shell {
         req.options.eval.provenance = &last_store_;
       }
       req.options.eval.governor = &governor;
-      auto r = graphlog::Run(req, &db_);
+      auto r = active().Run(req);
       if (r.ok()) {
         last_program_ = r->stats.programs;
         last_trace_ = std::move(r->trace);
@@ -405,7 +439,7 @@ class Shell {
       return;
     }
     if (StartsWith(line, ".why ")) {
-      auto r = eval::ExplainFact(last_store_, last_program_, db_.symbols(),
+      auto r = eval::ExplainFact(last_store_, last_program_, db().symbols(),
                                  line.substr(5));
       if (!r.ok()) {
         std::printf("error: %s\n", r.status().ToString().c_str());
@@ -432,7 +466,9 @@ class Shell {
       return;
     }
     if (!line.empty() && line.back() == '.') {
-      auto r = storage::LoadFacts(line, &db_);
+      // Ground facts commit through the server (atomic batch, new
+      // epoch); the writing session fast-forwards in place.
+      auto r = active().Apply(WriteBatch().Facts(line));
       Report(r.status(), r.ok() ? *r : 0, "facts added");
       if (r.ok()) RefreshViews();
       return;
@@ -467,7 +503,7 @@ class Shell {
       req.options.eval.provenance = &last_store_;
     }
     req.options.eval.governor = &governor;
-    auto r = graphlog::Run(req, &db_);
+    auto r = active().Run(req);
     if (!r.ok()) {
       std::printf("error: %s\n", r.status().ToString().c_str());
       return;
@@ -494,7 +530,7 @@ class Shell {
     req.options = opts_;
     req.options.observability.explain = true;
     req.options.observability.explain_only = true;
-    auto r = graphlog::Run(req, &db_);
+    auto r = active().Run(req);
     if (!r.ok()) {
       std::printf("error: %s\n", r.status().ToString().c_str());
       return;
@@ -772,8 +808,10 @@ class Shell {
 
   void HandleColumnar(const std::string& arg) {
     if (arg == "on") {
+      // CSR snapshots land in the active session's private cache
+      // (Session::Run defaults columnar runs onto it), so sessions never
+      // share column-store state.
       opts_.eval.columnar = true;
-      opts_.eval.csr_cache = &csr_cache_;
       std::printf("columnar path on\n");
       return;
     }
@@ -783,32 +821,97 @@ class Shell {
       return;
     }
     if (arg.empty() || arg == "stats") {
-      columnar::CsrCache::Stats s = csr_cache_.stats();
+      columnar::CsrCache& cc = active().csr_cache();
+      columnar::CsrCache::Stats s = cc.stats();
       std::printf(
           "columnar path %s: %llu CSR builds, %llu reuses, "
-          "%llu invalidations, %zu snapshots resident\n",
+          "%llu invalidations, %zu snapshots resident (session %s)\n",
           opts_.eval.columnar ? "on" : "off",
           static_cast<unsigned long long>(s.builds),
           static_cast<unsigned long long>(s.reuses),
-          static_cast<unsigned long long>(s.invalidations),
-          csr_cache_.size());
+          static_cast<unsigned long long>(s.invalidations), cc.size(),
+          active_.c_str());
       return;
     }
     std::printf("usage: .columnar [on|off|stats]\n");
   }
 
+  void HandleSession(const std::string& arg) {
+    if (arg.empty() || arg == "list") {
+      std::printf("server epoch %llu, %zu open sessions\n",
+                  static_cast<unsigned long long>(server_.epoch()),
+                  sessions_.size());
+      for (const auto& [name, s] : sessions_) {
+        const Session::Stats& st = s->stats();
+        std::printf("  %c %s: epoch %llu, %llu queries, %llu writes, "
+                    "%llu refreshes\n",
+                    name == active_ ? '*' : ' ', name.c_str(),
+                    static_cast<unsigned long long>(s->epoch()),
+                    static_cast<unsigned long long>(st.queries),
+                    static_cast<unsigned long long>(st.writes),
+                    static_cast<unsigned long long>(st.refreshes));
+      }
+      return;
+    }
+    if (arg == "open" || StartsWith(arg, "open ")) {
+      std::string name(arg == "open" ? "" : Trim(arg.substr(5)));
+      if (!name.empty() && sessions_.count(name) != 0) {
+        std::printf("session '%s' already open; .session switch %s\n",
+                    name.c_str(), name.c_str());
+        return;
+      }
+      auto s = server_.OpenSession({.name = name});
+      if (!s.ok()) {
+        std::printf("error: %s\n", s.status().ToString().c_str());
+        return;
+      }
+      name = (*s)->name();
+      sessions_[name] = std::move(*s);
+      active_ = name;
+      std::printf("session %s open at epoch %llu (now active)\n",
+                  name.c_str(),
+                  static_cast<unsigned long long>(active().epoch()));
+      return;
+    }
+    if (StartsWith(arg, "switch ")) {
+      std::string name(Trim(arg.substr(7)));
+      if (sessions_.count(name) == 0) {
+        std::printf("no session '%s'; .session list\n", name.c_str());
+        return;
+      }
+      active_ = name;
+      std::printf("session %s active (epoch %llu, server at %llu)\n",
+                  name.c_str(),
+                  static_cast<unsigned long long>(active().epoch()),
+                  static_cast<unsigned long long>(server_.epoch()));
+      return;
+    }
+    if (arg == "refresh") {
+      Status st = active().Refresh();
+      if (!st.ok()) {
+        std::printf("error: %s\n", st.ToString().c_str());
+        return;
+      }
+      std::printf("session %s at epoch %llu\n", active_.c_str(),
+                  static_cast<unsigned long long>(active().epoch()));
+      return;
+    }
+    std::printf("usage: .session [list | open [NAME] | switch NAME |"
+                " refresh]\n");
+  }
+
   void DefineView(const std::string& name, const std::string& text) {
-    auto def = MakeViewDefinition(name, text, &db_, opts_);
+    auto def = MakeViewDefinition(name, text, &db(), opts_);
     if (!def.ok()) {
       std::printf("error: %s\n", def.status().ToString().c_str());
       return;
     }
-    Status st = views_.Define(std::move(*def), &db_, &metrics_);
+    Status st = views_.Define(std::move(*def), &db(), &metrics_);
     if (!st.ok()) {
       std::printf("error: %s\n", st.ToString().c_str());
       return;
     }
-    cache::ViewStats vs = views_.StatsOf(name, &db_);
+    cache::ViewStats vs = views_.StatsOf(name, &db());
     std::printf("view %s materialized (%llu rows)\n", name.c_str(),
                 static_cast<unsigned long long>(vs.result_rows));
   }
@@ -820,7 +923,7 @@ class Shell {
         return;
       }
       for (const std::string& name : views_.Names()) {
-        cache::ViewStats vs = views_.StatsOf(name, &db_);
+        cache::ViewStats vs = views_.StatsOf(name, &db());
         std::printf(
             "  %s: %llu rows (%s), %llu full + %llu incremental "
             "refreshes, served %llu\n",
@@ -843,8 +946,8 @@ class Shell {
     }
     if (arg == "refresh" || StartsWith(arg, "refresh ")) {
       std::string name(arg == "refresh" ? "" : Trim(arg.substr(8)));
-      Status st = name.empty() ? views_.RefreshAll(&db_, &metrics_)
-                               : views_.Refresh(name, &db_, &metrics_);
+      Status st = name.empty() ? views_.RefreshAll(&db(), &metrics_)
+                               : views_.Refresh(name, &db(), &metrics_);
       if (!st.ok()) {
         std::printf("error: %s\n", st.ToString().c_str());
       } else {
@@ -862,32 +965,32 @@ class Shell {
   /// does not undo the insertion.
   void RefreshViews() {
     if (views_.size() == 0) return;
-    Status st = views_.RefreshAll(&db_, &metrics_);
+    Status st = views_.RefreshAll(&db(), &metrics_);
     if (!st.ok()) {
       std::printf("view refresh error: %s\n", st.ToString().c_str());
     }
   }
 
   void HandleResource() {
-    db_.ExportResourceMetrics(&metrics_);
+    db().ExportResourceMetrics(&metrics_);
     size_t total_rows = 0;
-    for (const auto& [name, rel] : db_.relations()) {
+    for (const auto& [name, rel] : db().relations()) {
       std::printf("  %s/%zu: %zu rows, %zu bytes\n",
-                  db_.symbols().name(name).c_str(), rel.arity(), rel.size(),
+                  db().symbols().name(name).c_str(), rel.arity(), rel.size(),
                   rel.MemoryBytes());
       total_rows += rel.size();
     }
     std::printf("total: %zu relations, %zu rows, %zu bytes\n",
-                db_.relations().size(), total_rows, db_.TotalBytes());
+                db().relations().size(), total_rows, db().TotalBytes());
   }
 
   void DotQuery(const std::string& text) {
-    auto q = gl::ParseGraphicalQuery(text, &db_.symbols());
+    auto q = gl::ParseGraphicalQuery(text, &db().symbols());
     if (!q.ok()) {
       std::printf("error: %s\n", q.status().ToString().c_str());
       return;
     }
-    std::printf("%s", RenderGraphicalQuery(*q, db_.symbols()).c_str());
+    std::printf("%s", RenderGraphicalQuery(*q, db().symbols()).c_str());
   }
 
   void RunRpq(const std::string& args) {
@@ -909,29 +1012,29 @@ class Shell {
       SymbolTable probe;
       if (!second.empty() &&
           gl::ParsePathExpr(rest2, &probe).ok() &&
-          db_.symbols().Lookup(first) != kNoSymbol &&
-          db_.symbols().Lookup(second) != kNoSymbol) {
-        opts.source = Value::Sym(db_.Intern(first));
-        opts.target = Value::Sym(db_.Intern(second));
+          db().symbols().Lookup(first) != kNoSymbol &&
+          db().symbols().Lookup(second) != kNoSymbol) {
+        opts.source = Value::Sym(db().Intern(first));
+        opts.target = Value::Sym(db().Intern(second));
         expr = rest2;
       }
     }
     if (!opts.source.has_value()) {
       SymbolTable probe;
       if (gl::ParsePathExpr(rest, &probe).ok() &&
-          db_.symbols().Lookup(first) != kNoSymbol) {
-        opts.source = Value::Sym(db_.Intern(first));
+          db().symbols().Lookup(first) != kNoSymbol) {
+        opts.source = Value::Sym(db().Intern(first));
         expr = rest;
       }
     }
-    graph::DataGraph g = graph::DataGraph::FromDatabase(db_);
+    graph::DataGraph g = graph::DataGraph::FromDatabase(db());
     obs::Tracer tracer;
     if (opts_.observability.tracing) opts.tracer = &tracer;
     opts.metrics = &metrics_;
     gov::GovernorContext governor = MakeGovernor();
     opts.governor = &governor;
     rpq::RpqStats rpq_stats;
-    auto r = rpq::EvalRpqText(g, expr, &db_.symbols(), opts, &rpq_stats);
+    auto r = rpq::EvalRpqText(g, expr, &db().symbols(), opts, &rpq_stats);
     if (opts_.observability.tracing) last_trace_ = tracer.TakeReport();
     if (!r.ok()) {
       std::printf("error: %s\n", r.status().ToString().c_str());
@@ -939,8 +1042,8 @@ class Shell {
     }
     if (rpq_stats.truncated) std::printf("truncated: resource budget\n");
     for (const auto& t : r->rows()) {
-      std::printf("  (%s, %s)\n", t[0].ToString(db_.symbols()).c_str(),
-                  t[1].ToString(db_.symbols()).c_str());
+      std::printf("  (%s, %s)\n", t[0].ToString(db().symbols()).c_str(),
+                  t[1].ToString(db().symbols()).c_str());
     }
     std::printf("%zu pairs\n", r->size());
   }
@@ -953,7 +1056,6 @@ class Shell {
     }
   }
 
-  storage::Database db_;
   std::string pending_;
   bool pending_dotquery_ = false;
   bool pending_explain_ = false;
@@ -984,9 +1086,15 @@ class Shell {
   // (.view; always consulted — serving is fingerprint-gated anyway).
   cache::ResultCache cache_;
   cache::ViewCatalog views_;
-  // CSR snapshots for `.columnar on`; generation-invalidated, so the
-  // cache safely outlives fact insertions and toggles.
-  columnar::CsrCache csr_cache_;
+  // The in-process server: every shell "session" is a graphlog::Session
+  // pinned to an epoch snapshot of the server's database. Writes (facts,
+  // .load) commit through Session::Apply — atomic batches that publish a
+  // new epoch and fast-forward the writing session — and `.session
+  // open/list/switch` multiplexes independent snapshots. Declared after
+  // metrics_/faults_: the ServerOptions initializer captures them.
+  Server server_{ServerOptions{.metrics = &metrics_, .faults = &faults_}};
+  std::map<std::string, std::unique_ptr<Session>> sessions_;
+  std::string active_;
 };
 
 }  // namespace

@@ -10,6 +10,11 @@
 # and the view catalog's refresh-on-serve are exactly the structures
 # concurrent queries hammer.
 #
+# The robustness label also carries server_test — the Server/Session
+# epoch-snapshot suite, including its 1-writer/4-reader concurrency
+# tests. The TSan lane is the proof behind DESIGN §11's claim that
+# sessions share no mutable state with the committing writer.
+#
 # Usage: scripts/run_sanitizer_lanes.sh [LABEL] [BUILD_ROOT]
 # Defaults: LABEL = 'robustness|cache' (a ctest -L regex), BUILD_ROOT =
 # build-san (creates ${BUILD_ROOT}-thread and ${BUILD_ROOT}-address).

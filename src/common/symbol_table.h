@@ -36,6 +36,19 @@ class SymbolTable {
   SymbolTable(SymbolTable&&) = default;
   SymbolTable& operator=(SymbolTable&&) = default;
 
+  /// \brief Explicit deep copy. Copying is otherwise deleted to keep
+  /// mixed-table ids impossible; snapshot materialization (the server
+  /// layer) deliberately clones so a session's ids start as an identical
+  /// prefix of the server's — every Symbol the server ever issued means
+  /// the same string in the clone, and ids the clone interns afterwards
+  /// stay session-local.
+  SymbolTable Clone() const {
+    SymbolTable t;
+    t.strings_ = strings_;
+    t.ids_ = ids_;
+    return t;
+  }
+
   /// \brief Interns `s`, returning its Symbol (creating it if new).
   Symbol Intern(std::string_view s) {
     auto it = ids_.find(std::string(s));

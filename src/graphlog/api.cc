@@ -390,7 +390,8 @@ Status RunDatalog(const QueryRequest& req, const QueryOptions& options,
 
 }  // namespace
 
-Result<QueryResponse> Run(const QueryRequest& req, Database* db) {
+Result<QueryResponse> detail::RunPipeline(const QueryRequest& req,
+                                          Database* db) {
   QueryResponse resp;
   QueryOptions options = req.options;
   obs::Tracer local_tracer;

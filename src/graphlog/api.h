@@ -15,9 +15,13 @@
 // GraphicalQuery, or raw Datalog text) and carries every knob in one
 // nested QueryOptions; the response carries the stats, the observability
 // artifacts (span tree + metrics, see obs/trace.h), and the EXPLAIN
-// rendering when requested. The old free functions survive as one-line
-// deprecated wrappers in graphlog/engine.h so existing callers migrate
-// incrementally.
+// rendering when requested. The deprecated free-function sprawl is gone.
+//
+// For concurrent callers, the server layer (server/server.h, re-exported
+// at the bottom of this header so one include is the whole public
+// surface) wraps the same pipeline in Server/Session handles with
+// epoch-snapshot isolation; Run() itself is a thin wrapper over a
+// single-session in-process server.
 
 #ifndef GRAPHLOG_GRAPHLOG_API_H_
 #define GRAPHLOG_GRAPHLOG_API_H_
@@ -194,11 +198,28 @@ struct QueryResponse {
 };
 
 /// \brief Evaluates `req` against `db`, materializing each IDB predicate
-/// (including translation auxiliaries) as a relation. The single front
-/// door of the engine: parse -> validate -> order query graphs ->
-/// per graph, lambda-translate (Definition 2.4) and run the stratified
-/// engine or the path-summarization operator (Section 4).
+/// (including translation auxiliaries) as a relation. The single-caller
+/// front door: parse -> validate -> order query graphs -> per graph,
+/// lambda-translate (Definition 2.4) and run the stratified engine or
+/// the path-summarization operator (Section 4).
+///
+/// Implemented (in graphlog_server) as a thin wrapper over a
+/// single-session in-process Server attached to `db`, so the same code
+/// path serves one caller and many; semantics and overhead match calling
+/// the pipeline directly. Concurrent callers should hold a Server and
+/// open a Session per thread instead (server/server.h).
 Result<QueryResponse> Run(const QueryRequest& req, storage::Database* db);
+
+namespace detail {
+
+/// \brief The raw query pipeline Run() and Session::Run() share: cache /
+/// view serving, evaluation, metrics, slow-log capture — everything
+/// except session bookkeeping. Not part of the public surface; call
+/// graphlog::Run or Session::Run.
+Result<QueryResponse> RunPipeline(const QueryRequest& req,
+                                  storage::Database* db);
+
+}  // namespace detail
 
 /// \brief Builds a materialized-view definition named `name` from a
 /// GraphLog query: parses and validates `text`, orders and
@@ -214,5 +235,11 @@ Result<cache::ViewDefinition> MakeViewDefinition(
     const QueryOptions& options = {});
 
 }  // namespace graphlog
+
+// Re-export the server layer: including graphlog/api.h is the whole
+// public surface. server/server.h only needs declarations above this
+// line, and its own include of this header is satisfied by the guard in
+// either inclusion order.
+#include "server/server.h"
 
 #endif  // GRAPHLOG_GRAPHLOG_API_H_

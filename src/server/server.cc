@@ -1,0 +1,417 @@
+#include "server/server.h"
+
+#include <chrono>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "storage/io.h"
+
+namespace graphlog {
+
+using storage::Database;
+using storage::Relation;
+using storage::Tuple;
+
+namespace {
+
+/// True when `ver` still describes the live relation byte-for-byte: same
+/// identity (uid), same committed data stamp, same row count. DropIndexes
+/// and index builds don't move any of the three, so retained versions
+/// survive physical-only churn.
+bool SameVersion(const Relation& live, const Relation& ver) {
+  return live.uid() == ver.uid() &&
+         live.data_generation() == ver.data_generation() &&
+         live.size() == ver.size();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Server
+
+Server::Server(ServerOptions opts)
+    : opts_(std::move(opts)), db_(&owned_db_), attached_(false) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RebuildHeadLocked();  // epoch-0 snapshot of the empty database
+}
+
+Server::Server(storage::Database* db, ServerOptions opts)
+    : opts_(std::move(opts)), db_(db), attached_(true) {}
+
+std::shared_ptr<const Snapshot> Server::head() const {
+  std::lock_guard<std::mutex> lock(head_mu_);
+  return head_;
+}
+
+Result<std::unique_ptr<Session>> Server::OpenSession(SessionOptions opts) {
+  const size_t before = open_sessions_.fetch_add(1, std::memory_order_relaxed);
+  if (opts_.max_sessions != 0 && before >= opts_.max_sessions) {
+    open_sessions_.fetch_sub(1, std::memory_order_relaxed);
+    return Status::BudgetExceeded(
+        "session admission: " + std::to_string(opts_.max_sessions) +
+        " sessions already open");
+  }
+  std::string name = opts.name;
+  if (name.empty()) {
+    name = "s" + std::to_string(
+                     session_seq_.fetch_add(1, std::memory_order_relaxed) + 1);
+  }
+  std::unique_ptr<Session> s(new Session(this, std::move(opts), std::move(name)));
+  if (opts_.metrics != nullptr) {
+    opts_.metrics->counter("server.sessions_opened")->Increment();
+    opts_.metrics->gauge("server.sessions")
+        ->Set(static_cast<int64_t>(open_sessions()));
+  }
+  return s;
+}
+
+Result<size_t> Server::Apply(const WriteBatch& batch,
+                             const gov::GovernorContext* governor) {
+  return ApplyInternal(batch, governor, nullptr, nullptr);
+}
+
+Result<size_t> Server::ApplyInternal(const WriteBatch& batch,
+                                     const gov::GovernorContext* governor,
+                                     uint64_t* base_epoch,
+                                     uint64_t* committed_epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (base_epoch != nullptr) *base_epoch = epoch();
+  // A batch without its own governor still honors the server-armed fault
+  // injector (deterministic io.load failures in tests and the shell).
+  gov::GovernorContext local;
+  if (governor == nullptr && opts_.faults != nullptr) {
+    local.faults = opts_.faults;
+    governor = &local;
+  }
+  Result<size_t> applied = ApplyBatchTo(batch, db_, governor);
+  if (opts_.metrics != nullptr) {
+    if (applied.ok()) {
+      opts_.metrics->counter("server.commits")->Increment();
+      opts_.metrics->counter("server.facts_committed")->Add(*applied);
+    } else {
+      opts_.metrics->counter("server.aborted_commits")->Increment();
+    }
+  }
+  GRAPHLOG_RETURN_NOT_OK(applied.status());
+  if (attached_) {
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
+  } else {
+    RebuildHeadLocked();
+  }
+  if (committed_epoch != nullptr) *committed_epoch = epoch();
+  return applied;
+}
+
+void Server::Publish() {
+  if (attached_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  RebuildHeadLocked();
+}
+
+void Server::RebuildHeadLocked() {
+  std::shared_ptr<const Snapshot> prev;
+  {
+    std::lock_guard<std::mutex> lock(head_mu_);
+    prev = head_;
+  }
+  auto next = std::make_shared<Snapshot>();
+  // First publish keeps epoch 0 (the empty-database snapshot of the
+  // constructor); every later rebuild is one commit -> one epoch.
+  next->epoch = prev == nullptr
+                    ? epoch_.load(std::memory_order_relaxed)
+                    : epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  const SymbolTable& syms = db_->symbols();
+  // The symbol table is grow-only, so equal size means identical content
+  // and the previous snapshot's table can be shared.
+  if (prev != nullptr && prev->symbols->size() == syms.size()) {
+    next->symbols = prev->symbols;
+  } else {
+    next->symbols = std::make_shared<const SymbolTable>(syms.Clone());
+  }
+  size_t copied = 0;
+  for (const auto& [sym, rel] : db_->relations()) {
+    std::shared_ptr<const Relation> ver;
+    if (prev != nullptr) {
+      auto it = prev->relations.find(sym);
+      if (it != prev->relations.end() && SameVersion(rel, *it->second)) {
+        ver = it->second;  // retained: untouched since the last publish
+      }
+    }
+    if (ver == nullptr) {
+      auto copy = std::make_shared<Relation>(rel);
+      // Versions are logical contents; indexes rebuild lazily wherever
+      // the version is materialized (DropIndexes bumps only the
+      // structural generation, never the data stamp).
+      copy->DropIndexes();
+      ver = std::move(copy);
+      ++copied;
+    }
+    next->relations.emplace(sym, std::move(ver));
+  }
+  if (opts_.metrics != nullptr) {
+    opts_.metrics->gauge("server.epoch")
+        ->Set(static_cast<int64_t>(next->epoch));
+    opts_.metrics->gauge("server.snapshot_relations")
+        ->Set(static_cast<int64_t>(next->relations.size()));
+    opts_.metrics->counter("server.versions_copied")->Add(copied);
+  }
+  std::lock_guard<std::mutex> lock(head_mu_);
+  head_ = std::move(next);
+}
+
+Result<size_t> Server::ApplyBatchTo(const WriteBatch& batch, Database* db,
+                                    const gov::GovernorContext* governor) {
+  // Pre-state for rollback: every relation's size and data stamp, plus
+  // full copies of anything a Clear op wipes (truncation cannot restore
+  // cleared rows).
+  std::map<Symbol, std::pair<size_t, uint64_t>> pre_state;
+  for (const auto& [sym, rel] : db->relations()) {
+    pre_state.emplace(sym, std::make_pair(rel.size(), rel.data_generation()));
+  }
+  std::map<Symbol, Relation> cleared;
+  size_t facts = 0;
+  Status st = Status::OK();
+  for (const WriteBatch::Op& op : batch.ops_) {
+    switch (op.kind) {
+      case WriteBatch::Op::kFacts: {
+        Result<size_t> r = storage::LoadFacts(op.text, db, governor);
+        if (r.ok()) {
+          facts += *r;
+        } else {
+          st = r.status();
+        }
+        break;
+      }
+      case WriteBatch::Op::kLoadFile: {
+        Result<size_t> r = storage::LoadFactsFile(op.text, db, governor);
+        if (r.ok()) {
+          facts += *r;
+        } else {
+          st = r.status();
+        }
+        break;
+      }
+      case WriteBatch::Op::kInsert: {
+        Tuple t;
+        t.reserve(op.args.size());
+        for (const std::string& a : op.args) {
+          t.push_back(Value::Sym(db->Intern(a)));
+        }
+        st = db->AddFact(op.text, std::move(t));
+        if (st.ok()) ++facts;
+        break;
+      }
+      case WriteBatch::Op::kClear: {
+        const Symbol s = db->symbols().Lookup(op.text);
+        Relation* rel = s == kNoSymbol ? nullptr : db->FindMutable(s);
+        if (rel == nullptr) {
+          st = Status::NotFound("cannot clear unknown relation '" + op.text +
+                                "'");
+          break;
+        }
+        if (pre_state.count(s) != 0 && cleared.count(s) == 0) {
+          cleared.emplace(s, *rel);  // save pre-batch contents once
+        }
+        rel->Clear();
+        break;
+      }
+    }
+    if (!st.ok()) break;
+  }
+  if (st.ok()) return facts;
+
+  // All-or-nothing: undo everything this batch did, in an order that
+  // composes — drop created relations, shrink grown ones (restoring the
+  // pre-batch data stamp the ops bumped), then reinstate cleared ones
+  // wholesale (which also fixes clear-then-grow sequences).
+  std::vector<Symbol> created;
+  for (const auto& [sym, rel] : db->relations()) {
+    (void)rel;
+    if (pre_state.count(sym) == 0) created.push_back(sym);
+  }
+  for (Symbol s : created) db->Remove(s);
+  for (const auto& [sym, pre] : pre_state) {
+    Relation* rel = db->FindMutable(sym);
+    if (rel == nullptr) continue;
+    if (rel->size() > pre.first) rel->TruncateTo(pre.first);
+    rel->RestoreDataGeneration(pre.second);
+  }
+  for (auto& [sym, saved] : cleared) {
+    db->relations().insert_or_assign(sym, std::move(saved));
+  }
+  return st;
+}
+
+// ---------------------------------------------------------------------------
+// Session
+
+Session::Session(Server* server, SessionOptions opts, std::string name)
+    : server_(server),
+      opts_(std::move(opts)),
+      name_(std::move(name)),
+      attached_(server->attached()),
+      db_(&owned_db_) {
+  if (attached_) {
+    db_ = server_->db_;
+  } else {
+    Materialize(server_->head());
+  }
+}
+
+Session::~Session() { server_->ReleaseSession(); }
+
+void Session::Materialize(const std::shared_ptr<const Snapshot>& snap) {
+  // A fresh Database per materialization: its new uid fences this
+  // session's result-cache entries off from every other database, and
+  // session-local symbol ids can never leak into them.
+  owned_db_ = Database();
+  owned_db_.symbols() = snap->symbols->Clone();
+  for (const auto& [sym, ver] : snap->relations) {
+    // Copies keep the server-issued uid and data stamp, so stamp-keyed
+    // caches validate within the session exactly as on the server.
+    owned_db_.relations().emplace(sym, *ver);
+  }
+  db_ = &owned_db_;
+  base_symbols_ = snap->symbols->size();
+  epoch_ = snap->epoch;
+}
+
+Status Session::Refresh() {
+  if (attached_) return Status::OK();
+  std::shared_ptr<const Snapshot> snap = server_->head();
+  if (snap->epoch == epoch_) return Status::OK();
+  ++stats_.refreshes;
+  if (server_->metrics() != nullptr) {
+    server_->metrics()->counter("session." + name_ + ".refreshes")
+        ->Increment();
+  }
+  if (snap->symbols->size() != base_symbols_) {
+    // The server interned new symbols since this session materialized;
+    // their ids may collide with session-local ones, so the private
+    // database rebuilds from scratch (session materializations drop).
+    Materialize(snap);
+    return Status::OK();
+  }
+  // In-place fast path: the symbol space is unchanged, so EDB versions
+  // swap in directly and session-local relations (materialized IDB
+  // results) survive — grow-only semantics, same as re-running against a
+  // single long-lived Database.
+  for (const auto& [sym, ver] : snap->relations) {
+    auto it = db_->relations().find(sym);
+    if (it == db_->relations().end()) {
+      db_->relations().emplace(sym, *ver);
+    } else if (!SameVersion(it->second, *ver)) {
+      db_->relations().insert_or_assign(sym, *ver);
+    }
+  }
+  epoch_ = snap->epoch;
+  return Status::OK();
+}
+
+Result<size_t> Session::Apply(const WriteBatch& batch,
+                              const gov::GovernorContext* governor) {
+  uint64_t base = 0;
+  uint64_t committed = 0;
+  GRAPHLOG_ASSIGN_OR_RETURN(
+      size_t facts, server_->ApplyInternal(batch, governor, &base, &committed));
+  ++stats_.writes;
+  if (attached_) return facts;
+  if (epoch_ == base) {
+    // Fast-forward: no other writer intervened, so replaying the same
+    // committed ops onto the private database reproduces the published
+    // contents in this session's symbol space — stamps advance by the
+    // same deterministic arithmetic, session materializations survive.
+    // A replay failure (e.g. an arity clash with a session-local
+    // relation shadowing a new server one) falls back to a full rebuild.
+    Result<size_t> replay = Server::ApplyBatchTo(batch, db_, nullptr);
+    if (replay.ok()) {
+      epoch_ = committed;
+      return facts;
+    }
+  }
+  GRAPHLOG_RETURN_NOT_OK(Refresh());
+  return facts;
+}
+
+Result<QueryResponse> Session::Run(QueryRequest req) {
+  QueryOptions& o = req.options;
+  const QueryOptions& d = opts_.defaults;
+  // Fill unset request options from the session defaults, then the
+  // server. Pointers fill when null; toggles OR in; num_threads applies
+  // when the request kept the serial default.
+  if (o.observability.metrics == nullptr) {
+    o.observability.metrics = d.observability.metrics != nullptr
+                                  ? d.observability.metrics
+                                  : server_->metrics();
+  }
+  if (o.observability.slow_query_log == nullptr &&
+      d.observability.slow_query_log != nullptr) {
+    o.observability.slow_query_log = d.observability.slow_query_log;
+    o.observability.slow_query_threshold_ns =
+        d.observability.slow_query_threshold_ns;
+  }
+  if (o.cache.result_cache == nullptr) {
+    o.cache.result_cache = d.cache.result_cache != nullptr
+                               ? d.cache.result_cache
+                               : server_->result_cache();
+  }
+  if (o.cache.views == nullptr) o.cache.views = d.cache.views;
+  if (d.eval.columnar) o.eval.columnar = true;
+  if (d.translation.specialize_bound_closures) {
+    o.translation.specialize_bound_closures = true;
+  }
+  if (o.eval.num_threads == 1 && d.eval.num_threads != 1) {
+    o.eval.num_threads = d.eval.num_threads;
+  }
+  if (o.eval.columnar && o.eval.csr_cache == nullptr) {
+    o.eval.csr_cache = &csr_cache_;
+  }
+  // A request without its own governor runs under the session's limits
+  // (and its cancellation token) when any are configured.
+  gov::GovernorContext session_governor;
+  if (o.eval.governor == nullptr &&
+      (opts_.budget.any() || opts_.deadline_ms != 0)) {
+    session_governor.token = cancel_;
+    session_governor.budget = opts_.budget;
+    if (opts_.deadline_ms != 0) {
+      session_governor.deadline = gov::Deadline::AfterMillis(opts_.deadline_ms);
+    }
+    o.eval.governor = &session_governor;
+  }
+
+  const auto started = std::chrono::steady_clock::now();
+  Result<QueryResponse> resp = detail::RunPipeline(req, db_);
+  const int64_t duration_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - started)
+          .count();
+  ++stats_.queries;
+  if (!resp.ok()) ++stats_.errors;
+  if (resp.ok() && resp->cache_hit) ++stats_.cache_hits;
+  if (obs::MetricsRegistry* m = o.observability.metrics; m != nullptr) {
+    m->counter("server.queries")->Increment();
+    const std::string p = "session." + name_ + ".";
+    m->counter(p + "queries")->Increment();
+    if (!resp.ok()) m->counter(p + "errors")->Increment();
+    if (resp.ok() && resp->cache_hit) m->counter(p + "cache_hits")->Increment();
+    if (resp.ok() && resp->truncated) m->counter(p + "truncated")->Increment();
+    m->histogram(p + "duration_ns")->Observe(duration_ns);
+    m->gauge(p + "epoch")->Set(static_cast<int64_t>(epoch()));
+  }
+  return resp;
+}
+
+// ---------------------------------------------------------------------------
+// The single-caller front door: a thin wrapper over an attached
+// single-session server, so one code path serves one caller and many.
+
+Result<QueryResponse> Run(const QueryRequest& req, storage::Database* db) {
+  Server server(db);
+  GRAPHLOG_ASSIGN_OR_RETURN(std::unique_ptr<Session> session,
+                            server.OpenSession());
+  return session->Run(req);
+}
+
+}  // namespace graphlog

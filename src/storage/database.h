@@ -37,9 +37,12 @@ class Database {
   SymbolTable& symbols() { return syms_; }
   const SymbolTable& symbols() const { return syms_; }
 
-  /// \brief Process-unique id of this Database instance. Relation uids
-  /// are only unique *within* a Database, so code keying state across
-  /// databases (the result cache) scopes its keys by this id.
+  /// \brief Process-unique id of this Database instance. Code keying
+  /// state across databases (the result cache) scopes its keys by this
+  /// id, so two databases never share cache entries even when they hold
+  /// copies of the same relations — sessions intern query-local symbols
+  /// after cloning a snapshot, and entries recorded under one session's
+  /// symbol ids must not replay into another.
   uint64_t uid() const { return uid_; }
 
   /// \brief Interns a string (convenience passthrough).
@@ -62,7 +65,8 @@ class Database {
       return &it->second;
     }
     Relation* rel = &relations_.emplace(name, Relation(arity)).first->second;
-    rel->set_uid(++next_relation_uid_);
+    rel->set_uid(next_relation_uid_.fetch_add(1, std::memory_order_relaxed) +
+                 1);
     return rel;
   }
 
@@ -152,10 +156,15 @@ class Database {
  private:
   SymbolTable syms_;
   std::map<Symbol, Relation> relations_;
-  // Source of Relation::uid values. Never decremented, so a relation
-  // dropped and re-declared under the same name gets a fresh uid and the
-  // cache layer cannot confuse it with its predecessor.
-  uint64_t next_relation_uid_ = 0;
+  // Source of Relation::uid values: process-global (one counter across
+  // every Database) and never decremented, so (a) a relation dropped and
+  // re-declared under the same name gets a fresh uid the cache layer
+  // cannot confuse with its predecessor, and (b) relations declared in
+  // *different* databases never collide — a session database copied from
+  // a server snapshot keeps the server-issued uids on the copies, and any
+  // relation it declares locally gets an id no other database will ever
+  // issue, which is what lets stamp-keyed caches serve sessions safely.
+  static inline std::atomic<uint64_t> next_relation_uid_{0};
   static inline std::atomic<uint64_t> next_db_uid_{0};
   uint64_t uid_ = ++next_db_uid_;
 };

@@ -1,6 +1,8 @@
 #include "storage/io.h"
 
 #include <fstream>
+#include <map>
+#include <set>
 #include <sstream>
 #include <utility>
 #include <vector>
@@ -96,10 +98,20 @@ Result<size_t> LoadFacts(std::string_view text, Database* db,
   }
 
   // Phase 2: the batch is valid; one governed checkpoint, then apply.
+  // Rows are staged without touching data stamps, and every relation that
+  // actually gained rows gets exactly one data_generation bump at commit:
+  // the loader never publishes a stamp for a partially-applied batch, so
+  // stamp-keyed caches (result cache, CSR cache) can never certify a
+  // mid-load state. Phase-1 validation guarantees the Declare calls below
+  // cannot fail (arity was checked against both the database and the
+  // batch), so the staged rows are never abandoned half-applied.
   GRAPHLOG_RETURN_NOT_OK(gov::CheckPoint(governor, "io.load"));
+  std::set<Relation*> dirty;
   for (auto& [pred, t] : batch) {
-    GRAPHLOG_RETURN_NOT_OK(db->AddFact(pred, std::move(t)));
+    GRAPHLOG_ASSIGN_OR_RETURN(Relation * rel, db->Declare(pred, t.size()));
+    if (rel->InsertStaged(std::move(t))) dirty.insert(rel);
   }
+  for (Relation* rel : dirty) rel->CommitStamp();
   return batch.size();
 }
 

@@ -37,7 +37,11 @@ namespace graphlog::storage {
 /// within the batch) before any insert happens; on any error the
 /// database is unchanged. When `governor` is set, the `io.load`
 /// injection point and the cancellation token/deadline are checked
-/// before the validated batch is applied.
+/// before the validated batch is applied. Data stamps are published at
+/// commit: each relation the batch grows takes exactly one
+/// data_generation bump after every row is in place, so a failed load
+/// can never leave a stamp that certifies a partially-applied state to
+/// the cache layer.
 Result<size_t> LoadFacts(std::string_view text, Database* db,
                          const gov::GovernorContext* governor = nullptr);
 

@@ -127,6 +127,48 @@ class Relation {
     memory_dirty_ = true;
   }
 
+  /// \brief Inserts `t` like Insert() but WITHOUT bumping data_generation():
+  /// the staging half of a multi-relation atomic write. The structural
+  /// generation still advances (outstanding ProbeResults are invalidated),
+  /// but the relation's cache stamp is frozen until CommitStamp() — so an
+  /// aborted batch can undo its staged rows with RollbackStagedTo() without
+  /// ever having published a stamp readers could cache a half-applied
+  /// state under.
+  bool InsertStaged(Tuple t) {
+    SyncSet();
+    if (!set_.insert(t).second) return false;
+    const uint32_t row_id = static_cast<uint32_t>(rows_.size());
+    rows_.push_back(std::move(t));
+    AppendToIndexes(rows_.back(), row_id);
+    ++generation_;
+    memory_dirty_ = true;
+    return true;
+  }
+
+  /// \brief Publishes the data stamp for a run of InsertStaged() calls:
+  /// exactly one data_generation() bump per touched relation per committed
+  /// batch, however many rows the batch staged.
+  void CommitStamp() { ++data_generation_; }
+
+  /// \brief Undoes staged rows: TruncateTo without the data_generation()
+  /// bump, legitimate only because rows staged by InsertStaged() since
+  /// size `n` was recorded never published a stamp for anyone to observe.
+  void RollbackStagedTo(size_t n) {
+    if (n >= rows_.size()) return;
+    SyncSet();
+    for (size_t i = n; i < rows_.size(); ++i) set_.erase(rows_[i]);
+    rows_.resize(n);
+    indexes_.clear();
+    ++generation_;
+    memory_dirty_ = true;
+  }
+
+  /// \brief Restores the committed data stamp after a transactional
+  /// rollback has returned the contents to exactly the state that carried
+  /// stamp `g`. The caller must guarantee that match — the
+  /// (uid, data_generation, size) ⇒ equal-contents contract depends on it.
+  void RestoreDataGeneration(uint64_t g) { data_generation_ = g; }
+
   /// \brief Inserts every tuple of `other`; returns the number actually new.
   size_t InsertAll(const Relation& other) {
     Reserve(rows_.size() + other.size());

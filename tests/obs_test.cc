@@ -9,7 +9,6 @@
 #include <string>
 
 #include "graphlog/api.h"
-#include "graphlog/engine.h"
 #include "obs/trace.h"
 #include "rpq/rpq_eval.h"
 #include "storage/database.h"
@@ -331,26 +330,6 @@ TEST(QueryApiTest, IndexCountersSurviveMultiGraphQueries) {
   EXPECT_GT(d->stats.datalog.index_appends, 0u);
   EXPECT_GT(d->stats.datalog.index_builds, 0u);
 }
-
-// Compatibility check for the deprecated wrapper surface; this is the one
-// caller that intentionally stays on it.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(QueryApiTest, DeprecatedWrappersMatchUnifiedRun) {
-  Database db1, db2;
-  SeedEdges(&db1);
-  SeedEdges(&db2);
-  auto old_stats = gl::EvaluateGraphLogText(kTcQuery, &db1);
-  ASSERT_OK(old_stats.status());
-  auto resp = graphlog::Run(QueryRequest::GraphLog(kTcQuery), &db2);
-  ASSERT_OK(resp.status());
-  EXPECT_EQ(old_stats->datalog.tuples_derived,
-            resp->stats.datalog.tuples_derived);
-  EXPECT_EQ(old_stats->datalog.rule_firings,
-            resp->stats.datalog.rule_firings);
-  EXPECT_EQ(old_stats->result_tuples, resp->stats.result_tuples);
-}
-#pragma GCC diagnostic pop
 
 // ---------------------------------------------------------------------------
 // Kernel spans (TC, RPQ)
