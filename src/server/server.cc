@@ -69,13 +69,22 @@ Result<std::unique_ptr<Session>> Server::OpenSession(SessionOptions opts) {
 
 Result<size_t> Server::Apply(const WriteBatch& batch,
                              const gov::GovernorContext* governor) {
-  return ApplyInternal(batch, governor, nullptr, nullptr);
+  return ApplyInternal(batch, governor, nullptr, nullptr, nullptr);
+}
+
+void Server::ReleaseSession() {
+  const size_t now =
+      open_sessions_.fetch_sub(1, std::memory_order_relaxed) - 1;
+  if (opts_.metrics != nullptr) {
+    opts_.metrics->gauge("server.sessions")->Set(static_cast<int64_t>(now));
+  }
 }
 
 Result<size_t> Server::ApplyInternal(const WriteBatch& batch,
                                      const gov::GovernorContext* governor,
                                      uint64_t* base_epoch,
-                                     uint64_t* committed_epoch) {
+                                     uint64_t* committed_epoch,
+                                     std::vector<std::string>* capture_files) {
   std::lock_guard<std::mutex> lock(mu_);
   if (base_epoch != nullptr) *base_epoch = epoch();
   // A batch without its own governor still honors the server-armed fault
@@ -85,7 +94,7 @@ Result<size_t> Server::ApplyInternal(const WriteBatch& batch,
     local.faults = opts_.faults;
     governor = &local;
   }
-  Result<size_t> applied = ApplyBatchTo(batch, db_, governor);
+  Result<size_t> applied = ApplyBatchTo(batch, db_, governor, capture_files);
   if (opts_.metrics != nullptr) {
     if (applied.ok()) {
       opts_.metrics->counter("server.commits")->Increment();
@@ -161,17 +170,21 @@ void Server::RebuildHeadLocked() {
   head_ = std::move(next);
 }
 
-Result<size_t> Server::ApplyBatchTo(const WriteBatch& batch, Database* db,
-                                    const gov::GovernorContext* governor) {
+Result<size_t> Server::ApplyBatchTo(
+    const WriteBatch& batch, Database* db,
+    const gov::GovernorContext* governor,
+    std::vector<std::string>* capture_files,
+    const std::vector<std::string>* replay_files) {
   // Pre-state for rollback: every relation's size and data stamp, plus
-  // full copies of anything a Clear op wipes (truncation cannot restore
-  // cleared rows).
+  // pre-batch copies of anything a Clear op wipes (truncation cannot
+  // restore cleared rows).
   std::map<Symbol, std::pair<size_t, uint64_t>> pre_state;
   for (const auto& [sym, rel] : db->relations()) {
     pre_state.emplace(sym, std::make_pair(rel.size(), rel.data_generation()));
   }
   std::map<Symbol, Relation> cleared;
   size_t facts = 0;
+  size_t file_idx = 0;
   Status st = Status::OK();
   for (const WriteBatch::Op& op : batch.ops_) {
     switch (op.kind) {
@@ -185,7 +198,28 @@ Result<size_t> Server::ApplyBatchTo(const WriteBatch& batch, Database* db,
         break;
       }
       case WriteBatch::Op::kLoadFile: {
-        Result<size_t> r = storage::LoadFactsFile(op.text, db, governor);
+        Result<size_t> r = [&]() -> Result<size_t> {
+          if (replay_files != nullptr) {
+            // Replay the exact bytes the committed apply read: re-reading
+            // the file here could pick up concurrent on-disk edits and
+            // diverge from the published version under a matching stamp.
+            if (file_idx >= replay_files->size()) {
+              return Status::Internal("replay of '" + op.text +
+                                      "' has no captured contents");
+            }
+            return storage::LoadFacts((*replay_files)[file_idx], db,
+                                      governor);
+          }
+          std::string contents;
+          Result<size_t> loaded = storage::LoadFactsFile(
+              op.text, db, governor,
+              capture_files != nullptr ? &contents : nullptr);
+          if (capture_files != nullptr) {
+            capture_files->push_back(std::move(contents));
+          }
+          return loaded;
+        }();
+        ++file_idx;
         if (r.ok()) {
           facts += *r;
         } else {
@@ -212,7 +246,16 @@ Result<size_t> Server::ApplyBatchTo(const WriteBatch& batch, Database* db,
           break;
         }
         if (pre_state.count(s) != 0 && cleared.count(s) == 0) {
-          cleared.emplace(s, *rel);  // save pre-batch contents once
+          // Save the true pre-batch contents once. Earlier ops of this
+          // same batch may already have appended rows and bumped the
+          // stamp; rows are append-only, so trimming the copy back to
+          // its pre-batch size and stamp undoes them — rollback must
+          // never reinstate in-batch inserts.
+          const auto& pre = pre_state.find(s)->second;
+          Relation saved(*rel);
+          if (saved.size() > pre.first) saved.TruncateTo(pre.first);
+          saved.RestoreDataGeneration(pre.second);
+          cleared.emplace(s, std::move(saved));
         }
         rel->Clear();
         break;
@@ -306,6 +349,17 @@ Status Session::Refresh() {
       db_->relations().insert_or_assign(sym, *ver);
     }
   }
+  // Server-prefix relations the new head no longer carries were removed
+  // server-side; drop them so this session stops serving deleted EDBs.
+  // Session-local relations (symbol ids >= base_symbols_) survive.
+  for (auto it = db_->relations().begin(); it != db_->relations().end();) {
+    if (it->first < base_symbols_ &&
+        snap->relations.count(it->first) == 0) {
+      it = db_->relations().erase(it);
+    } else {
+      ++it;
+    }
+  }
   epoch_ = snap->epoch;
   return Status::OK();
 }
@@ -314,8 +368,14 @@ Result<size_t> Session::Apply(const WriteBatch& batch,
                               const gov::GovernorContext* governor) {
   uint64_t base = 0;
   uint64_t committed = 0;
+  // File contents the committed apply reads are captured so the replay
+  // below applies the exact same bytes — never a file that changed on
+  // disk between the commit and the replay.
+  std::vector<std::string> loaded_files;
   GRAPHLOG_ASSIGN_OR_RETURN(
-      size_t facts, server_->ApplyInternal(batch, governor, &base, &committed));
+      size_t facts,
+      server_->ApplyInternal(batch, governor, &base, &committed,
+                             attached_ ? nullptr : &loaded_files));
   ++stats_.writes;
   if (attached_) return facts;
   if (epoch_ == base) {
@@ -325,7 +385,8 @@ Result<size_t> Session::Apply(const WriteBatch& batch,
     // same deterministic arithmetic, session materializations survive.
     // A replay failure (e.g. an arity clash with a session-local
     // relation shadowing a new server one) falls back to a full rebuild.
-    Result<size_t> replay = Server::ApplyBatchTo(batch, db_, nullptr);
+    Result<size_t> replay =
+        Server::ApplyBatchTo(batch, db_, nullptr, nullptr, &loaded_files);
     if (replay.ok()) {
       epoch_ = committed;
       return facts;

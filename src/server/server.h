@@ -231,23 +231,29 @@ class Server {
   /// database is restored (created relations removed, grown relations
   /// truncated, cleared relations reinstated from copies) and the error
   /// returned. Static so Session fast-forward replays reuse it.
-  static Result<size_t> ApplyBatchTo(const WriteBatch& batch,
-                                     storage::Database* db,
-                                     const gov::GovernorContext* governor);
+  /// `capture_files` (when non-null) receives the raw text of every
+  /// kLoadFile op, in op order; `replay_files` (when non-null) supplies
+  /// those texts back so a replay applies the exact bytes the original
+  /// commit read instead of re-reading files that may have changed on
+  /// disk since.
+  static Result<size_t> ApplyBatchTo(
+      const WriteBatch& batch, storage::Database* db,
+      const gov::GovernorContext* governor,
+      std::vector<std::string>* capture_files = nullptr,
+      const std::vector<std::string>* replay_files = nullptr);
 
   Result<size_t> ApplyInternal(const WriteBatch& batch,
                                const gov::GovernorContext* governor,
                                uint64_t* base_epoch,
-                               uint64_t* committed_epoch);
+                               uint64_t* committed_epoch,
+                               std::vector<std::string>* capture_files);
 
   /// Builds and installs a new head snapshot from the authoritative
   /// state, reusing the previous snapshot's versions for every relation
   /// whose (uid, data_generation, size) stamp is unchanged. mu_ held.
   void RebuildHeadLocked();
 
-  void ReleaseSession() {
-    open_sessions_.fetch_sub(1, std::memory_order_relaxed);
-  }
+  void ReleaseSession();
 
   ServerOptions opts_;
   storage::Database owned_db_;  ///< authoritative store in owning mode

@@ -116,7 +116,8 @@ Result<size_t> LoadFacts(std::string_view text, Database* db,
 }
 
 Result<size_t> LoadFactsFile(const std::string& path, Database* db,
-                             const gov::GovernorContext* governor) {
+                             const gov::GovernorContext* governor,
+                             std::string* contents) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::NotFound("cannot open fact file '" + path + "'");
@@ -129,7 +130,9 @@ Result<size_t> LoadFactsFile(const std::string& path, Database* db,
     return Status::Internal("read of fact file '" + path +
                             "' failed mid-stream (truncated load rejected)");
   }
-  Result<size_t> loaded = LoadFacts(buf.str(), db, governor);
+  std::string text = buf.str();
+  Result<size_t> loaded = LoadFacts(text, db, governor);
+  if (contents != nullptr) *contents = std::move(text);
   if (!loaded.ok()) {
     // Prefix the file; parse-level messages already carry the line.
     return Status(loaded.status().code(),

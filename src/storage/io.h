@@ -50,9 +50,14 @@ Result<size_t> LoadFacts(std::string_view text, Database* db,
 /// (parse errors already carry the line), oversized tokens (> 64 KiB,
 /// a corrupt or binary file in practice) are rejected with their line
 /// number before parsing, and a read that fails mid-file is an error,
-/// not a silently-truncated load.
+/// not a silently-truncated load. When `contents` is non-null it
+/// receives the raw text the load actually parsed (after any successful
+/// read, even if parsing then failed), so a caller can re-apply the
+/// exact bytes later without re-reading a file that may have changed on
+/// disk in the meantime.
 Result<size_t> LoadFactsFile(const std::string& path, Database* db,
-                             const gov::GovernorContext* governor = nullptr);
+                             const gov::GovernorContext* governor = nullptr,
+                             std::string* contents = nullptr);
 
 /// \brief Renders every relation of `db` (sorted by name, facts sorted
 /// lexicographically) as a fact program.

@@ -12,6 +12,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <fstream>
 #include <memory>
 #include <set>
 #include <string>
@@ -95,6 +97,28 @@ TEST(ServerTest, AtomicBatchRollsBackClearsAndCreations) {
   EXPECT_FALSE(bad.ok());
   EXPECT_EQ(RelationSet(server.database(), "edge"), before);
   EXPECT_EQ(server.database().Find("brandnew"), nullptr);
+  EXPECT_EQ(server.epoch(), 1u);
+}
+
+TEST(ServerTest, RollbackDiscardsInBatchInsertsBeforeClear) {
+  Server server;
+  ASSERT_OK(server.Apply(WriteBatch().Facts(kSeedFacts)).status());
+  const Relation* edge = server.database().Find("edge");
+  ASSERT_NE(edge, nullptr);
+  const uint64_t stamp = edge->data_generation();
+  auto before = RelationSet(server.database(), "edge");
+  // Insert-then-clear-then-fail: the copy saved at clear time already
+  // holds the in-batch insert and its bumped stamp; rollback must
+  // reinstate the true pre-batch rows and stamp, never the contaminated
+  // copy — a phantom row under a moved stamp would be published by the
+  // next successful commit and certified by stamp-keyed caches.
+  auto bad = server.Apply(WriteBatch()
+                              .Insert("edge", {"e", "f"})
+                              .Clear("edge")
+                              .Clear("no_such_relation"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(RelationSet(server.database(), "edge"), before);
+  EXPECT_EQ(server.database().Find("edge")->data_generation(), stamp);
   EXPECT_EQ(server.epoch(), 1u);
 }
 
@@ -249,6 +273,54 @@ TEST(ServerIsolationTest, RefreshAcrossSymbolGrowthRebuilds) {
   EXPECT_EQ(RelationSet(session->database(), "tc"), QuiescedTc(kSeedFacts));
 }
 
+TEST(ServerIsolationTest, RefreshDropsServerRemovedRelations) {
+  Server server;
+  ASSERT_OK(server.Apply(WriteBatch().Facts(kSeedFacts)).status());
+  ASSERT_OK(server.Apply(WriteBatch().Facts("color(a, red).\n")).status());
+  ASSERT_OK_AND_ASSIGN(auto session, server.OpenSession());
+  ASSERT_OK(session->Run(QueryRequest::GraphLog(kTcQuery)).status());
+  ASSERT_NE(session->database().Find("color"), nullptr);
+  // The server drops `color` out-of-band and republishes. No new symbols
+  // were interned, so Refresh takes the in-place fast path — which must
+  // erase the deleted EDB while session-local materializations survive.
+  Symbol color_sym = server.database().symbols().Lookup("color");
+  ASSERT_TRUE(server.database().Remove(color_sym));
+  server.Publish();
+  const uint64_t uid_before = session->database().uid();
+  ASSERT_OK(session->Refresh());
+  EXPECT_EQ(session->database().uid(), uid_before);  // in-place, not rebuilt
+  EXPECT_EQ(session->database().Find("color"), nullptr);
+  EXPECT_NE(session->database().Find("tc"), nullptr);
+}
+
+TEST(ServerIsolationTest, LoadFileFastForwardMatchesPublishedVersion) {
+  const std::string path =
+      ::testing::TempDir() + "/graphlog_server_test_ff.facts";
+  { std::ofstream(path) << "edge(e, f).\nedge(f, g).\n"; }
+  Server server;
+  ASSERT_OK(server.Apply(WriteBatch().Facts(kSeedFacts)).status());
+  ASSERT_OK_AND_ASSIGN(auto session, server.OpenSession());
+  ASSERT_OK(session->Run(QueryRequest::GraphLog(kTcQuery)).status());
+  const uint64_t uid_before = session->database().uid();
+
+  // A LoadFile batch fast-forwards by replaying the captured file
+  // contents (never re-reading disk), so the session relation must land
+  // on the same stamp AND the same rows as the published head version.
+  ASSERT_OK(session->Apply(WriteBatch().LoadFile(path)).status());
+  EXPECT_EQ(session->database().uid(), uid_before);
+  EXPECT_EQ(session->epoch(), server.epoch());
+  auto head = server.head();
+  Symbol edge_sym = server.database().symbols().Lookup("edge");
+  const Relation* local = session->database().Find("edge");
+  ASSERT_NE(local, nullptr);
+  EXPECT_EQ(local->uid(), head->relations.at(edge_sym)->uid());
+  EXPECT_EQ(local->data_generation(),
+            head->relations.at(edge_sym)->data_generation());
+  EXPECT_EQ(RelationSet(session->database(), "edge"),
+            RelationSet(server.database(), "edge"));
+  std::remove(path.c_str());
+}
+
 // ---------------------------------------------------------------------------
 // Governance and accounting
 
@@ -302,6 +374,10 @@ TEST(ServerGovernanceTest, MetricsAccountPerSessionAndServer) {
   EXPECT_EQ(snap.gauges.at("server.epoch"), 2);
   EXPECT_EQ(session->stats().queries, 1u);
   EXPECT_EQ(session->stats().writes, 1u);
+  // The sessions gauge tracks closes as well as opens.
+  EXPECT_EQ(snap.gauges.at("server.sessions"), 1);
+  session.reset();
+  EXPECT_EQ(metrics.Snapshot().gauges.at("server.sessions"), 0);
 }
 
 // ---------------------------------------------------------------------------
