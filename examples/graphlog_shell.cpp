@@ -22,6 +22,7 @@
 //   .rpq [SRC [DST]] EXPR      automaton-product RPQ over the data graph
 //   .explain NAME { ... }      show translation + plans without evaluating
 //   .trace [on|off|json]       toggle tracing / print the last trace
+//   .profile [on|off|show]     EXPLAIN ANALYZE profiling of evaluations
 //   .metrics [json|prom]       process-wide metrics registry snapshot
 //   .slowlog [n|json|...]      inspect / configure the slow-query log
 //   .resource                  per-relation row/byte accounting
@@ -62,6 +63,7 @@
 #include "graphlog/dot.h"
 #include "graphlog/parser.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/slow_query_log.h"
 #include "obs/trace.h"
 #include "rpq/rpq_eval.h"
@@ -132,6 +134,10 @@ void PrintHelp() {
       "  .trace on|off            enable/disable tracing of evaluations\n"
       "  .trace                   print the last evaluation's trace tree\n"
       "  .trace json              print the last trace as JSON\n"
+      "  .profile on|off          collect plan-level execution profiles\n"
+      "                           (per-atom probes/rows, dedup, rounds)\n"
+      "  .profile show [json]     EXPLAIN ANALYZE of the last profiled\n"
+      "                           run (text, or logical-profile JSON)\n"
       "  .metrics [json|prom]     snapshot of the process-wide metrics\n"
       "                           registry (text, JSON, or Prometheus)\n"
       "  .slowlog [N]             last N slow-query records (default all)\n"
@@ -341,6 +347,11 @@ class Shell {
       HandleTrace(line == ".trace" ? "" : std::string(Trim(line.substr(7))));
       return;
     }
+    if (line == ".profile" || StartsWith(line, ".profile ")) {
+      HandleProfile(line == ".profile" ? ""
+                                       : std::string(Trim(line.substr(9))));
+      return;
+    }
     if (line == ".metrics" || StartsWith(line, ".metrics ")) {
       HandleMetrics(line == ".metrics" ? ""
                                        : std::string(Trim(line.substr(9))));
@@ -429,6 +440,7 @@ class Shell {
       if (r.ok()) {
         last_program_ = r->stats.programs;
         last_trace_ = std::move(r->trace);
+        if (!r->profile.empty()) last_profile_ = std::move(r->profile);
         if (r->truncated) {
           std::printf("truncated: %s\n", r->truncated_by.c_str());
         }
@@ -510,6 +522,7 @@ class Shell {
     }
     last_program_ = r->stats.programs;
     last_trace_ = std::move(r->trace);
+    if (!r->profile.empty()) last_profile_ = std::move(r->profile);
     if (r->truncated) {
       std::printf("truncated: %s\n", r->truncated_by.c_str());
     }
@@ -561,6 +574,36 @@ class Shell {
       std::printf("%s\n", last_trace_.ToJson().c_str());
     } else {
       std::printf("%s", last_trace_.ToText().c_str());
+    }
+  }
+
+  void HandleProfile(const std::string& arg) {
+    if (arg == "on") {
+      opts_.observability.profile = true;
+      std::printf("profiling on\n");
+      return;
+    }
+    if (arg == "off") {
+      opts_.observability.profile = false;
+      std::printf("profiling off\n");
+      return;
+    }
+    std::string mode = arg;
+    if (mode == "show") mode = "";
+    if (StartsWith(mode, "show ")) mode = std::string(Trim(mode.substr(5)));
+    if (!mode.empty() && mode != "json") {
+      std::printf("usage: .profile [on|off|show [json]]\n");
+      return;
+    }
+    if (last_profile_.empty()) {
+      std::printf("no profile recorded; .profile on, then run a query\n");
+      return;
+    }
+    if (mode == "json") {
+      // Logical profile only: deterministic across thread counts.
+      std::printf("%s\n", last_profile_.ToJson(false).c_str());
+    } else {
+      std::printf("%s", last_profile_.ToText().c_str());
     }
   }
 
@@ -1067,6 +1110,8 @@ class Shell {
   QueryOptions opts_;
   // Trace of the most recent traced evaluation (.trace / .trace json).
   obs::TraceReport last_trace_;
+  // Profile of the most recent profiled evaluation (.profile show).
+  obs::QueryProfile last_profile_;
   // Session-wide metrics registry (.metrics) and slow-query ring
   // (.slowlog); opts_ points at both for every evaluation.
   obs::MetricsRegistry metrics_;

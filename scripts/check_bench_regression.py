@@ -10,11 +10,20 @@ A benchmark regresses when its real_time grows by more than --tolerance
 (relative, default 10%) over the baseline. Aggregate rows are preferred
 when present (the suite runs with repetitions + aggregates): the "median"
 aggregate is used, falling back to "mean", falling back to the raw row.
+
+In directory mode, a current report with no baseline counterpart is a
+MISSING BASELINE: a bench binary was added (or a baseline was never
+checked in) and its numbers are not being compared at all. That is its
+own failure class — distinct from a regression — so CI flags the gap
+instead of silently passing; --allow-missing downgrades it to a note.
+
 Exit status: 0 = no regression, 1 = at least one regression, 2 = usage or
-schema error.
+schema error, 3 = missing baseline (only when no regression also fired;
+regressions take precedence).
 
 Usage:
   scripts/check_bench_regression.py BASELINE CURRENT [--tolerance 0.10]
+                                    [--allow-missing]
 """
 
 import argparse
@@ -119,9 +128,13 @@ def main():
     parser.add_argument("current", help="BENCH_*.json file or directory")
     parser.add_argument("--tolerance", type=float, default=0.10,
                         help="relative slowdown allowed (default 0.10)")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="do not fail when a current report has no "
+                             "baseline counterpart")
     args = parser.parse_args()
 
     pairs = []
+    missing_baseline = []
     if os.path.isdir(args.baseline) and os.path.isdir(args.current):
         base_files = bench_files(args.baseline)
         cur_files = bench_files(args.current)
@@ -132,7 +145,12 @@ def main():
         for name in sorted(base_files.keys() - cur_files.keys()):
             print(f"note: {name} only in baseline")
         for name in sorted(cur_files.keys() - base_files.keys()):
-            print(f"note: {name} only in current")
+            if args.allow_missing:
+                print(f"note: {name} only in current")
+            else:
+                print(f"MISSING BASELINE: {name} has current results but "
+                      "no baseline to compare against")
+                missing_baseline.append(name)
     elif os.path.isfile(args.baseline) and os.path.isfile(args.current):
         pairs.append((args.baseline, args.current))
     else:
@@ -146,6 +164,11 @@ def main():
         print(f"\n{len(regressed)} regression(s) beyond "
               f"{args.tolerance:.0%}: {', '.join(regressed)}")
         return 1
+    if missing_baseline:
+        print(f"\n{len(missing_baseline)} bench report(s) without a "
+              f"baseline: {', '.join(missing_baseline)} "
+              "(check one in, or pass --allow-missing)")
+        return 3
     print(f"\nno regressions beyond {args.tolerance:.0%}")
     return 0
 

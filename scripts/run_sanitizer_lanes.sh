@@ -15,13 +15,19 @@
 # tests. The TSan lane is the proof behind DESIGN §11's claim that
 # sessions share no mutable state with the committing writer.
 #
+# The profile label (profile_test) rides along too: EXPLAIN ANALYZE
+# counters are accumulated per (task, partition) across worker lanes and
+# folded at merge time — the TSan lane checks that the instrumentation
+# added no cross-lane writes.
+#
 # Usage: scripts/run_sanitizer_lanes.sh [LABEL] [BUILD_ROOT]
-# Defaults: LABEL = 'robustness|cache' (a ctest -L regex), BUILD_ROOT =
-# build-san (creates ${BUILD_ROOT}-thread and ${BUILD_ROOT}-address).
+# Defaults: LABEL = 'robustness|cache|profile' (a ctest -L regex),
+# BUILD_ROOT = build-san (creates ${BUILD_ROOT}-thread and
+# ${BUILD_ROOT}-address).
 
 set -euo pipefail
 
-LABEL="${1:-robustness|cache}"
+LABEL="${1:-robustness|cache|profile}"
 BUILD_ROOT="${2:-build-san}"
 SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 4)"

@@ -212,10 +212,7 @@ Status ViewCatalog::IncrementalRefresh(
   uint64_t novel_total = 0, rounds = 0, firings = 0;
   eval::CardinalityFn card;
   if (v->def.eval.cardinality_join_ordering) {
-    card = [db](Symbol p) {
-      const Relation* r = db->Find(p);
-      return r == nullptr ? size_t{0} : r->size();
-    };
+    card = eval::MakeDbCardinality(db);
   }
 
   for (const auto& group : strat.rule_groups) {

@@ -6,6 +6,7 @@
 
 #include "columnar/csr.h"
 #include "eval/arith.h"
+#include "storage/database.h"
 
 namespace graphlog::eval {
 
@@ -73,6 +74,21 @@ std::set<Symbol> LiteralVars(const Literal& l) {
 }
 
 }  // namespace
+
+CardinalityFn MakeDbCardinality(const storage::Database* db) {
+  return [db](Symbol pred,
+              const std::vector<uint32_t>& bound_cols) -> size_t {
+    const Relation* rel = db->Find(pred);
+    if (rel == nullptr) return 0;
+    if (const storage::RelationStats* st = db->StatsFor(pred)) {
+      return st->EstimateMatches(bound_cols);
+    }
+    // No stats (uid-0 relation): blind fixed-fanout discount.
+    size_t est = rel->size();
+    for (size_t k = 0; k < bound_cols.size() && est > 0; ++k) est /= 4;
+    return est == 0 && !rel->empty() ? 1 : est;
+  };
+}
 
 Result<CompiledRule> CompiledRule::Compile(const Rule& rule,
                                            const SymbolTable& syms,
@@ -239,25 +255,28 @@ Result<CompiledRule> CompiledRule::Compile(const Rule& rule,
 
     // 2. Place the best positive atom. Without a cardinality oracle:
     // most bound argument positions wins (first in body order on ties).
-    // With one: minimize |R| discounted by bound columns — each bound
-    // column is assumed to cut the candidates by ~4x, so a small relation
-    // is scanned before a huge one is probed.
+    // With one: minimize the estimated rows a probe bound on the
+    // already-bound columns would match, so a small relation is scanned
+    // before a large one is probed and a selective column wins over a
+    // skewed one.
     const Literal* best = nullptr;
     int best_bound = -1;
     double best_cost = 0.0;
     for (const Literal* l : remaining) {
       if (!l->is_positive_atom()) continue;
       int nb = 0;
-      for (const Term& t : l->atom.args) {
+      std::vector<uint32_t> bcols;
+      for (uint32_t c = 0; c < l->atom.args.size(); ++c) {
+        const Term& t = l->atom.args[c];
         if (t.is_constant() ||
             (t.is_variable() && bound.count(t.var()) > 0)) {
           ++nb;
+          bcols.push_back(c);
         }
       }
       if (cardinality) {
-        double size = static_cast<double>(cardinality(l->atom.predicate));
-        double cost = size;
-        for (int k = 0; k < nb; ++k) cost /= 4.0;
+        const double cost =
+            static_cast<double>(cardinality(l->atom.predicate, bcols));
         if (best == nullptr || cost < best_cost) {
           best_cost = cost;
           best = l;
@@ -347,24 +366,38 @@ void CompiledRule::Execute(const RelationResolver& resolver,
 void CompiledRule::ExecutePartition(const RelationResolver& resolver,
                                     const BindingSink& sink, size_t part,
                                     size_t num_parts,
-                                    const CsrBindings* csrs) const {
+                                    const CsrBindings* csrs,
+                                    StepCounters* counters) const {
   // A plan without a positive atom has nothing to partition over; its
   // (at most one) satisfying assignment belongs to partition 0.
   if (driver_step_ < 0 && part > 0) return;
   std::vector<Value> slots(num_slots_);
-  ExecuteStep(0, &slots, resolver, sink, part, num_parts, csrs);
+  ExecuteStep(0, &slots, resolver, sink, part, num_parts, csrs, counters);
 }
 
 void CompiledRule::ExecuteStep(size_t idx, std::vector<Value>* slots,
                                const RelationResolver& resolver,
                                const BindingSink& sink, size_t part,
-                               size_t num_parts,
-                               const CsrBindings* csrs) const {
+                               size_t num_parts, const CsrBindings* csrs,
+                               StepCounters* counters) const {
   if (idx == steps_.size()) {
     sink(*slots);
     return;
   }
   const Step& s = steps_[idx];
+  // Profiling counters, under the partition rules documented at
+  // StepCounters: pre-driver steps count only in partition 0 (they repeat
+  // identically everywhere); the driver's invocation counts once but its
+  // per-chunk rows count in every partition; post-driver steps count
+  // everywhere. Summed over partitions this reproduces the serial counts.
+  StepCounter* inv_ctr = nullptr;   // invocations (+ csr_invocations)
+  StepCounter* rows_ctr = nullptr;  // rows_out
+  if (counters != nullptr) {
+    const int i = static_cast<int>(idx);
+    if (i > driver_step_ || part == 0) inv_ctr = &(*counters)[idx];
+    if (i >= driver_step_ || part == 0) rows_ctr = &(*counters)[idx];
+    if (inv_ctr != nullptr) ++inv_ctr->invocations;
+  }
   const columnar::Csr* csr =
       csrs != nullptr && idx < csrs->size() ? (*csrs)[idx] : nullptr;
   switch (s.kind) {
@@ -375,6 +408,7 @@ void CompiledRule::ExecuteStep(size_t idx, std::vector<Value>* slots,
       // sequence (and with it derived rows, insertion order, provenance,
       // and stats) is bit-identical to the row path below.
       if (csr != nullptr && !s.probe_cols.empty()) {
+        if (inv_ctr != nullptr) ++inv_ctr->csr_invocations;
         const bool is_drv = static_cast<int>(idx) == driver_step_;
         auto chunk = [&](size_t m, size_t* lo, size_t* hi) {
           *lo = 0;
@@ -391,7 +425,9 @@ void CompiledRule::ExecuteStep(size_t idx, std::vector<Value>* slots,
           for (const auto& [col, slot] : s.out_cols) {
             (*slots)[slot] = col == 0 ? v0 : v1;
           }
-          ExecuteStep(idx + 1, slots, resolver, sink, part, num_parts, csrs);
+          if (rows_ctr != nullptr) ++rows_ctr->rows_out;
+          ExecuteStep(idx + 1, slots, resolver, sink, part, num_parts, csrs,
+                      counters);
         };
         if (s.probe_cols.size() == 2) {
           // Fully-bound probe: at most one matching row (relations are
@@ -435,7 +471,9 @@ void CompiledRule::ExecuteStep(size_t idx, std::vector<Value>* slots,
         for (const auto& [col, slot] : s.out_cols) {
           (*slots)[slot] = row[col];
         }
-        ExecuteStep(idx + 1, slots, resolver, sink, part, num_parts, csrs);
+        if (rows_ctr != nullptr) ++rows_ctr->rows_out;
+        ExecuteStep(idx + 1, slots, resolver, sink, part, num_parts, csrs,
+                    counters);
       };
       // The driver step enumerates only its contiguous chunk of the row
       // range; partition boundaries use the standard p*m/P split so the
@@ -472,6 +510,7 @@ void CompiledRule::ExecuteStep(size_t idx, std::vector<Value>* slots,
       // unbound variable forces the scan path), so presence of any match
       // is exactly "negation fails".
       if (csr != nullptr && !s.probe_cols.empty() && s.eq_cols.empty()) {
+        if (inv_ctr != nullptr) ++inv_ctr->csr_invocations;
         bool found = false;
         if (s.probe_cols.size() == 2) {
           const int64_t u = csr->IdOf(s.probe_sources[0].Get(*slots));
@@ -487,7 +526,9 @@ void CompiledRule::ExecuteStep(size_t idx, std::vector<Value>* slots,
           found = t >= 0 && !csr->Rev(static_cast<uint32_t>(t)).empty();
         }
         if (found) return;  // negation fails
-        ExecuteStep(idx + 1, slots, resolver, sink, part, num_parts, csrs);
+        if (rows_ctr != nullptr) ++rows_ctr->rows_out;
+        ExecuteStep(idx + 1, slots, resolver, sink, part, num_parts, csrs,
+                    counters);
         return;
       }
       const Relation* rel = resolver(s.pred, s.occurrence);
@@ -517,18 +558,24 @@ void CompiledRule::ExecuteStep(size_t idx, std::vector<Value>* slots,
         }
         if (found) return;  // negation fails
       }
-      ExecuteStep(idx + 1, slots, resolver, sink, part, num_parts, csrs);
+      if (rows_ctr != nullptr) ++rows_ctr->rows_out;
+      ExecuteStep(idx + 1, slots, resolver, sink, part, num_parts, csrs,
+                  counters);
       return;
     }
     case Step::Kind::kCompare: {
       if (EvalCmp(s.cmp, s.lhs.Get(*slots), s.rhs.Get(*slots))) {
-        ExecuteStep(idx + 1, slots, resolver, sink, part, num_parts, csrs);
+        if (rows_ctr != nullptr) ++rows_ctr->rows_out;
+        ExecuteStep(idx + 1, slots, resolver, sink, part, num_parts, csrs,
+                    counters);
       }
       return;
     }
     case Step::Kind::kEqBind: {
       (*slots)[s.bind_slot] = s.bind_source.Get(*slots);
-      ExecuteStep(idx + 1, slots, resolver, sink, part, num_parts, csrs);
+      if (rows_ctr != nullptr) ++rows_ctr->rows_out;
+      ExecuteStep(idx + 1, slots, resolver, sink, part, num_parts, csrs,
+                  counters);
       return;
     }
     case Step::Kind::kAssign: {
@@ -539,7 +586,9 @@ void CompiledRule::ExecuteStep(size_t idx, std::vector<Value>* slots,
       } else {
         (*slots)[s.target_slot] = v;
       }
-      ExecuteStep(idx + 1, slots, resolver, sink, part, num_parts, csrs);
+      if (rows_ctr != nullptr) ++rows_ctr->rows_out;
+      ExecuteStep(idx + 1, slots, resolver, sink, part, num_parts, csrs,
+                  counters);
       return;
     }
   }
@@ -575,42 +624,48 @@ std::vector<int> CompiledRule::OccurrencesOf(Symbol p) const {
   return out;
 }
 
+std::string CompiledRule::StepToString(size_t idx,
+                                       const SymbolTable& syms) const {
+  const Step& s = steps_[idx];
+  std::string out;
+  switch (s.kind) {
+    case Step::Kind::kScanProbe: {
+      if (s.probe_cols.empty()) {
+        out += "scan " + syms.name(s.pred);
+      } else {
+        out += "probe " + syms.name(s.pred) + "(";
+        for (size_t i = 0; i < s.probe_cols.size(); ++i) {
+          if (i > 0) out += ",";
+          out += std::to_string(s.probe_cols[i]);
+        }
+        out += ")";
+      }
+      if (driver() == &s) out += " [driver]";
+      break;
+    }
+    case Step::Kind::kNegCheck:
+      out += "antijoin !" + syms.name(s.pred);
+      break;
+    case Step::Kind::kCompare:
+      out += "filter ";
+      out += datalog::CmpOpToString(s.cmp);
+      break;
+    case Step::Kind::kEqBind:
+      out += "bind s" + std::to_string(s.bind_slot);
+      break;
+    case Step::Kind::kAssign:
+      out += s.target_bound ? "check s" : "assign s";
+      out += std::to_string(s.target_slot);
+      break;
+  }
+  return out;
+}
+
 std::string CompiledRule::PlanToString(const SymbolTable& syms) const {
   std::string out = syms.name(head_predicate_) + " <-";
-  bool first = true;
-  for (const Step& s : steps_) {
-    out += first ? " " : " ; ";
-    first = false;
-    switch (s.kind) {
-      case Step::Kind::kScanProbe: {
-        if (s.probe_cols.empty()) {
-          out += "scan " + syms.name(s.pred);
-        } else {
-          out += "probe " + syms.name(s.pred) + "(";
-          for (size_t i = 0; i < s.probe_cols.size(); ++i) {
-            if (i > 0) out += ",";
-            out += std::to_string(s.probe_cols[i]);
-          }
-          out += ")";
-        }
-        if (driver() == &s) out += " [driver]";
-        break;
-      }
-      case Step::Kind::kNegCheck:
-        out += "antijoin !" + syms.name(s.pred);
-        break;
-      case Step::Kind::kCompare:
-        out += "filter ";
-        out += datalog::CmpOpToString(s.cmp);
-        break;
-      case Step::Kind::kEqBind:
-        out += "bind s" + std::to_string(s.bind_slot);
-        break;
-      case Step::Kind::kAssign:
-        out += s.target_bound ? "check s" : "assign s";
-        out += std::to_string(s.target_slot);
-        break;
-    }
+  for (size_t k = 0; k < steps_.size(); ++k) {
+    out += k == 0 ? " " : " ; ";
+    out += StepToString(k, syms);
   }
   return out;
 }

@@ -33,6 +33,10 @@ namespace graphlog::columnar {
 struct Csr;  // columnar/csr.h
 }
 
+namespace graphlog::storage {
+class Database;  // storage/database.h
+}
+
 namespace graphlog::eval {
 
 /// \brief Where an argument value comes from at runtime.
@@ -131,9 +135,37 @@ using BindingSink = std::function<void(const std::vector<Value>& slots)>;
 /// (or null pointer) disables the columnar path entirely.
 using CsrBindings = std::vector<const columnar::Csr*>;
 
-/// \brief Relation-size oracle used by the join-order heuristic; returns
-/// the current cardinality of a predicate (0 when unknown/empty).
-using CardinalityFn = std::function<size_t(Symbol)>;
+/// \brief Cardinality oracle used by the join-order heuristic and by
+/// EXPLAIN: the estimated number of rows of `pred` matching a probe bound
+/// on `bound_cols` (strictly increasing column positions; empty = a full
+/// scan, i.e. the relation's size). 0 means unknown/empty.
+using CardinalityFn =
+    std::function<size_t(Symbol pred, const std::vector<uint32_t>& bound_cols)>;
+
+/// \brief The standard Database-backed oracle: selectivity from the
+/// incrementally-maintained column statistics (storage/relation_stats.h)
+/// — estimated matches = rows / prod(distinct(bound col)) — with a fixed
+/// 4x-per-bound-column discount as the fallback when stats are
+/// unavailable. `db` must outlive the returned function.
+CardinalityFn MakeDbCardinality(const storage::Database* db);
+
+/// \brief Per-step execution counters for plan profiling (EXPLAIN
+/// ANALYZE; obs/profile.h holds the aggregated form). A counters vector
+/// is parallel to CompiledRule::steps().
+///
+/// Counting rules make the totals summed over an ExecutePartition fan-out
+/// bit-identical to a serial Execute(): steps before the driver repeat
+/// identically in every partition, so only partition 0 counts them; the
+/// driver's probe is entered once per partition but issued once
+/// logically, so only partition 0 counts its invocation while every
+/// partition counts the rows of its own chunk; steps after the driver
+/// enumerate disjoint work per partition and count everywhere.
+struct StepCounter {
+  uint64_t invocations = 0;      ///< times the step was entered
+  uint64_t rows_out = 0;         ///< rows passed to the next step
+  uint64_t csr_invocations = 0;  ///< invocations served by a CSR snapshot
+};
+using StepCounters = std::vector<StepCounter>;
 
 /// \brief An executable rule plan.
 class CompiledRule {
@@ -168,10 +200,15 @@ class CompiledRule {
   /// row insertion order), so the sink sequence — and therefore derived
   /// rows, insertion order, provenance, and stats — is bit-identical to
   /// the row path.
+  /// `counters` (nullable) collects per-step execution counts — see
+  /// StepCounters for the partition-counting rules; must be pre-sized to
+  /// steps().size(). Null is the zero-overhead path (one pointer test
+  /// per step entry and per enumerated row).
   void ExecutePartition(const RelationResolver& resolver,
                         const BindingSink& sink, size_t part,
                         size_t num_parts,
-                        const CsrBindings* csrs = nullptr) const;
+                        const CsrBindings* csrs = nullptr,
+                        StepCounters* counters = nullptr) const;
 
   /// \brief Builds the head tuple for a satisfying assignment; only valid
   /// when !has_aggregates().
@@ -210,6 +247,10 @@ class CompiledRule {
   /// EXPLAIN and by the per-stratum trace notes.
   std::string PlanToString(const SymbolTable& syms) const;
 
+  /// \brief Rendering of a single plan step (the per-atom label the
+  /// profile records), e.g. "probe edge(0) [driver]" or "filter <".
+  std::string StepToString(size_t idx, const SymbolTable& syms) const;
+
  private:
   Symbol head_predicate_ = kNoSymbol;
   std::vector<CompiledHeadArg> head_args_;
@@ -224,8 +265,8 @@ class CompiledRule {
 
   void ExecuteStep(size_t idx, std::vector<Value>* slots,
                    const RelationResolver& resolver, const BindingSink& sink,
-                   size_t part, size_t num_parts,
-                   const CsrBindings* csrs) const;
+                   size_t part, size_t num_parts, const CsrBindings* csrs,
+                   StepCounters* counters) const;
 };
 
 }  // namespace graphlog::eval

@@ -19,6 +19,7 @@
 #include "gov/fault_injection.h"
 #include "gov/governor.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "storage/tuple.h"
 
@@ -109,6 +110,9 @@ class Engine {
       span.AddAttr("strata", strat.num_strata);
     }
     stats_.strata = strat.num_strata;
+    if (options_.profile != nullptr) {
+      options_.profile->rules.resize(prog_.rules.size());
+    }
 
     unsigned lanes =
         exec::ThreadPool::ResolveParallelism(options_.num_threads);
@@ -152,6 +156,7 @@ class Engine {
                    static_cast<int64_t>(strat.rule_groups[gi].size()));
       const uint64_t rounds_before = stats_.iterations;
       stratum_ = static_cast<int64_t>(gi);
+      prof_round_ = 0;
       Status st = RunStratum(strat.rule_groups[gi]);
       if (st.ok() && !truncated_) {
         // Derivations of a stratum's final productive round are only seen
@@ -208,13 +213,17 @@ class Engine {
   /// Runs one stratum's rules to fixpoint.
   Status RunStratum(const std::vector<int>& rule_indices) {
     // Compile this stratum's rules now: lower strata are materialized, so
-    // the cardinality oracle sees real sizes for everything below.
+    // the cardinality oracle sees real sizes (and real column statistics)
+    // for everything below.
     CardinalityFn card;
     if (options_.cardinality_join_ordering) {
-      card = [this](Symbol p) {
-        const Relation* r = db_->Find(p);
-        return r == nullptr ? size_t{0} : r->size();
-      };
+      card = MakeDbCardinality(db_);
+    }
+    // The profile always gets estimates, even when cost-based ordering is
+    // off — EXPLAIN ANALYZE compares the chosen plan against them.
+    CardinalityFn est;
+    if (options_.profile != nullptr) {
+      est = card ? card : MakeDbCardinality(db_);
     }
     for (int i : rule_indices) {
       GRAPHLOG_ASSIGN_OR_RETURN(
@@ -224,11 +233,26 @@ class Engine {
       compiled_.emplace(i, std::move(c));
       if (options_.tracer != nullptr) {
         // The chosen join plan, on the enclosing stratum span. Plans are a
-        // function of rule text + relation sizes, so this note is
+        // function of rule text + relation statistics, so this note is
         // deterministic across thread counts.
         options_.tracer->AddNote(
             "plan rule " + std::to_string(i),
             compiled_.at(i).PlanToString(db_->symbols()));
+      }
+      if (options_.profile != nullptr) {
+        const CompiledRule& cr = compiled_.at(i);
+        obs::RuleProfile& rp = options_.profile->rules[i];
+        rp.rule = prog_.rules[i].ToString(db_->symbols());
+        rp.plan = cr.PlanToString(db_->symbols());
+        rp.steps.resize(cr.steps().size());
+        for (size_t k = 0; k < cr.steps().size(); ++k) {
+          const Step& s = cr.steps()[k];
+          rp.steps[k].op = cr.StepToString(k, db_->symbols());
+          if (s.kind == Step::Kind::kScanProbe ||
+              s.kind == Step::Kind::kNegCheck) {
+            rp.steps[k].estimated_rows = est(s.pred, s.probe_cols);
+          }
+        }
       }
     }
 
@@ -249,6 +273,8 @@ class Engine {
 
     // Aggregate rules first: stratification guarantees their bodies read
     // lower strata only, so one pass is complete.
+    const uint64_t seed_firings_before = stats_.rule_firings;
+    const uint64_t seed_derived_before = stats_.tuples_derived;
     for (int i : aggregate_rules) {
       GRAPHLOG_RETURN_NOT_OK(RunAggregateRule(i));
     }
@@ -276,6 +302,12 @@ class Engine {
       base_tasks.push_back({i, kNoSymbol, -1});
     }
     GRAPHLOG_RETURN_NOT_OK(RunTasksBatched(base_tasks, nullptr, nullptr));
+    // The stratum's one-shot pass (aggregates + non-recursive rules) is
+    // the round log's round 0, so the log's firings/derived sums match
+    // the run totals. No deltas exist yet: it seeds from lower strata.
+    if (!aggregate_rules.empty() || !base_rules.empty()) {
+      RecordRound(0, seed_firings_before, seed_derived_before);
+    }
     if (rec_rules.empty()) return Status::OK();
 
     if (options_.strategy == Strategy::kNaive) {
@@ -299,6 +331,7 @@ class Engine {
       const uint64_t derived_before = stats_.tuples_derived;
       GRAPHLOG_RETURN_NOT_OK(TickIteration());
       changed = false;
+      const uint64_t round_delta = last_round_added;
       last_round_added = 0;
       for (int i : rec_rules) {
         GRAPHLOG_ASSIGN_OR_RETURN(
@@ -311,8 +344,22 @@ class Engine {
       span.AddAttr(
           "derived",
           static_cast<int64_t>(stats_.tuples_derived - derived_before));
+      RecordRound(round_delta, firings_before, derived_before);
     }
     return Status::OK();
+  }
+
+  /// Appends one fixpoint round to the profile (no-op unless profiling).
+  void RecordRound(uint64_t delta_rows, uint64_t firings_before,
+                   uint64_t derived_before) {
+    if (options_.profile == nullptr) return;
+    obs::RoundProfile r;
+    r.stratum = stratum_;
+    r.round = prof_round_++;
+    r.delta_rows = delta_rows;
+    r.firings = stats_.rule_firings - firings_before;
+    r.derived = stats_.tuples_derived - derived_before;
+    options_.profile->rounds.push_back(r);
   }
 
   Status SemiNaiveFixpoint(const std::vector<int>& rec_rules,
@@ -382,6 +429,7 @@ class Engine {
         }
       }
       GRAPHLOG_RETURN_NOT_OK(RunTasksBatched(round, &delta, &next));
+      RecordRound(delta_rows, firings_before, derived_before);
       any_delta = false;
       for (auto& [p, d] : next) {
         if (!d.empty()) any_delta = true;
@@ -490,8 +538,15 @@ class Engine {
       // the shared_ptrs keeping those snapshots alive for the batch.
       CsrBindings csrs;
       std::vector<std::shared_ptr<const columnar::Csr>> csr_owned;
+      // Profiling buffers, one per partition (empty unless profiling):
+      // step counters, head-dup drops, and wall time. Folded into the
+      // profile during the serial merge, in partition order.
+      std::vector<StepCounters> step_counts;
+      std::vector<uint64_t> dup_head;
+      std::vector<int64_t> wall_ns;
     };
     const bool track = options_.provenance != nullptr;
+    obs::QueryProfile* profile = options_.profile;
     const size_t lanes = pool_ != nullptr ? pool_->parallelism() : 1;
 
     std::vector<TaskState> states(tasks.size());
@@ -524,6 +579,12 @@ class Engine {
       st.derived.resize(st.parts);
       st.just.resize(st.parts);
       st.firings.assign(st.parts, 0);
+      if (profile != nullptr) {
+        st.step_counts.assign(st.parts,
+                              StepCounters(st.rule->steps().size()));
+        st.dup_head.assign(st.parts, 0);
+        st.wall_ns.assign(st.parts, 0);
+      }
       for (size_t p = 0; p < st.parts; ++p) items.push_back({t, p});
     }
 
@@ -540,12 +601,21 @@ class Engine {
       // first surviving occurrence in (task, partition, position) order
       // is exactly the tuple the serial engine would have inserted.
       std::unordered_set<Tuple, TupleHash> seen;
+      // Head-dup drops are deterministic (the head relation is frozen for
+      // the batch); counted per partition when profiling. seen-drops are
+      // not counted here — the partition split varies with num_threads;
+      // the merge computes the thread-invariant residual instead.
+      uint64_t* dup_head =
+          st.dup_head.empty() ? nullptr : &st.dup_head[item.part];
       c.ExecutePartition(
           st.resolver,
           [&](const std::vector<Value>& slots) {
             ++firings;
             Tuple t = c.EmitHead(slots);
-            if (st.head_rel->Contains(t)) return;
+            if (st.head_rel->Contains(t)) {
+              if (dup_head != nullptr) ++*dup_head;
+              return;
+            }
             if (!seen.insert(t).second) return;
             derived.push_back(std::move(t));
             if (track) {
@@ -555,18 +625,24 @@ class Engine {
               just.push_back(std::move(j));
             }
           },
-          item.part, st.parts, st.csrs.empty() ? nullptr : &st.csrs);
+          item.part, st.parts, st.csrs.empty() ? nullptr : &st.csrs,
+          st.step_counts.empty() ? nullptr : &st.step_counts[item.part]);
     };
     // Per-lane busy time: each worker accumulates into its own slot (no
     // synchronization needed), folded into the open span after the join.
-    // Clock reads happen only when tracing, keeping the disabled path hot.
-    const bool timed = options_.tracer != nullptr;
+    // Clock reads happen only when tracing or profiling, keeping the
+    // disabled path hot. Profiling also attributes the item's time to its
+    // task (the per-partition slot is exclusive to this item).
+    const bool timed = options_.tracer != nullptr || profile != nullptr;
     std::vector<int64_t> lane_busy_ns;
     if (timed) lane_busy_ns.assign(lanes, 0);
     auto run_timed = [&](unsigned worker, size_t k) {
       const uint64_t t0 = obs::NowNs();
       run_item(items[k]);
-      lane_busy_ns[worker] += static_cast<int64_t>(obs::NowNs() - t0);
+      const int64_t dt = static_cast<int64_t>(obs::NowNs() - t0);
+      lane_busy_ns[worker] += dt;
+      TaskState& st = states[items[k].task];
+      if (!st.wall_ns.empty()) st.wall_ns[items[k].part] += dt;
     };
     // Governed abort machinery: the first failing item (in item order)
     // records its Status and raises the stop flag; later lanes drain
@@ -608,7 +684,7 @@ class Engine {
     // The pool has joined: err_item/lane_error are stable. Abort before
     // the merge so a failed batch leaves the head relations untouched.
     if (err_item < items.size()) return lane_error;
-    if (timed) {
+    if (options_.tracer != nullptr) {
       for (size_t lane = 0; lane < lane_busy_ns.size(); ++lane) {
         if (lane_busy_ns[lane] != 0) {
           options_.tracer->AddTiming("lane." + std::to_string(lane),
@@ -628,8 +704,11 @@ class Engine {
         auto it = next->find(c.head_predicate());
         if (it != next->end()) next_rel = &it->second;
       }
+      size_t task_added = 0;
+      uint64_t task_firings = 0;
       for (size_t p = 0; p < st.parts; ++p) {
         stats_.rule_firings += st.firings[p];
+        task_firings += st.firings[p];
         std::vector<Tuple>& derived = st.derived[p];
         std::vector<Justification>& just = st.just[p];
         for (size_t k = 0; k < derived.size(); ++k) {
@@ -639,7 +718,7 @@ class Engine {
           bool novel = next_rel != nullptr ? head_rel->Insert(tup)
                                            : head_rel->Insert(std::move(tup));
           if (!novel) continue;
-          ++added;
+          ++task_added;
           ++stats_.tuples_derived;
           if (track) {
             options_.provenance->Record(c.head_predicate(),
@@ -648,6 +727,33 @@ class Engine {
           }
           if (next_rel != nullptr) next_rel->Insert(std::move(tup));
         }
+      }
+      added += task_added;
+      if (profile != nullptr) {
+        // Fold this task's buffers into its rule's profile, in partition
+        // order — the EvalStats merge discipline, so every logical
+        // counter below is bit-identical across num_threads.
+        obs::RuleProfile& rp = profile->rules[tasks[t].rule];
+        uint64_t task_dup_head = 0;
+        for (size_t p = 0; p < st.parts; ++p) {
+          for (size_t k = 0; k < st.step_counts[p].size(); ++k) {
+            const StepCounter& sc = st.step_counts[p][k];
+            rp.steps[k].invocations += sc.invocations;
+            rp.steps[k].rows_out += sc.rows_out;
+            rp.steps[k].csr_invocations += sc.csr_invocations;
+          }
+          task_dup_head += st.dup_head[p];
+          rp.wall_ns += static_cast<uint64_t>(st.wall_ns[p]);
+        }
+        rp.firings += task_firings;
+        rp.rows_emitted += task_added;
+        rp.dup_in_head += task_dup_head;
+        // Residual = partition-local `seen` drops + merge drops. The split
+        // between those two sites depends on the partitioning, but their
+        // sum does not: every firing either emits, pre-existed in the
+        // head, or duplicated an earlier derivation of this round.
+        rp.dup_in_round +=
+            task_firings - task_dup_head - static_cast<uint64_t>(task_added);
       }
     }
     return added;
@@ -742,6 +848,12 @@ class Engine {
     const CompiledRule& c = compiled_.at(i);
     Relation* head_rel = db_->FindMutable(c.head_predicate());
     const auto& head_args = c.head_args();
+    obs::QueryProfile* profile = options_.profile;
+    StepCounters agg_counts;
+    if (profile != nullptr) agg_counts.resize(c.steps().size());
+    const uint64_t firings_before = stats_.rule_firings;
+    const uint64_t derived_before = stats_.tuples_derived;
+    const uint64_t t0 = profile != nullptr ? obs::NowNs() : 0;
 
     // Group key = plain head args; aggregates accumulate per group over the
     // SET of distinct body bindings (set semantics: duplicate slot vectors
@@ -752,7 +864,7 @@ class Engine {
     RelationResolver resolver = [&](Symbol pred, int) -> const Relation* {
       return Resolve(pred);
     };
-    c.Execute(resolver, [&](const std::vector<Value>& slots) {
+    BindingSink sink = [&](const std::vector<Value>& slots) {
       ++stats_.rule_firings;
       if (!seen_bindings.insert(slots).second) return;
       Tuple key;
@@ -774,7 +886,9 @@ class Engine {
                                        : Value::Int(1));
         ++ai;
       }
-    });
+    };
+    c.ExecutePartition(resolver, sink, 0, 1, nullptr,
+                       profile != nullptr ? &agg_counts : nullptr);
 
     for (const auto& [key, accums] : groups) {
       Tuple t;
@@ -788,6 +902,22 @@ class Engine {
         }
       }
       if (head_rel->Insert(std::move(t))) ++stats_.tuples_derived;
+    }
+    if (profile != nullptr) {
+      // Aggregates transform firings into groups, so the join-rule dedup
+      // identity does not apply; dup_in_round records the duplicate body
+      // bindings the set semantics collapsed.
+      obs::RuleProfile& rp = profile->rules[i];
+      const uint64_t firings = stats_.rule_firings - firings_before;
+      rp.firings += firings;
+      rp.rows_emitted += stats_.tuples_derived - derived_before;
+      rp.dup_in_round += firings - seen_bindings.size();
+      for (size_t k = 0; k < agg_counts.size(); ++k) {
+        rp.steps[k].invocations += agg_counts[k].invocations;
+        rp.steps[k].rows_out += agg_counts[k].rows_out;
+        rp.steps[k].csr_invocations += agg_counts[k].csr_invocations;
+      }
+      rp.wall_ns += obs::NowNs() - t0;
     }
     return Status::OK();
   }
@@ -904,6 +1034,7 @@ class Engine {
   bool truncated_ = false;
   std::string truncated_by_;
   int64_t stratum_ = 0;  // current stratum index, for trip messages
+  int64_t prof_round_ = 0;  // round index within the stratum (profiling)
 };
 
 }  // namespace

@@ -21,6 +21,7 @@
 namespace graphlog::obs {
 class Tracer;           // obs/trace.h
 class MetricsRegistry;  // obs/metrics.h
+struct QueryProfile;    // obs/profile.h
 }
 
 namespace graphlog::gov {
@@ -101,6 +102,16 @@ struct EvalOptions {
   /// data_generation; see columnar/csr_cache.h). Null with columnar set
   /// means a fresh per-run cache — correct, but rebuilds CSRs every run.
   columnar::CsrCache* csr_cache = nullptr;
+  /// When set, the engine fills a plan-level execution profile (EXPLAIN
+  /// ANALYZE): per rule and per plan step, probes issued, rows matched,
+  /// dedup-rejected rows, and per-fixpoint-round deltas, plus per-rule
+  /// wall-clock in the profile's timings section. Logical counters follow
+  /// the EvalStats merge discipline — accumulated per (task, partition)
+  /// and folded in partition order — so they are bit-identical across
+  /// num_threads and columnar on/off. The profile's rules vector is sized
+  /// to the program's rule count. Null (the default) is the zero-overhead
+  /// path. See obs/profile.h.
+  obs::QueryProfile* profile = nullptr;
 };
 
 /// \brief Counters reported by an evaluation.

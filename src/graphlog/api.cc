@@ -178,9 +178,12 @@ Status RunSummaryGraph(const QueryGraph& g, Database* db,
 
 /// Renders one translated program for EXPLAIN: the rules (numbered in the
 /// provenance rule universe), the stratum order, and the join plan each
-/// rule would compile to against the *current* relation sizes. Rules in
-/// strata above materialized IDBs see pre-run estimates; the per-stratum
-/// trace notes record the plans actually chosen at execution time.
+/// rule would compile to against the *current* relation statistics. Rules
+/// in strata above the first plan against IDBs the run has not
+/// materialized yet — those lines are labeled "(pre-run)"; the
+/// per-stratum trace notes record the plans actually chosen at execution
+/// time, and EXPLAIN ANALYZE (observability.profile) reports the
+/// post-stratum actuals per atom.
 std::string RenderProgramExplain(const datalog::Program& prog,
                                  size_t rule_offset, Database* db) {
   const SymbolTable& syms = db->symbols();
@@ -195,23 +198,29 @@ std::string RenderProgramExplain(const datalog::Program& prog,
   }
   out += "  stratification: " + std::to_string(strat->num_strata) +
          " strata\n";
+  std::map<size_t, size_t> stratum_of;  // rule index -> stratum
   for (size_t s = 0; s < strat->rule_groups.size(); ++s) {
     out += "    stratum " + std::to_string(s) + ": rules";
     for (int i : strat->rule_groups[s]) {
       out += " " + std::to_string(rule_offset + static_cast<size_t>(i));
+      stratum_of[static_cast<size_t>(i)] = s;
     }
     out += "\n";
   }
   out += "  join plans (pre-run cardinality estimates):\n";
-  eval::CardinalityFn card = [db](Symbol p) {
-    const Relation* r = db->Find(p);
-    return r == nullptr ? size_t{0} : r->size();
-  };
+  eval::CardinalityFn card = eval::MakeDbCardinality(db);
   for (size_t i = 0; i < prog.rules.size(); ++i) {
     auto compiled = eval::CompiledRule::Compile(prog.rules[i], syms, card);
     out += "    [" + std::to_string(rule_offset + i) + "] ";
     out += compiled.ok() ? compiled->PlanToString(syms)
                          : compiled.status().ToString();
+    // Strata above the first read IDBs this run has not materialized
+    // yet, so their estimates (and possibly the plans themselves) will
+    // differ at execution time.
+    if (auto it = stratum_of.find(i); it != stratum_of.end() &&
+                                      it->second > 0) {
+      out += " (pre-run)";
+    }
     out += "\n";
   }
   return out;
@@ -230,6 +239,10 @@ cache::QueryKeyOptions KeyOptionsFor(QueryRequest::Language language,
   // eval.columnar is deliberately NOT part of the fingerprint: the
   // columnar path produces bit-identical rows and provenance, so a
   // cached row-path answer may serve a columnar query and vice versa.
+  // observability.* (including profile) is likewise excluded — profiling
+  // never changes results, so a profiled run may serve an unprofiled
+  // request and vice versa (the hit carries the recorded profile, which
+  // the caller is free to ignore).
   return ko;
 }
 
@@ -321,8 +334,22 @@ Status RunGraphLog(const QueryRequest& req, const QueryOptions& options,
     {
       obs::SpanGuard span(tracer, "evaluate");
       span.AddNote("graph", head);
-      GRAPHLOG_ASSIGN_OR_RETURN(es,
-                                eval::Evaluate(t.program, db, options.eval));
+      // Each engine run profiles into a fresh per-graph buffer; AppendRun
+      // concatenates rule profiles at the response level following the
+      // same rule_offset discipline as stats.programs.
+      eval::EvalOptions eopts = options.eval;
+      obs::QueryProfile run_profile;
+      const bool prof =
+          options.observability.profile && eopts.profile == nullptr;
+      if (prof) eopts.profile = &run_profile;
+      Result<eval::EvalStats> r = eval::Evaluate(t.program, db, eopts);
+      // Append even on a governed abort: the profile of the rounds that
+      // did complete is what the slow-query log captures for the abort.
+      if (prof && !run_profile.empty()) {
+        resp->profile.AppendRun(run_profile);
+      }
+      if (!r.ok()) return r.status();
+      es = std::move(*r);
     }
     stats.programs.Append(t.program);
     stats.datalog.Merge(es);
@@ -373,7 +400,17 @@ Status RunDatalog(const QueryRequest& req, const QueryOptions& options,
   eval::EvalStats es;
   {
     obs::SpanGuard span(tracer, "evaluate");
-    GRAPHLOG_ASSIGN_OR_RETURN(es, eval::Evaluate(prog, db, options.eval));
+    eval::EvalOptions eopts = options.eval;
+    obs::QueryProfile run_profile;
+    const bool prof =
+        options.observability.profile && eopts.profile == nullptr;
+    if (prof) eopts.profile = &run_profile;
+    Result<eval::EvalStats> r = eval::Evaluate(prog, db, eopts);
+    if (prof && !run_profile.empty()) {
+      resp->profile.AppendRun(run_profile);
+    }
+    if (!r.ok()) return r.status();
+    es = std::move(*r);
   }
   resp->stats.datalog.Merge(es);
   for (Symbol p : prog.HeadPredicates()) {
@@ -475,6 +512,13 @@ Result<QueryResponse> detail::RunPipeline(const QueryRequest& req,
   resp.truncated = resp.stats.datalog.truncated;
   resp.truncated_by = resp.stats.datalog.truncated_by;
 
+  // EXPLAIN ANALYZE: append the profile's actuals to the plan rendering
+  // (before recording/slow-log capture, so both carry it). A served
+  // response keeps the profile and rendering of the run that recorded it.
+  if (!served && !resp.profile.empty() && options.observability.explain) {
+    resp.explain += resp.profile.ToText();
+  }
+
   // Record the finished miss-run (before the explain strip, so stored
   // entries always carry the rendering). Record() itself refuses
   // truncated responses and non-grow-only runs.
@@ -520,6 +564,8 @@ Result<QueryResponse> detail::RunPipeline(const QueryRequest& req,
                        ? "datalog"
                        : "graphlog";
     rec.text = req.graphical != nullptr ? "<graphical>" : req.text;
+    rec.session = options.observability.session;
+    rec.server_epoch = options.observability.server_epoch;
     rec.duration_ns = duration_ns;
     rec.threshold_ns = options.observability.slow_query_threshold_ns;
     if (!st.ok()) rec.error = st.ToString();
@@ -527,6 +573,9 @@ Result<QueryResponse> detail::RunPipeline(const QueryRequest& req,
     rec.served_from_view = resp.served_from_view;
     rec.explain = resp.explain;
     if (options.observability.tracing) rec.trace_json = resp.trace.ToJson();
+    // Captures the profile of governed aborts too — where the query was
+    // when it died is exactly what the record is for.
+    if (!resp.profile.empty()) rec.profile_json = resp.profile.ToJson();
     rec.tuples_derived = resp.stats.datalog.tuples_derived;
     rec.rule_firings = resp.stats.datalog.rule_firings;
     rec.iterations = resp.stats.datalog.iterations;

@@ -33,6 +33,7 @@
 #include "eval/engine.h"
 #include "graphlog/query_graph.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/slow_query_log.h"
 #include "obs/trace.h"
 #include "storage/database.h"
@@ -92,8 +93,21 @@ struct QueryOptions {
     /// one pointer test per instrumentation site.
     bool tracing = false;
     /// Render the translated program, stratum order, and chosen join
-    /// plans into QueryResponse::explain before execution.
+    /// plans into QueryResponse::explain before execution. Join-plan
+    /// lines of rules in strata above already-materialized IDBs are
+    /// labeled "(pre-run)": their estimates cannot see the lower strata's
+    /// results yet; EXPLAIN ANALYZE (`profile`) reports the post-run
+    /// actuals.
     bool explain = false;
+    /// EXPLAIN ANALYZE: fill QueryResponse::profile with plan-level
+    /// execution counters — per rule, per plan step (atom), and per
+    /// fixpoint round: probes issued, rows matched, dedup-rejected rows,
+    /// estimated vs actual cardinality, CSR-vs-row-path served counts,
+    /// and per-rule wall-clock. The logical sections are bit-identical
+    /// across num_threads and columnar on/off; with `explain` also set,
+    /// the text rendering is appended to QueryResponse::explain. Off by
+    /// default (zero overhead). See obs/profile.h.
+    bool profile = false;
     /// With `explain`: stop after planning — parse, validate, translate,
     /// and plan, but do not execute. The response carries no stats.
     bool explain_only = false;
@@ -117,6 +131,12 @@ struct QueryOptions {
     /// See obs/slow_query_log.h.
     uint64_t slow_query_threshold_ns = 0;
     obs::SlowQueryLog* slow_query_log = nullptr;
+    /// Attribution fields stamped into slow-query records: the session
+    /// name and server epoch the query ran under. Session::Run fills them
+    /// for detached sessions; they stay empty/zero for graphlog::Run and
+    /// attached sessions (which run raw against the caller's Database).
+    std::string session;
+    uint64_t server_epoch = 0;
   } observability;
 
   struct Cache {
@@ -180,6 +200,11 @@ struct QueryResponse {
   obs::TraceReport trace;
   /// EXPLAIN rendering; empty unless options.observability.explain.
   std::string explain;
+  /// EXPLAIN ANALYZE profile; empty unless options.observability.profile.
+  /// `profile.ToJson(false)` — the logical projection — is byte-identical
+  /// across num_threads and columnar on/off. Cached responses carry the
+  /// profile recorded by the run that populated the entry.
+  obs::QueryProfile profile;
   /// True when a governed query stopped early on a resource-budget trip
   /// with ResourceBudget::return_partial set: the materialized relations
   /// hold a deterministic partial fixpoint (bit-identical across

@@ -11,6 +11,12 @@ std::string SlowQueryRecord::ToJson() const {
   json::AppendString(&out, language);
   out += ",\"text\":";
   json::AppendString(&out, text);
+  if (!session.empty()) {
+    out += ",\"session\":";
+    json::AppendString(&out, session);
+    out += ",\"server_epoch\":";
+    json::AppendInt(&out, static_cast<int64_t>(server_epoch));
+  }
   out += ",\"duration_ns\":";
   json::AppendInt(&out, static_cast<int64_t>(duration_ns));
   out += ",\"threshold_ns\":";
@@ -41,6 +47,9 @@ std::string SlowQueryRecord::ToJson() const {
   if (!trace_json.empty()) {
     // Already JSON — embed verbatim rather than re-escaping.
     out += ",\"trace\":" + trace_json;
+  }
+  if (!profile_json.empty()) {
+    out += ",\"profile\":" + profile_json;
   }
   out += "}";
   return out;

@@ -25,6 +25,12 @@ struct SlowQueryRecord {
   uint64_t sequence = 0;      ///< 1-based across the log's lifetime
   std::string language;       ///< "graphlog" | "datalog"
   std::string text;           ///< request text ("<graphical>" for pre-parsed)
+  /// Attribution: the (detached) session that ran the query and the
+  /// server epoch it ran under. Empty/zero for attached sessions and raw
+  /// graphlog::Run calls, which run directly against the caller's
+  /// database.
+  std::string session;
+  uint64_t server_epoch = 0;
   uint64_t duration_ns = 0;
   uint64_t threshold_ns = 0;  ///< the threshold that tripped
   std::string error;          ///< non-empty when the query failed
@@ -32,6 +38,7 @@ struct SlowQueryRecord {
   bool served_from_view = false; ///< answered from a materialized view
   std::string explain;        ///< EXPLAIN rendering at execution time
   std::string trace_json;     ///< full trace (only if tracing was on)
+  std::string profile_json;   ///< EXPLAIN ANALYZE profile (if profiling)
   // Headline stats (gl::QueryStats projection).
   uint64_t tuples_derived = 0;
   uint64_t rule_firings = 0;

@@ -429,6 +429,18 @@ Result<QueryResponse> Session::Run(QueryRequest req) {
   if (o.eval.columnar && o.eval.csr_cache == nullptr) {
     o.eval.csr_cache = &csr_cache_;
   }
+  // Slow-query attribution: which session ran the query, under which
+  // server epoch. Attached sessions (and graphlog::Run, which is one)
+  // run raw against the caller's database — their records stay
+  // unattributed, matching the pre-server behavior.
+  if (!attached_) {
+    if (o.observability.session.empty()) {
+      o.observability.session = name_;
+    }
+    if (o.observability.server_epoch == 0) {
+      o.observability.server_epoch = epoch();
+    }
+  }
   // A request without its own governor runs under the session's limits
   // (and its cancellation token) when any are configured.
   gov::GovernorContext session_governor;
@@ -458,6 +470,13 @@ Result<QueryResponse> Session::Run(QueryRequest req) {
     if (!resp.ok()) m->counter(p + "errors")->Increment();
     if (resp.ok() && resp->cache_hit) m->counter(p + "cache_hits")->Increment();
     if (resp.ok() && resp->truncated) m->counter(p + "truncated")->Increment();
+    if (resp.ok() && !resp->profile.empty()) {
+      // EXPLAIN ANALYZE usage per session: how often, and how much work
+      // the profiled queries covered (deterministic logical counts).
+      m->counter(p + "profile.runs")->Increment();
+      m->counter(p + "profile.rounds")
+          ->Add(static_cast<int64_t>(resp->profile.rounds.size()));
+    }
     m->histogram(p + "duration_ns")->Observe(duration_ns);
     m->gauge(p + "epoch")->Set(static_cast<int64_t>(epoch()));
   }

@@ -14,6 +14,7 @@
 #include "common/result.h"
 #include "common/symbol_table.h"
 #include "storage/relation.h"
+#include "storage/relation_stats.h"
 
 namespace graphlog::obs {
 class MetricsRegistry;  // obs/metrics.h
@@ -126,11 +127,31 @@ class Database {
     return n;
   }
 
+  /// \brief Column statistics for the named relation, refreshed to its
+  /// current contents (incrementally when it has only grown — see
+  /// relation_stats.h). Nullptr when the relation does not exist. The
+  /// planner's cardinality oracle and EXPLAIN both read estimates here.
+  const RelationStats* StatsFor(Symbol name) const {
+    const Relation* rel = Find(name);
+    return rel == nullptr ? nullptr : stats_.Get(*rel);
+  }
+  const RelationStats* StatsFor(std::string_view name) const {
+    const Relation* rel = Find(name);
+    return rel == nullptr ? nullptr : stats_.Get(*rel);
+  }
+
+  /// \brief The stats catalog itself (Peek without forcing computation).
+  const StatsCatalog& stats_catalog() const { return stats_; }
+
   /// \brief Publishes per-relation row/byte gauges
   /// (`db.relation.<name>.{rows,bytes}`) plus catalog totals
   /// (`db.relations`, `db.rows`, `db.bytes`) into `registry`; no-op when
-  /// null. Gauges for dropped relations are not retracted — a service
-  /// snapshotting between queries sees the last published level.
+  /// null. Also refreshes and publishes the column statistics of every
+  /// relation as `db.relation.<name>.distinct.<col>` and
+  /// `db.relation.<name>.max_degree.<col>` gauges (incremental per
+  /// refresh — O(rows inserted since the last export)). Gauges for
+  /// dropped relations are not retracted — a service snapshotting between
+  /// queries sees the last published level.
   void ExportResourceMetrics(obs::MetricsRegistry* registry) const;
 
   /// \brief Drops the named relation entirely; returns true when it
@@ -156,6 +177,10 @@ class Database {
  private:
   SymbolTable syms_;
   std::map<Symbol, Relation> relations_;
+  // Lazily-computed, incrementally-refreshed column statistics; mutable
+  // because refreshing on read is a cache fill, not a data change (the
+  // same discipline as Relation's lazily-built indexes).
+  mutable StatsCatalog stats_;
   // Source of Relation::uid values: process-global (one counter across
   // every Database) and never decremented, so (a) a relation dropped and
   // re-declared under the same name gets a fresh uid the cache layer

@@ -160,6 +160,7 @@ class Relation {
     rows_.resize(n);
     indexes_.clear();
     ++generation_;
+    ++shrinks_;
     memory_dirty_ = true;
   }
 
@@ -208,6 +209,7 @@ class Relation {
     indexes_.clear();
     ++generation_;
     ++data_generation_;
+    ++shrinks_;
     memory_dirty_ = true;
   }
 
@@ -225,6 +227,7 @@ class Relation {
     indexes_.clear();
     ++generation_;
     ++data_generation_;
+    ++shrinks_;
     memory_dirty_ = true;
   }
 
@@ -279,6 +282,14 @@ class Relation {
   /// equal (uid, data_generation, size) implies equal contents whenever
   /// the relation has only grown since the last observation.
   uint64_t data_generation() const { return data_generation_; }
+
+  /// \brief Monotonic counter bumped only by *destructive* data changes —
+  /// Clear, TruncateTo, RollbackStagedTo — never by inserts or index
+  /// maintenance. The grow-only witness for incremental consumers
+  /// (relation_stats.h): with uid and shrinks() unchanged and size() not
+  /// smaller, every previously-observed row prefix is still intact and
+  /// only appended rows need to be absorbed.
+  uint64_t shrinks() const { return shrinks_; }
 
   /// \brief Process-unique id assigned by Database::Declare; never reused,
   /// so a Remove + re-Declare under the same name is distinguishable from
@@ -378,6 +389,7 @@ class Relation {
   mutable std::map<std::vector<uint32_t>, Index> indexes_;
   mutable uint64_t generation_ = 0;
   uint64_t data_generation_ = 0;
+  uint64_t shrinks_ = 0;
   uint64_t uid_ = 0;
   mutable uint64_t index_builds_ = 0;
   uint64_t index_appends_ = 0;
