@@ -1,0 +1,224 @@
+// The src/durability subsystem: write-ahead logging, checkpoints, and
+// crash recovery.
+//
+// Expected shape: commit throughput orders off >= group >= always (the
+// fsync dominates a tiny commit); recovery time grows linearly with the
+// number of WAL records and collapses after a checkpoint truncates the
+// log behind itself; recovered state is fingerprint-identical to the
+// live server that wrote it (the MATCH cross-check).
+
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "durability/wal.h"
+#include "graphlog/api.h"
+#include "storage/database.h"
+#include "testing/crash_sweep.h"
+
+using namespace graphlog;
+using bench::CheckOk;
+using durability::FsyncPolicy;
+
+namespace {
+
+/// A fresh empty directory under the system temp root; never reused.
+std::string FreshDir(const char* tag) {
+  static std::atomic<uint64_t> seq{0};
+  std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("graphlog_bench_dur_" + std::to_string(::getpid()) + "_" + tag + "_" +
+        std::to_string(seq.fetch_add(1))))
+          .string();
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return dir;
+}
+
+std::unique_ptr<Server> OpenDurable(const std::string& dir, FsyncPolicy p) {
+  DurabilityOptions dur;
+  dur.fsync = p;
+  return CheckOk(Server::Open(dir, ServerOptions{}, dur), "open durable");
+}
+
+/// One-edge commit: the smallest real write, so the WAL/fsync overhead
+/// dominates and the policies separate.
+void CommitOne(Server* server, int n) {
+  CheckOk(server
+              ->Apply(WriteBatch().Insert(
+                  "edge", {"n" + std::to_string(n % 97),
+                           "n" + std::to_string((n + 1) % 97)}))
+              .status(),
+          "commit");
+}
+
+void Report() {
+  bench::Banner(
+      "Durability: WAL commit cost, checkpoints, and recovery",
+      "recovery reproduces the committed state exactly; fsync policy sets "
+      "commit throughput; checkpoints bound recovery time");
+
+  // Cross-check first: close a durable server and recover the directory;
+  // the fingerprint (relations, arities, rows) must be identical.
+  {
+    const std::string dir = FreshDir("match");
+    std::string live;
+    {
+      auto server = OpenDurable(dir, FsyncPolicy::kAlways);
+      CheckOk(server->Apply(WriteBatch().Facts("edge(a, b). edge(b, c)."))
+                  .status(),
+              "seed");
+      for (int i = 0; i < 16; ++i) CommitOne(server.get(), i);
+      CheckOk(server->Checkpoint(), "checkpoint");
+      for (int i = 16; i < 32; ++i) CommitOne(server.get(), i);
+      live = testing::DatabaseFingerprint(server->database());
+    }
+    auto recovered = OpenDurable(dir, FsyncPolicy::kAlways);
+    if (testing::DatabaseFingerprint(recovered->database()) != live) {
+      std::fprintf(stderr, "FATAL: recovered state diverged from live\n");
+      std::abort();
+    }
+    std::printf(
+        "  MATCH recovered == live server (checkpoint + 16-record WAL "
+        "tail)\n\n");
+  }
+
+  // Commit throughput vs fsync policy (one-edge commits).
+  std::printf("  commit throughput, one-edge batches:\n");
+  std::printf("  %-10s %12s\n", "fsync", "commits/s");
+  for (FsyncPolicy policy : {FsyncPolicy::kAlways, FsyncPolicy::kGroupCommit,
+                             FsyncPolicy::kOff}) {
+    const std::string dir = FreshDir("throughput");
+    auto server = OpenDurable(dir, policy);
+    const int kCommits = 256;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kCommits; ++i) CommitOne(server.get(), i);
+    const double s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    std::printf("  %-10s %12.0f\n",
+                std::string(durability::FsyncPolicyName(policy)).c_str(),
+                kCommits / s);
+  }
+
+  // Recovery time vs WAL length, and the same tail after a checkpoint.
+  std::printf("\n  recovery time vs WAL length (one-edge records):\n");
+  std::printf("  %-12s %14s %14s\n", "records", "recover(ms)", "replayed");
+  for (int records : {64, 256, 1024}) {
+    const std::string dir = FreshDir("recover");
+    {
+      auto server = OpenDurable(dir, FsyncPolicy::kOff);
+      for (int i = 0; i < records; ++i) CommitOne(server.get(), i);
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    auto server = OpenDurable(dir, FsyncPolicy::kOff);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    std::printf("  %-12d %14.2f %14d\n", records, ms, records);
+  }
+  {
+    const std::string dir = FreshDir("recover_ckpt");
+    {
+      auto server = OpenDurable(dir, FsyncPolicy::kOff);
+      for (int i = 0; i < 1024; ++i) CommitOne(server.get(), i);
+      CheckOk(server->Checkpoint(), "checkpoint");
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    auto server = OpenDurable(dir, FsyncPolicy::kOff);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    std::printf("  %-12s %14.2f %14d   (checkpoint truncated the log)\n",
+                "1024+ckpt", ms, 0);
+  }
+  std::printf("\n");
+}
+
+// ---------------------------------------------------------------------------
+// Commit cost per fsync policy. Arg 0/1/2 = always/group/off; the server
+// (and its WAL) persists across iterations, so this times the steady
+// state: encode + append (+ fsync per policy) + publish.
+
+void BM_DurableCommit(benchmark::State& state) {
+  const auto policy = static_cast<FsyncPolicy>(state.range(0));
+  const std::string dir = FreshDir("bm_commit");
+  auto server = OpenDurable(dir, policy);
+  int n = 0;
+  for (auto _ : state) {
+    CommitOne(server.get(), n++);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::string(durability::FsyncPolicyName(policy)));
+}
+BENCHMARK(BM_DurableCommit)->Arg(0)->Arg(1)->Arg(2);
+
+// In-memory baseline for the same one-edge commit: the durability-off
+// acceptance bar (BM_DurableCommit/2 must sit within noise of this).
+void BM_InMemoryCommit(benchmark::State& state) {
+  Server server;
+  int n = 0;
+  for (auto _ : state) {
+    CommitOne(&server, n++);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InMemoryCommit);
+
+// ---------------------------------------------------------------------------
+// Recovery cost vs WAL length: each iteration replays the same N-record
+// log (opening never consumes it — the log stays valid on disk).
+
+void BM_Recovery(benchmark::State& state) {
+  const int records = static_cast<int>(state.range(0));
+  const std::string dir = FreshDir("bm_recover");
+  {
+    auto server = OpenDurable(dir, FsyncPolicy::kOff);
+    for (int i = 0; i < records; ++i) CommitOne(server.get(), i);
+  }
+  for (auto _ : state) {
+    auto server = OpenDurable(dir, FsyncPolicy::kOff);
+    benchmark::DoNotOptimize(server->epoch());
+  }
+  state.SetItemsProcessed(state.iterations() * records);
+}
+BENCHMARK(BM_Recovery)->Arg(64)->Arg(512)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Checkpoint write cost vs database size (rows serialized + fsync +
+// rename; the WAL truncation behind it is a metadata op).
+
+void BM_Checkpoint(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  const std::string dir = FreshDir("bm_ckpt");
+  auto server = OpenDurable(dir, FsyncPolicy::kOff);
+  {
+    std::string facts;
+    for (int i = 0; i < rows; ++i) {
+      facts += "edge(n" + std::to_string(i % 199) + ", n" +
+               std::to_string((i * 7) % 199) + ").\n";
+    }
+    CheckOk(server->Apply(WriteBatch().Facts(facts)).status(), "seed");
+  }
+  for (auto _ : state) {
+    CheckOk(server->Checkpoint(), "checkpoint");
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_Checkpoint)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  Report();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -30,6 +30,8 @@
 //   .columnar [on|off]         CSR/bitset evaluation path (bit-identical)
 //   .view define NAME { ... }  materialized views, incrementally maintained
 //   .session open|list|switch  multiplex epoch-snapshot server sessions
+//   .wal on DIR|off|status     durable mode: write-ahead log + checkpoints
+//   .checkpoint | .recover     checkpoint now / live crash-recovery drill
 //   .help | .quit
 //
 // Reads from stdin, so it is scriptable: `graphlog_shell < script.glog`.
@@ -55,6 +57,7 @@
 #include "cache/view_catalog.h"
 #include "columnar/csr_cache.h"
 #include "common/strings.h"
+#include "durability/wal.h"
 #include "eval/provenance.h"
 #include "gov/fault_injection.h"
 #include "gov/governor.h"
@@ -161,7 +164,8 @@ void PrintHelp() {
       "  .fault SITE fail [N]     inject a failure at SITE's Nth hit\n"
       "  .fault SITE stall MS [N] stall SITE's Nth hit for MS milliseconds\n"
       "                           (sites: eval.round pool.task tc.expand\n"
-      "                           rpq.step io.load csr.build)\n"
+      "                           rpq.step io.load csr.build wal.append\n"
+      "                           wal.fsync checkpoint.write)\n"
       "  .fault clear             disarm everything\n"
       "  .cache on|off            toggle the query result cache (off by\n"
       "                           default; while on, .why provenance is\n"
@@ -179,6 +183,17 @@ void PrintHelp() {
       "                           an isolated epoch snapshot\n"
       "  .session refresh         fast-forward the active session to the\n"
       "                           server's head epoch\n"
+      "  .wal on DIR              durable mode: every commit appends to\n"
+      "                           DIR/wal.log (fsync'd) before its epoch\n"
+      "                           publishes; current facts migrate over\n"
+      "  .wal off                 back to an in-memory server (state is\n"
+      "                           kept but no longer durable)\n"
+      "  .wal [status]            log path, size, fsync policy, epoch\n"
+      "  .checkpoint              write DIR/checkpoint.db atomically and\n"
+      "                           truncate the write-ahead log behind it\n"
+      "  .recover                 close the durable server and re-open it\n"
+      "                           through checkpoint load + WAL replay —\n"
+      "                           a live drill of the crash-restart path\n"
       "  .view define NAME QUERY  materialize a graphical query as view\n"
       "                           NAME, kept fresh incrementally as facts\n"
       "                           arrive; matching queries answer from it\n"
@@ -218,7 +233,9 @@ class Shell {
     InstallSigintHandler();
     // Every shell runs against an in-process Server; "main" is the
     // default session (an epoch-0 snapshot of the empty database).
-    auto main_session = server_.OpenSession({.name = "main"});
+    // `.wal on DIR` later swaps in a durable server.
+    server_ = std::make_unique<Server>(MakeServerOptions());
+    auto main_session = server_->OpenSession({.name = "main"});
     if (!main_session.ok()) {
       std::fprintf(stderr, "fatal: %s\n",
                    main_session.status().ToString().c_str());
@@ -387,6 +404,18 @@ class Shell {
     if (line == ".session" || StartsWith(line, ".session ")) {
       HandleSession(line == ".session" ? ""
                                        : std::string(Trim(line.substr(9))));
+      return;
+    }
+    if (line == ".wal" || StartsWith(line, ".wal ")) {
+      HandleWal(line == ".wal" ? "" : std::string(Trim(line.substr(5))));
+      return;
+    }
+    if (line == ".checkpoint") {
+      HandleCheckpoint();
+      return;
+    }
+    if (line == ".recover") {
+      HandleRecover();
       return;
     }
     if (line == ".view" || StartsWith(line, ".view ")) {
@@ -882,7 +911,7 @@ class Shell {
   void HandleSession(const std::string& arg) {
     if (arg.empty() || arg == "list") {
       std::printf("server epoch %llu, %zu open sessions\n",
-                  static_cast<unsigned long long>(server_.epoch()),
+                  static_cast<unsigned long long>(server_->epoch()),
                   sessions_.size());
       for (const auto& [name, s] : sessions_) {
         const Session::Stats& st = s->stats();
@@ -903,7 +932,7 @@ class Shell {
                     name.c_str(), name.c_str());
         return;
       }
-      auto s = server_.OpenSession({.name = name});
+      auto s = server_->OpenSession({.name = name});
       if (!s.ok()) {
         std::printf("error: %s\n", s.status().ToString().c_str());
         return;
@@ -926,7 +955,7 @@ class Shell {
       std::printf("session %s active (epoch %llu, server at %llu)\n",
                   name.c_str(),
                   static_cast<unsigned long long>(active().epoch()),
-                  static_cast<unsigned long long>(server_.epoch()));
+                  static_cast<unsigned long long>(server_->epoch()));
       return;
     }
     if (arg == "refresh") {
@@ -941,6 +970,136 @@ class Shell {
     }
     std::printf("usage: .session [list | open [NAME] | switch NAME |"
                 " refresh]\n");
+  }
+
+  ServerOptions MakeServerOptions() {
+    return ServerOptions{.metrics = &metrics_, .faults = &faults_};
+  }
+
+  /// Replaces the server and re-homes the shell onto a fresh "main"
+  /// session. Sessions pin snapshots owned by the old server, so every
+  /// open session must be dropped before the old server is.
+  bool SwapServer(std::unique_ptr<Server> next) {
+    auto main_session = next->OpenSession({.name = "main"});
+    if (!main_session.ok()) {
+      std::printf("error: %s\n", main_session.status().ToString().c_str());
+      return false;
+    }
+    sessions_.clear();
+    server_ = std::move(next);
+    sessions_["main"] = std::move(*main_session);
+    active_ = "main";
+    return true;
+  }
+
+  void HandleWal(const std::string& arg) {
+    if (arg.empty() || arg == "status") {
+      if (!server_->durable()) {
+        std::printf("wal off (in-memory server); .wal on DIR\n");
+        return;
+      }
+      std::printf("wal on: %s/wal.log, %llu bytes, fsync %s, epoch %llu\n",
+                  server_->dir().c_str(),
+                  static_cast<unsigned long long>(
+                      server_->wal()->tail_offset()),
+                  std::string(durability::FsyncPolicyName(
+                                  server_->wal()->fsync_policy()))
+                      .c_str(),
+                  static_cast<unsigned long long>(server_->epoch()));
+      return;
+    }
+    if (arg == "on" || StartsWith(arg, "on ")) {
+      if (server_->durable()) {
+        std::printf("wal already on: %s\n", server_->dir().c_str());
+        return;
+      }
+      std::string dir(arg == "on" ? "" : Trim(arg.substr(3)));
+      if (dir.empty()) {
+        std::printf("usage: .wal on DIR\n");
+        return;
+      }
+      // Whatever the in-memory server holds migrates as one committed
+      // batch, so the durable server starts from the shell's state
+      // (merged with anything DIR already recovered).
+      std::string dump = storage::DumpFacts(server_->database());
+      auto durable = Server::Open(dir, MakeServerOptions());
+      if (!durable.ok()) {
+        std::printf("error: %s\n", durable.status().ToString().c_str());
+        return;
+      }
+      if (!dump.empty()) {
+        auto migrated = (*durable)->Apply(WriteBatch().Facts(dump));
+        if (!migrated.ok()) {
+          std::printf("error migrating facts: %s\n",
+                      migrated.status().ToString().c_str());
+          return;
+        }
+      }
+      if (!SwapServer(std::move(*durable))) return;
+      std::printf("wal on: %s at epoch %llu (sessions reset to 'main')\n",
+                  server_->dir().c_str(),
+                  static_cast<unsigned long long>(server_->epoch()));
+      return;
+    }
+    if (arg == "off") {
+      if (!server_->durable()) {
+        std::printf("wal already off\n");
+        return;
+      }
+      std::string dump = storage::DumpFacts(server_->database());
+      auto mem = std::make_unique<Server>(MakeServerOptions());
+      if (!dump.empty()) {
+        auto migrated = mem->Apply(WriteBatch().Facts(dump));
+        if (!migrated.ok()) {
+          std::printf("error migrating facts: %s\n",
+                      migrated.status().ToString().c_str());
+          return;
+        }
+      }
+      if (!SwapServer(std::move(mem))) return;
+      std::printf(
+          "wal off; state kept in memory only (sessions reset to 'main')\n");
+      return;
+    }
+    std::printf("usage: .wal [on DIR | off | status]\n");
+  }
+
+  void HandleCheckpoint() {
+    Status st = server_->Checkpoint();
+    if (!st.ok()) {
+      std::printf("error: %s\n", st.ToString().c_str());
+      return;
+    }
+    std::printf("checkpoint written at epoch %llu; wal truncated to %llu "
+                "bytes\n",
+                static_cast<unsigned long long>(server_->epoch()),
+                static_cast<unsigned long long>(
+                    server_->wal()->tail_offset()));
+  }
+
+  /// Recovery drill: closes the durable server (its WAL flushes on the
+  /// way down) and re-opens the same directory through the full
+  /// checkpoint-load + WAL-replay path — exactly what a restart after a
+  /// crash would do, observable live.
+  void HandleRecover() {
+    if (!server_->durable()) {
+      std::printf("not a durable server; .wal on DIR first\n");
+      return;
+    }
+    const std::string dir = server_->dir();
+    sessions_.clear();
+    server_.reset();
+    auto reopened = Server::Open(dir, MakeServerOptions());
+    if (!reopened.ok()) {
+      std::printf("error: %s\n", reopened.status().ToString().c_str());
+      std::printf(
+          "recovery failed; continuing on an empty in-memory server\n");
+      reopened = std::make_unique<Server>(MakeServerOptions());
+    }
+    if (!SwapServer(std::move(*reopened))) std::exit(1);
+    std::printf("recovered %s at epoch %llu (sessions reset to 'main')\n",
+                dir.c_str(),
+                static_cast<unsigned long long>(server_->epoch()));
   }
 
   void DefineView(const std::string& name, const std::string& text) {
@@ -1135,9 +1294,11 @@ class Shell {
   // pinned to an epoch snapshot of the server's database. Writes (facts,
   // .load) commit through Session::Apply — atomic batches that publish a
   // new epoch and fast-forward the writing session — and `.session
-  // open/list/switch` multiplexes independent snapshots. Declared after
-  // metrics_/faults_: the ServerOptions initializer captures them.
-  Server server_{ServerOptions{.metrics = &metrics_, .faults = &faults_}};
+  // open/list/switch` multiplexes independent snapshots. Held by pointer
+  // so `.wal on|off` and `.recover` can swap the whole server (sessions
+  // are re-homed by SwapServer). Declared after metrics_/faults_: the
+  // ServerOptions initializer captures them.
+  std::unique_ptr<Server> server_;
   std::map<std::string, std::unique_ptr<Session>> sessions_;
   std::string active_;
 };

@@ -20,14 +20,19 @@
 # folded at merge time — the TSan lane checks that the instrumentation
 # added no cross-lane writes.
 #
+# The durability label (durability_test) rounds out the set: WAL append,
+# checkpoint write, and recovery shuffle raw bytes through hand-rolled
+# codecs — exactly where ASan finds the off-by-ones, and the durable
+# commit path interleaves with session reads under TSan.
+#
 # Usage: scripts/run_sanitizer_lanes.sh [LABEL] [BUILD_ROOT]
-# Defaults: LABEL = 'robustness|cache|profile' (a ctest -L regex),
-# BUILD_ROOT = build-san (creates ${BUILD_ROOT}-thread and
+# Defaults: LABEL = 'robustness|cache|profile|durability' (a ctest -L
+# regex), BUILD_ROOT = build-san (creates ${BUILD_ROOT}-thread and
 # ${BUILD_ROOT}-address).
 
 set -euo pipefail
 
-LABEL="${1:-robustness|cache|profile}"
+LABEL="${1:-robustness|cache|profile|durability}"
 BUILD_ROOT="${2:-build-san}"
 SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 4)"

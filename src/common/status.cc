@@ -40,6 +40,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "DeadlineExceeded";
     case StatusCode::kBudgetExceeded:
       return "BudgetExceeded";
+    case StatusCode::kCorruptedLog:
+      return "CorruptedLog";
   }
   return "Unknown";
 }

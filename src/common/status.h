@@ -35,6 +35,7 @@ enum class StatusCode : int {
   kCancelled = 15,        ///< cooperative cancellation (gov/governor.h)
   kDeadlineExceeded = 16, ///< wall-clock deadline tripped mid-query
   kBudgetExceeded = 17,   ///< resource budget (rows/rounds/bytes) tripped
+  kCorruptedLog = 18,     ///< WAL/checkpoint bytes fail integrity checks
 };
 
 /// \brief Human-readable name of a StatusCode.
@@ -107,6 +108,9 @@ class Status {
   }
   static Status BudgetExceeded(std::string msg) {
     return Status(StatusCode::kBudgetExceeded, std::move(msg));
+  }
+  static Status CorruptedLog(std::string msg) {
+    return Status(StatusCode::kCorruptedLog, std::move(msg));
   }
 
   bool ok() const { return state_ == nullptr; }

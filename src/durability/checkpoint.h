@@ -1,0 +1,61 @@
+// Checkpoint: one whole-database snapshot on disk.
+//
+// A checkpoint serializes the authoritative Database at epoch E —
+// relation names, arities, and rows in insertion order, with symbol
+// values spelled out as strings (re-interned on load, so recovered
+// symbol ids are fresh but resolve to identical strings). The file is:
+//
+//   "GLCKPT1\n"  8-byte magic
+//   payload      u64 epoch; u32 n_relations;
+//                per relation: str name, u32 arity, u64 n_rows,
+//                rows as tagged values (u8 kind; i64 | f64-bits | str)
+//   u32          crc32(payload)
+//
+// The writer goes temp-file + fsync + atomic rename, so a crash (or an
+// injected `checkpoint.write` fault) mid-checkpoint leaves the previous
+// valid checkpoint untouched — there is never a moment with no valid
+// checkpoint on disk once one has been written. After the rename the
+// server truncates the WAL behind it; a crash in between is benign
+// because recovery skips WAL records with epoch <= the checkpoint's.
+//
+// NOT in a checkpoint (rebuilt cold after recovery): indexes, CSR
+// snapshots, result-cache entries, and column statistics — all derived
+// state keyed by stamps that do not survive a process restart.
+
+#ifndef GRAPHLOG_DURABILITY_CHECKPOINT_H_
+#define GRAPHLOG_DURABILITY_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "gov/fault_injection.h"
+#include "obs/metrics.h"
+#include "storage/database.h"
+
+namespace graphlog::durability {
+
+/// \brief Serializes `db` at `epoch` to `path` via temp-file + atomic
+/// rename. The `checkpoint.write` fault site is consulted before any
+/// byte is written; metrics: checkpoint.writes / checkpoint.bytes /
+/// checkpoint.write_ns.
+Status WriteCheckpoint(const std::string& path, const storage::Database& db,
+                       uint64_t epoch,
+                       gov::FaultInjector* faults = nullptr,
+                       obs::MetricsRegistry* metrics = nullptr);
+
+/// \brief A checkpoint loaded back from disk.
+struct CheckpointData {
+  bool found = false;  ///< false: no checkpoint file (fresh directory)
+  uint64_t epoch = 0;
+  storage::Database db;
+};
+
+/// \brief Loads the checkpoint at `path`. A missing file is not an error
+/// (found = false); a present file that fails the magic, structure, or
+/// checksum is kCorruptedLog.
+Result<CheckpointData> ReadCheckpoint(const std::string& path);
+
+}  // namespace graphlog::durability
+
+#endif  // GRAPHLOG_DURABILITY_CHECKPOINT_H_

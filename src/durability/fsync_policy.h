@@ -1,0 +1,55 @@
+// FsyncPolicy: how eagerly the write-ahead log reaches stable storage.
+//
+// Split into its own dependency-free header so server/server.h can name
+// the policy in DurabilityOptions without pulling the whole WAL in.
+
+#ifndef GRAPHLOG_DURABILITY_FSYNC_POLICY_H_
+#define GRAPHLOG_DURABILITY_FSYNC_POLICY_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace graphlog::durability {
+
+/// \brief When a committed WAL record is fsync'd.
+///
+/// The durability contract per policy (DESIGN.md §13):
+///   kAlways      — fsync before the commit publishes its epoch; a
+///                  committed write survives any crash.
+///   kGroupCommit — fsync at most once per window; commits inside the
+///                  window publish before the sync, so a crash can lose
+///                  up to one window of the newest commits (the surviving
+///                  prefix is still exactly a committed prefix).
+///   kOff         — never fsync (OS page cache only); a crash can lose
+///                  any unsynced suffix, never consistency.
+enum class FsyncPolicy : uint8_t {
+  kAlways = 0,
+  kGroupCommit = 1,
+  kOff = 2,
+};
+
+inline std::string_view FsyncPolicyName(FsyncPolicy p) {
+  switch (p) {
+    case FsyncPolicy::kAlways:
+      return "always";
+    case FsyncPolicy::kGroupCommit:
+      return "group";
+    case FsyncPolicy::kOff:
+      return "off";
+  }
+  return "unknown";
+}
+
+inline Result<FsyncPolicy> ParseFsyncPolicy(std::string_view s) {
+  if (s == "always") return FsyncPolicy::kAlways;
+  if (s == "group") return FsyncPolicy::kGroupCommit;
+  if (s == "off") return FsyncPolicy::kOff;
+  return Status::InvalidArgument("unknown fsync policy '" + std::string(s) +
+                                 "' (expected always|group|off)");
+}
+
+}  // namespace graphlog::durability
+
+#endif  // GRAPHLOG_DURABILITY_FSYNC_POLICY_H_

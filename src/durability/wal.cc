@@ -1,0 +1,371 @@
+#include "durability/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+namespace graphlog::durability {
+
+namespace {
+
+std::string Errno(const std::string& what, const std::string& path) {
+  return what + " '" + path + "': " + std::strerror(errno);
+}
+
+// Little-endian wire primitives (the repo only targets little-endian
+// Linux, but going through memcpy keeps the layout explicit and the
+// access alignment-safe).
+void PutU32(std::string* out, uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  out->append(b, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  out->append(b, 8);
+}
+
+void PutStr(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+// Cursor over an encoded payload; every Get checks bounds so a decoder
+// can never read past a (checksum-valid but logically malformed) buffer.
+struct Cursor {
+  std::string_view data;
+  size_t pos = 0;
+
+  bool GetU32(uint32_t* v) {
+    if (data.size() - pos < 4) return false;
+    std::memcpy(v, data.data() + pos, 4);
+    pos += 4;
+    return true;
+  }
+  bool GetU64(uint64_t* v) {
+    if (data.size() - pos < 8) return false;
+    std::memcpy(v, data.data() + pos, 8);
+    pos += 8;
+    return true;
+  }
+  bool GetStr(std::string* s) {
+    uint32_t n = 0;
+    if (!GetU32(&n)) return false;
+    if (data.size() - pos < n) return false;
+    s->assign(data.data() + pos, n);
+    pos += n;
+    return true;
+  }
+  bool done() const { return pos == data.size(); }
+};
+
+Status Malformed(const std::string& what) {
+  return Status::CorruptedLog("WAL payload malformed: " + what);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CRC-32
+
+uint32_t Crc32(const void* data, size_t len) {
+  // Table-driven reflected CRC-32 (IEEE), table built on first use.
+  static const std::array<uint32_t, 256> kTable = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+// ---------------------------------------------------------------------------
+// Batch codec
+
+Status BatchCodec::Encode(const WriteBatch& batch,
+                          const std::vector<std::string>& files,
+                          std::string* out) {
+  size_t n_load = 0;
+  for (const WriteBatch::Op& op : batch.ops_) {
+    if (op.kind == WriteBatch::Op::kLoadFile) ++n_load;
+  }
+  if (n_load != files.size()) {
+    return Status::Internal("batch has " + std::to_string(n_load) +
+                            " kLoadFile ops but " +
+                            std::to_string(files.size()) +
+                            " captured contents");
+  }
+  PutU32(out, static_cast<uint32_t>(batch.ops_.size()));
+  size_t file_idx = 0;
+  for (const WriteBatch::Op& op : batch.ops_) {
+    out->push_back(static_cast<char>(op.kind));
+    PutStr(out, op.text);
+    PutU32(out, static_cast<uint32_t>(op.args.size()));
+    for (const std::string& a : op.args) PutStr(out, a);
+    if (op.kind == WriteBatch::Op::kLoadFile) {
+      PutStr(out, files[file_idx++]);
+    }
+  }
+  return Status::OK();
+}
+
+Status BatchCodec::Decode(std::string_view data, WriteBatch* batch,
+                          std::vector<std::string>* files) {
+  Cursor c{data};
+  uint32_t n_ops = 0;
+  if (!c.GetU32(&n_ops)) return Malformed("truncated op count");
+  batch->ops_.clear();
+  batch->ops_.reserve(n_ops);
+  files->clear();
+  for (uint32_t i = 0; i < n_ops; ++i) {
+    if (c.pos >= data.size()) return Malformed("truncated op kind");
+    const uint8_t kind = static_cast<uint8_t>(data[c.pos++]);
+    if (kind > WriteBatch::Op::kClear) {
+      return Malformed("unknown op kind " + std::to_string(kind));
+    }
+    WriteBatch::Op op;
+    op.kind = static_cast<WriteBatch::Op::Kind>(kind);
+    if (!c.GetStr(&op.text)) return Malformed("truncated op text");
+    uint32_t n_args = 0;
+    if (!c.GetU32(&n_args)) return Malformed("truncated arg count");
+    op.args.reserve(n_args);
+    for (uint32_t a = 0; a < n_args; ++a) {
+      std::string arg;
+      if (!c.GetStr(&arg)) return Malformed("truncated op arg");
+      op.args.push_back(std::move(arg));
+    }
+    if (op.kind == WriteBatch::Op::kLoadFile) {
+      std::string contents;
+      if (!c.GetStr(&contents)) {
+        return Malformed("truncated kLoadFile contents");
+      }
+      files->push_back(std::move(contents));
+    }
+    batch->ops_.push_back(std::move(op));
+  }
+  if (!c.done()) return Malformed("trailing bytes after last op");
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Scan
+
+Result<WalScan> ScanWal(const std::string& path) {
+  WalScan scan;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return scan;  // no log yet == empty log
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    return Status::Internal(Errno("failed reading WAL", path));
+  }
+  const size_t size = contents.size();
+  scan.file_bytes = size;
+  size_t pos = 0;
+  while (pos < size) {
+    if (size - pos < 8) {  // trailing fragment shorter than a header
+      scan.torn = true;
+      break;
+    }
+    uint32_t len = 0;
+    uint32_t crc = 0;
+    std::memcpy(&len, contents.data() + pos, 4);
+    std::memcpy(&crc, contents.data() + pos + 4, 4);
+    if (len > size - pos - 8) {  // declared extent runs past EOF
+      scan.torn = true;
+      break;
+    }
+    const std::string_view payload(contents.data() + pos + 8, len);
+    if (Crc32(payload.data(), payload.size()) != crc) {
+      if (pos + 8 + len == size) {
+        // Complete record, bad checksum, nothing after it: the tail
+        // block a crashed write left half-flushed. Torn, not corrupt.
+        scan.torn = true;
+        break;
+      }
+      return Status::CorruptedLog(
+          "WAL '" + path + "': record at offset " + std::to_string(pos) +
+          " fails its checksum with " +
+          std::to_string(size - pos - 8 - len) +
+          " byte(s) following it — interior corruption, refusing to "
+          "replay");
+    }
+    WalRecord rec;
+    Cursor c{payload};
+    if (!c.GetU64(&rec.epoch)) {
+      return Status::CorruptedLog("WAL '" + path + "': record at offset " +
+                                  std::to_string(pos) +
+                                  " too short for an epoch stamp");
+    }
+    Status decoded = BatchCodec::Decode(payload.substr(c.pos), &rec.batch,
+                                        &rec.files);
+    if (!decoded.ok()) {
+      return Status::CorruptedLog("WAL '" + path + "': record at offset " +
+                                  std::to_string(pos) + ": " +
+                                  decoded.message());
+    }
+    scan.records.push_back(std::move(rec));
+    pos += 8 + len;
+    scan.valid_prefix_bytes = pos;
+  }
+  return scan;
+}
+
+Status TruncateFile(const std::string& path, uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return Status::Internal(Errno("failed truncating", path));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Wal
+
+Wal::Wal(std::string path, int fd, uint64_t tail, WalOptions opts)
+    : path_(std::move(path)),
+      fd_(fd),
+      tail_(tail),
+      opts_(opts),
+      last_sync_(std::chrono::steady_clock::now()) {}
+
+Wal::~Wal() {
+  if (fd_ >= 0) {
+    if (sync_pending_) ::fsync(fd_);  // flush a pending group-commit window
+    ::close(fd_);
+  }
+}
+
+Result<std::unique_ptr<Wal>> Wal::Open(const std::string& path,
+                                       WalOptions opts) {
+  const int fd = ::open(path.c_str(), O_CREAT | O_WRONLY, 0644);
+  if (fd < 0) {
+    return Status::Internal(Errno("failed opening WAL", path));
+  }
+  const off_t end = ::lseek(fd, 0, SEEK_END);
+  if (end < 0) {
+    ::close(fd);
+    return Status::Internal(Errno("failed seeking WAL", path));
+  }
+  return std::unique_ptr<Wal>(
+      new Wal(path, fd, static_cast<uint64_t>(end), opts));
+}
+
+Status Wal::Append(uint64_t epoch, const WriteBatch& batch,
+                   const std::vector<std::string>& files) {
+  const auto started = std::chrono::steady_clock::now();
+  if (opts_.faults != nullptr) {
+    GRAPHLOG_RETURN_NOT_OK(opts_.faults->Hit("wal.append"));
+  }
+  std::string payload;
+  PutU64(&payload, epoch);
+  GRAPHLOG_RETURN_NOT_OK(BatchCodec::Encode(batch, files, &payload));
+  std::string record;
+  record.reserve(8 + payload.size());
+  PutU32(&record, static_cast<uint32_t>(payload.size()));
+  PutU32(&record, Crc32(payload.data(), payload.size()));
+  record += payload;
+
+  size_t written = 0;
+  while (written < record.size()) {
+    const ssize_t n = ::write(fd_, record.data() + written,
+                              record.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // Restore the pre-append length so the failed record's fragment
+      // cannot end up buried mid-file by a later successful append.
+      (void)::ftruncate(fd_, static_cast<off_t>(tail_));
+      (void)::lseek(fd_, static_cast<off_t>(tail_), SEEK_SET);
+      return Status::Internal(Errno("failed appending to WAL", path_));
+    }
+    written += static_cast<size_t>(n);
+  }
+  tail_ += record.size();
+  sync_pending_ = true;
+
+  Status synced = Status::OK();
+  switch (opts_.fsync) {
+    case FsyncPolicy::kAlways:
+      synced = DoSync();
+      break;
+    case FsyncPolicy::kGroupCommit: {
+      const auto now = std::chrono::steady_clock::now();
+      if (now - last_sync_ >=
+          std::chrono::milliseconds(opts_.group_window_ms)) {
+        synced = DoSync();
+      }
+      break;
+    }
+    case FsyncPolicy::kOff:
+      break;
+  }
+  if (!synced.ok()) {
+    // The record reached the file but not stable storage, and the caller
+    // will roll the in-memory apply back — unwind the append too so the
+    // log never holds a record for an epoch that was never published.
+    tail_ -= record.size();
+    (void)::ftruncate(fd_, static_cast<off_t>(tail_));
+    (void)::lseek(fd_, static_cast<off_t>(tail_), SEEK_SET);
+    return synced;
+  }
+  if (opts_.metrics != nullptr) {
+    opts_.metrics->counter("wal.appends")->Increment();
+    opts_.metrics->counter("wal.bytes_appended")
+        ->Add(static_cast<int64_t>(record.size()));
+    opts_.metrics->histogram("wal.append_ns")
+        ->Observe(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - started)
+                      .count());
+  }
+  return Status::OK();
+}
+
+Status Wal::DoSync() {
+  if (opts_.faults != nullptr) {
+    GRAPHLOG_RETURN_NOT_OK(opts_.faults->Hit("wal.fsync"));
+  }
+  if (::fsync(fd_) != 0) {
+    return Status::Internal(Errno("failed fsync of WAL", path_));
+  }
+  sync_pending_ = false;
+  last_sync_ = std::chrono::steady_clock::now();
+  if (opts_.metrics != nullptr) {
+    opts_.metrics->counter("wal.fsyncs")->Increment();
+  }
+  return Status::OK();
+}
+
+Status Wal::Sync() { return DoSync(); }
+
+Status Wal::Reset() {
+  if (::ftruncate(fd_, 0) != 0) {
+    return Status::Internal(Errno("failed truncating WAL", path_));
+  }
+  if (::lseek(fd_, 0, SEEK_SET) < 0) {
+    return Status::Internal(Errno("failed rewinding WAL", path_));
+  }
+  tail_ = 0;
+  sync_pending_ = false;
+  if (::fsync(fd_) != 0) {
+    return Status::Internal(Errno("failed fsync of WAL", path_));
+  }
+  return Status::OK();
+}
+
+}  // namespace graphlog::durability

@@ -19,6 +19,13 @@
 //   io.load      — before a fact file's parsed tuples are applied
 //   csr.build    — before a CSR snapshot is built from a relation
 //                  (columnar/csr.cc; engine batches and the columnar TC)
+//   wal.append   — before a committed batch's record is appended to the
+//                  write-ahead log (durability/wal.cc); an injected
+//                  failure rolls the in-memory apply back
+//   wal.fsync    — before the WAL fsync the fsync policy requests
+//   checkpoint.write — before a checkpoint writes any byte
+//                  (durability/checkpoint.cc); an aborted write never
+//                  clobbers the previous valid checkpoint
 //
 // Hit counts are tracked per site whether or not a fault is armed, so
 // tests can assert coverage ("the loader consulted io.load exactly

@@ -1,10 +1,13 @@
 #include "server/server.h"
 
 #include <chrono>
+#include <filesystem>
 #include <set>
 #include <utility>
 #include <vector>
 
+#include "durability/checkpoint.h"
+#include "durability/wal.h"
 #include "obs/metrics.h"
 #include "storage/io.h"
 
@@ -39,6 +42,120 @@ Server::Server(ServerOptions opts)
 
 Server::Server(storage::Database* db, ServerOptions opts)
     : opts_(std::move(opts)), db_(db), attached_(true) {}
+
+Server::~Server() = default;  // out-of-line for the durability::Wal member
+
+Result<std::unique_ptr<Server>> Server::Open(const std::string& dir,
+                                             ServerOptions opts,
+                                             DurabilityOptions dur) {
+  const auto started = std::chrono::steady_clock::now();
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("failed creating durable directory '" + dir +
+                            "': " + ec.message());
+  }
+  const std::string ckpt_path = dir + "/checkpoint.db";
+  const std::string wal_path = dir + "/wal.log";
+
+  std::unique_ptr<Server> server(new Server(std::move(opts)));
+  server->dir_ = dir;
+
+  // 1. Newest valid checkpoint (atomic rename means there is at most
+  //    one; a leftover checkpoint.db.tmp from an aborted write is dead).
+  GRAPHLOG_ASSIGN_OR_RETURN(durability::CheckpointData ckpt,
+                            durability::ReadCheckpoint(ckpt_path));
+  uint64_t epoch = 0;
+  if (ckpt.found) {
+    server->owned_db_ = std::move(ckpt.db);
+    epoch = ckpt.epoch;
+  }
+
+  // 2. WAL tail replay through the same machinery commits use. Records
+  //    at or below the checkpoint epoch are already inside it (a crash
+  //    between checkpoint rename and WAL truncation leaves them behind,
+  //    harmlessly).
+  GRAPHLOG_ASSIGN_OR_RETURN(durability::WalScan scan,
+                            durability::ScanWal(wal_path));
+  uint64_t replayed = 0;
+  uint64_t replayed_facts = 0;
+  for (durability::WalRecord& rec : scan.records) {
+    if (rec.epoch <= epoch) continue;
+    Result<size_t> r =
+        ApplyBatchTo(rec.batch, &server->owned_db_, nullptr, nullptr,
+                     &rec.files);
+    if (!r.ok()) {
+      // A checksum-valid record that will not apply is corruption the
+      // CRC missed (or cross-version drift); refuse the whole log
+      // rather than recover a state no committed prefix ever had.
+      return Status::CorruptedLog(
+          "recovery: WAL record for epoch " + std::to_string(rec.epoch) +
+          " does not replay: " + r.status().ToString());
+    }
+    replayed_facts += *r;
+    ++replayed;
+    epoch = rec.epoch;
+  }
+  uint64_t torn_bytes = 0;
+  if (scan.torn) {
+    torn_bytes = scan.file_bytes - scan.valid_prefix_bytes;
+    GRAPHLOG_RETURN_NOT_OK(
+        durability::TruncateFile(wal_path, scan.valid_prefix_bytes));
+  }
+
+  // 3. Publish the recovered state as the head snapshot. The prev ==
+  //    nullptr path of RebuildHeadLocked keeps epoch_ as stored, so the
+  //    recovered epoch numbering continues exactly where it stopped.
+  server->epoch_.store(epoch, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(server->mu_);
+    {
+      std::lock_guard<std::mutex> head_lock(server->head_mu_);
+      server->head_ = nullptr;
+    }
+    server->RebuildHeadLocked();
+  }
+
+  // 4. Open the appender at the (repaired) tail.
+  durability::WalOptions wopts;
+  wopts.fsync = dur.fsync;
+  wopts.group_window_ms = dur.group_window_ms;
+  wopts.metrics = server->opts_.metrics;
+  wopts.faults = server->opts_.faults;
+  GRAPHLOG_ASSIGN_OR_RETURN(server->wal_,
+                            durability::Wal::Open(wal_path, wopts));
+
+  if (server->opts_.metrics != nullptr) {
+    obs::MetricsRegistry* m = server->opts_.metrics;
+    m->counter("recovery.runs")->Increment();
+    m->counter("recovery.replayed_records")
+        ->Add(static_cast<int64_t>(replayed));
+    m->counter("recovery.replayed_facts")
+        ->Add(static_cast<int64_t>(replayed_facts));
+    m->counter("recovery.torn_tail_bytes")
+        ->Add(static_cast<int64_t>(torn_bytes));
+    m->gauge("recovery.epoch")->Set(static_cast<int64_t>(epoch));
+    m->histogram("recovery.duration_ns")
+        ->Observe(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - started)
+                      .count());
+  }
+  return server;
+}
+
+Status Server::Checkpoint() {
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument(
+        "Checkpoint() requires a durable server (Server::Open)");
+  }
+  // Under the commit lock: the serialized state and the epoch stamped on
+  // it cannot drift apart, and no commit can append between the
+  // checkpoint and the WAL truncation behind it.
+  std::lock_guard<std::mutex> lock(mu_);
+  GRAPHLOG_RETURN_NOT_OK(durability::WriteCheckpoint(
+      dir_ + "/checkpoint.db", *db_, epoch(), opts_.faults, opts_.metrics));
+  return wal_->Reset();
+}
 
 std::shared_ptr<const Snapshot> Server::head() const {
   std::lock_guard<std::mutex> lock(head_mu_);
@@ -94,7 +211,24 @@ Result<size_t> Server::ApplyInternal(const WriteBatch& batch,
     local.faults = opts_.faults;
     governor = &local;
   }
-  Result<size_t> applied = ApplyBatchTo(batch, db_, governor, capture_files);
+  // kLoadFile contents are captured unconditionally: every replay
+  // consumer — session fast-forward and the WAL — applies the exact
+  // bytes this commit read, never a path re-read from disk.
+  std::vector<std::string> files;
+  BatchUndo undo;
+  Result<size_t> applied =
+      ApplyBatchTo(batch, db_, governor, &files, nullptr, &undo);
+  if (applied.ok() && wal_ != nullptr) {
+    // Durable commit: the record must reach the log (and stable storage,
+    // per the fsync policy) BEFORE the epoch publishes. A logging
+    // failure rolls the in-memory apply back — a commit that is not
+    // durable must not be observable.
+    Status logged = wal_->Append(epoch() + 1, batch, files);
+    if (!logged.ok()) {
+      UndoBatch(db_, std::move(undo));
+      applied = logged;
+    }
+  }
   if (opts_.metrics != nullptr) {
     if (applied.ok()) {
       opts_.metrics->counter("server.commits")->Increment();
@@ -104,6 +238,7 @@ Result<size_t> Server::ApplyInternal(const WriteBatch& batch,
     }
   }
   GRAPHLOG_RETURN_NOT_OK(applied.status());
+  if (capture_files != nullptr) *capture_files = std::move(files);
   if (attached_) {
     epoch_.fetch_add(1, std::memory_order_acq_rel);
   } else {
@@ -174,15 +309,17 @@ Result<size_t> Server::ApplyBatchTo(
     const WriteBatch& batch, Database* db,
     const gov::GovernorContext* governor,
     std::vector<std::string>* capture_files,
-    const std::vector<std::string>* replay_files) {
+    const std::vector<std::string>* replay_files,
+    BatchUndo* undo_out) {
   // Pre-state for rollback: every relation's size and data stamp, plus
   // pre-batch copies of anything a Clear op wipes (truncation cannot
   // restore cleared rows).
-  std::map<Symbol, std::pair<size_t, uint64_t>> pre_state;
+  BatchUndo undo;
+  std::map<Symbol, std::pair<size_t, uint64_t>>& pre_state = undo.pre_state;
   for (const auto& [sym, rel] : db->relations()) {
     pre_state.emplace(sym, std::make_pair(rel.size(), rel.data_generation()));
   }
-  std::map<Symbol, Relation> cleared;
+  std::map<Symbol, Relation>& cleared = undo.cleared;
   size_t facts = 0;
   size_t file_idx = 0;
   Status st = Status::OK();
@@ -210,10 +347,12 @@ Result<size_t> Server::ApplyBatchTo(
             return storage::LoadFacts((*replay_files)[file_idx], db,
                                       governor);
           }
+          // Live load always reads the raw contents back out — replay,
+          // wherever it happens (session fast-forward, WAL recovery),
+          // is from these captured bytes; there is no path-based replay.
           std::string contents;
-          Result<size_t> loaded = storage::LoadFactsFile(
-              op.text, db, governor,
-              capture_files != nullptr ? &contents : nullptr);
+          Result<size_t> loaded =
+              storage::LoadFactsFile(op.text, db, governor, &contents);
           if (capture_files != nullptr) {
             capture_files->push_back(std::move(contents));
           }
@@ -263,28 +402,34 @@ Result<size_t> Server::ApplyBatchTo(
     }
     if (!st.ok()) break;
   }
-  if (st.ok()) return facts;
+  if (st.ok()) {
+    if (undo_out != nullptr) *undo_out = std::move(undo);
+    return facts;
+  }
+  UndoBatch(db, std::move(undo));
+  return st;
+}
 
-  // All-or-nothing: undo everything this batch did, in an order that
+void Server::UndoBatch(storage::Database* db, BatchUndo&& undo) {
+  // All-or-nothing: undo everything the batch did, in an order that
   // composes — drop created relations, shrink grown ones (restoring the
   // pre-batch data stamp the ops bumped), then reinstate cleared ones
   // wholesale (which also fixes clear-then-grow sequences).
   std::vector<Symbol> created;
   for (const auto& [sym, rel] : db->relations()) {
     (void)rel;
-    if (pre_state.count(sym) == 0) created.push_back(sym);
+    if (undo.pre_state.count(sym) == 0) created.push_back(sym);
   }
   for (Symbol s : created) db->Remove(s);
-  for (const auto& [sym, pre] : pre_state) {
+  for (const auto& [sym, pre] : undo.pre_state) {
     Relation* rel = db->FindMutable(sym);
     if (rel == nullptr) continue;
     if (rel->size() > pre.first) rel->TruncateTo(pre.first);
     rel->RestoreDataGeneration(pre.second);
   }
-  for (auto& [sym, saved] : cleared) {
+  for (auto& [sym, saved] : undo.cleared) {
     db->relations().insert_or_assign(sym, std::move(saved));
   }
-  return st;
 }
 
 // ---------------------------------------------------------------------------
@@ -370,12 +515,13 @@ Result<size_t> Session::Apply(const WriteBatch& batch,
   uint64_t committed = 0;
   // File contents the committed apply reads are captured so the replay
   // below applies the exact same bytes — never a file that changed on
-  // disk between the commit and the replay.
+  // disk between the commit and the replay (the commit path captures
+  // unconditionally; this just asks for the copies).
   std::vector<std::string> loaded_files;
   GRAPHLOG_ASSIGN_OR_RETURN(
       size_t facts,
       server_->ApplyInternal(batch, governor, &base, &committed,
-                             attached_ ? nullptr : &loaded_files));
+                             &loaded_files));
   ++stats_.writes;
   if (attached_) return facts;
   if (epoch_ == base) {

@@ -58,10 +58,12 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "columnar/csr_cache.h"
 #include "common/result.h"
+#include "durability/fsync_policy.h"
 #include "gov/governor.h"
 #include "graphlog/api.h"
 #include "storage/database.h"
@@ -69,6 +71,11 @@
 namespace graphlog {
 
 class Session;
+
+namespace durability {
+struct BatchCodec;  // durability/wal.h: WAL wire format for WriteBatch
+class Wal;
+}  // namespace durability
 
 /// \brief An immutable view of the database as of one committed epoch.
 ///
@@ -122,6 +129,7 @@ class WriteBatch {
 
  private:
   friend class Server;
+  friend struct durability::BatchCodec;
   struct Op {
     enum Kind : uint8_t { kFacts, kInsert, kLoadFile, kClear } kind;
     /// kFacts: the fact text; kInsert/kClear: the relation name;
@@ -147,6 +155,15 @@ struct ServerOptions {
   /// Admission control: OpenSession fails with kBudgetExceeded once this
   /// many sessions are open. 0 = unlimited.
   size_t max_sessions = 0;
+};
+
+/// \brief Durable-mode configuration for Server::Open.
+struct DurabilityOptions {
+  /// When an appended WAL record reaches stable storage (see
+  /// durability/fsync_policy.h for the per-policy crash contract).
+  durability::FsyncPolicy fsync = durability::FsyncPolicy::kAlways;
+  /// kGroupCommit: at most one fsync per this many milliseconds.
+  uint64_t group_window_ms = 5;
 };
 
 /// \brief Per-session configuration; all fields optional.
@@ -179,7 +196,21 @@ class Server {
   /// atomic batches but NO isolation.
   explicit Server(storage::Database* db, ServerOptions opts = {});
 
-  ~Server() = default;
+  /// \brief Durable mode: opens (creating if needed) the directory `dir`
+  /// and recovers the pre-crash state — the newest valid checkpoint plus
+  /// a replay of the WAL tail through the same batch-apply machinery
+  /// commits use. A torn WAL tail (interrupted final append) is
+  /// truncated and the committed prefix recovered; interior corruption
+  /// fails with kCorruptedLog and applies nothing. Once open, every
+  /// Apply() appends to the WAL and syncs per `dur.fsync` BEFORE its
+  /// epoch publishes. Caches, CSR snapshots, and statistics are not
+  /// durable — they rebuild cold. Direct database() mutations bypass the
+  /// log; durable servers must write through Apply().
+  static Result<std::unique_ptr<Server>> Open(const std::string& dir,
+                                              ServerOptions opts = {},
+                                              DurabilityOptions dur = {});
+
+  ~Server();
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
@@ -221,11 +252,43 @@ class Server {
 
   /// \brief Owning mode: re-publishes the head snapshot from the current
   /// authoritative state under a fresh epoch (for out-of-band direct
-  /// mutations via database()). No-op when attached.
+  /// mutations via database()). No-op when attached. NOT logged: a
+  /// durable server's out-of-band mutations do not survive recovery.
   void Publish();
+
+  /// \brief True when this server was opened durable (Server::Open).
+  bool durable() const { return wal_ != nullptr; }
+
+  /// \brief Durable mode: the directory holding wal.log + checkpoint.db.
+  const std::string& dir() const { return dir_; }
+
+  /// \brief Durable mode: the write-ahead log (null otherwise). For
+  /// status surfaces (tail offset, fsync policy) — appends stay behind
+  /// Apply().
+  durability::Wal* wal() const { return wal_.get(); }
+
+  /// \brief Durable mode: serializes the authoritative database at the
+  /// current epoch (temp-file + atomic rename; an aborted write never
+  /// clobbers the previous valid checkpoint) and truncates the WAL
+  /// behind it. Fails with kInvalidArgument on non-durable servers.
+  Status Checkpoint();
 
  private:
   friend class Session;
+
+  /// Everything needed to undo one successfully-applied batch: the
+  /// pre-batch size/stamp of every relation plus pre-batch copies of
+  /// cleared ones. The durable commit path uses it to roll back an
+  /// in-memory apply whose WAL append failed.
+  struct BatchUndo {
+    std::map<Symbol, std::pair<size_t, uint64_t>> pre_state;
+    std::map<Symbol, storage::Relation> cleared;
+  };
+
+  /// Restores `db` to the pre-batch state `undo` captured (created
+  /// relations removed, grown relations truncated, cleared relations
+  /// reinstated).
+  static void UndoBatch(storage::Database* db, BatchUndo&& undo);
 
   /// Applies every op of `batch` to `db` all-or-nothing; on failure the
   /// database is restored (created relations removed, grown relations
@@ -235,12 +298,16 @@ class Server {
   /// kLoadFile op, in op order; `replay_files` (when non-null) supplies
   /// those texts back so a replay applies the exact bytes the original
   /// commit read instead of re-reading files that may have changed on
-  /// disk since.
+  /// disk since. Every replay consumer — session fast-forward and WAL
+  /// recovery alike — goes through captured bytes; there is no
+  /// path-based replay. `undo` (when non-null) receives, on success, the
+  /// rollback state for UndoBatch.
   static Result<size_t> ApplyBatchTo(
       const WriteBatch& batch, storage::Database* db,
       const gov::GovernorContext* governor,
       std::vector<std::string>* capture_files = nullptr,
-      const std::vector<std::string>* replay_files = nullptr);
+      const std::vector<std::string>* replay_files = nullptr,
+      BatchUndo* undo = nullptr);
 
   Result<size_t> ApplyInternal(const WriteBatch& batch,
                                const gov::GovernorContext* governor,
@@ -268,6 +335,9 @@ class Server {
   std::atomic<uint64_t> epoch_{0};
   std::atomic<size_t> open_sessions_{0};
   std::atomic<uint64_t> session_seq_{0};
+  /// Durable mode only (Server::Open); null on in-memory servers.
+  std::unique_ptr<durability::Wal> wal_;
+  std::string dir_;
 };
 
 /// \brief A client handle: a pinned snapshot to query plus a write door.

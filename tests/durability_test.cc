@@ -1,0 +1,568 @@
+// Durability: WAL framing, checkpoint/recovery, durable Server mode, and
+// the crash-consistency sweep (DESIGN.md §13).
+//
+// The headline property here is the sweep: for a scripted workload,
+// crash/corrupt the log at every record boundary and sampled interior
+// offsets, and recovery must be bit-identical to replaying exactly the
+// committed prefix — torn tails truncated, interior corruption refused
+// wholesale with kCorruptedLog.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "durability/checkpoint.h"
+#include "durability/fsync_policy.h"
+#include "durability/wal.h"
+#include "gov/fault_injection.h"
+#include "obs/metrics.h"
+#include "server/server.h"
+#include "storage/io.h"
+#include "testing/crash_sweep.h"
+#include "tests/test_util.h"
+
+namespace graphlog {
+namespace {
+
+namespace fs = std::filesystem;
+using testutil::RelationSet;
+using testutil::RelationSize;
+
+std::string UniqueDir(const std::string& tag) {
+  static std::atomic<int> seq{0};
+  std::string dir = ::testing::TempDir() + "/graphlog_durability_" + tag +
+                    "_" + std::to_string(::getpid()) + "_" +
+                    std::to_string(seq.fetch_add(1));
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, std::string_view bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// ---------------------------------------------------------------------------
+// Building blocks
+
+TEST(DurabilityTest, CorruptedLogStatusCode) {
+  Status st = Status::CorruptedLog("boom");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCorruptedLog);
+  EXPECT_EQ(st.ToString(), "CorruptedLog: boom");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kCorruptedLog), "CorruptedLog");
+}
+
+TEST(DurabilityTest, Crc32KnownVectors) {
+  // The standard CRC-32 (IEEE) check value.
+  EXPECT_EQ(durability::Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(durability::Crc32("", 0), 0u);
+  EXPECT_NE(durability::Crc32("a", 1), durability::Crc32("b", 1));
+}
+
+TEST(DurabilityTest, FsyncPolicyNamesRoundTrip) {
+  for (auto p : {durability::FsyncPolicy::kAlways,
+                 durability::FsyncPolicy::kGroupCommit,
+                 durability::FsyncPolicy::kOff}) {
+    ASSERT_OK_AND_ASSIGN(
+        durability::FsyncPolicy back,
+        durability::ParseFsyncPolicy(durability::FsyncPolicyName(p)));
+    EXPECT_EQ(back, p);
+  }
+  EXPECT_FALSE(durability::ParseFsyncPolicy("sometimes").ok());
+}
+
+TEST(DurabilityTest, BatchCodecRoundTrip) {
+  WriteBatch batch;
+  batch.Facts("edge(a, b).\nedge(b, c).")
+      .Insert("edge", {"c", "d"})
+      .LoadFile("/tmp/some/path.facts")
+      .Clear("edge");
+  const std::vector<std::string> files = {"edge(x, y).\n"};
+  std::string encoded;
+  ASSERT_OK(durability::BatchCodec::Encode(batch, files, &encoded));
+
+  WriteBatch decoded;
+  std::vector<std::string> decoded_files;
+  ASSERT_OK(durability::BatchCodec::Decode(encoded, &decoded, &decoded_files));
+  EXPECT_EQ(decoded.size(), batch.size());
+  EXPECT_EQ(decoded_files, files);
+  // Re-encoding the decoded batch must reproduce the wire bytes exactly.
+  std::string reencoded;
+  ASSERT_OK(durability::BatchCodec::Encode(decoded, decoded_files, &reencoded));
+  EXPECT_EQ(reencoded, encoded);
+}
+
+TEST(DurabilityTest, BatchCodecRejectsFileCountMismatch) {
+  WriteBatch batch;
+  batch.LoadFile("/tmp/p.facts");
+  std::string encoded;
+  EXPECT_FALSE(durability::BatchCodec::Encode(batch, {}, &encoded).ok());
+}
+
+TEST(DurabilityTest, WalAppendScanRoundTrip) {
+  const std::string dir = UniqueDir("wal_roundtrip");
+  fs::create_directories(dir);
+  const std::string path = dir + "/wal.log";
+  {
+    ASSERT_OK_AND_ASSIGN(auto wal, durability::Wal::Open(path));
+    for (uint64_t e = 1; e <= 3; ++e) {
+      WriteBatch b;
+      b.Insert("edge", {"n" + std::to_string(e), "n" + std::to_string(e + 1)});
+      ASSERT_OK(wal->Append(e, b, {}));
+    }
+    EXPECT_GT(wal->tail_offset(), 0u);
+  }
+  ASSERT_OK_AND_ASSIGN(durability::WalScan scan, durability::ScanWal(path));
+  ASSERT_EQ(scan.records.size(), 3u);
+  EXPECT_FALSE(scan.torn);
+  EXPECT_EQ(scan.valid_prefix_bytes, scan.file_bytes);
+  for (uint64_t e = 1; e <= 3; ++e) {
+    EXPECT_EQ(scan.records[e - 1].epoch, e);
+    EXPECT_EQ(scan.records[e - 1].batch.size(), 1u);
+  }
+}
+
+TEST(DurabilityTest, ScanOfMissingFileIsEmpty) {
+  ASSERT_OK_AND_ASSIGN(
+      durability::WalScan scan,
+      durability::ScanWal(UniqueDir("no_such") + "/wal.log"));
+  EXPECT_TRUE(scan.records.empty());
+  EXPECT_FALSE(scan.torn);
+}
+
+TEST(DurabilityTest, CheckpointRoundTripPreservesValueKinds) {
+  const std::string dir = UniqueDir("ckpt_roundtrip");
+  fs::create_directories(dir);
+  storage::Database db;
+  ASSERT_OK(storage::LoadFacts(
+                "m(1, 2.5, x).\nm(-7, 0.0, y).\nedge(a, b).", &db)
+                .status());
+  const std::string path = dir + "/checkpoint.db";
+  ASSERT_OK(durability::WriteCheckpoint(path, db, 42));
+  ASSERT_OK_AND_ASSIGN(durability::CheckpointData back,
+                       durability::ReadCheckpoint(path));
+  ASSERT_TRUE(back.found);
+  EXPECT_EQ(back.epoch, 42u);
+  EXPECT_EQ(graphlog::testing::DatabaseFingerprint(back.db),
+            graphlog::testing::DatabaseFingerprint(db));
+}
+
+TEST(DurabilityTest, CheckpointMissingIsNotFoundCorruptIsRejected) {
+  const std::string dir = UniqueDir("ckpt_corrupt");
+  fs::create_directories(dir);
+  const std::string path = dir + "/checkpoint.db";
+  ASSERT_OK_AND_ASSIGN(durability::CheckpointData missing,
+                       durability::ReadCheckpoint(path));
+  EXPECT_FALSE(missing.found);
+
+  storage::Database db;
+  ASSERT_OK(db.AddSymFact("edge", {"a", "b"}));
+  ASSERT_OK(durability::WriteCheckpoint(path, db, 1));
+  std::string bytes = ReadFile(path);
+  ASSERT_GT(bytes.size(), 12u);
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x20);
+  WriteFile(path, bytes);
+  Result<durability::CheckpointData> corrupt =
+      durability::ReadCheckpoint(path);
+  ASSERT_FALSE(corrupt.ok());
+  EXPECT_EQ(corrupt.status().code(), StatusCode::kCorruptedLog);
+}
+
+TEST(DurabilityTest, FingerprintIgnoresSymbolIdDivergence) {
+  storage::Database a;
+  a.Intern("unrelated");  // shift every subsequent symbol id
+  a.Intern("padding");
+  storage::Database b;
+  ASSERT_OK(a.AddSymFact("edge", {"x", "y"}));
+  ASSERT_OK(b.AddSymFact("edge", {"x", "y"}));
+  EXPECT_EQ(graphlog::testing::DatabaseFingerprint(a),
+            graphlog::testing::DatabaseFingerprint(b));
+}
+
+// ---------------------------------------------------------------------------
+// Durable server: commit, recover, checkpoint
+
+TEST(DurabilityTest, DurableServerRecoversCommittedState) {
+  const std::string dir = UniqueDir("recover_basic");
+  uint64_t committed_epoch = 0;
+  {
+    ASSERT_OK_AND_ASSIGN(auto server, Server::Open(dir));
+    EXPECT_TRUE(server->durable());
+    WriteBatch b1;
+    b1.Facts("edge(a, b).\nedge(b, c).");
+    ASSERT_OK_AND_ASSIGN(size_t n1, server->Apply(b1));
+    EXPECT_EQ(n1, 2u);
+    WriteBatch b2;
+    b2.Insert("edge", {"c", "d"}).Insert("label", {"a", "root"});
+    ASSERT_OK(server->Apply(b2).status());
+    WriteBatch b3;
+    b3.Clear("label");
+    ASSERT_OK(server->Apply(b3).status());
+    committed_epoch = server->epoch();
+    EXPECT_EQ(committed_epoch, 3u);
+  }
+  ASSERT_OK_AND_ASSIGN(auto server, Server::Open(dir));
+  EXPECT_EQ(server->epoch(), committed_epoch);
+  EXPECT_EQ(RelationSet(server->database(), "edge"),
+            (std::set<std::string>{"a,b", "b,c", "c,d"}));
+  EXPECT_EQ(RelationSize(server->database(), "label"), 0u);
+  // The cleared relation stays declared, as after the original commits.
+  EXPECT_NE(server->database().Find("label"), nullptr);
+  // The recovered head snapshot serves sessions immediately.
+  ASSERT_OK_AND_ASSIGN(auto session, server->OpenSession());
+  EXPECT_EQ(RelationSet(session->database(), "edge"),
+            (std::set<std::string>{"a,b", "b,c", "c,d"}));
+}
+
+TEST(DurabilityTest, RecoveryReplaysCapturedFileContentsNotThePath) {
+  const std::string dir = UniqueDir("recover_loadfile");
+  fs::create_directories(dir);
+  const std::string facts = dir + "/input.facts";
+  WriteFile(facts, "edge(a, b).\n");
+  {
+    ASSERT_OK_AND_ASSIGN(auto server, Server::Open(dir));
+    WriteBatch b;
+    b.LoadFile(facts);
+    ASSERT_OK_AND_ASSIGN(size_t n, server->Apply(b));
+    EXPECT_EQ(n, 1u);
+  }
+  // The file changes on disk after the commit — and is then deleted.
+  // Recovery must replay the bytes captured AT COMMIT, not re-read it.
+  WriteFile(facts, "edge(poisoned, poisoned).\n");
+  {
+    ASSERT_OK_AND_ASSIGN(auto server, Server::Open(dir));
+    EXPECT_EQ(RelationSet(server->database(), "edge"),
+              (std::set<std::string>{"a,b"}));
+  }
+  fs::remove(facts);
+  ASSERT_OK_AND_ASSIGN(auto server, Server::Open(dir));
+  EXPECT_EQ(RelationSet(server->database(), "edge"),
+            (std::set<std::string>{"a,b"}));
+}
+
+TEST(DurabilityTest, CheckpointTruncatesWalAndRecoversThroughIt) {
+  const std::string dir = UniqueDir("checkpoint");
+  {
+    ASSERT_OK_AND_ASSIGN(auto server, Server::Open(dir));
+    WriteBatch b1;
+    b1.Facts("edge(a, b).");
+    ASSERT_OK(server->Apply(b1).status());
+    ASSERT_OK(server->Checkpoint());
+    EXPECT_EQ(server->wal()->tail_offset(), 0u);
+    EXPECT_TRUE(fs::exists(dir + "/checkpoint.db"));
+    WriteBatch b2;
+    b2.Facts("edge(b, c).");
+    ASSERT_OK(server->Apply(b2).status());
+    EXPECT_GT(server->wal()->tail_offset(), 0u);
+  }
+  ASSERT_OK_AND_ASSIGN(auto server, Server::Open(dir));
+  EXPECT_EQ(server->epoch(), 2u);
+  EXPECT_EQ(RelationSet(server->database(), "edge"),
+            (std::set<std::string>{"a,b", "b,c"}));
+}
+
+TEST(DurabilityTest, RecoverySkipsWalRecordsTheCheckpointCovers) {
+  // A crash between the checkpoint rename and the WAL truncation leaves
+  // records at or below the checkpoint epoch in the log; recovery must
+  // not apply them twice.
+  const std::string dir = UniqueDir("ckpt_overlap");
+  std::string wal_before;
+  {
+    ASSERT_OK_AND_ASSIGN(auto server, Server::Open(dir));
+    WriteBatch b1;
+    b1.Facts("edge(a, b).");
+    ASSERT_OK(server->Apply(b1).status());
+    WriteBatch b2;
+    b2.Clear("edge");
+    b2.Facts("edge(c, d).");
+    ASSERT_OK(server->Apply(b2).status());
+    wal_before = ReadFile(dir + "/wal.log");
+    // Checkpoint at epoch 2 written out-of-band: the WAL keeps both
+    // records, exactly the crash window's on-disk state.
+    ASSERT_OK(durability::WriteCheckpoint(dir + "/checkpoint.db",
+                                          server->database(),
+                                          server->epoch()));
+  }
+  WriteFile(dir + "/wal.log", wal_before);
+  ASSERT_OK_AND_ASSIGN(auto server, Server::Open(dir));
+  EXPECT_EQ(server->epoch(), 2u);
+  // Replaying record 1 after the checkpoint would resurrect edge(a, b)
+  // past the Clear; the epoch filter must skip it.
+  EXPECT_EQ(RelationSet(server->database(), "edge"),
+            (std::set<std::string>{"c,d"}));
+}
+
+TEST(DurabilityTest, TornTailIsTruncatedAndPrefixRecovered) {
+  const std::string dir = UniqueDir("torn");
+  std::string full;
+  {
+    ASSERT_OK_AND_ASSIGN(auto server, Server::Open(dir));
+    WriteBatch b;
+    b.Facts("edge(a, b).");
+    ASSERT_OK(server->Apply(b).status());
+    full = ReadFile(dir + "/wal.log");
+  }
+  // A fragment shorter than a record header: the classic torn append.
+  WriteFile(dir + "/wal.log", full + std::string("\x03\x00", 2));
+  {
+    ASSERT_OK_AND_ASSIGN(auto server, Server::Open(dir));
+    EXPECT_EQ(RelationSet(server->database(), "edge"),
+              (std::set<std::string>{"a,b"}));
+    EXPECT_EQ(server->epoch(), 1u);
+  }
+  EXPECT_EQ(fs::file_size(dir + "/wal.log"), full.size());
+}
+
+TEST(DurabilityTest, CorruptInteriorRecordIsRejectedNotPartiallyApplied) {
+  const std::string dir = UniqueDir("interior");
+  uint64_t first_record_end = 0;
+  {
+    ASSERT_OK_AND_ASSIGN(auto server, Server::Open(dir));
+    WriteBatch b1;
+    b1.Facts("edge(a, b).");
+    ASSERT_OK(server->Apply(b1).status());
+    first_record_end = server->wal()->tail_offset();
+    WriteBatch b2;
+    b2.Facts("edge(b, c).");
+    ASSERT_OK(server->Apply(b2).status());
+  }
+  std::string bytes = ReadFile(dir + "/wal.log");
+  ASSERT_GT(first_record_end, 12u);
+  // Flip one payload bit inside the FIRST record: complete, checksum
+  // fails, and more bytes follow — interior corruption.
+  bytes[12] = static_cast<char>(bytes[12] ^ 0x01);
+  WriteFile(dir + "/wal.log", bytes);
+  Result<std::unique_ptr<Server>> opened = Server::Open(dir);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kCorruptedLog);
+  // Refusal never rewrites the evidence.
+  EXPECT_EQ(ReadFile(dir + "/wal.log"), bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection on the durable commit path
+
+TEST(DurabilityTest, WalAppendFaultRollsBackTheCommit) {
+  const std::string dir = UniqueDir("fault_append");
+  gov::FaultInjector faults;
+  ServerOptions opts;
+  opts.faults = &faults;
+  ASSERT_OK_AND_ASSIGN(auto server, Server::Open(dir, opts));
+  WriteBatch b1;
+  b1.Facts("edge(a, b).");
+  ASSERT_OK(server->Apply(b1).status());
+
+  faults.Arm("wal.append", gov::FaultSpec{});
+  WriteBatch b2;
+  b2.Facts("edge(b, c).").Clear("edge");
+  Result<size_t> blocked = server->Apply(b2);
+  ASSERT_FALSE(blocked.ok());
+  // The in-memory apply rolled back: epoch unmoved, contents unchanged.
+  EXPECT_EQ(server->epoch(), 1u);
+  EXPECT_EQ(RelationSet(server->database(), "edge"),
+            (std::set<std::string>{"a,b"}));
+  faults.Disarm("wal.append");
+  ASSERT_OK(server->Apply(b2).status());
+  EXPECT_EQ(server->epoch(), 2u);
+  EXPECT_EQ(RelationSize(server->database(), "edge"), 0u);
+}
+
+TEST(DurabilityTest, WalFsyncFaultRollsBackTheCommitAndTheAppend) {
+  const std::string dir = UniqueDir("fault_fsync");
+  gov::FaultInjector faults;
+  ServerOptions opts;
+  opts.faults = &faults;
+  uint64_t tail = 0;
+  {
+    ASSERT_OK_AND_ASSIGN(auto server, Server::Open(dir, opts));
+    WriteBatch b1;
+    b1.Facts("edge(a, b).");
+    ASSERT_OK(server->Apply(b1).status());
+    tail = server->wal()->tail_offset();
+
+    faults.Arm("wal.fsync", gov::FaultSpec{});
+    WriteBatch b2;
+    b2.Facts("edge(b, c).");
+    ASSERT_FALSE(server->Apply(b2).ok());
+    EXPECT_EQ(server->epoch(), 1u);
+    // The un-synced record was unwound from the log too: no record may
+    // exist for an epoch that never published.
+    EXPECT_EQ(server->wal()->tail_offset(), tail);
+    faults.Disarm("wal.fsync");
+  }
+  ASSERT_OK_AND_ASSIGN(auto server, Server::Open(dir));
+  EXPECT_EQ(server->epoch(), 1u);
+  EXPECT_EQ(RelationSet(server->database(), "edge"),
+            (std::set<std::string>{"a,b"}));
+}
+
+TEST(DurabilityTest, AbortedCheckpointNeverClobbersThePreviousOne) {
+  const std::string dir = UniqueDir("fault_ckpt");
+  gov::FaultInjector faults;
+  ServerOptions opts;
+  opts.faults = &faults;
+  ASSERT_OK_AND_ASSIGN(auto server, Server::Open(dir, opts));
+  WriteBatch b1;
+  b1.Facts("edge(a, b).");
+  ASSERT_OK(server->Apply(b1).status());
+  ASSERT_OK(server->Checkpoint());
+  const std::string good = ReadFile(dir + "/checkpoint.db");
+
+  WriteBatch b2;
+  b2.Facts("edge(b, c).");
+  ASSERT_OK(server->Apply(b2).status());
+  const uint64_t wal_tail = server->wal()->tail_offset();
+  faults.Arm("checkpoint.write", gov::FaultSpec{});
+  ASSERT_FALSE(server->Checkpoint().ok());
+  // Previous checkpoint intact, WAL not truncated: nothing was lost.
+  EXPECT_EQ(ReadFile(dir + "/checkpoint.db"), good);
+  EXPECT_EQ(server->wal()->tail_offset(), wal_tail);
+  faults.Disarm("checkpoint.write");
+
+  ASSERT_OK(server->Checkpoint());
+  EXPECT_NE(ReadFile(dir + "/checkpoint.db"), good);
+}
+
+// ---------------------------------------------------------------------------
+// Fsync policies and sessions
+
+TEST(DurabilityTest, GroupCommitAndOffPoliciesStillRecoverOnCleanClose) {
+  for (auto policy : {durability::FsyncPolicy::kGroupCommit,
+                      durability::FsyncPolicy::kOff}) {
+    const std::string dir =
+        UniqueDir(std::string("policy_") +
+                  std::string(durability::FsyncPolicyName(policy)));
+    DurabilityOptions dur;
+    dur.fsync = policy;
+    {
+      ASSERT_OK_AND_ASSIGN(auto server, Server::Open(dir, {}, dur));
+      EXPECT_EQ(server->wal()->fsync_policy(), policy);
+      WriteBatch b;
+      b.Facts("edge(a, b).");
+      ASSERT_OK(server->Apply(b).status());
+    }
+    ASSERT_OK_AND_ASSIGN(auto server, Server::Open(dir));
+    EXPECT_EQ(RelationSet(server->database(), "edge"),
+              (std::set<std::string>{"a,b"}));
+  }
+}
+
+TEST(DurabilityTest, SessionsWriteThroughTheDurableServer) {
+  const std::string dir = UniqueDir("sessions");
+  {
+    ASSERT_OK_AND_ASSIGN(auto server, Server::Open(dir));
+    ASSERT_OK_AND_ASSIGN(auto session, server->OpenSession());
+    WriteBatch b;
+    b.Facts("edge(a, b).\nedge(b, c).");
+    ASSERT_OK(session->Apply(b).status());
+    // The session fast-forwarded onto the committed epoch.
+    EXPECT_EQ(session->epoch(), server->epoch());
+    ASSERT_OK(session
+                  ->Run(QueryRequest::GraphLog(
+                      "query tc { edge X -> Y : edge+; "
+                      "distinguished X -> Y : tc; }"))
+                  .status());
+    EXPECT_EQ(RelationSet(session->database(), "tc"),
+              (std::set<std::string>{"a,b", "a,c", "b,c"}));
+  }
+  ASSERT_OK_AND_ASSIGN(auto server, Server::Open(dir));
+  // Only the committed EDB recovers; session query materializations are
+  // session-local and were never part of the authoritative state.
+  EXPECT_EQ(RelationSet(server->database(), "edge"),
+            (std::set<std::string>{"a,b", "b,c"}));
+}
+
+TEST(DurabilityTest, CheckpointRequiresDurableServer) {
+  Server server;
+  Status st = server.Checkpoint();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(server.durable());
+}
+
+TEST(DurabilityTest, DurabilityMetricsArePublished) {
+  const std::string dir = UniqueDir("metrics");
+  obs::MetricsRegistry metrics;
+  ServerOptions opts;
+  opts.metrics = &metrics;
+  {
+    ASSERT_OK_AND_ASSIGN(auto server, Server::Open(dir, opts));
+    WriteBatch b;
+    b.Facts("edge(a, b).");
+    ASSERT_OK(server->Apply(b).status());
+    ASSERT_OK(server->Checkpoint());
+    WriteBatch b2;
+    b2.Facts("edge(b, c).");
+    ASSERT_OK(server->Apply(b2).status());
+  }
+  EXPECT_EQ(metrics.counter("wal.appends")->value(), 2u);
+  EXPECT_GE(metrics.counter("wal.fsyncs")->value(), 2u);
+  EXPECT_GT(metrics.counter("wal.bytes_appended")->value(), 0u);
+  EXPECT_EQ(metrics.counter("checkpoint.writes")->value(), 1u);
+  EXPECT_EQ(metrics.counter("recovery.runs")->value(), 1u);
+
+  obs::MetricsRegistry metrics2;
+  ServerOptions opts2;
+  opts2.metrics = &metrics2;
+  ASSERT_OK_AND_ASSIGN(auto server, Server::Open(dir, opts2));
+  EXPECT_EQ(metrics2.counter("recovery.runs")->value(), 1u);
+  EXPECT_EQ(metrics2.counter("recovery.replayed_records")->value(), 1u);
+  EXPECT_EQ(metrics2.gauge("recovery.epoch")->value(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// The headline artifact: the crash-consistency sweep
+
+TEST(DurabilityTest, CrashConsistencySweepPassesExhaustively) {
+  const std::string dir = UniqueDir("sweep");
+  fs::create_directories(dir);
+  const std::string facts = dir + "/bulk.facts";
+  WriteFile(facts, "edge(f1, f2).\nedge(f2, f3).\nweight(f1, 10).\n");
+
+  std::vector<WriteBatch> workload;
+  WriteBatch b1;
+  b1.Facts("edge(a, b).\nedge(b, c).\nedge(c, a).");
+  workload.push_back(b1);
+  WriteBatch b2;
+  b2.Insert("edge", {"c", "d"}).Insert("label", {"a", "root"});
+  workload.push_back(b2);
+  WriteBatch b3;
+  b3.LoadFile(facts);
+  workload.push_back(b3);
+  WriteBatch b4;
+  b4.Clear("label").Facts("label(d, leaf).\nscore(d, 3).");
+  workload.push_back(b4);
+  WriteBatch b5;
+  b5.Facts("edge(d, e).").Clear("score").Insert("edge", {"e", "a"});
+  workload.push_back(b5);
+
+  ASSERT_OK_AND_ASSIGN(
+      graphlog::testing::CrashSweepReport report,
+      graphlog::testing::RunCrashSweep(dir + "/state", workload));
+  for (const std::string& f : report.failures) ADD_FAILURE() << f;
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.commits, workload.size());
+  // Every record boundary (commits + the empty log) plus interior
+  // samples for each record.
+  EXPECT_GE(report.truncation_points, workload.size() + 1);
+  EXPECT_GT(report.bitflip_points, 0u);
+  EXPECT_GT(report.torn_tails_repaired, 0u);
+  EXPECT_GT(report.corruptions_rejected, 0u);
+}
+
+}  // namespace
+}  // namespace graphlog
