@@ -32,6 +32,8 @@
 //   .session open|list|switch  multiplex epoch-snapshot server sessions
 //   .wal on DIR|off|status     durable mode: write-ahead log + checkpoints
 //   .checkpoint | .recover     checkpoint now / live crash-recovery drill
+//   .serve PORT                serve this shell's server over TCP
+//   .connect HOST:PORT         attach to a remote graphlogd
 //   .help | .quit
 //
 // Reads from stdin, so it is scriptable: `graphlog_shell < script.glog`.
@@ -65,6 +67,8 @@
 #include "graphlog/api.h"
 #include "graphlog/dot.h"
 #include "graphlog/parser.h"
+#include "net/client.h"
+#include "net/net_server.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/slow_query_log.h"
@@ -165,7 +169,8 @@ void PrintHelp() {
       "  .fault SITE stall MS [N] stall SITE's Nth hit for MS milliseconds\n"
       "                           (sites: eval.round pool.task tc.expand\n"
       "                           rpq.step io.load csr.build wal.append\n"
-      "                           wal.fsync checkpoint.write)\n"
+      "                           wal.fsync checkpoint.write net.accept\n"
+      "                           net.read net.write)\n"
       "  .fault clear             disarm everything\n"
       "  .cache on|off            toggle the query result cache (off by\n"
       "                           default; while on, .why provenance is\n"
@@ -194,6 +199,16 @@ void PrintHelp() {
       "  .recover                 close the durable server and re-open it\n"
       "                           through checkpoint load + WAL replay —\n"
       "                           a live drill of the crash-restart path\n"
+      "  .serve PORT              serve this shell's server over TCP on\n"
+      "                           127.0.0.1:PORT (0 = ephemeral); remote\n"
+      "                           clients get epoch-snapshot sessions\n"
+      "  .serve status            listener address, connections, sheds\n"
+      "  .serve stop              stop listening (connections close)\n"
+      "  .connect HOST:PORT       attach to a remote graphlogd; facts,\n"
+      "                           queries, .datalog, .load, .show, and\n"
+      "                           .relations then run on a remote session\n"
+      "  .disconnect              drop the remote connection; commands\n"
+      "                           run against the local server again\n"
       "  .view define NAME QUERY  materialize a graphical query as view\n"
       "                           NAME, kept fresh incrementally as facts\n"
       "                           arrive; matching queries answer from it\n"
@@ -294,6 +309,18 @@ class Shell {
       return;
     }
     if (line == ".relations") {
+      if (remote_ != nullptr) {
+        auto infos = remote_->ListRelations();
+        if (!infos.ok()) {
+          std::printf("error: %s\n", infos.status().ToString().c_str());
+          return;
+        }
+        for (const auto& info : *infos) {
+          std::printf("  %s/%u: %llu tuples\n", info.name.c_str(), info.arity,
+                      static_cast<unsigned long long>(info.rows));
+        }
+        return;
+      }
       for (const auto& [name, rel] : db().relations()) {
         std::printf("  %s/%zu: %zu tuples\n",
                     db().symbols().name(name).c_str(), rel.arity(),
@@ -303,6 +330,15 @@ class Shell {
     }
     if (StartsWith(line, ".show ")) {
       std::string name(Trim(line.substr(6)));
+      if (remote_ != nullptr) {
+        auto text = remote_->FetchRelation(name);
+        if (!text.ok()) {
+          std::printf("error: %s\n", text.status().ToString().c_str());
+        } else {
+          std::printf("%s", text->c_str());
+        }
+        return;
+      }
       Symbol s = db().symbols().Lookup(name);
       if (s == kNoSymbol || db().Find(s) == nullptr) {
         std::printf("no relation '%s'\n", name.c_str());
@@ -312,6 +348,14 @@ class Shell {
       return;
     }
     if (StartsWith(line, ".load ")) {
+      if (remote_ != nullptr) {
+        // The Client reads the file HERE and ships its bytes as facts;
+        // the server never resolves a path on its own filesystem.
+        auto r = remote_->Apply(
+            WriteBatch().LoadFile(std::string(Trim(line.substr(6)))));
+        Report(r.status(), r.ok() ? r->facts : 0, "facts loaded (remote)");
+        return;
+      }
       gov::GovernorContext governor = MakeGovernor();
       auto r = active().Apply(
           WriteBatch().LoadFile(std::string(Trim(line.substr(6)))),
@@ -453,7 +497,30 @@ class Shell {
       Explain(text);
       return;
     }
+    if (line == ".serve" || StartsWith(line, ".serve ")) {
+      HandleServe(line == ".serve" ? "" : std::string(Trim(line.substr(7))));
+      return;
+    }
+    if (StartsWith(line, ".connect ")) {
+      HandleConnect(std::string(Trim(line.substr(9))));
+      return;
+    }
+    if (line == ".disconnect") {
+      if (remote_ == nullptr) {
+        std::printf("not connected\n");
+        return;
+      }
+      remote_.reset();
+      std::printf("disconnected from %s; commands run locally again\n",
+                  remote_addr_.c_str());
+      remote_addr_.clear();
+      return;
+    }
     if (StartsWith(line, ".datalog ")) {
+      if (remote_ != nullptr) {
+        RemoteQuery(line.substr(9), /*datalog=*/true);
+        return;
+      }
       last_store_ = eval::ProvenanceStore();
       gov::GovernorContext governor = MakeGovernor();
       QueryRequest req = QueryRequest::Datalog(line.substr(9));
@@ -507,6 +574,11 @@ class Shell {
       return;
     }
     if (!line.empty() && line.back() == '.') {
+      if (remote_ != nullptr) {
+        auto r = remote_->Apply(WriteBatch().Facts(line));
+        Report(r.status(), r.ok() ? r->facts : 0, "facts added (remote)");
+        return;
+      }
       // Ground facts commit through the server (atomic batch, new
       // epoch); the writing session fast-forwards in place.
       auto r = active().Apply(WriteBatch().Facts(line));
@@ -532,6 +604,10 @@ class Shell {
       std::string name = pending_view_name_;
       pending_view_name_.clear();
       DefineView(name, text);
+      return;
+    }
+    if (remote_ != nullptr) {
+      RemoteQuery(text, /*datalog=*/false);
       return;
     }
     last_store_ = eval::ProvenanceStore();
@@ -565,6 +641,118 @@ class Shell {
                 static_cast<unsigned long long>(stats.datalog.tuples_derived),
                 static_cast<unsigned long long>(stats.graphs_translated),
                 static_cast<unsigned long long>(stats.graphs_summarized));
+  }
+
+  /// Runs one query on the remote session, carrying the shell's eval
+  /// knobs (.threads, .columnar) and limits (.limit) over the wire.
+  void RemoteQuery(const std::string& text, bool datalog) {
+    net::WireQuery q;
+    q.language = datalog ? 1 : 0;
+    q.text = text;
+    q.num_threads = opts_.eval.num_threads;
+    q.columnar = opts_.eval.columnar;
+    q.specialize_bound_closures = opts_.translation.specialize_bound_closures;
+    q.budget = budget_;
+    q.deadline_ms = deadline_ms_;
+    auto r = remote_->Run(q);
+    if (!r.ok()) {
+      std::printf("error: %s\n", r.status().ToString().c_str());
+      if (r.status().code() == StatusCode::kOverloaded &&
+          remote_->last_retry_after_ms() != 0) {
+        std::printf("(server advises retry after %u ms)\n",
+                    remote_->last_retry_after_ms());
+      }
+      return;
+    }
+    if (r->truncated) std::printf("truncated: %s\n", r->truncated_by.c_str());
+    if (r->cache_hit) std::printf("(result cache hit)\n");
+    if (r->served_from_view) std::printf("(served from materialized view)\n");
+    std::printf("%llu tuples derived (%llu graphs translated, %llu "
+                "summarized) [remote epoch %llu]\n",
+                static_cast<unsigned long long>(r->tuples_derived),
+                static_cast<unsigned long long>(r->graphs_translated),
+                static_cast<unsigned long long>(r->graphs_summarized),
+                static_cast<unsigned long long>(r->epoch));
+  }
+
+  void HandleServe(const std::string& arg) {
+    if (arg.empty() || arg == "status") {
+      if (net_server_ == nullptr) {
+        std::printf("not serving; .serve PORT\n");
+        return;
+      }
+      std::printf("serving on 127.0.0.1:%u — %zu connections, %llu shed\n",
+                  net_server_->port(), net_server_->active_connections(),
+                  static_cast<unsigned long long>(net_server_->rejected()));
+      return;
+    }
+    if (arg == "stop") {
+      if (net_server_ == nullptr) {
+        std::printf("not serving\n");
+        return;
+      }
+      net_server_->Stop();
+      net_server_.reset();
+      std::printf("stopped serving\n");
+      return;
+    }
+    uint64_t port = 0;
+    if (!ParseU64(arg, &port) || port > 65535) {
+      std::printf("usage: .serve [PORT | status | stop]\n");
+      return;
+    }
+    if (net_server_ != nullptr) {
+      std::printf("already serving on port %u; .serve stop first\n",
+                  net_server_->port());
+      return;
+    }
+    net::NetServerOptions nopts;
+    nopts.port = static_cast<uint16_t>(port);
+    nopts.metrics = &metrics_;
+    nopts.faults = &faults_;
+    auto started = net::NetServer::Start(server_.get(), nopts);
+    if (!started.ok()) {
+      std::printf("error: %s\n", started.status().ToString().c_str());
+      return;
+    }
+    net_server_ = std::move(*started);
+    std::printf("serving on 127.0.0.1:%u (.connect %s:%u from another "
+                "shell)\n",
+                net_server_->port(), "127.0.0.1", net_server_->port());
+  }
+
+  void HandleConnect(const std::string& arg) {
+    const size_t colon = arg.rfind(':');
+    uint64_t port = 0;
+    if (colon == std::string::npos || colon == 0 ||
+        !ParseU64(arg.substr(colon + 1), &port) || port == 0 ||
+        port > 65535) {
+      std::printf("usage: .connect HOST:PORT\n");
+      return;
+    }
+    if (remote_ != nullptr) {
+      std::printf("already connected to %s; .disconnect first\n",
+                  remote_addr_.c_str());
+      return;
+    }
+    const std::string host = arg.substr(0, colon);
+    auto client = net::Client::Connect(host, static_cast<uint16_t>(port));
+    if (!client.ok()) {
+      std::printf("error: %s\n", client.status().ToString().c_str());
+      return;
+    }
+    auto session = (*client)->OpenSession();
+    if (!session.ok()) {
+      std::printf("error: %s\n", session.status().ToString().c_str());
+      return;
+    }
+    remote_ = std::move(*client);
+    remote_addr_ = arg;
+    std::printf("connected to %s — session %s at epoch %llu; facts, "
+                "queries, .datalog, .load, .show, .relations now run "
+                "remotely (.disconnect to detach)\n",
+                arg.c_str(), session->name.c_str(),
+                static_cast<unsigned long long>(session->epoch));
   }
 
   void Explain(const std::string& text) {
@@ -980,6 +1168,13 @@ class Shell {
   /// session. Sessions pin snapshots owned by the old server, so every
   /// open session must be dropped before the old server is.
   bool SwapServer(std::unique_ptr<Server> next) {
+    // Remote connections hold sessions pinned to the old server; the
+    // listener must drain before the server it fronts is replaced.
+    if (net_server_ != nullptr) {
+      net_server_->Stop();
+      net_server_.reset();
+      std::printf("(stopped serving: the served server was replaced)\n");
+    }
     auto main_session = next->OpenSession({.name = "main"});
     if (!main_session.ok()) {
       std::printf("error: %s\n", main_session.status().ToString().c_str());
@@ -1087,6 +1282,11 @@ class Shell {
       return;
     }
     const std::string dir = server_->dir();
+    if (net_server_ != nullptr) {
+      net_server_->Stop();
+      net_server_.reset();
+      std::printf("(stopped serving: the served server was replaced)\n");
+    }
     sessions_.clear();
     server_.reset();
     auto reopened = Server::Open(dir, MakeServerOptions());
@@ -1301,6 +1501,13 @@ class Shell {
   std::unique_ptr<Server> server_;
   std::map<std::string, std::unique_ptr<Session>> sessions_;
   std::string active_;
+  // Network front end: `.serve` exposes server_ over TCP (stopped before
+  // any server swap — remote sessions pin its snapshots), and `.connect`
+  // attaches the shell to a remote graphlogd, routing the data commands
+  // through this client until `.disconnect`.
+  std::unique_ptr<net::NetServer> net_server_;
+  std::unique_ptr<net::Client> remote_;
+  std::string remote_addr_;
 };
 
 }  // namespace

@@ -25,14 +25,20 @@
 # codecs — exactly where ASan finds the off-by-ones, and the durable
 # commit path interleaves with session reads under TSan.
 #
+# The net label (net_test) joins them: the TCP front end runs one
+# handler thread per connection against the Server's writer mutex, and
+# Stop() tears all of them down mid-request — connection threads vs the
+# committing writer is precisely a TSan workload, and the frame codecs
+# shuffling length-prefixed bytes are an ASan one.
+#
 # Usage: scripts/run_sanitizer_lanes.sh [LABEL] [BUILD_ROOT]
-# Defaults: LABEL = 'robustness|cache|profile|durability' (a ctest -L
+# Defaults: LABEL = 'robustness|cache|profile|durability|net' (a ctest -L
 # regex), BUILD_ROOT = build-san (creates ${BUILD_ROOT}-thread and
 # ${BUILD_ROOT}-address).
 
 set -euo pipefail
 
-LABEL="${1:-robustness|cache|profile|durability}"
+LABEL="${1:-robustness|cache|profile|durability|net}"
 BUILD_ROOT="${2:-build-san}"
 SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 4)"

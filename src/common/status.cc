@@ -42,6 +42,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "BudgetExceeded";
     case StatusCode::kCorruptedLog:
       return "CorruptedLog";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
   }
   return "Unknown";
 }

@@ -36,6 +36,7 @@ enum class StatusCode : int {
   kDeadlineExceeded = 16, ///< wall-clock deadline tripped mid-query
   kBudgetExceeded = 17,   ///< resource budget (rows/rounds/bytes) tripped
   kCorruptedLog = 18,     ///< WAL/checkpoint bytes fail integrity checks
+  kOverloaded = 19,       ///< admission control shed the request (net/)
 };
 
 /// \brief Human-readable name of a StatusCode.
@@ -111,6 +112,9 @@ class Status {
   }
   static Status CorruptedLog(std::string msg) {
     return Status(StatusCode::kCorruptedLog, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
 
   bool ok() const { return state_ == nullptr; }

@@ -26,6 +26,14 @@
 //   checkpoint.write — before a checkpoint writes any byte
 //                  (durability/checkpoint.cc); an aborted write never
 //                  clobbers the previous valid checkpoint
+//   net.accept   — after the TCP listener accepts a connection
+//                  (net/net_server.cc); an injected failure answers one
+//                  error frame and closes, counted as a rejection
+//   net.read     — before each request frame is read off a connection;
+//                  an injected failure drops the connection
+//   net.write    — before each response frame is written; an injected
+//                  failure drops the connection (the client observes a
+//                  severed stream, never a half-written frame)
 //
 // Hit counts are tracked per site whether or not a fault is armed, so
 // tests can assert coverage ("the loader consulted io.load exactly

@@ -1,0 +1,192 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "durability/wal.h"
+
+namespace graphlog::net {
+
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const int rc =
+      ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &res);
+  if (rc != 0) {
+    return Status::NotFound("cannot resolve '" + host +
+                            "': " + gai_strerror(rc));
+  }
+  int fd = -1;
+  Status last = Status::NotFound("no address resolved for '" + host + "'");
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    last = Status::Internal("connect to " + host + ":" +
+                            std::to_string(port) +
+                            " failed: " + std::strerror(errno));
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) return last;
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  std::unique_ptr<Client> client(new Client(fd));
+  Frame hello;
+  hello.type = MsgType::kHello;
+  EncodeHello(WireHello{kProtocolVersion}, &hello.body);
+  GRAPHLOG_ASSIGN_OR_RETURN(Frame ok,
+                            client->RoundTrip(hello, MsgType::kHelloOk));
+  WireHello server_hello;
+  GRAPHLOG_RETURN_NOT_OK(DecodeHello(ok.body, &server_hello));
+  if (server_hello.version != kProtocolVersion) {
+    return Status::Unsupported(
+        "server speaks protocol version " +
+        std::to_string(server_hello.version) + ", this client speaks " +
+        std::to_string(kProtocolVersion));
+  }
+  return client;
+}
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Frame> Client::RoundTrip(const Frame& req, MsgType expect) {
+  if (fd_ < 0) return Status::Internal("client connection is closed");
+  Status st = SendFrame(fd_, req, nullptr);
+  if (!st.ok()) {
+    Close();
+    return st;
+  }
+  Result<Frame> resp = RecvFrame(fd_, nullptr);
+  if (!resp.ok()) {
+    Close();
+    if (IsCleanClose(resp.status())) {
+      return Status::Internal("server closed the connection");
+    }
+    return resp.status();
+  }
+  if (resp->type == MsgType::kError) {
+    WireError err;
+    GRAPHLOG_RETURN_NOT_OK(DecodeError(resp->body, &err));
+    last_retry_after_ms_ =
+        err.code == StatusCode::kOverloaded ? err.retry_after_ms : 0;
+    return WireErrorToStatus(err);
+  }
+  last_retry_after_ms_ = 0;
+  if (resp->type != expect) {
+    Close();  // the stream is out of step; nothing later can be trusted
+    return Status::Internal(
+        "unexpected response frame type " +
+        std::to_string(static_cast<int>(resp->type)) + " (wanted " +
+        std::to_string(static_cast<int>(expect)) + ")");
+  }
+  return resp;
+}
+
+Result<WireSessionInfo> Client::OpenSession(const WireSessionOpen& opts) {
+  Frame req;
+  req.type = MsgType::kOpenSession;
+  EncodeSessionOpen(opts, &req.body);
+  GRAPHLOG_ASSIGN_OR_RETURN(Frame resp,
+                            RoundTrip(req, MsgType::kSessionOpened));
+  WireSessionInfo info;
+  GRAPHLOG_RETURN_NOT_OK(DecodeSessionInfo(resp.body, &info));
+  return info;
+}
+
+Result<WireQueryResult> Client::Run(const WireQuery& query) {
+  Frame req;
+  req.type = MsgType::kQuery;
+  EncodeQuery(query, &req.body);
+  GRAPHLOG_ASSIGN_OR_RETURN(Frame resp, RoundTrip(req, MsgType::kQueryResult));
+  WireQueryResult out;
+  GRAPHLOG_RETURN_NOT_OK(DecodeQueryResult(resp.body, &out));
+  return out;
+}
+
+Result<WireApplyResult> Client::Apply(const WriteBatch& batch) {
+  // Capture-at-source: any kLoadFile op is read HERE and shipped as
+  // facts, so the server never resolves a path on its filesystem.
+  const WriteBatch* to_send = &batch;
+  WriteBatch captured;
+  if (WireBatchAccess::HasLoadFile(batch)) {
+    GRAPHLOG_ASSIGN_OR_RETURN(captured,
+                              WireBatchAccess::CaptureLoadFiles(batch));
+    to_send = &captured;
+  }
+  Frame req;
+  req.type = MsgType::kApplyBatch;
+  GRAPHLOG_RETURN_NOT_OK(
+      durability::BatchCodec::Encode(*to_send, {}, &req.body));
+  GRAPHLOG_ASSIGN_OR_RETURN(Frame resp, RoundTrip(req, MsgType::kApplyResult));
+  WireApplyResult out;
+  GRAPHLOG_RETURN_NOT_OK(DecodeApplyResult(resp.body, &out));
+  return out;
+}
+
+Result<WireSessionInfo> Client::Refresh() {
+  Frame req;
+  req.type = MsgType::kRefresh;
+  GRAPHLOG_ASSIGN_OR_RETURN(Frame resp, RoundTrip(req, MsgType::kRefreshed));
+  WireSessionInfo info;
+  GRAPHLOG_RETURN_NOT_OK(DecodeSessionInfo(resp.body, &info));
+  return info;
+}
+
+Result<std::string> Client::FetchRelation(const std::string& name) {
+  Frame req;
+  req.type = MsgType::kFetchRelation;
+  PutStr(&req.body, name);
+  GRAPHLOG_ASSIGN_OR_RETURN(Frame resp,
+                            RoundTrip(req, MsgType::kRelationData));
+  Cursor c{resp.body};
+  std::string text;
+  if (!c.GetStr(&text) || !c.done()) {
+    return Status::InvalidArgument("malformed relation-data body");
+  }
+  return text;
+}
+
+Result<std::vector<WireRelationInfo>> Client::ListRelations() {
+  Frame req;
+  req.type = MsgType::kListRelations;
+  GRAPHLOG_ASSIGN_OR_RETURN(Frame resp,
+                            RoundTrip(req, MsgType::kRelationList));
+  std::vector<WireRelationInfo> infos;
+  GRAPHLOG_RETURN_NOT_OK(DecodeRelationList(resp.body, &infos));
+  return infos;
+}
+
+Status Client::CloseSession() {
+  Frame req;
+  req.type = MsgType::kCloseSession;
+  return RoundTrip(req, MsgType::kSessionClosed).status();
+}
+
+Status Client::Ping() {
+  Frame req;
+  req.type = MsgType::kPing;
+  return RoundTrip(req, MsgType::kPong).status();
+}
+
+}  // namespace graphlog::net

@@ -1,0 +1,90 @@
+// Client: the blocking remote counterpart of server/server.h's Session.
+//
+// A Client holds one TCP connection to a NetServer and mirrors the
+// Session surface — OpenSession / Run / Apply / Refresh plus relation
+// fetches — over the framed protocol (net/protocol.h). Because the
+// server executes remote requests through the very same Session code
+// path an in-process caller uses, results observed through a Client are
+// bit-identical to in-process ones: the same epochs, the same stats,
+// the same Status taxonomy on failure (a remote kBudgetExceeded arrives
+// as kBudgetExceeded, and an admission-control rejection arrives as
+// kOverloaded with last_retry_after_ms() holding the server's advice).
+//
+// One request in flight at a time: a Client is single-caller, exactly
+// like the Session it fronts. Open one Client per thread.
+
+#ifndef GRAPHLOG_NET_CLIENT_H_
+#define GRAPHLOG_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "net/protocol.h"
+
+namespace graphlog::net {
+
+/// \brief A blocking connection to one NetServer, fronting one Session.
+class Client {
+ public:
+  /// \brief Connects to `host:port` and performs the version handshake.
+  static Result<std::unique_ptr<Client>> Connect(const std::string& host,
+                                                 uint16_t port);
+
+  ~Client();  ///< Closes the connection.
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// \brief Opens this connection's session (at most one). Empty name =
+  /// server assigns; zero budget/deadline = server defaults.
+  Result<WireSessionInfo> OpenSession(const WireSessionOpen& opts = {});
+
+  /// \brief Runs one query on the remote session. Mirrors Session::Run.
+  Result<WireQueryResult> Run(const WireQuery& query);
+
+  /// \brief Commits `batch` through the remote session (mirrors
+  /// Session::Apply). kLoadFile ops are captured here — the file is read
+  /// on THIS machine and shipped as facts; the server never touches its
+  /// own filesystem on our behalf.
+  Result<WireApplyResult> Apply(const WriteBatch& batch);
+
+  /// \brief Re-pins the remote session to the head snapshot.
+  Result<WireSessionInfo> Refresh();
+
+  /// \brief Fetches one relation's rows as fact text ("rel(a, b)." lines,
+  /// the Database::RelationToString rendering).
+  Result<std::string> FetchRelation(const std::string& name);
+
+  /// \brief Lists relations visible to the remote session.
+  Result<std::vector<WireRelationInfo>> ListRelations();
+
+  /// \brief Closes the remote session (the connection stays usable).
+  Status CloseSession();
+
+  Status Ping();
+
+  /// \brief Severs the connection; every later call fails. Idempotent.
+  void Close();
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// \brief Retry advice from the most recent kOverloaded rejection (ms);
+  /// 0 when the last error carried none.
+  uint32_t last_retry_after_ms() const { return last_retry_after_ms_; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  /// Sends `req` and reads the one response frame, unwrapping kError
+  /// frames into their Status. `expect` is the success frame type.
+  Result<Frame> RoundTrip(const Frame& req, MsgType expect);
+
+  int fd_ = -1;
+  uint32_t last_retry_after_ms_ = 0;
+};
+
+}  // namespace graphlog::net
+
+#endif  // GRAPHLOG_NET_CLIENT_H_

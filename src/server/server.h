@@ -77,6 +77,10 @@ struct BatchCodec;  // durability/wal.h: WAL wire format for WriteBatch
 class Wal;
 }  // namespace durability
 
+namespace net {
+struct WireBatchAccess;  // net/protocol.h: batch translation for the wire
+}  // namespace net
+
 /// \brief An immutable view of the database as of one committed epoch.
 ///
 /// Shared versions: relations a commit does not touch are carried over
@@ -130,6 +134,7 @@ class WriteBatch {
  private:
   friend class Server;
   friend struct durability::BatchCodec;
+  friend struct net::WireBatchAccess;
   struct Op {
     enum Kind : uint8_t { kFacts, kInsert, kLoadFile, kClear } kind;
     /// kFacts: the fact text; kInsert/kClear: the relation name;

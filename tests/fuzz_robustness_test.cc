@@ -6,6 +6,10 @@
 // thread|address), where "no crash" also means "no UB the tools can see".
 
 #include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <filesystem>
@@ -24,6 +28,9 @@
 #include "eval/engine.h"
 #include "gov/governor.h"
 #include "graphlog/api.h"
+#include "net/client.h"
+#include "net/net_server.h"
+#include "net/protocol.h"
 #include "server/server.h"
 #include "storage/database.h"
 #include "storage/io.h"
@@ -448,6 +455,98 @@ TEST(FuzzRobustnessTest, CommitCrashRecoverMatchesCommittedPrefix) {
     }
     fs::remove_all(dir, ec);
   }
+}
+
+TEST(FuzzRobustnessTest, MutatedWireFramesNeverCrashServerOrPartiallyApply) {
+  // Random byte-level mutations of a valid client conversation, replayed
+  // over raw TCP against a live NetServer. The server must answer every
+  // mutant with an error frame or a clean close — never crash, never
+  // hang, and never partially apply the write batch the conversation
+  // carries: the batch adds exactly 3 rows, so the relation's row count
+  // stays a multiple of 3 after every round.
+  Server server;
+  ASSERT_OK(server.Apply(WriteBatch().Facts("edge(a, b). edge(b, c)."))
+                .status());
+  auto started = net::NetServer::Start(&server, {});
+  ASSERT_OK(started.status());
+  auto& ns = **started;
+
+  ASSERT_OK_AND_ASSIGN(auto watcher, server.OpenSession());
+  const auto wire_rows = [&]() -> size_t {
+    EXPECT_OK(watcher->Refresh());
+    const Symbol s = watcher->database().symbols().Lookup("wirebatch");
+    if (s == kNoSymbol) return 0;
+    const auto* rel = watcher->database().Find(s);
+    return rel == nullptr ? 0 : rel->size();
+  };
+
+  std::mt19937_64 rng(0xf8a3e5);
+  for (int round = 0; round < 60; ++round) {
+    SCOPED_TRACE("wire round " + std::to_string(round));
+
+    // A valid conversation: hello, open session, apply a 3-row batch
+    // unique to this round, ping.
+    const std::string r = "r" + std::to_string(round);
+    std::string stream;
+    {
+      net::Frame hello;
+      hello.type = net::MsgType::kHello;
+      net::EncodeHello(net::WireHello{}, &hello.body);
+      stream += net::SerializeFrame(hello);
+      net::Frame open;
+      open.type = net::MsgType::kOpenSession;
+      net::EncodeSessionOpen(net::WireSessionOpen{}, &open.body);
+      stream += net::SerializeFrame(open);
+      net::Frame apply;
+      apply.type = net::MsgType::kApplyBatch;
+      ASSERT_OK(durability::BatchCodec::Encode(
+          WriteBatch().Facts("wirebatch(" + r + "a, 1). wirebatch(" + r +
+                             "b, 2). wirebatch(" + r + "c, 3)."),
+          {}, &apply.body));
+      stream += net::SerializeFrame(apply);
+      net::Frame ping;
+      ping.type = net::MsgType::kPing;
+      stream += net::SerializeFrame(ping);
+    }
+    const std::string mutant =
+        Mutate(stream, 1 + static_cast<int>(rng() % 8), &rng);
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    timeval timeout{};
+    timeout.tv_sec = 5;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(ns.port());
+    ASSERT_EQ(
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    // Ship the whole mutant, then half-close so a server parked inside a
+    // mis-framed read sees EOF instead of waiting forever.
+    (void)::send(fd, mutant.data(), mutant.size(), MSG_NOSIGNAL);
+    ::shutdown(fd, SHUT_WR);
+    // Drain whatever the server answers until it closes or the receive
+    // timeout trips; either way the conversation terminates.
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    }
+    ::close(fd);
+
+    EXPECT_EQ(wire_rows() % 3, 0u) << "partially applied batch";
+  }
+
+  // The server survived the campaign: a well-behaved client still gets
+  // full service.
+  auto client = net::Client::Connect("127.0.0.1", ns.port());
+  ASSERT_OK(client.status());
+  ASSERT_OK((*client)->Ping());
+  ASSERT_OK((*client)->OpenSession().status());
+  net::WireQuery q;
+  q.text = "query t { edge X -> Y : edge+; distinguished X -> Y : t; }";
+  ASSERT_OK((*client)->Run(q).status());
+  ns.Stop();
 }
 
 }  // namespace
